@@ -1,0 +1,146 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths: value
+// serialization, the record format, sort+group, XML-RPC framing, Halton
+// generation, and the MiniPy engines — the per-sample rates behind Fig 3.
+#include <benchmark/benchmark.h>
+
+#include "halton/halton.h"
+#include "halton/pi_kernel.h"
+#include "interp/treewalk.h"
+#include "interp/vm.h"
+#include "rng/mt19937_64.h"
+#include "core/task.h"
+#include "ser/record.h"
+#include "xmlrpc/protocol.h"
+
+namespace mrs {
+namespace {
+
+std::vector<KeyValue> MakeRecords(int n) {
+  std::vector<KeyValue> records;
+  records.reserve(n);
+  MT19937_64 rng(7);
+  for (int i = 0; i < n; ++i) {
+    records.push_back(KeyValue{
+        Value("key" + std::to_string(rng.NextBounded(100))),
+        Value(static_cast<int64_t>(rng.NextU64()))});
+  }
+  return records;
+}
+
+void BM_EncodeBinaryRecords(benchmark::State& state) {
+  auto records = MakeRecords(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeBinaryRecords(records));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncodeBinaryRecords)->Arg(100)->Arg(10000);
+
+void BM_DecodeBinaryRecords(benchmark::State& state) {
+  std::string encoded =
+      EncodeBinaryRecords(MakeRecords(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecodeBinaryRecords(encoded));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecodeBinaryRecords)->Arg(100)->Arg(10000);
+
+void BM_SortGroup(benchmark::State& state) {
+  auto records = MakeRecords(static_cast<int>(state.range(0)));
+  ReduceFn sum = [](const Value&, const ValueList& values,
+                    const ValueEmitter& emit) {
+    int64_t s = 0;
+    for (const Value& v : values) s += v.AsInt();
+    emit(Value(s));
+  };
+  for (auto _ : state) {
+    auto copy = records;
+    benchmark::DoNotOptimize(SortGroupApply(std::move(copy), sum));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SortGroup)->Arg(1000)->Arg(100000);
+
+void BM_XmlRpcCallRoundTrip(benchmark::State& state) {
+  xmlrpc::MethodCall call;
+  call.method = "task_done";
+  call.params = {XmlRpcValue(int64_t{1}), XmlRpcValue(int64_t{42}),
+                 XmlRpcValue("http://127.0.0.1:1234/bucket/1/2/3")};
+  for (auto _ : state) {
+    std::string wire = xmlrpc::BuildCall(call);
+    benchmark::DoNotOptimize(xmlrpc::ParseCall(wire));
+  }
+}
+BENCHMARK(BM_XmlRpcCallRoundTrip);
+
+void BM_HaltonNext(benchmark::State& state) {
+  Halton2D points;
+  double x, y;
+  for (auto _ : state) {
+    points.Next(&x, &y);
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HaltonNext);
+
+void BM_PiKernel(benchmark::State& state, PiEngine engine) {
+  auto kernel = PiKernel::Create(engine);
+  if (!kernel.ok()) {
+    state.SkipWithError("kernel creation failed");
+    return;
+  }
+  uint64_t start = 0;
+  const uint64_t chunk = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*kernel)->CountInside(start, chunk));
+    start += chunk;
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(chunk));
+}
+BENCHMARK_CAPTURE(BM_PiKernel, native, PiEngine::kNative)->Arg(10000);
+BENCHMARK_CAPTURE(BM_PiKernel, vm_pypy, PiEngine::kVm)->Arg(1000);
+BENCHMARK_CAPTURE(BM_PiKernel, treewalk_python, PiEngine::kTreeWalk)
+    ->Arg(1000);
+
+void BM_MiniPyFib(benchmark::State& state, bool use_vm) {
+  const char* src =
+      "def fib(n):\n    if n < 2:\n        return n\n"
+      "    return fib(n - 1) + fib(n - 2)\n";
+  minipy::TreeWalker walker;
+  minipy::Vm vm;
+  if (use_vm) {
+    if (!vm.LoadSource(src).ok()) {
+      state.SkipWithError("load failed");
+      return;
+    }
+  } else if (!walker.LoadSource(src).ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  std::vector<minipy::PyValue> args = {minipy::PyValue(int64_t{15})};
+  for (auto _ : state) {
+    if (use_vm) {
+      benchmark::DoNotOptimize(vm.Call("fib", args));
+    } else {
+      benchmark::DoNotOptimize(walker.Call("fib", args));
+    }
+  }
+}
+BENCHMARK_CAPTURE(BM_MiniPyFib, vm, true);
+BENCHMARK_CAPTURE(BM_MiniPyFib, treewalk, false);
+
+void BM_MT19937_64(benchmark::State& state) {
+  MT19937_64 rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextU64());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MT19937_64);
+
+}  // namespace
+}  // namespace mrs
+
+BENCHMARK_MAIN();

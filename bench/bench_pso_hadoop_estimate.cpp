@@ -1,0 +1,101 @@
+// E7 (paper §V-B): the PSO-on-Hadoop estimate.
+//
+// The paper measured that PSO on Rosenbrock-250 needs an average of 2471
+// iterations to reach 1e-5 and estimated Hadoop at ~30 s per iteration:
+// 2471 x 30 s ≈ 20.6 hours, versus minutes in Mrs.  This bench reproduces
+// that arithmetic end-to-end: measure real Mrs rounds-to-target on a
+// tractable configuration, take the per-iteration job latency from the
+// hadoopsim DES, and compare; then redo the projection at the paper's own
+// iteration count.
+//
+// Usage: bench_pso_hadoop_estimate [dims=10]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "hadoopsim/cluster.h"
+#include "pso/apiary.h"
+#include "rt/mrs_main.h"
+
+int main(int argc, char** argv) {
+  using namespace mrs;
+  int dims = argc > 1 ? std::atoi(argv[1]) : 10;
+
+  std::printf("bench_pso_hadoop_estimate: E7 (paper §V-B)\n");
+
+  // Measure Mrs: rounds to reach the target on Rosenbrock-<dims>.
+  // (Rosenbrock-250 to 1e-5 needs thousands of rounds — the paper's 2471
+  // iterations; we measure a smaller instance live and project the
+  // paper's count separately.)
+  pso::ApiaryConfig config;
+  config.function = "rosenbrock";
+  config.dims = dims;
+  config.num_subswarms = 8;
+  config.particles_per_subswarm = 5;
+  config.inner_iterations = 100;
+  config.max_rounds = 1200;
+  config.target = 1e-5;
+  config.check_interval = 1;
+
+  pso::ApiaryPso program;
+  program.config = config;
+  if (!program.Init(Options()).ok()) return 1;
+  RunConfig run_config;
+  run_config.impl = "masterslave";
+  run_config.num_slaves = 4;
+  Status status = RunProgram(
+      [&]() -> std::unique_ptr<MapReduce> {
+        auto p = std::make_unique<pso::ApiaryPso>();
+        p->config = config;
+        return p;
+      },
+      &program, run_config);
+  if (!status.ok()) {
+    std::fprintf(stderr, "pso run failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const pso::ApiaryResult& r = program.result;
+  long long rounds = r.rounds_to_target >= 0 ? r.rounds_to_target : r.rounds;
+
+  // Hadoop per-iteration latency from the DES: each Apiary round is one
+  // full MapReduce job (8 maps + 8 reduces, tiny data).
+  hadoopsim::HadoopCluster cluster{hadoopsim::ClusterConfig{}};
+  hadoopsim::JobSpec spec;
+  spec.num_map_tasks = config.num_subswarms;
+  spec.num_reduce_tasks = config.num_subswarms;
+  spec.map_compute_seconds = 0.05;
+  spec.map_output_bytes = 16 << 10;
+  auto one_round = cluster.RunIterativeJobs(spec, 1);
+  auto two_rounds = cluster.RunIterativeJobs(spec, 2);
+  if (!one_round.ok() || !two_rounds.ok()) return 1;
+  double per_iteration = *two_rounds - *one_round;
+  double hadoop_total = cluster.RunIterativeJobs(spec, static_cast<int>(rounds))
+                            .ValueOr(0);
+
+  bench::PrintTable(
+      "E7: measured Mrs vs estimated Hadoop (Rosenbrock-" +
+          std::to_string(dims) + ")",
+      {{"metric", "value"},
+       {"mrs rounds run", std::to_string(r.rounds)},
+       {"mrs rounds to 1e-5",
+        r.rounds_to_target >= 0 ? std::to_string(r.rounds_to_target)
+                                : "not reached"},
+       {"mrs best value", bench::Fmt("%.3g", r.best)},
+       {"mrs wall time (s)", bench::Fmt("%.2f", r.seconds)},
+       {"hadoop per-iteration (sim s)", bench::Fmt("%.1f", per_iteration)},
+       {"hadoop total (sim s)", bench::Fmt("%.0f", hadoop_total)},
+       {"hadoop total (sim h)", bench::Fmt("%.2f", hadoop_total / 3600)},
+       {"hadoop/mrs slowdown",
+        bench::Fmt("%.0fx", r.seconds > 0 ? hadoop_total / r.seconds : 0)}});
+
+  // The paper's own arithmetic, with our simulated per-iteration cost.
+  double paper_total = 2471.0 * per_iteration;
+  bench::PrintTable(
+      "E7: paper-scale projection (Rosenbrock-250, 2471 iterations)",
+      {{"metric", "value"},
+       {"iterations (paper)", "2471"},
+       {"per-iteration (sim s)", bench::Fmt("%.1f", per_iteration)},
+       {"hadoop projected (h)", bench::Fmt("%.1f", paper_total / 3600)},
+       {"paper said", "2471 x 30s = a little over 20 hours"}});
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Shared helpers for the experiment benches: aligned table printing and
+// source-line accounting for the subjective comparison.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace mrs {
+namespace bench {
+
+/// Print a header followed by aligned rows; columns sized to content.
+inline void PrintTable(const std::string& title,
+                       const std::vector<std::vector<std::string>>& rows) {
+  std::printf("\n== %s ==\n", title.c_str());
+  if (rows.empty()) return;
+  std::vector<size_t> widths;
+  for (const auto& row : rows) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::string line;
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      std::string cell = rows[r][c];
+      cell.resize(widths[c], ' ');
+      line += cell;
+      if (c + 1 < rows[r].size()) line += "  ";
+    }
+    std::printf("%s\n", line.c_str());
+    if (r == 0) {
+      std::string rule(line.size(), '-');
+      std::printf("%s\n", rule.c_str());
+    }
+  }
+}
+
+inline std::string Fmt(const char* fmt, double v) { return StrPrintf(fmt, v); }
+
+/// Count non-blank, non-comment source lines of C++ text.
+inline int CountSloc(const std::string& source) {
+  int sloc = 0;
+  bool in_block_comment = false;
+  for (std::string_view raw : SplitChar(source, '\n')) {
+    std::string_view line = Trim(raw);
+    if (in_block_comment) {
+      if (line.find("*/") != std::string_view::npos) in_block_comment = false;
+      continue;
+    }
+    if (line.empty()) continue;
+    if (StartsWith(line, "//")) continue;
+    if (StartsWith(line, "/*")) {
+      if (line.find("*/") == std::string_view::npos) in_block_comment = true;
+      continue;
+    }
+    ++sloc;
+  }
+  return sloc;
+}
+
+}  // namespace bench
+}  // namespace mrs

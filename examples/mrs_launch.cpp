@@ -1,0 +1,156 @@
+// mrs_launch: the paper's startup script (Program 3) as a real tool.
+//
+//   build/examples/mrs_launch --slaves 4 -- build/examples/quickstart \
+//       -o /tmp/out.txt data/
+//
+// Does exactly what the PBS/pssh script does, for local processes:
+//   1. start one copy of the program as the master (with a port file),
+//   2. wait for the master's port file,
+//   3. start N copies as slaves pointed at host:port,
+//   4. wait for completion and propagate the master's exit status.
+// On a cluster, replace step 3's process spawn with pbsdsh/pssh — the
+// program binary and its arguments are unchanged, which is the point.
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/strings.h"
+#include "fs/file_io.h"
+
+extern char** environ;
+
+namespace {
+
+mrs::Result<pid_t> Spawn(const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (const std::string& a : args) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+  pid_t pid = 0;
+  int rc = ::posix_spawn(&pid, args[0].c_str(), nullptr, nullptr, argv.data(),
+                         environ);
+  if (rc != 0) return mrs::IoErrorFromErrno("posix_spawn " + args[0], rc);
+  return pid;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mrs_launch [--slaves N] [--timeout SECONDS] -- "
+               "<program> [program args...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int num_slaves = 2;
+  double timeout = 600.0;
+  int i = 1;
+  for (; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--") {
+      ++i;
+      break;
+    }
+    if (arg == "--slaves" && i + 1 < argc) {
+      num_slaves = std::atoi(argv[++i]);
+    } else if (arg == "--timeout" && i + 1 < argc) {
+      timeout = std::atof(argv[++i]);
+    } else {
+      return Usage();
+    }
+  }
+  if (i >= argc) return Usage();
+  std::vector<std::string> program(argv + i, argv + argc);
+
+  auto dir = mrs::MakeTempDir("mrs_launch_");
+  if (!dir.ok()) {
+    std::fprintf(stderr, "error: %s\n", dir.status().ToString().c_str());
+    return 1;
+  }
+  std::string port_file = mrs::JoinPath(*dir, "master.port");
+
+  // Step 2: start the master.
+  std::vector<std::string> master_args = program;
+  master_args.insert(master_args.begin() + 1,
+                     {"-I", "master", "--mrs-port-file", port_file, "-N",
+                      std::to_string(num_slaves)});
+  auto master = Spawn(master_args);
+  if (!master.ok()) {
+    std::fprintf(stderr, "error: %s\n", master.status().ToString().c_str());
+    return 1;
+  }
+
+  // Step 3: wait for the master to start.
+  std::string address;
+  for (int tries = 0; tries < 400 && address.empty(); ++tries) {
+    if (mrs::FileExists(port_file)) {
+      auto content = mrs::ReadFileToString(port_file);
+      if (content.ok()) address = std::string(mrs::Trim(*content));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  if (address.empty()) {
+    std::fprintf(stderr, "error: master never wrote %s\n", port_file.c_str());
+    ::kill(*master, SIGTERM);
+    return 1;
+  }
+  std::fprintf(stderr, "[mrs_launch] master at %s; starting %d slaves\n",
+               address.c_str(), num_slaves);
+
+  // Step 4: start the slaves.
+  std::vector<pid_t> slaves;
+  for (int s = 0; s < num_slaves; ++s) {
+    std::vector<std::string> slave_args = {program[0], "-I", "slave", "-M",
+                                           address};
+    auto slave = Spawn(slave_args);
+    if (slave.ok()) slaves.push_back(*slave);
+  }
+
+  // Wait for the master (the job) with a deadline.
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(timeout);
+  int exit_code = -1;
+  while (std::chrono::steady_clock::now() < deadline) {
+    int status = 0;
+    pid_t done = ::waitpid(*master, &status, WNOHANG);
+    if (done == *master) {
+      exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : 1;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  if (exit_code < 0) {
+    std::fprintf(stderr, "[mrs_launch] timeout; killing master\n");
+    ::kill(*master, SIGKILL);
+    ::waitpid(*master, nullptr, 0);
+    exit_code = 1;
+  }
+  for (pid_t slave : slaves) {
+    // Slaves exit on the master's quit notice; reap with a short grace.
+    for (int tries = 0; tries < 100; ++tries) {
+      if (::waitpid(slave, nullptr, WNOHANG) == slave) {
+        slave = -1;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (slave > 0) {
+      ::kill(slave, SIGKILL);
+      ::waitpid(slave, nullptr, 0);
+    }
+  }
+  mrs::RemoveTree(*dir);
+  std::fprintf(stderr, "[mrs_launch] done (exit %d)\n", exit_code);
+  return exit_code;
+}

@@ -1,0 +1,53 @@
+// Apiary PSO on Rosenbrock-250 (paper §V-B, Fig 4).
+//
+//   build/examples/pso_rosenbrock --pso-rounds 50 [-I masterslave -N 4]
+//   build/examples/pso_rosenbrock -I bypass          # plain serial loop
+//
+// Prints the convergence history (round, evaluations, best, seconds) and
+// the per-round (per-MapReduce-iteration) overhead, the paper's headline
+// number for Mrs.
+#include <cstdio>
+
+#include "pso/apiary.h"
+#include "rt/mrs_main.h"
+
+class PsoRosenbrock : public mrs::pso::ApiaryPso {
+ public:
+  mrs::Status Run(mrs::Job& job) override {
+    MRS_RETURN_IF_ERROR(mrs::pso::ApiaryPso::Run(job));
+    Report();
+    return mrs::Status::Ok();
+  }
+
+  mrs::Status Bypass() override {
+    MRS_RETURN_IF_ERROR(mrs::pso::ApiaryPso::Bypass());
+    Report();
+    return mrs::Status::Ok();
+  }
+
+ private:
+  void Report() const {
+    std::printf("# %s-%d, %d hives x %d particles, %d inner iterations\n",
+                config.function.c_str(), config.dims, config.num_subswarms,
+                config.particles_per_subswarm, config.inner_iterations);
+    std::printf("%8s %12s %16s %10s\n", "round", "evals", "best", "seconds");
+    for (const mrs::pso::ConvergencePoint& p : result.history) {
+      std::printf("%8lld %12lld %16.6g %10.3f\n",
+                  static_cast<long long>(p.round),
+                  static_cast<long long>(p.evaluations), p.best, p.seconds);
+    }
+    if (result.rounds > 0) {
+      std::printf("# best=%g after %lld rounds; %.4f s/round\n", result.best,
+                  static_cast<long long>(result.rounds),
+                  result.seconds / static_cast<double>(result.rounds));
+    }
+    if (result.rounds_to_target >= 0) {
+      std::printf("# reached target %g at round %lld\n", config.target,
+                  static_cast<long long>(result.rounds_to_target));
+    }
+  }
+};
+
+int main(int argc, char** argv) {
+  return mrs::Main<PsoRosenbrock>(argc, argv);
+}

@@ -1,0 +1,35 @@
+// Quickstart: WordCount in mrs-cpp — the C++ analogue of the paper's
+// Program 1.
+//
+//   build/examples/quickstart [options] <file-or-dir>...
+//
+// Try it on any text, with any implementation:
+//   build/examples/quickstart README.md
+//   build/examples/quickstart -I masterslave -N 4 data/
+//
+// The whole program is the map method, the reduce method, and one line of
+// main — everything else (task decomposition, scheduling, data movement,
+// RPC when running distributed) is the framework's job.
+#include "common/strings.h"
+#include "rt/mrs_main.h"
+
+class WordCount : public mrs::MapReduce {
+ public:
+  void Map(const mrs::Value& key, const mrs::Value& value,
+           const mrs::Emitter& emit) override {
+    (void)key;  // line number, unused
+    for (std::string_view word : mrs::SplitWhitespace(value.AsString())) {
+      emit(mrs::Value(word), mrs::Value(int64_t{1}));
+    }
+  }
+
+  void Reduce(const mrs::Value& key, const mrs::ValueList& values,
+              const mrs::ValueEmitter& emit) override {
+    (void)key;
+    int64_t sum = 0;
+    for (const mrs::Value& v : values) sum += v.AsInt();
+    emit(mrs::Value(sum));
+  }
+};
+
+int main(int argc, char** argv) { return mrs::Main<WordCount>(argc, argv); }

@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace mrs {
+
+RealClock& RealClock::Instance() {
+  static RealClock instance;
+  return instance;
+}
+
+}  // namespace mrs

@@ -1,0 +1,44 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace mrs {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::mutex g_mutex;
+
+char LevelChar(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return 'D';
+    case LogLevel::kInfo: return 'I';
+    case LogLevel::kWarning: return 'W';
+    case LogLevel::kError: return 'E';
+    case LogLevel::kOff: return '?';
+  }
+  return '?';
+}
+
+double SecondsSinceStart() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double>(clock::now() - start).count();
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void LogLine(LogLevel level, std::string_view tag, std::string_view message) {
+  if (level < GetLogLevel()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%c %9.3f %.*s] %.*s\n", LevelChar(level),
+               SecondsSinceStart(), static_cast<int>(tag.size()), tag.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace mrs

@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// Mrs logs sparingly (masters and slaves are long-lived event loops); the
+// logger is thread-safe, cheap when the level is filtered out, and writes a
+// single formatted line per call so interleaved output from worker threads
+// stays readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mrs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default kWarning so test
+/// and bench output stays clean; examples raise it to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Thread-safe formatted emission to stderr: "[I 12.345 tag] message".
+void LogLine(LogLevel level, std::string_view tag, std::string_view message);
+
+namespace internal {
+
+/// Stream-style accumulator used by the MRS_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view tag) : level_(level), tag_(tag) {}
+  ~LogMessage() { LogLine(level_, tag_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string tag_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Usage: MRS_LOG(kInfo, "master") << "slave " << id << " joined";
+#define MRS_LOG(level, tag)                                  \
+  if (::mrs::LogLevel::level < ::mrs::GetLogLevel()) {       \
+  } else                                                     \
+    ::mrs::internal::LogMessage(::mrs::LogLevel::level, (tag))
+
+}  // namespace mrs

@@ -1,0 +1,194 @@
+#include "common/options.h"
+
+#include "common/strings.h"
+
+namespace mrs {
+
+bool Options::Has(std::string_view name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::string Options::GetString(std::string_view name,
+                               std::string_view dflt) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? std::string(dflt) : it->second;
+}
+
+int64_t Options::GetInt(std::string_view name, int64_t dflt) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  return ParseInt64(it->second).value_or(dflt);
+}
+
+double Options::GetDouble(std::string_view name, double dflt) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  return ParseDouble(it->second).value_or(dflt);
+}
+
+bool Options::GetBool(std::string_view name, bool dflt) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return dflt;
+  const std::string& v = it->second;
+  return v == "1" || EqualsIgnoreCase(v, "true") || EqualsIgnoreCase(v, "yes") ||
+         v.empty();  // bare switch
+}
+
+void Options::Set(std::string name, std::string value) {
+  values_[std::move(name)] = std::move(value);
+}
+
+void OptionParser::Add(std::string name, char short_name, bool takes_value,
+                       std::string help, std::string dflt) {
+  decls_.push_back(Decl{std::move(name), short_name, takes_value,
+                        std::move(help), std::move(dflt)});
+}
+
+const OptionParser::Decl* OptionParser::Find(std::string_view name) const {
+  for (const Decl& d : decls_) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+const OptionParser::Decl* OptionParser::FindShort(char c) const {
+  for (const Decl& d : decls_) {
+    if (d.short_name == c) return &d;
+  }
+  return nullptr;
+}
+
+Result<Options> OptionParser::Parse(const std::vector<std::string>& argv) const {
+  Options opts;
+  // Seed defaults first so GetString sees declared defaults.
+  for (const Decl& d : decls_) {
+    if (d.takes_value && !d.dflt.empty()) opts.Set(d.name, d.dflt);
+  }
+  size_t i = 0;
+  for (; i < argv.size(); ++i) {
+    const std::string& arg = argv[i];
+    if (arg == "--") {
+      ++i;
+      break;
+    }
+    if (StartsWith(arg, "--")) {
+      std::string_view body = std::string_view(arg).substr(2);
+      std::string_view name = body;
+      std::optional<std::string_view> inline_value;
+      if (size_t eq = body.find('='); eq != std::string_view::npos) {
+        name = body.substr(0, eq);
+        inline_value = body.substr(eq + 1);
+      }
+      const Decl* d = Find(name);
+      if (d == nullptr) {
+        return InvalidArgumentError("unknown option --" + std::string(name));
+      }
+      if (!d->takes_value) {
+        if (inline_value.has_value()) {
+          return InvalidArgumentError("option --" + d->name +
+                                      " does not take a value");
+        }
+        opts.Set(d->name, "1");
+      } else if (inline_value.has_value()) {
+        opts.Set(d->name, std::string(*inline_value));
+      } else {
+        if (i + 1 >= argv.size()) {
+          return InvalidArgumentError("option --" + d->name +
+                                      " requires a value");
+        }
+        opts.Set(d->name, argv[++i]);
+      }
+    } else if (arg.size() >= 2 && arg[0] == '-' && arg != "-") {
+      // Short options; a value-taking short option consumes the rest of the
+      // token or the next token ("-I serial" or "-Iserial").
+      std::string_view body = std::string_view(arg).substr(1);
+      for (size_t j = 0; j < body.size(); ++j) {
+        const Decl* d = FindShort(body[j]);
+        if (d == nullptr) {
+          return InvalidArgumentError(std::string("unknown option -") + body[j]);
+        }
+        if (!d->takes_value) {
+          opts.Set(d->name, "1");
+          continue;
+        }
+        if (j + 1 < body.size()) {
+          opts.Set(d->name, std::string(body.substr(j + 1)));
+        } else {
+          if (i + 1 >= argv.size()) {
+            return InvalidArgumentError(std::string("option -") + body[j] +
+                                        " requires a value");
+          }
+          opts.Set(d->name, argv[++i]);
+        }
+        break;
+      }
+    } else {
+      break;  // first positional argument
+    }
+  }
+  for (; i < argv.size(); ++i) opts.mutable_args()->push_back(argv[i]);
+  return opts;
+}
+
+Result<Options> OptionParser::Parse(int argc, const char* const* argv) const {
+  std::vector<std::string> v;
+  v.reserve(static_cast<size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) v.emplace_back(argv[i]);
+  return Parse(v);
+}
+
+std::string OptionParser::Usage(std::string_view program) const {
+  std::string out = "usage: " + std::string(program) + " [options] [args...]\n";
+  for (const Decl& d : decls_) {
+    out += "  ";
+    if (d.short_name != 0) {
+      out += '-';
+      out += d.short_name;
+      out += ", ";
+    } else {
+      out += "    ";
+    }
+    out += "--" + d.name;
+    if (d.takes_value) out += " <value>";
+    out += "\n        " + d.help;
+    if (!d.dflt.empty()) out += " (default: " + d.dflt + ")";
+    out += '\n';
+  }
+  return out;
+}
+
+void AddStandardMrsOptions(OptionParser* parser) {
+  parser->Add("mrs-impl", 'I', true,
+              "execution implementation: serial, mockparallel, masterslave, "
+              "master, slave, bypass",
+              "serial");
+  parser->Add("mrs-master", 'M', true,
+              "master address host:port (slave implementation only)");
+  parser->Add("mrs-port", 'P', true,
+              "fixed master port; 0 picks an ephemeral port", "0");
+  parser->Add("mrs-num-slaves", 'N', true,
+              "number of in-process slaves for the masterslave "
+              "implementation",
+              "2");
+  parser->Add("mrs-tasks-per-slave", 0, true,
+              "map task multiplier per slave", "2");
+  parser->Add("mrs-tmpdir", 'T', true,
+              "directory for intermediate data (mockparallel/masterslave)");
+  parser->Add("mrs-seed", 'S', true,
+              "program random seed for the random(...) stream API", "42");
+  parser->Add("mrs-output", 'o', true,
+              "write final text records to this file instead of stdout");
+  parser->Add("mrs-port-file", 0, true,
+              "master: write host:port here once listening (the run-script "
+              "handshake)");
+  parser->Add("mrs-shared-dir", 0, true,
+              "slaves publish buckets as files in this shared directory "
+              "instead of serving them over HTTP (fault-tolerant mode)");
+  parser->Add("mrs-timing", 0, false,
+              "print wall-time for the Run method to stderr");
+  parser->Add("mrs-verbose", 'v', false, "enable info logging");
+  parser->Add("mrs-debug", 0, false, "enable debug logging");
+  parser->Add("help", 'h', false, "show this help");
+}
+
+}  // namespace mrs

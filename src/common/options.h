@@ -1,0 +1,78 @@
+// Command-line option parsing.
+//
+// Mrs programs are configured entirely by "a short list of command-line
+// options" (paper §IV): -I/--mrs-impl selects the implementation, plus
+// master/slave connection options.  This parser supports long and short
+// flags, typed defaults, and leaves positional arguments for the program.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mrs {
+
+/// A parsed option set plus positional arguments, in the spirit of the
+/// (opts, args) pair Mrs hands to a program's __init__.
+class Options {
+ public:
+  bool Has(std::string_view name) const;
+
+  std::string GetString(std::string_view name, std::string_view dflt = "") const;
+  int64_t GetInt(std::string_view name, int64_t dflt = 0) const;
+  double GetDouble(std::string_view name, double dflt = 0.0) const;
+  bool GetBool(std::string_view name, bool dflt = false) const;
+
+  void Set(std::string name, std::string value);
+
+  const std::vector<std::string>& args() const { return args_; }
+  std::vector<std::string>* mutable_args() { return &args_; }
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> args_;
+};
+
+/// Declarative option parser.
+class OptionParser {
+ public:
+  /// Declare an option.  `name` is the long form without dashes
+  /// ("mrs-impl"); `short_name` is a single char or 0; `takes_value` false
+  /// makes it a boolean switch.
+  void Add(std::string name, char short_name, bool takes_value,
+           std::string help, std::string dflt = "");
+
+  /// Parse argv (excluding argv[0]).  Recognized options are recorded; the
+  /// first non-option and everything after "--" become positional args.
+  /// Unknown options yield an error.
+  Result<Options> Parse(const std::vector<std::string>& argv) const;
+  Result<Options> Parse(int argc, const char* const* argv) const;
+
+  /// Usage text listing every declared option.
+  std::string Usage(std::string_view program) const;
+
+ private:
+  struct Decl {
+    std::string name;
+    char short_name;
+    bool takes_value;
+    std::string help;
+    std::string dflt;
+  };
+  const Decl* Find(std::string_view name) const;
+  const Decl* FindShort(char c) const;
+
+  std::vector<Decl> decls_;
+};
+
+/// Registers the standard Mrs options (--mrs-impl, --mrs-master,
+/// --mrs-port, --mrs-num-slaves, --mrs-verbose, --mrs-tmpdir, --mrs-seed)
+/// on a parser, matching the paper's "short list of command-line options".
+void AddStandardMrsOptions(OptionParser* parser);
+
+}  // namespace mrs

@@ -1,0 +1,85 @@
+// Thread-safe queues.
+//
+// Mrs's concurrency rule (paper §IV-B) is "processes and pipes, sparing use
+// of threads and locks".  In C++ the equivalent discipline is: worker
+// threads communicate only through these queues; the owning event loop
+// drains them after a wakeup byte arrives on its pipe.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace mrs {
+
+/// Unbounded MPMC blocking queue with shutdown support.  After Close(),
+/// producers are rejected and consumers drain remaining items then see
+/// nullopt.
+template <typename T>
+class BlockingQueue {
+ public:
+  /// Returns false if the queue is closed.
+  bool Push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives or the queue is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Drain everything currently queued (non-blocking).
+  std::deque<T> DrainAll() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::deque<T> out;
+    out.swap(items_);
+    return out;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace mrs

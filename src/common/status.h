@@ -1,0 +1,151 @@
+// Status / Result error model for mrs-cpp.
+//
+// Mirrors the Mrs design rule that IO and protocol failures are ordinary,
+// recoverable events (a slave dying mid-task must not take down the master),
+// so they travel as values rather than exceptions.  Exceptions remain legal
+// inside parsers and other pure code but are caught at module boundaries.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace mrs {
+
+/// Coarse error taxonomy; fine detail goes in the message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kUnavailable,   // transient: retryable (socket reset, worker lost)
+  kDeadlineExceeded,
+  kCancelled,
+  kDataLoss,      // corrupt record, truncated file
+  kIoError,       // errno-backed filesystem/socket failure
+  kProtocolError, // malformed HTTP/XML-RPC traffic
+};
+
+/// Human-readable name for a code ("OK", "IO_ERROR", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A success-or-error value.  Cheap to copy on the success path (no
+/// allocation); errors carry a code and a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "use Status::Ok() for success");
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// True for errors that a retry loop may reasonably retry.
+  bool retryable() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kDeadlineExceeded;
+  }
+
+  /// "IO_ERROR: connect refused" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Factory helpers, in the style of absl::*Error.
+Status InvalidArgumentError(std::string msg);
+Status NotFoundError(std::string msg);
+Status AlreadyExistsError(std::string msg);
+Status FailedPreconditionError(std::string msg);
+Status OutOfRangeError(std::string msg);
+Status UnimplementedError(std::string msg);
+Status InternalError(std::string msg);
+Status UnavailableError(std::string msg);
+Status DeadlineExceededError(std::string msg);
+Status CancelledError(std::string msg);
+Status DataLossError(std::string msg);
+Status IoError(std::string msg);
+/// IoError with strerror(err) appended.
+Status IoErrorFromErrno(std::string_view what, int err);
+Status ProtocolError(std::string msg);
+
+/// Result<T>: either a T or an error Status.  `value()` asserts success;
+/// check `ok()` (or use ValueOr) first on fallible paths.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT(implicit)
+  Result(Status status) : v_(std::move(status)) {    // NOLINT(implicit)
+    assert(!std::get<Status>(v_).ok() && "Result from OK status has no value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Propagate an error Status from an expression that yields Status.
+#define MRS_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::mrs::Status mrs_status_ = (expr);          \
+    if (!mrs_status_.ok()) return mrs_status_;   \
+  } while (0)
+
+/// Bind `lhs` to the value of a Result-yielding expression or propagate.
+#define MRS_ASSIGN_OR_RETURN(lhs, expr)                   \
+  MRS_ASSIGN_OR_RETURN_IMPL_(                             \
+      MRS_STATUS_CONCAT_(mrs_result_, __LINE__), lhs, expr)
+#define MRS_STATUS_CONCAT_INNER_(a, b) a##b
+#define MRS_STATUS_CONCAT_(a, b) MRS_STATUS_CONCAT_INNER_(a, b)
+#define MRS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace mrs

@@ -1,0 +1,57 @@
+// String utilities shared across the framework: splitting (used by the
+// WordCount tokenizer and HTTP header parsing), trimming, case folding,
+// numeric parsing with explicit failure, and printf-style formatting.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrs {
+
+/// Split on a single character; empty fields are kept ("a,,b" -> 3 fields).
+std::vector<std::string_view> SplitChar(std::string_view s, char sep);
+
+/// Split on runs of ASCII whitespace; no empty fields. Matches the behavior
+/// of Python's str.split() with no argument, which WordCount relies on.
+std::vector<std::string_view> SplitWhitespace(std::string_view s);
+
+/// Split into at most `max_fields` pieces; the last piece keeps the rest.
+std::vector<std::string_view> SplitCharLimit(std::string_view s, char sep,
+                                             size_t max_fields);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+std::string ToLowerAscii(std::string_view s);
+std::string ToUpperAscii(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive ASCII equality (HTTP header names).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Join with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+std::string Join(const std::vector<std::string_view>& parts,
+                 std::string_view sep);
+
+/// Strict integer parse: the whole string must be a valid number.
+std::optional<int64_t> ParseInt64(std::string_view s);
+std::optional<uint64_t> ParseUint64(std::string_view s);
+std::optional<double> ParseDouble(std::string_view s);
+
+/// printf-style formatting into std::string.
+std::string StrPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Replace every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// XML/HTML escaping of '&', '<', '>', '"' (used by the XML writer).
+std::string XmlEscape(std::string_view s);
+
+}  // namespace mrs

@@ -1,0 +1,34 @@
+#include "common/threadpool.h"
+
+namespace mrs {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  return tasks_.Push(std::move(task));
+}
+
+void ThreadPool::Shutdown() {
+  tasks_.Close();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::optional<std::function<void()>> task = tasks_.Pop();
+    if (!task.has_value()) return;
+    (*task)();
+  }
+}
+
+}  // namespace mrs

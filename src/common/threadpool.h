@@ -1,0 +1,39 @@
+// Fixed-size worker pool.
+//
+// Stands in for the worker *processes* a Mrs slave forks (Python needs
+// processes because of the GIL; C++ threads have no such constraint, and
+// the paper's architecture maps cleanly onto a pool + queues).
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+
+namespace mrs {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; returns false after Shutdown().
+  bool Submit(std::function<void()> task);
+
+  /// Stop accepting work, run what is queued, join all workers.  Idempotent.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  BlockingQueue<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mrs

@@ -1,0 +1,99 @@
+#include "core/dataset.h"
+
+#include <cassert>
+
+namespace mrs {
+
+std::string_view DataSetKindName(DataSetKind kind) {
+  switch (kind) {
+    case DataSetKind::kLocal: return "local";
+    case DataSetKind::kFile: return "file";
+    case DataSetKind::kMap: return "map";
+    case DataSetKind::kReduce: return "reduce";
+  }
+  return "?";
+}
+
+DataSet::DataSet(int id, DataSetKind kind, int num_sources, int num_splits)
+    : id_(id), kind_(kind), num_sources_(num_sources), num_splits_(num_splits) {
+  assert(num_sources >= 1 && num_splits >= 1);
+  grid_.reserve(static_cast<size_t>(num_sources) * num_splits);
+  for (int s = 0; s < num_sources; ++s) {
+    for (int p = 0; p < num_splits; ++p) {
+      grid_.emplace_back(s, p);
+    }
+  }
+  task_states_.assign(num_sources, TaskState::kPending);
+}
+
+Bucket& DataSet::bucket(int source, int split) {
+  assert(source >= 0 && source < num_sources_);
+  assert(split >= 0 && split < num_splits_);
+  return grid_[GridIndex(source, split)];
+}
+
+const Bucket& DataSet::bucket(int source, int split) const {
+  assert(source >= 0 && source < num_sources_);
+  assert(split >= 0 && split < num_splits_);
+  return grid_[GridIndex(source, split)];
+}
+
+void DataSet::SetRow(int source, std::vector<Bucket> row) {
+  assert(static_cast<int>(row.size()) == num_splits_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (int p = 0; p < num_splits_; ++p) {
+    // Normalize addressing regardless of what the producer set.
+    Bucket fixed(source, p);
+    fixed.set_url(row[p].url());
+    *fixed.mutable_records() = std::move(*row[p].mutable_records());
+    if (row[p].loaded()) fixed.MarkLoaded();
+    grid_[GridIndex(source, p)] = std::move(fixed);
+  }
+  task_states_[source] = TaskState::kComplete;
+}
+
+TaskState DataSet::task_state(int source) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return task_states_[source];
+}
+
+void DataSet::set_task_state(int source, TaskState state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  task_states_[source] = state;
+}
+
+bool DataSet::TryClaimTask(int source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (task_states_[source] != TaskState::kPending) return false;
+  task_states_[source] = TaskState::kRunning;
+  return true;
+}
+
+void DataSet::ResetTask(int source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  task_states_[source] = TaskState::kPending;
+}
+
+bool DataSet::Complete() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (TaskState s : task_states_) {
+    if (s != TaskState::kComplete) return false;
+  }
+  return true;
+}
+
+int DataSet::NumCompleteTasks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int n = 0;
+  for (TaskState s : task_states_) {
+    if (s == TaskState::kComplete) ++n;
+  }
+  return n;
+}
+
+void DataSet::EvictAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Bucket& b : grid_) b.Evict();
+}
+
+}  // namespace mrs

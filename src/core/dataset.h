@@ -1,0 +1,120 @@
+// Datasets: nodes of the lazy computation DAG.
+//
+// A dataset is a grid of buckets indexed [source][split]: `source` is the
+// task that produced the data, `split` is the partition it belongs to.
+// Task s of a computing dataset consumes column s of its input dataset
+// (i.e. input buckets [*][s]) and writes row s of its own grid.  This
+// matches the Mrs architecture and yields the task dependencies of the
+// paper's Figures 1 and 2: all map tasks independent; a reduce task for
+// partition p needs every map task's bucket for p.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fs/bucket.h"
+#include "ser/value.h"
+
+namespace mrs {
+
+class DataSet;
+using DataSetPtr = std::shared_ptr<DataSet>;
+
+enum class DataSetKind {
+  kLocal,   // literal records provided by the program (1 source)
+  kFile,    // text files on disk, one split per file, loaded lazily
+  kMap,     // map operation over an input dataset
+  kReduce,  // sort+group+reduce over an input dataset
+};
+
+std::string_view DataSetKindName(DataSetKind kind);
+
+/// Options for computing datasets.
+struct DataSetOptions {
+  /// Registered operation name ("map", "reduce", or a custom name).
+  std::string op_name;
+  /// Number of output partitions; 0 lets the Job pick its default
+  /// parallelism.
+  int num_splits = 0;
+  /// Run the program's combiner on map output (map datasets only).
+  bool use_combiner = false;
+  /// Named combiner operation; empty uses "combine".
+  std::string combine_name;
+};
+
+enum class TaskState : uint8_t { kPending, kRunning, kComplete, kFailed };
+
+class DataSet {
+ public:
+  DataSet(int id, DataSetKind kind, int num_sources, int num_splits);
+
+  int id() const { return id_; }
+  DataSetKind kind() const { return kind_; }
+  int num_sources() const { return num_sources_; }
+  int num_splits() const { return num_splits_; }
+
+  const DataSetOptions& options() const { return options_; }
+  DataSetOptions* mutable_options() { return &options_; }
+
+  const DataSetPtr& input() const { return input_; }
+  void set_input(DataSetPtr input) { input_ = std::move(input); }
+
+  /// True for kLocal/kFile datasets whose contents exist a priori.
+  bool IsSourceData() const {
+    return kind_ == DataSetKind::kLocal || kind_ == DataSetKind::kFile;
+  }
+
+  // ---- Bucket grid ----------------------------------------------------
+
+  Bucket& bucket(int source, int split);
+  const Bucket& bucket(int source, int split) const;
+
+  /// Replace row `source` with freshly computed buckets (one per split).
+  /// Marks the task complete.  Thread-safe across distinct sources.
+  void SetRow(int source, std::vector<Bucket> row);
+
+  // ---- Task/completion state ------------------------------------------
+
+  TaskState task_state(int source) const;
+  void set_task_state(int source, TaskState state);
+  /// Atomically transition pending -> running; false if already taken.
+  bool TryClaimTask(int source);
+  /// Reset a task for re-execution (failure recovery).
+  void ResetTask(int source);
+
+  bool Complete() const;
+  int NumCompleteTasks() const;
+
+  /// File-backed datasets: the path for each split (kFile only).
+  const std::vector<std::string>& file_paths() const { return file_paths_; }
+  void set_file_paths(std::vector<std::string> paths) {
+    file_paths_ = std::move(paths);
+  }
+
+  /// Drop all in-memory records, keeping urls (Job::Discard drops
+  /// everything).
+  void EvictAll();
+
+ private:
+  int GridIndex(int source, int split) const {
+    return source * num_splits_ + split;
+  }
+
+  const int id_;
+  const DataSetKind kind_;
+  const int num_sources_;
+  const int num_splits_;
+  DataSetOptions options_;
+  DataSetPtr input_;
+  std::vector<std::string> file_paths_;
+
+  mutable std::mutex mutex_;
+  std::vector<Bucket> grid_;                 // num_sources * num_splits
+  std::vector<TaskState> task_states_;       // per source
+};
+
+}  // namespace mrs

@@ -1,0 +1,56 @@
+#include "core/fetch_registry.h"
+
+#include <map>
+#include <mutex>
+
+#include "common/strings.h"
+#include "core/task.h"
+#include "http/client.h"
+
+namespace mrs {
+
+namespace {
+std::mutex g_mutex;
+std::map<std::string, SchemeFetcher>& Registry() {
+  static std::map<std::string, SchemeFetcher> registry;
+  return registry;
+}
+
+std::string SchemeOf(const std::string& url) {
+  size_t pos = url.find("://");
+  return pos == std::string::npos ? "" : url.substr(0, pos);
+}
+}  // namespace
+
+void RegisterUrlScheme(const std::string& scheme, SchemeFetcher fetcher) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  Registry()[scheme] = std::move(fetcher);
+}
+
+bool CanResolveUrl(const std::string& url) {
+  std::string scheme = SchemeOf(url);
+  if (scheme == "file" || scheme == "text+file" || scheme == "http") {
+    return true;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return Registry().find(scheme) != Registry().end();
+}
+
+Result<std::string> ResolveUrl(const std::string& url) {
+  std::string scheme = SchemeOf(url);
+  if (scheme == "file" || scheme == "text+file") return LocalFetch(url);
+  if (scheme == "http") return HttpFetch(url);
+  SchemeFetcher fetcher;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    auto it = Registry().find(scheme);
+    if (it != Registry().end()) fetcher = it->second;
+  }
+  if (!fetcher) {
+    return InvalidArgumentError("no fetcher registered for scheme '" +
+                                scheme + "' (url: " + url + ")");
+  }
+  return fetcher(url);
+}
+
+}  // namespace mrs

@@ -1,0 +1,31 @@
+// Extensible URL-scheme registry for the data plane.
+//
+// Mrs reads intermediate and input data "from any filesystem" (paper
+// §IV-B) — file://, the built-in HTTP data servers, and gateway protocols
+// like WebHDFS.  Slaves and the master resolve bucket/input URLs through
+// this registry, so adding a storage system is one RegisterUrlScheme call
+// (hadoopsim's WebHDFS client registers "webhdfs", for instance) without
+// the runtime knowing about it.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace mrs {
+
+using SchemeFetcher = std::function<Result<std::string>(const std::string& url)>;
+
+/// Register (or replace) the fetcher for a scheme ("webhdfs", "s3", ...).
+/// "file", "text+file" and "http" are built in.  Thread-safe.
+void RegisterUrlScheme(const std::string& scheme, SchemeFetcher fetcher);
+
+/// True if a fetcher (built-in or registered) exists for the URL's scheme.
+bool CanResolveUrl(const std::string& url);
+
+/// Fetch a URL through the registry: built-in file:// handling, http://
+/// via the HTTP client, anything else via its registered scheme.
+Result<std::string> ResolveUrl(const std::string& url);
+
+}  // namespace mrs

@@ -1,0 +1,137 @@
+#include "core/job.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.h"
+#include "fs/file_io.h"
+#include "ser/record.h"
+
+namespace mrs {
+
+Job::Job(MapReduce* program, std::unique_ptr<Runner> runner)
+    : program_(program), runner_(std::move(runner)) {}
+
+DataSetPtr Job::LocalData(std::vector<KeyValue> records, int num_splits) {
+  int splits = ResolveSplits(num_splits);
+  auto ds = std::make_shared<DataSet>(NextId(), DataSetKind::kLocal,
+                                      /*num_sources=*/1, splits);
+  for (KeyValue& kv : records) {
+    int p = program_->Partition(kv.key, splits);
+    if (p < 0 || p >= splits) p = 0;
+    ds->bucket(0, p).Append(std::move(kv));
+  }
+  for (int p = 0; p < splits; ++p) ds->bucket(0, p).MarkLoaded();
+  ds->set_task_state(0, TaskState::kComplete);
+  return ds;
+}
+
+Result<DataSetPtr> Job::FileData(const std::vector<std::string>& paths) {
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    if (!FileExists(path)) return NotFoundError("no such input: " + path);
+    if (IsDirectory(path)) {
+      MRS_ASSIGN_OR_RETURN(std::vector<std::string> listing,
+                           ListFilesRecursive(path));
+      files.insert(files.end(), listing.begin(), listing.end());
+    } else {
+      files.push_back(path);
+    }
+  }
+  if (files.empty()) return InvalidArgumentError("no input files found");
+  auto ds = std::make_shared<DataSet>(NextId(), DataSetKind::kFile,
+                                      /*num_sources=*/1,
+                                      static_cast<int>(files.size()));
+  ds->set_file_paths(std::move(files));
+  ds->set_task_state(0, TaskState::kComplete);
+  return ds;
+}
+
+DataSetPtr Job::MapData(const DataSetPtr& input, DataSetOptions options) {
+  if (options.op_name.empty()) options.op_name = "map";
+  int splits = ResolveSplits(options.num_splits);
+  auto ds = std::make_shared<DataSet>(NextId(), DataSetKind::kMap,
+                                      /*num_sources=*/input->num_splits(),
+                                      splits);
+  options.num_splits = splits;
+  *ds->mutable_options() = std::move(options);
+  ds->set_input(input);
+  runner_->Submit(ds);
+  return ds;
+}
+
+DataSetPtr Job::ReduceData(const DataSetPtr& input, DataSetOptions options) {
+  if (options.op_name.empty()) options.op_name = "reduce";
+  int splits = ResolveSplits(options.num_splits);
+  auto ds = std::make_shared<DataSet>(NextId(), DataSetKind::kReduce,
+                                      /*num_sources=*/input->num_splits(),
+                                      splits);
+  options.num_splits = splits;
+  *ds->mutable_options() = std::move(options);
+  ds->set_input(input);
+  runner_->Submit(ds);
+  return ds;
+}
+
+Status Job::Wait(const DataSetPtr& dataset) { return runner_->Wait(dataset); }
+
+Result<std::vector<KeyValue>> Job::Collect(const DataSetPtr& dataset) {
+  MRS_RETURN_IF_ERROR(Wait(dataset));
+  UrlFetcher fetch = runner_->fetcher();
+  std::vector<KeyValue> out;
+  if (dataset->kind() == DataSetKind::kFile) {
+    for (int split = 0; split < dataset->num_splits(); ++split) {
+      MRS_ASSIGN_OR_RETURN(std::vector<KeyValue> recs,
+                           GatherInputRecords(*dataset, split, fetch));
+      out.insert(out.end(), std::make_move_iterator(recs.begin()),
+                 std::make_move_iterator(recs.end()));
+    }
+    return out;
+  }
+  for (int split = 0; split < dataset->num_splits(); ++split) {
+    for (int source = 0; source < dataset->num_sources(); ++source) {
+      Bucket& b = dataset->bucket(source, split);
+      MRS_RETURN_IF_ERROR(b.EnsureLoaded(fetch));
+      out.insert(out.end(), b.records().begin(), b.records().end());
+    }
+  }
+  return out;
+}
+
+void Job::Discard(const DataSetPtr& dataset) { runner_->Discard(dataset); }
+
+// ---- MapReduce defaults that need Job --------------------------------
+
+Status MapReduce::InputData(Job& job, DataSetPtr* out) {
+  const std::vector<std::string>& args = opts().args();
+  if (args.empty()) {
+    return InvalidArgumentError(
+        "no input files given (pass paths as positional arguments or "
+        "override InputData)");
+  }
+  MRS_ASSIGN_OR_RETURN(*out, job.FileData(args));
+  return Status::Ok();
+}
+
+Status MapReduce::Run(Job& job) {
+  DataSetPtr input;
+  MRS_RETURN_IF_ERROR(InputData(job, &input));
+  DataSetPtr mapped = job.MapData(input);
+  DataSetPtr reduced = job.ReduceData(mapped);
+  MRS_ASSIGN_OR_RETURN(std::vector<KeyValue> records, job.Collect(reduced));
+  // Collect returns records in bucket order, which depends on the number
+  // of splits; sort so the written output is identical across
+  // implementations *and* across parallelism settings.
+  std::sort(records.begin(), records.end(), KeyValueLess);
+
+  std::string text = EncodeTextRecords(records);
+  std::string output = opts().GetString("mrs-output");
+  if (output.empty()) {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+  } else {
+    MRS_RETURN_IF_ERROR(WriteFileAtomic(output, text));
+  }
+  return Status::Ok();
+}
+
+}  // namespace mrs

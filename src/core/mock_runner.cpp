@@ -1,0 +1,56 @@
+#include "core/mock_runner.h"
+
+#include "core/program.h"
+#include "fs/file_io.h"
+
+namespace mrs {
+
+Status MockParallelRunner::Wait(const DataSetPtr& dataset) {
+  return Compute(dataset);
+}
+
+Status MockParallelRunner::Compute(const DataSetPtr& dataset) {
+  if (dataset->Complete() && !dataset->IsSourceData()) {
+    // Already computed (possibly persisted + evicted).
+    return Status::Ok();
+  }
+  if (dataset->IsSourceData()) return Status::Ok();
+  MRS_RETURN_IF_ERROR(Compute(dataset->input()));
+
+  std::string ds_dir =
+      JoinPath(tmpdir_, "dataset_" + std::to_string(dataset->id()));
+  MRS_RETURN_IF_ERROR(EnsureDir(ds_dir));
+
+  for (int source = 0; source < dataset->num_sources(); ++source) {
+    if (!dataset->TryClaimTask(source)) continue;
+    MRS_ASSIGN_OR_RETURN(
+        std::vector<KeyValue> input,
+        GatherInputRecords(*dataset->input(), source, LocalFetch));
+    Result<std::vector<Bucket>> row =
+        RunTask(*program_, dataset->kind(), dataset->options(),
+                dataset->num_splits(), std::move(input));
+    if (!row.ok()) {
+      dataset->set_task_state(source, TaskState::kFailed);
+      return row.status();
+    }
+    // Persist each bucket, then drop its records: downstream tasks must
+    // read the files, as a distributed fault-tolerant run would.
+    for (int p = 0; p < dataset->num_splits(); ++p) {
+      Bucket& b = (*row)[static_cast<size_t>(p)];
+      std::string path = JoinPath(
+          ds_dir, "source_" + std::to_string(source) + "_split_" +
+                      std::to_string(p) + ".mrsb");
+      MRS_RETURN_IF_ERROR(b.PersistToFile(path));
+      b.Evict();
+    }
+    dataset->SetRow(source, std::move(row).value());
+  }
+  return Status::Ok();
+}
+
+void MockParallelRunner::Discard(const DataSetPtr& dataset) {
+  RemoveTree(JoinPath(tmpdir_, "dataset_" + std::to_string(dataset->id())));
+  dataset->EvictAll();
+}
+
+}  // namespace mrs

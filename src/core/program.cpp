@@ -1,0 +1,76 @@
+#include "core/program.h"
+
+#include "common/strings.h"
+
+namespace mrs {
+
+MapReduce::MapReduce() {
+  // The virtual operations are reachable by name so datasets can reference
+  // them uniformly.
+  RegisterMap("map", [this](const Value& k, const Value& v, const Emitter& e) {
+    Map(k, v, e);
+  });
+  RegisterReduce("reduce", [this](const Value& k, const ValueList& vs,
+                                  const ValueEmitter& e) { Reduce(k, vs, e); });
+  RegisterReduce("combine", [this](const Value& k, const ValueList& vs,
+                                   const ValueEmitter& e) { Combine(k, vs, e); });
+}
+
+Status MapReduce::Init(const Options& opts) {
+  opts_ = opts;
+  streams_.set_program_seed(
+      static_cast<uint64_t>(opts.GetInt("mrs-seed", 42)));
+  return Status::Ok();
+}
+
+void MapReduce::Map(const Value& key, const Value& value, const Emitter& emit) {
+  (void)key;
+  (void)value;
+  (void)emit;
+}
+
+void MapReduce::Reduce(const Value& key, const ValueList& values,
+                       const ValueEmitter& emit) {
+  (void)key;
+  for (const Value& v : values) emit(v);
+}
+
+void MapReduce::Combine(const Value& key, const ValueList& values,
+                        const ValueEmitter& emit) {
+  Reduce(key, values, emit);
+}
+
+int MapReduce::Partition(const Value& key, int num_splits) const {
+  if (num_splits <= 1) return 0;
+  return static_cast<int>(key.Hash() % static_cast<uint64_t>(num_splits));
+}
+
+Status MapReduce::Bypass() {
+  return UnimplementedError("program has no bypass implementation");
+}
+
+void MapReduce::RegisterMap(const std::string& name, MapFn fn) {
+  map_fns_[name] = std::move(fn);
+}
+
+void MapReduce::RegisterReduce(const std::string& name, ReduceFn fn) {
+  reduce_fns_[name] = std::move(fn);
+}
+
+Result<MapFn> MapReduce::FindMap(const std::string& name) const {
+  auto it = map_fns_.find(name);
+  if (it == map_fns_.end()) {
+    return NotFoundError("no registered map function named '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<ReduceFn> MapReduce::FindReduce(const std::string& name) const {
+  auto it = reduce_fns_.find(name);
+  if (it == reduce_fns_.end()) {
+    return NotFoundError("no registered reduce function named '" + name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace mrs

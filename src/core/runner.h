@@ -1,0 +1,42 @@
+// Runner: an execution implementation behind the Job facade.
+//
+// Mrs "defines several different implementations which define the run-time
+// behavior of a program" (paper §IV-A): master/slave, serial, mock
+// parallel, and bypass.  Serial and mock parallel live in core; the
+// master/slave runner lives in rt (it needs the RPC stack); bypass skips
+// the Job machinery entirely.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "core/task.h"
+
+namespace mrs {
+
+class Runner {
+ public:
+  virtual ~Runner() = default;
+
+  /// Hand a newly created computing dataset to the runner.  Pipelining
+  /// runners (master/slave) begin executing immediately; lazy runners
+  /// (serial, mock parallel) defer to Wait.
+  virtual void Submit(const DataSetPtr& dataset) = 0;
+
+  /// Block until every task of `dataset` is complete.
+  virtual Status Wait(const DataSetPtr& dataset) = 0;
+
+  /// Fetcher able to resolve this runner's bucket URLs (for Collect).
+  virtual UrlFetcher fetcher() = 0;
+
+  /// Implementation name ("serial", "mockparallel", "masterslave").
+  virtual std::string name() const = 0;
+
+  /// Called when the program is done with a dataset; runners may release
+  /// persisted intermediate files.
+  virtual void Discard(const DataSetPtr& dataset) { dataset->EvictAll(); }
+};
+
+}  // namespace mrs

@@ -1,0 +1,33 @@
+#include "core/serial_runner.h"
+
+#include "core/program.h"
+
+namespace mrs {
+
+Status SerialRunner::Wait(const DataSetPtr& dataset) {
+  return Compute(dataset);
+}
+
+Status SerialRunner::Compute(const DataSetPtr& dataset) {
+  if (dataset->Complete()) return Status::Ok();
+  if (dataset->IsSourceData()) return Status::Ok();  // complete at creation
+  MRS_RETURN_IF_ERROR(Compute(dataset->input()));
+
+  for (int source = 0; source < dataset->num_sources(); ++source) {
+    if (!dataset->TryClaimTask(source)) continue;
+    MRS_ASSIGN_OR_RETURN(
+        std::vector<KeyValue> input,
+        GatherInputRecords(*dataset->input(), source, LocalFetch));
+    Result<std::vector<Bucket>> row =
+        RunTask(*program_, dataset->kind(), dataset->options(),
+                dataset->num_splits(), std::move(input));
+    if (!row.ok()) {
+      dataset->set_task_state(source, TaskState::kFailed);
+      return row.status();
+    }
+    dataset->SetRow(source, std::move(row).value());
+  }
+  return Status::Ok();
+}
+
+}  // namespace mrs

@@ -1,0 +1,30 @@
+// The serial implementation: "performs all work sequentially on a single
+// processor and makes all work deterministic" (paper §IV-A).
+//
+// It executes the identical task decomposition the parallel implementations
+// use — one task per (dataset, source) — just one task at a time, in
+// dependency order, entirely in memory.
+#pragma once
+
+#include "core/runner.h"
+
+namespace mrs {
+
+class MapReduce;
+
+class SerialRunner final : public Runner {
+ public:
+  explicit SerialRunner(MapReduce* program) : program_(program) {}
+
+  void Submit(const DataSetPtr& dataset) override { (void)dataset; }
+  Status Wait(const DataSetPtr& dataset) override;
+  UrlFetcher fetcher() override { return LocalFetch; }
+  std::string name() const override { return "serial"; }
+
+ private:
+  Status Compute(const DataSetPtr& dataset);
+
+  MapReduce* program_;
+};
+
+}  // namespace mrs

@@ -1,0 +1,193 @@
+#include "core/task.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "fs/file_io.h"
+#include "ser/record.h"
+
+namespace mrs {
+
+Result<std::string> LocalFetch(const std::string& url) {
+  if (StartsWith(url, "file://")) {
+    return ReadFileToString(url.substr(7));
+  }
+  if (StartsWith(url, "text+file://")) {
+    // Handled by LoadTaskInput; raw content here.
+    return ReadFileToString(url.substr(12));
+  }
+  return InvalidArgumentError("LocalFetch cannot resolve url: " + url);
+}
+
+namespace {
+Result<std::vector<KeyValue>> FetchUrlRecords(const std::string& url,
+                                              const UrlFetcher& fetch) {
+  if (StartsWith(url, "text+file://")) {
+    MRS_ASSIGN_OR_RETURN(std::string raw,
+                         ReadFileToString(url.substr(12)));
+    return LinesToRecords(raw);
+  }
+  if (!fetch) return FailedPreconditionError("no fetcher for url " + url);
+  MRS_ASSIGN_OR_RETURN(std::string raw, fetch(url));
+  return DecodeRecords(raw);
+}
+}  // namespace
+
+Result<std::vector<KeyValue>> LoadTaskInput(
+    const std::vector<TaskInputPart>& parts, const UrlFetcher& fetch) {
+  std::vector<KeyValue> out;
+  for (const TaskInputPart& part : parts) {
+    if (part.inline_records) {
+      out.insert(out.end(), part.records.begin(), part.records.end());
+    } else {
+      MRS_ASSIGN_OR_RETURN(std::vector<KeyValue> recs,
+                           FetchUrlRecords(part.url, fetch));
+      out.insert(out.end(), std::make_move_iterator(recs.begin()),
+                 std::make_move_iterator(recs.end()));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<KeyValue>> GatherInputRecords(DataSet& input_ds, int split,
+                                                 const UrlFetcher& fetch) {
+  if (split < 0 || split >= input_ds.num_splits()) {
+    return OutOfRangeError("input split out of range");
+  }
+  if (input_ds.kind() == DataSetKind::kFile) {
+    const std::string& path = input_ds.file_paths().at(split);
+    MRS_ASSIGN_OR_RETURN(std::string raw, ReadFileToString(path));
+    return LinesToRecords(raw);
+  }
+  std::vector<KeyValue> out;
+  for (int s = 0; s < input_ds.num_sources(); ++s) {
+    Bucket& b = input_ds.bucket(s, split);
+    MRS_RETURN_IF_ERROR(b.EnsureLoaded(fetch));
+    out.insert(out.end(), b.records().begin(), b.records().end());
+  }
+  return out;
+}
+
+Result<std::vector<TaskInputPart>> BuildTaskInputParts(DataSet& input_ds,
+                                                       int split) {
+  std::vector<TaskInputPart> parts;
+  if (input_ds.kind() == DataSetKind::kFile) {
+    parts.push_back(
+        TaskInputPart::Url("text+file://" + input_ds.file_paths().at(split)));
+    return parts;
+  }
+  for (int s = 0; s < input_ds.num_sources(); ++s) {
+    Bucket& b = input_ds.bucket(s, split);
+    if (!b.url().empty()) {
+      parts.push_back(TaskInputPart::Url(b.url()));
+    } else if (b.loaded()) {
+      parts.push_back(TaskInputPart::Inline(b.records()));
+    } else if (input_ds.kind() == DataSetKind::kLocal) {
+      parts.push_back(TaskInputPart::Inline(b.records()));
+    } else {
+      return FailedPreconditionError(
+          "bucket (" + std::to_string(s) + "," + std::to_string(split) +
+          ") of dataset " + std::to_string(input_ds.id()) +
+          " has neither url nor records");
+    }
+  }
+  return parts;
+}
+
+Result<std::vector<KeyValue>> SortGroupApply(std::vector<KeyValue> records,
+                                             const ReduceFn& fn) {
+  std::stable_sort(records.begin(), records.end(), KeyValueLess);
+  std::vector<KeyValue> out;
+  size_t i = 0;
+  while (i < records.size()) {
+    size_t j = i;
+    ValueList values;
+    while (j < records.size() && records[j].key == records[i].key) {
+      values.push_back(records[j].value);
+      ++j;
+    }
+    const Value& key = records[i].key;
+    fn(key, values, [&](Value v) {
+      out.push_back(KeyValue{key, std::move(v)});
+    });
+    i = j;
+  }
+  return out;
+}
+
+Result<std::vector<Bucket>> RunMapTask(MapReduce& program,
+                                       const DataSetOptions& options,
+                                       int num_splits,
+                                       const std::vector<KeyValue>& input) {
+  std::string op = options.op_name.empty() ? "map" : options.op_name;
+  MRS_ASSIGN_OR_RETURN(MapFn fn, program.FindMap(op));
+
+  std::vector<std::vector<KeyValue>> partitioned(num_splits);
+  Emitter emit = [&](Value k, Value v) {
+    int p = program.Partition(k, num_splits);
+    if (p < 0 || p >= num_splits) p = 0;
+    partitioned[static_cast<size_t>(p)].push_back(
+        KeyValue{std::move(k), std::move(v)});
+  };
+  for (const KeyValue& kv : input) {
+    fn(kv.key, kv.value, emit);
+  }
+
+  if (options.use_combiner) {
+    std::string combine_op =
+        options.combine_name.empty() ? "combine" : options.combine_name;
+    MRS_ASSIGN_OR_RETURN(ReduceFn combiner, program.FindReduce(combine_op));
+    for (auto& part : partitioned) {
+      MRS_ASSIGN_OR_RETURN(part, SortGroupApply(std::move(part), combiner));
+    }
+  }
+
+  std::vector<Bucket> row;
+  row.reserve(num_splits);
+  for (int p = 0; p < num_splits; ++p) {
+    Bucket b(0, p);
+    *b.mutable_records() = std::move(partitioned[static_cast<size_t>(p)]);
+    b.MarkLoaded();
+    row.push_back(std::move(b));
+  }
+  return row;
+}
+
+Result<std::vector<Bucket>> RunReduceTask(MapReduce& program,
+                                          const DataSetOptions& options,
+                                          int num_splits,
+                                          std::vector<KeyValue> input) {
+  std::string op = options.op_name.empty() ? "reduce" : options.op_name;
+  MRS_ASSIGN_OR_RETURN(ReduceFn fn, program.FindReduce(op));
+  MRS_ASSIGN_OR_RETURN(std::vector<KeyValue> reduced,
+                       SortGroupApply(std::move(input), fn));
+
+  std::vector<Bucket> row;
+  row.reserve(num_splits);
+  for (int p = 0; p < num_splits; ++p) row.emplace_back(0, p);
+  for (KeyValue& kv : reduced) {
+    int p = program.Partition(kv.key, num_splits);
+    if (p < 0 || p >= num_splits) p = 0;
+    row[static_cast<size_t>(p)].Append(std::move(kv));
+  }
+  for (Bucket& b : row) b.MarkLoaded();
+  return row;
+}
+
+Result<std::vector<Bucket>> RunTask(MapReduce& program, DataSetKind kind,
+                                    const DataSetOptions& options,
+                                    int num_splits,
+                                    std::vector<KeyValue> input) {
+  switch (kind) {
+    case DataSetKind::kMap:
+      return RunMapTask(program, options, num_splits, input);
+    case DataSetKind::kReduce:
+      return RunReduceTask(program, options, num_splits, std::move(input));
+    case DataSetKind::kLocal:
+    case DataSetKind::kFile:
+      return InvalidArgumentError("source datasets have no tasks to run");
+  }
+  return InternalError("unknown dataset kind");
+}
+
+}  // namespace mrs

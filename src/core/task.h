@@ -1,0 +1,94 @@
+// Task execution: the one code path that computes a row of a dataset's
+// bucket grid.
+//
+// Every implementation — serial, mock parallel, master/slave — funnels
+// through RunMapTask / RunReduceTask, which is how Mrs guarantees that all
+// implementations "produce identical answers" (paper §IV-A): only the
+// scheduling and data movement differ, never the computation.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "core/program.h"
+#include "fs/bucket.h"
+
+namespace mrs {
+
+/// Resolves a URL to raw content ("http://..." across slaves; "file://..."
+/// from disk).  Injected so tests can fake remote fetches and inject
+/// faults.
+using UrlFetcher = std::function<Result<std::string>(const std::string&)>;
+
+/// A fetcher handling file:// and text+file:// URLs only (local).
+Result<std::string> LocalFetch(const std::string& url);
+
+/// One input part for a task: either inline records or a URL to fetch.
+/// URL schemes: "file://" (binary/text records), "http://" (ditto, remote),
+/// "text+file://" (raw text, converted line-by-line to (lineno, line)).
+struct TaskInputPart {
+  std::vector<KeyValue> records;
+  std::string url;
+  bool inline_records = false;
+
+  static TaskInputPart Inline(std::vector<KeyValue> recs) {
+    TaskInputPart p;
+    p.records = std::move(recs);
+    p.inline_records = true;
+    return p;
+  }
+  static TaskInputPart Url(std::string url) {
+    TaskInputPart p;
+    p.url = std::move(url);
+    return p;
+  }
+};
+
+/// Fetch and concatenate all parts, in order.
+Result<std::vector<KeyValue>> LoadTaskInput(
+    const std::vector<TaskInputPart>& parts, const UrlFetcher& fetch);
+
+/// Gather the input records for task `split` reading from dataset
+/// `input_ds` (in-memory/local path used by the serial and mock-parallel
+/// runners).  For file datasets this reads the split's file; otherwise it
+/// loads column `split` of the grid.
+Result<std::vector<KeyValue>> GatherInputRecords(DataSet& input_ds, int split,
+                                                 const UrlFetcher& fetch);
+
+/// Build URL/inline input parts for a remote task (master side).  Buckets
+/// that have URLs are passed by reference; in-memory-only buckets are
+/// inlined.
+Result<std::vector<TaskInputPart>> BuildTaskInputParts(DataSet& input_ds,
+                                                       int split);
+
+/// Run one map task: calls the named map function on every input record,
+/// partitions emitted pairs into `num_splits` buckets, and optionally
+/// applies the combiner per bucket.  Returns the completed bucket row.
+Result<std::vector<Bucket>> RunMapTask(MapReduce& program,
+                                       const DataSetOptions& options,
+                                       int num_splits,
+                                       const std::vector<KeyValue>& input);
+
+/// Run one reduce task: sorts input by key (ties by value), groups, calls
+/// the named reduce function per key, and partitions emitted values by key
+/// into `num_splits` buckets.
+Result<std::vector<Bucket>> RunReduceTask(MapReduce& program,
+                                          const DataSetOptions& options,
+                                          int num_splits,
+                                          std::vector<KeyValue> input);
+
+/// Dispatch on dataset kind (kMap/kReduce).
+Result<std::vector<Bucket>> RunTask(MapReduce& program, DataSetKind kind,
+                                    const DataSetOptions& options,
+                                    int num_splits,
+                                    std::vector<KeyValue> input);
+
+/// Sort records and collapse runs of equal keys via `fn` (shared by the
+/// reduce path and the map-side combiner).
+Result<std::vector<KeyValue>> SortGroupApply(std::vector<KeyValue> records,
+                                             const ReduceFn& fn);
+
+}  // namespace mrs

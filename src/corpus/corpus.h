@@ -1,0 +1,72 @@
+// Synthetic text corpus standing in for Project Gutenberg (paper §V-B).
+//
+// The paper's WordCount input is 31,173 plain-ASCII ebooks in a *nested*
+// directory layout — the layout itself is part of the experiment, because
+// Hadoop's input loader "expects all of the files to be located in a
+// single directory" and took ~9 minutes just to load the data.  This
+// generator reproduces the shape: many small files, Zipf-distributed word
+// frequencies, nested directories (etext02/, etext03/, ... with
+// subdirectories), deterministic under a seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rng/mt19937_64.h"
+
+namespace mrs {
+
+struct CorpusSpec {
+  int num_files = 100;
+  /// Mean words per file (files vary ±50% uniformly).
+  int words_per_file = 2000;
+  /// Vocabulary size for the Zipf distribution.
+  int vocabulary = 5000;
+  /// Zipf exponent (1.0 ≈ natural text).
+  double zipf_s = 1.07;
+  /// Files per leaf directory; directories nest two levels deep, like the
+  /// Gutenberg mirror layout.
+  int files_per_dir = 25;
+  int words_per_line = 12;
+  uint64_t seed = 2012;
+};
+
+/// A deterministic Zipf sampler over ranks 1..n using the inverse-CDF
+/// table method.
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double s);
+
+  /// Rank in [0, n) drawn with probability ∝ 1/(rank+1)^s.
+  int Sample(MT19937_64& rng) const;
+
+  double ExpectedProbability(int rank) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// The synthetic vocabulary word for a rank ("w0", "w1", ..., with a few
+/// hand-picked common words at the head so output is readable).
+std::string VocabularyWord(int rank);
+
+/// Generate the corpus under `root` (created if needed).  Returns the list
+/// of file paths written, in generation order.
+Result<std::vector<std::string>> GenerateCorpus(const std::string& root,
+                                                const CorpusSpec& spec);
+
+/// Exact aggregate statistics computed during generation, so WordCount
+/// results can be verified without an independent recount.
+struct CorpusStats {
+  uint64_t total_words = 0;
+  uint64_t distinct_words = 0;
+};
+
+/// Generate and also return per-word exact counts (rank -> count).
+Result<std::vector<std::string>> GenerateCorpusWithCounts(
+    const std::string& root, const CorpusSpec& spec,
+    std::vector<uint64_t>* rank_counts, CorpusStats* stats);
+
+}  // namespace mrs

@@ -1,0 +1,44 @@
+#include "fs/bucket.h"
+
+#include "common/strings.h"
+#include "fs/file_io.h"
+
+namespace mrs {
+
+Status Bucket::PersistToFile(const std::string& path) {
+  MRS_RETURN_IF_ERROR(WriteFileAtomic(path, EncodeBinaryRecords(records_)));
+  url_ = "file://" + path;
+  return Status::Ok();
+}
+
+Status Bucket::EnsureLoaded(
+    const std::function<Result<std::string>(const std::string&)>& http_fetch) {
+  if (loaded_) return Status::Ok();
+  if (url_.empty()) {
+    // Never persisted and not marked loaded: treat in-memory contents
+    // (possibly empty) as authoritative.
+    loaded_ = true;
+    return Status::Ok();
+  }
+  std::string raw;
+  if (StartsWith(url_, "file://")) {
+    MRS_ASSIGN_OR_RETURN(raw, ReadFileToString(url_.substr(7)));
+  } else if (StartsWith(url_, "http://")) {
+    if (!http_fetch) {
+      return FailedPreconditionError("no http fetcher for bucket url " + url_);
+    }
+    MRS_ASSIGN_OR_RETURN(raw, http_fetch(url_));
+  } else {
+    return InvalidArgumentError("unsupported bucket url scheme: " + url_);
+  }
+  MRS_ASSIGN_OR_RETURN(records_, DecodeRecords(raw));
+  loaded_ = true;
+  return Status::Ok();
+}
+
+std::string BucketFileName(std::string_view dataset_id, int source, int split) {
+  return std::string(dataset_id) + "/source_" + std::to_string(source) +
+         "_split_" + std::to_string(split) + ".mrsb";
+}
+
+}  // namespace mrs

@@ -1,0 +1,76 @@
+// Buckets: the unit of intermediate data in Mrs.
+//
+// Each task writes its output partitioned into buckets, one per destination
+// split.  A bucket either stays in memory (serial runs, or the
+// direct-communication path where "small short-lived files ... stay in the
+// kernel's filesystem buffer"), is persisted to a local file
+// (mock-parallel and fault-tolerant modes), or is fetched by URL from the
+// slave that produced it (the writer "sends the master the corresponding
+// URL, which is used for any future reads").
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ser/record.h"
+#include "ser/value.h"
+
+namespace mrs {
+
+/// A named container of KeyValue records addressed by (source, split).
+class Bucket {
+ public:
+  Bucket() = default;
+  Bucket(int source, int split) : source_(source), split_(split) {}
+
+  int source() const { return source_; }
+  int split() const { return split_; }
+
+  /// URL of the persisted form, empty while memory-only.  Schemes:
+  /// "file:///abs/path" and "http://host:port/path".
+  const std::string& url() const { return url_; }
+  void set_url(std::string url) { url_ = std::move(url); }
+
+  bool loaded() const { return loaded_; }
+  const std::vector<KeyValue>& records() const { return records_; }
+  std::vector<KeyValue>* mutable_records() { return &records_; }
+
+  void Append(KeyValue kv) { records_.push_back(std::move(kv)); }
+  void Append(Value key, Value value) {
+    records_.push_back(KeyValue{std::move(key), std::move(value)});
+  }
+
+  /// Mark in-memory contents as authoritative (constructors of source data).
+  void MarkLoaded() { loaded_ = true; }
+
+  /// Drop in-memory records (keeps url) to bound memory on large runs.
+  void Evict() {
+    records_.clear();
+    records_.shrink_to_fit();
+    loaded_ = false;
+  }
+
+  /// Persist records to `path` in binary format and set a file:// url.
+  Status PersistToFile(const std::string& path);
+
+  /// Ensure records are in memory, fetching by url if needed.
+  /// `http_fetch` resolves http:// urls (injected to avoid a dependency
+  /// cycle and to allow fault injection in tests); file:// urls are read
+  /// directly.
+  Status EnsureLoaded(
+      const std::function<Result<std::string>(const std::string&)>& http_fetch);
+
+ private:
+  int source_ = 0;
+  int split_ = 0;
+  std::string url_;
+  bool loaded_ = false;
+  std::vector<KeyValue> records_;
+};
+
+/// Deterministic relative path for a bucket within a dataset directory.
+std::string BucketFileName(std::string_view dataset_id, int source, int split);
+
+}  // namespace mrs

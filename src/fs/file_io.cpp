@@ -1,0 +1,198 @@
+#include "fs/file_io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace mrs {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return NotFoundError("no such file: " + path);
+    return IoErrorFromErrno("open " + path, errno);
+  }
+  std::string out;
+  char buf[1 << 16];
+  while (true) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      return IoErrorFromErrno("read " + path, err);
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view content) {
+  std::string tmp = path + ".tmp.XXXXXX";
+  int fd = ::mkstemp(tmp.data());
+  if (fd < 0) return IoErrorFromErrno("mkstemp for " + path, errno);
+  size_t written = 0;
+  while (written < content.size()) {
+    ssize_t n = ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return IoErrorFromErrno("write " + tmp, err);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::close(fd) < 0) {
+    ::unlink(tmp.c_str());
+    return IoErrorFromErrno("close " + tmp, errno);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) < 0) {
+    int err = errno;
+    ::unlink(tmp.c_str());
+    return IoErrorFromErrno("rename to " + path, err);
+  }
+  return Status::Ok();
+}
+
+Status AppendToFile(const std::string& path, std::string_view content) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return IoErrorFromErrno("open(append) " + path, errno);
+  size_t written = 0;
+  while (written < content.size()) {
+    ssize_t n = ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      return IoErrorFromErrno("append " + path, err);
+    }
+    written += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+Status EnsureDir(const std::string& path) {
+  if (path.empty()) return InvalidArgumentError("empty directory path");
+  std::string partial;
+  size_t i = 0;
+  if (path[0] == '/') partial = "/";
+  while (i < path.size()) {
+    size_t next = path.find('/', i);
+    std::string component = (next == std::string::npos)
+                                ? path.substr(i)
+                                : path.substr(i, next - i);
+    if (!component.empty()) {
+      if (!partial.empty() && partial.back() != '/') partial += '/';
+      partial += component;
+      if (::mkdir(partial.c_str(), 0755) < 0 && errno != EEXIST) {
+        return IoErrorFromErrno("mkdir " + partial, errno);
+      }
+    }
+    if (next == std::string::npos) break;
+    i = next + 1;
+  }
+  return Status::Ok();
+}
+
+void RemoveTree(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    ::unlink(path.c_str());
+    return;
+  }
+  while (dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    std::string child = JoinPath(path, name);
+    struct stat st{};
+    if (::lstat(child.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      RemoveTree(child);
+    } else {
+      ::unlink(child.c_str());
+    }
+  }
+  ::closedir(dir);
+  ::rmdir(path.c_str());
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool IsDirectory(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) < 0) {
+    return IoErrorFromErrno("stat " + path, errno);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+namespace {
+Status ListFilesInto(const std::string& root, std::vector<std::string>* out) {
+  DIR* dir = ::opendir(root.c_str());
+  if (dir == nullptr) return IoErrorFromErrno("opendir " + root, errno);
+  std::vector<std::string> subdirs;
+  while (dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    std::string child = JoinPath(root, name);
+    struct stat st{};
+    if (::lstat(child.c_str(), &st) < 0) continue;
+    if (S_ISDIR(st.st_mode)) {
+      subdirs.push_back(child);
+    } else if (S_ISREG(st.st_mode)) {
+      out->push_back(child);
+    }
+  }
+  ::closedir(dir);
+  for (const std::string& sub : subdirs) {
+    MRS_RETURN_IF_ERROR(ListFilesInto(sub, out));
+  }
+  return Status::Ok();
+}
+}  // namespace
+
+Result<std::vector<std::string>> ListFilesRecursive(const std::string& root) {
+  std::vector<std::string> out;
+  MRS_RETURN_IF_ERROR(ListFilesInto(root, &out));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::string> MakeTempDir(const std::string& prefix) {
+  const char* base = std::getenv("TMPDIR");
+  std::string tmpl = JoinPath(base != nullptr ? base : "/tmp", prefix + "XXXXXX");
+  if (::mkdtemp(tmpl.data()) == nullptr) {
+    return IoErrorFromErrno("mkdtemp " + tmpl, errno);
+  }
+  return tmpl;
+}
+
+std::string JoinPath(std::string_view a, std::string_view b) {
+  if (a.empty()) return std::string(b);
+  if (b.empty()) return std::string(a);
+  std::string out(a);
+  if (out.back() != '/') out += '/';
+  out += b;
+  return out;
+}
+
+}  // namespace mrs

@@ -1,0 +1,48 @@
+// Filesystem helpers.
+//
+// Mrs deliberately has no distributed filesystem: it "can read and write to
+// any filesystem supported by the kernel" (paper §IV-B).  Everything here
+// is plain POSIX: whole-file read/write (atomic via rename), directory
+// creation, and recursive enumeration — the last one matters because the
+// paper's WordCount input (Project Gutenberg) lives in a nested directory
+// tree that Hadoop's loader could not handle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mrs {
+
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Write via a temp file + rename so readers never see partial content.
+Status WriteFileAtomic(const std::string& path, std::string_view content);
+
+Status AppendToFile(const std::string& path, std::string_view content);
+
+/// mkdir -p.
+Status EnsureDir(const std::string& path);
+
+/// Recursively remove a directory tree (best-effort).
+void RemoveTree(const std::string& path);
+
+bool FileExists(const std::string& path);
+bool IsDirectory(const std::string& path);
+Result<uint64_t> FileSize(const std::string& path);
+
+/// All regular files under `root`, recursively, sorted lexicographically
+/// for deterministic task splits.  Symlinks are not followed.
+Result<std::vector<std::string>> ListFilesRecursive(const std::string& root);
+
+/// Create a fresh unique directory under the system temp dir (or $TMPDIR),
+/// named "<prefix>XXXXXX".
+Result<std::string> MakeTempDir(const std::string& prefix);
+
+/// Join path components with '/' (no normalization).
+std::string JoinPath(std::string_view a, std::string_view b);
+
+}  // namespace mrs

@@ -1,0 +1,264 @@
+#include "hadoopsim/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+namespace mrs {
+namespace hadoopsim {
+
+namespace {
+
+/// Mutable per-run state driven by the event loop.
+struct RunState {
+  const ClusterConfig* config;
+  const JobSpec* spec;
+  Simulation sim;
+
+  // Task accounting.
+  bool setup_pending = true;
+  bool setup_done = false;
+  int maps_pending = 0;
+  int maps_reported = 0;
+  bool cleanup_pending = false;
+  bool cleanup_reported = false;
+  int reduces_pending = 0;
+  int reduces_reported = 0;
+  bool maps_all_done = false;
+
+  // Per-tracker busy slots.
+  std::vector<int> map_slots_busy;
+  std::vector<int> reduce_slots_busy;
+
+  // Milestones (simulated seconds).
+  double submit_done = 0;
+  double setup_done_at = 0;
+  double maps_done_at = 0;
+  double reduces_done_at = 0;
+  double cleanup_done_at = 0;
+
+  double MapBodySeconds() const {
+    double input_per_map =
+        static_cast<double>(spec->map_input_bytes) /
+        std::max(1, spec->num_map_tasks);
+    return spec->map_compute_seconds +
+           input_per_map / config->hdfs_read_bandwidth;
+  }
+
+  double ShuffleSortSeconds() const {
+    if (spec->num_reduce_tasks == 0) return 0;
+    double bytes_per_reduce =
+        static_cast<double>(spec->map_output_bytes) /
+        std::max(1, spec->num_reduce_tasks);
+    return spec->num_map_tasks * config->per_map_fetch_overhead +
+           bytes_per_reduce / config->shuffle_bandwidth +
+           config->sort_factor * bytes_per_reduce;
+  }
+
+  double ReduceBodySeconds() const {
+    double output_per_reduce =
+        static_cast<double>(spec->reduce_output_bytes) /
+        std::max(1, spec->num_reduce_tasks);
+    return ShuffleSortSeconds() + spec->reduce_compute_seconds +
+           output_per_reduce / config->hdfs_write_bandwidth;
+  }
+
+  bool JobDone() const { return cleanup_reported; }
+
+  /// One tracker's heartbeat: report finished work (handled where tasks
+  /// complete, see below), then take at most one new task.
+  void Heartbeat(int tracker) {
+    if (JobDone()) return;  // stop the heartbeat chain
+
+    AssignWork(tracker);
+
+    sim.After(config->heartbeat_interval,
+              [this, tracker] { Heartbeat(tracker); });
+  }
+
+  void AssignWork(int tracker) {
+    // Setup task first; maps; then (after all maps) reduces; finally the
+    // cleanup task.  One assignment per heartbeat, as in 0.20.
+    if (setup_pending) {
+      setup_pending = false;
+      double body = config->jvm_startup + config->setup_task_run;
+      double finish = sim.now() + body;
+      // Like every task, the setup task's completion is noticed on the
+      // executing tracker's next heartbeat after it ends.
+      double report = NextHeartbeatAfter(tracker, finish);
+      sim.At(report, [this] {
+        setup_done = true;
+        setup_done_at = sim.now();
+      });
+      return;
+    }
+    if (!setup_done) return;
+
+    if (maps_pending > 0 &&
+        map_slots_busy[static_cast<size_t>(tracker)] <
+            config->map_slots_per_node) {
+      --maps_pending;
+      ++map_slots_busy[static_cast<size_t>(tracker)];
+      double body = config->jvm_startup + MapBodySeconds();
+      // The tracker notices completion at its next heartbeat after the
+      // task ends: round the report up to the heartbeat grid.
+      double finish = sim.now() + body;
+      double report = NextHeartbeatAfter(tracker, finish);
+      sim.At(report, [this, tracker] {
+        --map_slots_busy[static_cast<size_t>(tracker)];
+        ++maps_reported;
+        if (maps_reported == spec->num_map_tasks) {
+          maps_all_done = true;
+          maps_done_at = sim.now();
+          if (spec->num_reduce_tasks == 0) cleanup_pending = true;
+        }
+      });
+      return;
+    }
+
+    if (maps_all_done && reduces_pending > 0 &&
+        reduce_slots_busy[static_cast<size_t>(tracker)] <
+            config->reduce_slots_per_node) {
+      --reduces_pending;
+      ++reduce_slots_busy[static_cast<size_t>(tracker)];
+      double body = config->jvm_startup + ReduceBodySeconds();
+      double finish = sim.now() + body;
+      // 0.20 semantics: a reduce attempt enters COMMIT_PENDING when its
+      // body ends and may only commit its output on a heartbeat grant;
+      // the completed state is then noticed on the following heartbeat.
+      double commit = NextHeartbeatAfter(tracker, finish);
+      double report = NextHeartbeatAfter(tracker, commit);
+      sim.At(report, [this, tracker] {
+        --reduce_slots_busy[static_cast<size_t>(tracker)];
+        ++reduces_reported;
+        if (reduces_reported == spec->num_reduce_tasks) {
+          reduces_done_at = sim.now();
+          cleanup_pending = true;
+        }
+      });
+      return;
+    }
+
+    if (cleanup_pending) {
+      cleanup_pending = false;
+      double body = config->jvm_startup + config->cleanup_task_run;
+      double finish = sim.now() + body;
+      double report = NextHeartbeatAfter(tracker, finish);
+      sim.At(report, [this] {
+        cleanup_reported = true;
+        cleanup_done_at = sim.now();
+      });
+      return;
+    }
+  }
+
+  double NextHeartbeatAfter(int tracker, double t) const {
+    // Tracker i heartbeats at offset_i + k * interval.
+    double interval = config->heartbeat_interval;
+    double offset = interval * static_cast<double>(tracker) /
+                    std::max(1, config->num_nodes);
+    double k = std::ceil((t - offset) / interval);
+    if (k < 0) k = 0;
+    return offset + k * interval + 1e-9;
+  }
+};
+
+}  // namespace
+
+HadoopCluster::HadoopCluster(ClusterConfig config)
+    : config_(std::move(config)) {}
+
+Result<JobResult> HadoopCluster::RunJob(const JobSpec& spec) const {
+  if (spec.num_map_tasks < 1) {
+    return InvalidArgumentError("job needs at least one map task");
+  }
+  JobResult result;
+
+  auto state = std::make_unique<RunState>();
+  state->config = &config_;
+  state->spec = &spec;
+  state->maps_pending = spec.num_map_tasks;
+  state->reduces_pending = spec.num_reduce_tasks;
+  state->map_slots_busy.assign(static_cast<size_t>(config_.num_nodes), 0);
+  state->reduce_slots_busy.assign(static_cast<size_t>(config_.num_nodes), 0);
+
+  double t = 0;
+  if (!config_.daemons_running) {
+    t += config_.daemon_bringup;
+  }
+
+  // Stage input into HDFS (hdfs put): bandwidth plus a create RPC per file.
+  if (spec.stage_in_bytes > 0) {
+    result.stage_in =
+        static_cast<double>(spec.stage_in_bytes) / config_.hdfs_write_bandwidth +
+        spec.num_input_files * config_.namenode_rpc_latency;
+    t += result.stage_in;
+  }
+
+  // Submission: client staging, getSplits over every file and directory,
+  // then JobTracker initialization.
+  double get_splits = spec.num_input_dirs * config_.per_dir_list_cost +
+                      spec.num_input_files * config_.per_file_split_cost;
+  double submit_work = config_.client_jvm_startup + config_.job_client_staging +
+                       get_splits + config_.job_init;
+  result.submit = submit_work +
+                  (config_.daemons_running ? 0.0 : config_.daemon_bringup);
+  t += submit_work;
+  state->submit_done = t;
+
+  // Kick off heartbeats (phase-offset per tracker).
+  for (int tracker = 0; tracker < config_.num_nodes; ++tracker) {
+    double offset = config_.heartbeat_interval * static_cast<double>(tracker) /
+                    std::max(1, config_.num_nodes);
+    double first = t + offset;
+    int tr = tracker;
+    state->sim.At(first, [s = state.get(), tr] { s->Heartbeat(tr); });
+  }
+  state->sim.Run(/*max_time=*/t + 100 * 3600);
+
+  if (!state->cleanup_reported) {
+    return InternalError("hadoopsim job did not complete (scheduler stall)");
+  }
+
+  result.setup = state->setup_done_at - state->submit_done;
+  result.map_phase = state->maps_done_at - state->setup_done_at;
+  result.shuffle_sort = state->ShuffleSortSeconds();
+  if (spec.num_reduce_tasks > 0) {
+    result.reduce_phase = state->reduces_done_at - state->maps_done_at;
+  }
+  result.cleanup =
+      state->cleanup_done_at -
+      (spec.num_reduce_tasks > 0 ? state->reduces_done_at
+                                 : state->maps_done_at);
+
+  // The client observes completion on its polling grid.
+  double observed = state->submit_done +
+                    std::ceil((state->cleanup_done_at - state->submit_done) /
+                              config_.completion_poll_interval) *
+                        config_.completion_poll_interval;
+
+  if (spec.stage_out_bytes > 0) {
+    result.stage_out = static_cast<double>(spec.stage_out_bytes) /
+                       config_.hdfs_read_bandwidth;
+  }
+  result.total = (config_.daemons_running ? 0.0 : config_.daemon_bringup) +
+                 result.stage_in + observed + result.stage_out;
+  return result;
+}
+
+Result<double> HadoopCluster::RunIterativeJobs(const JobSpec& spec,
+                                               int iterations) const {
+  // Data staging and daemon bring-up happen once; the per-job control
+  // plane cost is paid on every iteration.
+  JobSpec warm = spec;
+  MRS_ASSIGN_OR_RETURN(JobResult first, RunJob(warm));
+  warm.stage_in_bytes = 0;
+  warm.stage_out_bytes = 0;
+  MRS_ASSIGN_OR_RETURN(JobResult repeat, RunJob(warm));
+  double warm_cost = repeat.total;
+  return first.total + warm_cost * std::max(0, iterations - 1);
+}
+
+}  // namespace hadoopsim
+}  // namespace mrs

@@ -1,0 +1,45 @@
+// The Hadoop control-plane simulation: JobTracker, TaskTrackers with
+// periodic heartbeats, per-attempt JVM startup, setup/cleanup tasks, a
+// barrier shuffle, and client completion polling.
+//
+// Faithful 0.20-era behaviours reproduced (each one is a named constant in
+// ClusterConfig):
+//   * tasks are handed out only on heartbeats, one per tracker heartbeat;
+//   * completions are *noticed* only on the next heartbeat after a task
+//     finishes;
+//   * every job runs a setup task and a cleanup task, each paying the full
+//     heartbeat + JVM cost — the core of the famous ~30 s floor;
+//   * the job client polls for completion on a coarse interval;
+//   * getSplits stats every input file (the many-small-files pathology).
+// Simplifications (documented in DESIGN.md): reducers start after all maps
+// (no slowstart), no speculative execution, one job at a time.
+#pragma once
+
+#include "common/status.h"
+#include "hadoopsim/config.h"
+#include "hadoopsim/des.h"
+#include "hadoopsim/hdfs.h"
+
+namespace mrs {
+namespace hadoopsim {
+
+class HadoopCluster {
+ public:
+  explicit HadoopCluster(ClusterConfig config);
+
+  /// Simulate one job start-to-finish; returns per-phase simulated seconds.
+  Result<JobResult> RunJob(const JobSpec& spec) const;
+
+  /// Latency of running `iterations` back-to-back jobs (an iterative
+  /// algorithm on Hadoop, §V-B's PSO estimate): per-job overhead is paid
+  /// every time; daemons and staged data persist across jobs.
+  Result<double> RunIterativeJobs(const JobSpec& spec, int iterations) const;
+
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  ClusterConfig config_;
+};
+
+}  // namespace hadoopsim
+}  // namespace mrs

@@ -1,0 +1,97 @@
+// Cost-model constants for the Hadoop simulation.
+//
+// Defaults follow Hadoop 0.20-era behaviour (the version contemporary with
+// the paper) and are calibrated so a trivial job has ~30 s of end-to-end
+// latency, matching §V-B: "Hadoop takes approximately 30 seconds per
+// iteration".  Every constant is a config field so ablation benches can
+// vary them.
+#pragma once
+
+#include <cstdint>
+
+namespace mrs {
+namespace hadoopsim {
+
+struct ClusterConfig {
+  // Topology (the paper's private cluster: 21 machines, 6 cores each).
+  int num_nodes = 21;
+  int map_slots_per_node = 6;
+  int reduce_slots_per_node = 2;
+
+  // Control-plane latencies (seconds).
+  double heartbeat_interval = 3.0;      // mapred.tasktracker heartbeat
+  double jvm_startup = 2.0;             // per task attempt (no JVM reuse)
+  double client_jvm_startup = 2.5;      // the `hadoop jar` client JVM + conf load
+  double job_client_staging = 4.0;      // copy jar/conf/splits into HDFS
+  double job_init = 1.5;                // JobTracker job initialization
+  double completion_poll_interval = 5.0;  // JobClient completion polling
+  double setup_task_run = 0.1;          // per-job setup task body
+  double cleanup_task_run = 0.1;        // per-job cleanup task body
+  double task_report_latency = 0.2;     // umbilical status propagation
+
+  // HDFS / input handling.
+  double namenode_rpc_latency = 0.004;  // per metadata RPC
+  double per_file_split_cost = 0.013;   // stat + getBlockLocations per input
+                                        // file during getSplits (the
+                                        // many-small-files pathology)
+  double per_dir_list_cost = 0.008;     // listStatus per directory
+  double hdfs_write_bandwidth = 60e6;   // bytes/s effective (replicated)
+  double hdfs_read_bandwidth = 90e6;    // bytes/s
+  double block_size = 64.0 * 1024 * 1024;
+
+  // Shuffle / sort.
+  double shuffle_bandwidth = 40e6;      // bytes/s per reducer
+  double per_map_fetch_overhead = 0.03; // connection per map output segment
+  double sort_factor = 1.1e-8;          // s per byte merged
+
+  // Whether the cluster daemons are already running (the paper measured
+  // with "all Hadoop daemons and task trackers already running"); when
+  // false, Submit also pays the bring-up script cost below.
+  bool daemons_running = true;
+  double daemon_bringup = 45.0;         // format NN + start daemons (E2)
+};
+
+/// One MapReduce job's workload description.
+struct JobSpec {
+  int num_map_tasks = 1;
+  int num_reduce_tasks = 1;
+
+  /// Pure-compute seconds per map/reduce task body (Java-speed cost of the
+  /// user code; callers calibrate, e.g. samples * java_seconds_per_sample).
+  double map_compute_seconds = 0.0;
+  double reduce_compute_seconds = 0.0;
+
+  /// IO volumes (bytes).
+  int64_t map_input_bytes = 0;       // read from HDFS across all maps
+  int64_t map_output_bytes = 0;      // shuffled to reducers
+  int64_t reduce_output_bytes = 0;   // written to HDFS (replicated)
+
+  /// Input layout, for the getSplits cost (WordCount: 31k files).
+  int num_input_files = 1;
+  int num_input_dirs = 1;
+
+  /// Input must be copied into HDFS first (bytes; 0 = already there).
+  int64_t stage_in_bytes = 0;
+  /// Output copied back out of HDFS afterwards (bytes).
+  int64_t stage_out_bytes = 0;
+};
+
+/// Per-phase timing of one simulated job (all simulated seconds).
+struct JobResult {
+  double stage_in = 0;        // hdfs put of the input
+  double submit = 0;          // staging jar/conf + getSplits + job init
+  double setup = 0;           // setup task (incl. heartbeat waits)
+  double map_phase = 0;
+  double shuffle_sort = 0;
+  double reduce_phase = 0;
+  double cleanup = 0;         // cleanup task + completion-poll latency
+  double stage_out = 0;
+  double total = 0;
+
+  /// "Data load / startup" in the paper's WordCount discussion: everything
+  /// before the first map task starts doing useful work.
+  double startup() const { return stage_in + submit + setup; }
+};
+
+}  // namespace hadoopsim
+}  // namespace mrs

@@ -1,0 +1,32 @@
+#include "hadoopsim/des.h"
+
+#include <cassert>
+
+namespace mrs {
+namespace hadoopsim {
+
+void Simulation::At(double at, EventFn fn) {
+  assert(at >= now_ && "cannot schedule in the past");
+  queue_.push(Event{at < now_ ? now_ : at, next_seq_++, std::move(fn)});
+}
+
+double Simulation::Run(double max_time) {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; move via const_cast is the
+    // standard idiom-free workaround — copy the closure instead (cheap:
+    // events are small).
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.time > max_time) {
+      now_ = max_time;
+      return now_;
+    }
+    now_ = ev.time;
+    ++events_processed_;
+    ev.fn();
+  }
+  return now_;
+}
+
+}  // namespace hadoopsim
+}  // namespace mrs

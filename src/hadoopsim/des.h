@@ -1,0 +1,59 @@
+// Discrete-event simulation core for the Hadoop baseline.
+//
+// The paper's Hadoop numbers are dominated by control-plane constants
+// (heartbeat intervals, JVM startup, staging, completion polling), not by
+// hardware speed, so a DES with those constants — run in *simulated*
+// seconds — reproduces the measured shape without hour-long benches
+// (DESIGN.md §1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace mrs {
+namespace hadoopsim {
+
+class Simulation {
+ public:
+  using EventFn = std::function<void()>;
+
+  double now() const { return now_; }
+
+  /// Schedule `fn` at absolute simulated time `at` (>= now).  Ties fire in
+  /// scheduling order (a stable sequence number breaks them).
+  void At(double at, EventFn fn);
+  /// Schedule after a delay.
+  void After(double delay, EventFn fn) { At(now_ + delay, std::move(fn)); }
+
+  /// Run until the event queue drains (or `max_time` passes, as a runaway
+  /// guard).  Returns the final simulated time.
+  double Run(double max_time = 1e12);
+
+  /// True if events remain.
+  bool HasEvents() const { return !queue_.empty(); }
+
+  int64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    double time;
+    int64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  int64_t next_seq_ = 0;
+  int64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace hadoopsim
+}  // namespace mrs

@@ -1,0 +1,117 @@
+#include "hadoopsim/hdfs.h"
+
+#include "common/strings.h"
+
+namespace mrs {
+namespace hadoopsim {
+
+HdfsModel::HdfsModel(int num_datanodes, int replication, int64_t block_size)
+    : num_datanodes_(num_datanodes < 1 ? 1 : num_datanodes),
+      replication_(replication < 1 ? 1 : replication),
+      block_size_(block_size < 1 ? 1 : block_size) {}
+
+int HdfsModel::PickDatanode() {
+  // Round-robin over live nodes.
+  for (int tries = 0; tries < num_datanodes_; ++tries) {
+    int node = placement_cursor_;
+    placement_cursor_ = (placement_cursor_ + 1) % num_datanodes_;
+    if (dead_.find(node) == dead_.end()) return node;
+  }
+  return -1;
+}
+
+Status HdfsModel::CreateFile(const std::string& path, int64_t size) {
+  ++metadata_rpcs_;
+  if (files_.find(path) != files_.end()) {
+    return AlreadyExistsError("hdfs file exists: " + path);
+  }
+  if (num_live_datanodes() == 0) {
+    return UnavailableError("no live datanodes");
+  }
+  HdfsFile file;
+  file.path = path;
+  file.size = size;
+  int64_t remaining = size;
+  int replicas = std::min(replication_, num_live_datanodes());
+  do {
+    BlockInfo block;
+    block.id = next_block_id_++;
+    block.size = std::min(remaining, block_size_);
+    std::set<int> used;
+    for (int r = 0; r < replicas; ++r) {
+      int node = PickDatanode();
+      while (node >= 0 && used.count(node) > 0) node = PickDatanode();
+      if (node < 0) break;
+      used.insert(node);
+      block.replicas.push_back(node);
+    }
+    ++metadata_rpcs_;  // addBlock
+    file.blocks.push_back(std::move(block));
+    remaining -= block_size_;
+  } while (remaining > 0);
+  files_[path] = std::move(file);
+  return Status::Ok();
+}
+
+Result<const HdfsFile*> HdfsModel::Stat(const std::string& path) const {
+  ++metadata_rpcs_;
+  auto it = files_.find(path);
+  if (it == files_.end()) return NotFoundError("no hdfs file: " + path);
+  return &it->second;
+}
+
+std::vector<std::string> HdfsModel::ListDir(const std::string& dir) const {
+  ++metadata_rpcs_;
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  std::vector<std::string> out;
+  for (const auto& [path, file] : files_) {
+    if (StartsWith(path, prefix)) out.push_back(path);
+  }
+  return out;
+}
+
+Status HdfsModel::Delete(const std::string& path) {
+  ++metadata_rpcs_;
+  if (files_.erase(path) == 0) return NotFoundError("no hdfs file: " + path);
+  return Status::Ok();
+}
+
+void HdfsModel::KillDatanode(int datanode) {
+  dead_.insert(datanode);
+}
+
+int HdfsModel::num_live_datanodes() const {
+  return num_datanodes_ - static_cast<int>(dead_.size());
+}
+
+bool HdfsModel::AllDataAvailable() const { return LostFiles().empty(); }
+
+std::vector<std::string> HdfsModel::LostFiles() const {
+  std::vector<std::string> lost;
+  for (const auto& [path, file] : files_) {
+    for (const BlockInfo& block : file.blocks) {
+      bool alive = false;
+      for (int node : block.replicas) {
+        if (dead_.find(node) == dead_.end()) {
+          alive = true;
+          break;
+        }
+      }
+      if (!alive) {
+        lost.push_back(path);
+        break;
+      }
+    }
+  }
+  return lost;
+}
+
+int64_t HdfsModel::total_bytes() const {
+  int64_t total = 0;
+  for (const auto& [path, file] : files_) total += file.size;
+  return total;
+}
+
+}  // namespace hadoopsim
+}  // namespace mrs

@@ -1,0 +1,78 @@
+// HDFS model: namenode namespace + block placement over datanodes.
+//
+// The paper's point is that HDFS is *required* by Hadoop yet redundant and
+// fragile on shared clusters ("the distributed filesystem may lose all of
+// its data nodes ... within a few seconds" when the scheduler kills a
+// job).  The model implements a namespace with replicated block placement,
+// metadata RPC counting (which drives the many-small-files getSplits
+// cost), and datanode decommissioning so tests can reproduce the
+// everything-lost failure mode.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mrs {
+namespace hadoopsim {
+
+struct BlockInfo {
+  int64_t id = 0;
+  int64_t size = 0;
+  std::vector<int> replicas;  // datanode ids
+};
+
+struct HdfsFile {
+  std::string path;
+  int64_t size = 0;
+  std::vector<BlockInfo> blocks;
+};
+
+class HdfsModel {
+ public:
+  HdfsModel(int num_datanodes, int replication = 3,
+            int64_t block_size = 64ll << 20);
+
+  /// Create a file of `size` bytes; blocks are placed round-robin with
+  /// `replication` copies on distinct datanodes.
+  Status CreateFile(const std::string& path, int64_t size);
+
+  Result<const HdfsFile*> Stat(const std::string& path) const;
+
+  /// All paths under a directory prefix (one listStatus RPC).
+  std::vector<std::string> ListDir(const std::string& dir) const;
+
+  Status Delete(const std::string& path);
+
+  /// Remove a datanode; blocks whose last replica lived there are lost.
+  void KillDatanode(int datanode);
+
+  /// True if every block of every file still has >= 1 live replica.
+  bool AllDataAvailable() const;
+  /// Files that have lost all replicas of some block.
+  std::vector<std::string> LostFiles() const;
+
+  int num_datanodes() const { return num_datanodes_; }
+  int num_live_datanodes() const;
+  int64_t total_bytes() const;
+  int64_t metadata_rpcs() const { return metadata_rpcs_; }
+
+ private:
+  int PickDatanode();
+
+  int num_datanodes_;
+  int replication_;
+  int64_t block_size_;
+  int64_t next_block_id_ = 1;
+  int placement_cursor_ = 0;
+  std::set<int> dead_;
+  std::map<std::string, HdfsFile> files_;
+  mutable int64_t metadata_rpcs_ = 0;
+};
+
+}  // namespace hadoopsim
+}  // namespace mrs

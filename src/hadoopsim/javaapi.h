@@ -1,0 +1,194 @@
+// A deliberately Java-flavoured MapReduce client API (paper Program 2).
+//
+// This is the comparison target for the subjective evaluation (E1): the
+// same WordCount written against this API carries the boilerplate the
+// paper calls out — wrapper Writable types, explicit generics-style
+// configuration of mapper/combiner/reducer/output classes, a Job object
+// whose knobs must all be set before waitForCompletion.  It is also a
+// working implementation: jobs execute in-process on a LocalJobRunner
+// (like Hadoop's) while end-to-end *cluster* latency comes from the
+// hadoopsim DES.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hadoopsim/cluster.h"
+#include "ser/value.h"
+
+namespace mrs {
+namespace javaapi {
+
+// ---- Writable wrapper types -------------------------------------------
+
+class Text {
+ public:
+  Text() = default;
+  explicit Text(std::string s) : value_(std::move(s)) {}
+  void set(std::string s) { value_ = std::move(s); }
+  const std::string& toString() const { return value_; }
+
+ private:
+  std::string value_;
+};
+
+class IntWritable {
+ public:
+  IntWritable() = default;
+  explicit IntWritable(int64_t v) : value_(v) {}
+  void set(int64_t v) { value_ = v; }
+  int64_t get() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+class LongWritable {
+ public:
+  LongWritable() = default;
+  explicit LongWritable(int64_t v) : value_(v) {}
+  void set(int64_t v) { value_ = v; }
+  int64_t get() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// Conversions between Writables and the engine's Value type.
+Value ToValue(const Text& t);
+Value ToValue(const IntWritable& w);
+Value ToValue(const LongWritable& w);
+
+// ---- Mapper / Reducer base classes ------------------------------------
+
+/// The write() sink handed to user code.
+class Context {
+ public:
+  explicit Context(std::vector<KeyValue>* out) : out_(out) {}
+  void write(const Text& key, const IntWritable& value) {
+    out_->push_back(KeyValue{ToValue(key), ToValue(value)});
+  }
+  void write(const Text& key, const Text& value) {
+    out_->push_back(KeyValue{ToValue(key), ToValue(value)});
+  }
+
+ private:
+  std::vector<KeyValue>* out_;
+};
+
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  /// map(key, value, context): key is the byte offset / line number.
+  virtual void map(const LongWritable& key, const Text& value,
+                   Context& context) = 0;
+};
+
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual void reduce(const Text& key, const std::vector<IntWritable>& values,
+                      Context& context) = 0;
+};
+
+// ---- Configuration / Job ----------------------------------------------
+
+class Configuration {
+ public:
+  void set(const std::string& key, const std::string& value) {
+    values_[key] = value;
+  }
+  std::string get(const std::string& key, const std::string& dflt = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+class Path {
+ public:
+  explicit Path(std::string p) : path_(std::move(p)) {}
+  const std::string& toString() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+class Job;
+
+class FileInputFormat {
+ public:
+  static void addInputPath(Job& job, const Path& path);
+};
+class FileOutputFormat {
+ public:
+  static void setOutputPath(Job& job, const Path& path);
+};
+
+class Job {
+ public:
+  static Result<std::unique_ptr<Job>> getInstance(const Configuration& conf,
+                                                  const std::string& name);
+
+  // The ritual (every one of these must be called, as in Program 2).
+  void setJarByClass(const std::string& class_name) { jar_class_ = class_name; }
+  template <typename M>
+  void setMapperClass() {
+    mapper_factory_ = [] { return std::unique_ptr<Mapper>(new M()); };
+  }
+  template <typename R>
+  void setCombinerClass() {
+    combiner_factory_ = [] { return std::unique_ptr<Reducer>(new R()); };
+  }
+  template <typename R>
+  void setReducerClass() {
+    reducer_factory_ = [] { return std::unique_ptr<Reducer>(new R()); };
+  }
+  void setOutputKeyClass(const std::string& class_name) {
+    output_key_class_ = class_name;
+  }
+  void setOutputValueClass(const std::string& class_name) {
+    output_value_class_ = class_name;
+  }
+  void setNumReduceTasks(int n) { num_reduce_tasks_ = n; }
+
+  /// Run the job: executes map/combine/reduce in-process over the input
+  /// files (LocalJobRunner) and simulates the cluster latency with
+  /// hadoopsim.  Returns true on success, like the Java API.
+  Result<bool> waitForCompletion(bool verbose);
+
+  /// Results (after waitForCompletion).
+  const std::vector<KeyValue>& output() const { return output_; }
+  const hadoopsim::JobResult& simulated_timing() const { return timing_; }
+
+ private:
+  friend class FileInputFormat;
+  friend class FileOutputFormat;
+
+  Status Validate() const;
+
+  Configuration conf_;
+  std::string name_;
+  std::string jar_class_;
+  std::string output_key_class_;
+  std::string output_value_class_;
+  int num_reduce_tasks_ = 1;
+  std::vector<std::string> input_paths_;
+  std::string output_path_;
+  std::function<std::unique_ptr<Mapper>()> mapper_factory_;
+  std::function<std::unique_ptr<Reducer>()> combiner_factory_;
+  std::function<std::unique_ptr<Reducer>()> reducer_factory_;
+
+  std::vector<KeyValue> output_;
+  hadoopsim::JobResult timing_;
+};
+
+}  // namespace javaapi
+}  // namespace mrs

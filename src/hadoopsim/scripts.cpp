@@ -1,0 +1,69 @@
+#include "hadoopsim/scripts.h"
+
+namespace mrs {
+namespace hadoopsim {
+
+std::vector<ScriptStep> MrsStartupScript(int num_slaves) {
+  (void)num_slaves;  // pssh starts all slaves in one step
+  return {
+      {"find the network address of the master (ip addr | sed)",
+       StepKind::kShellCommand, 0.1},
+      {"start the master (one copy of the program)", StepKind::kJobRun, 0.0},
+      {"wait for the master's port file", StepKind::kWait, 1.0},
+      {"start the slaves via pbsdsh/pssh (copies of the same program)",
+       StepKind::kShellCommand, 1.0},
+  };
+}
+
+std::vector<ScriptStep> HadoopStartupScript(int num_nodes) {
+  return {
+      {"find the network address of the master (ip addr | sed)",
+       StepKind::kShellCommand, 0.1},
+      {"create HADOOP_LOG_DIR and HADOOP_CONF_DIR", StepKind::kShellCommand,
+       0.2},
+      {"copy the stock conf directory", StepKind::kShellCommand, 0.3},
+      {"rewrite hadoop-site.xml with sed (master IP, tmp dir, task counts)",
+       StepKind::kConfigRewrite, 0.2},
+      {"format the private HDFS (namenode -format)",
+       StepKind::kFilesystemFormat, 4.0},
+      {"start the namenode daemon", StepKind::kDaemonStart, 5.0},
+      {"start the jobtracker daemon", StepKind::kDaemonStart, 5.0},
+      {"start datanode + tasktracker daemons on every node",
+       StepKind::kDaemonStart, 3.0 + 0.5 * num_nodes},
+      {"copy the input data into HDFS", StepKind::kDataCopy, 30.0},
+      {"run the MapReduce job", StepKind::kJobRun, 0.0},
+      {"copy the output data out of HDFS", StepKind::kDataCopy, 10.0},
+      {"stop the tasktracker/datanode daemons on every node",
+       StepKind::kDaemonStop, 2.0 + 0.3 * num_nodes},
+      {"stop the jobtracker and namenode daemons", StepKind::kDaemonStop, 4.0},
+  };
+}
+
+ScriptSummary Summarize(const std::vector<ScriptStep>& steps) {
+  ScriptSummary summary;
+  for (const ScriptStep& step : steps) {
+    ++summary.total_steps;
+    switch (step.kind) {
+      case StepKind::kConfigRewrite:
+        ++summary.config_rewrites;
+        break;
+      case StepKind::kDaemonStart:
+      case StepKind::kDaemonStop:
+      case StepKind::kFilesystemFormat:
+        ++summary.daemon_actions;
+        break;
+      case StepKind::kDataCopy:
+        ++summary.data_copies;
+        break;
+      default:
+        break;
+    }
+    if (step.kind != StepKind::kJobRun) {
+      summary.overhead_seconds += step.estimated_seconds;
+    }
+  }
+  return summary;
+}
+
+}  // namespace hadoopsim
+}  // namespace mrs

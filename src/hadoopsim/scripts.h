@@ -1,0 +1,55 @@
+// Models of the job startup scripts (paper Programs 3 and 4).
+//
+// The paper's subjective evaluation E2 compares what it takes to launch a
+// MapReduce job on a shared (PBS) cluster: Mrs needs four script steps;
+// Hadoop needs six phases including rewriting configuration files with
+// sed, formatting and starting a private HDFS, starting and stopping
+// daemons, and copying data in and out.  These models enumerate the steps
+// with the class of action each performs, so the comparison bench can
+// print counts and estimated costs rather than prose.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mrs {
+namespace hadoopsim {
+
+enum class StepKind {
+  kShellCommand,     // plain command (ip addr, cat, mkdir)
+  kConfigRewrite,    // editing config files (sed) — fragile
+  kDaemonStart,      // long-running service start
+  kDaemonStop,
+  kFilesystemFormat, // namenode -format
+  kDataCopy,         // moving data in/out of a private filesystem
+  kWait,             // polling for readiness
+  kJobRun,           // the actual MapReduce program
+};
+
+struct ScriptStep {
+  std::string description;
+  StepKind kind;
+  /// Estimated wall seconds on the paper-era cluster (bring-up costs; the
+  /// job-run step itself is excluded from overhead totals).
+  double estimated_seconds;
+};
+
+/// Program 3: the Mrs PBS startup script.
+std::vector<ScriptStep> MrsStartupScript(int num_slaves);
+
+/// Program 4: the Hadoop PBS startup script (dedicated-infrastructure
+/// setup replayed per job on a shared cluster).
+std::vector<ScriptStep> HadoopStartupScript(int num_nodes);
+
+struct ScriptSummary {
+  int total_steps = 0;
+  int config_rewrites = 0;
+  int daemon_actions = 0;
+  int data_copies = 0;
+  double overhead_seconds = 0;  // everything except kJobRun
+};
+
+ScriptSummary Summarize(const std::vector<ScriptStep>& steps);
+
+}  // namespace hadoopsim
+}  // namespace mrs

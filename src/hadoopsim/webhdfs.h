@@ -1,0 +1,58 @@
+// WebHDFS-style REST gateway over the HDFS model.
+//
+// The paper (§IV-B) lists HDFS among the filesystems Mrs can read and
+// notes "native support for WebHDFS is in progress" — this module
+// finishes that thought: a real HTTP server speaking the WebHDFS verb
+// subset (CREATE / OPEN / LISTSTATUS / GETFILESTATUS / DELETE), backed by
+// the replicated-block HdfsModel for metadata plus a content store, and a
+// client so Mrs tasks can consume `webhdfs://` input URLs like any other.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "hadoopsim/hdfs.h"
+#include "http/server.h"
+
+namespace mrs {
+namespace hadoopsim {
+
+class WebHdfsServer {
+ public:
+  /// Start serving on host:port (0 = ephemeral).
+  static Result<std::unique_ptr<WebHdfsServer>> Start(
+      const std::string& host = "127.0.0.1", uint16_t port = 0,
+      int num_datanodes = 3);
+
+  ~WebHdfsServer();
+
+  const SocketAddr& addr() const { return server_->addr(); }
+  std::string url_base() const { return "webhdfs://" + addr().ToString(); }
+
+  /// Direct (in-process) API, mirroring the REST verbs.
+  Status Create(const std::string& path, std::string content);
+  Result<std::string> Open(const std::string& path) const;
+  Status Delete(const std::string& path);
+  std::vector<std::string> ListStatus(const std::string& dir) const;
+
+  HdfsModel& hdfs() { return hdfs_; }
+
+ private:
+  WebHdfsServer(int num_datanodes) : hdfs_(num_datanodes) {}
+  HttpResponse Handle(const HttpRequest& req);
+
+  mutable std::mutex mutex_;
+  HdfsModel hdfs_;
+  std::map<std::string, std::string> contents_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+/// Fetch a `webhdfs://host:port/path` URL (translates to the REST
+/// `?op=OPEN` form).  Composable with the task executor's UrlFetcher.
+Result<std::string> WebHdfsFetch(const std::string& url);
+
+}  // namespace hadoopsim
+}  // namespace mrs

@@ -1,0 +1,107 @@
+#include "halton/halton.h"
+
+#include <cstddef>
+
+namespace mrs {
+
+HaltonSequence::HaltonSequence(uint32_t base, uint64_t start_index)
+    : base_(base < 2 ? 2 : base) {
+  SeekTo(start_index);
+}
+
+void HaltonSequence::SeekTo(uint64_t index) {
+  index_ = index;
+  digits_.clear();
+  inv_weights_.clear();
+  uint64_t i = index;
+  double w = 1.0 / base_;
+  while (i > 0) {
+    digits_.push_back(static_cast<uint32_t>(i % base_));
+    inv_weights_.push_back(w);
+    i /= base_;
+    w /= base_;
+  }
+  value_ = RadicalInverse(base_, index);
+}
+
+double HaltonSequence::Next() {
+  // Increment the digit vector with carry (amortized O(1) digit writes),
+  // then recompute the value by summation so floating-point error never
+  // accumulates across millions of points.
+  ++index_;
+  size_t k = 0;
+  while (true) {
+    if (k == digits_.size()) {
+      digits_.push_back(0);
+      inv_weights_.push_back(inv_weights_.empty()
+                                 ? 1.0 / base_
+                                 : inv_weights_.back() / base_);
+    }
+    if (digits_[k] + 1 < base_) {
+      ++digits_[k];
+      break;
+    }
+    digits_[k] = 0;
+    ++k;
+  }
+  double v = 0.0;
+  for (size_t j = digits_.size(); j-- > 0;) {
+    if (digits_[j] != 0) v += digits_[j] * inv_weights_[j];
+  }
+  value_ = v;
+  return value_;
+}
+
+double HaltonSequence::RadicalInverse(uint32_t base, uint64_t index) {
+  double v = 0.0;
+  double f = 1.0 / base;
+  while (index > 0) {
+    v += f * static_cast<double>(index % base);
+    index /= base;
+    f /= base;
+  }
+  return v;
+}
+
+uint64_t CountInsideNative(uint64_t start_index, uint64_t count) {
+  Halton2D points(start_index);
+  uint64_t inside = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    double x, y;
+    points.Next(&x, &y);
+    if (x * x + y * y <= 1.0) ++inside;
+  }
+  return inside;
+}
+
+double EstimatePi(uint64_t inside, uint64_t total) {
+  if (total == 0) return 0.0;
+  return 4.0 * static_cast<double>(inside) / static_cast<double>(total);
+}
+
+const char* HaltonPiMiniPySource() {
+  return R"(
+def radical_inverse(base, i):
+    v = 0.0
+    f = 1.0 / base
+    while i > 0:
+        v = v + f * (i % base)
+        i = i // base
+        f = f / base
+    return v
+
+def count_inside(start, count):
+    n = 0
+    i = start + 1
+    end = start + count
+    while i <= end:
+        x = radical_inverse(2, i)
+        y = radical_inverse(3, i)
+        if x * x + y * y <= 1.0:
+            n = n + 1
+        i = i + 1
+    return n
+)";
+}
+
+}  // namespace mrs

@@ -1,0 +1,74 @@
+// Halton quasi-random sequences and the π-estimation kernel (paper §V-B).
+//
+// The paper's PiEstimator draws 2-D points from Halton sequences in bases 2
+// and 3: "the implementation of the Halton sequence is optimized to
+// minimize the number of function calls and the number of comparison
+// operations".  The incremental form below updates per-digit remainder
+// arrays in O(1) amortized per point instead of recomputing the radical
+// inverse from scratch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mrs {
+
+/// Incremental radical-inverse generator for one base.
+class HaltonSequence {
+ public:
+  explicit HaltonSequence(uint32_t base, uint64_t start_index = 0);
+
+  /// Current value in [0, 1).
+  double value() const { return value_; }
+  uint64_t index() const { return index_; }
+
+  /// Advance to the next element and return it.
+  double Next();
+
+  /// Direct (non-incremental) radical inverse, used for seeking and as the
+  /// test oracle for the incremental update.
+  static double RadicalInverse(uint32_t base, uint64_t index);
+
+ private:
+  void SeekTo(uint64_t index);
+
+  uint32_t base_;
+  uint64_t index_ = 0;
+  double value_ = 0.0;
+  // Digits of index_ in base_ (least significant first) and the remainder
+  // values 1/b^(k+1) alongside.
+  std::vector<uint32_t> digits_;
+  std::vector<double> inv_weights_;
+};
+
+/// A 2-D Halton point stream (bases 2 and 3), the paper's sampling scheme.
+class Halton2D {
+ public:
+  explicit Halton2D(uint64_t start_index = 0)
+      : x_(2, start_index), y_(3, start_index) {}
+
+  /// Produce the next point (x, y) in the unit square.
+  void Next(double* x, double* y) {
+    *x = x_.Next();
+    *y = y_.Next();
+  }
+
+ private:
+  HaltonSequence x_;
+  HaltonSequence y_;
+};
+
+/// Count how many of the `count` Halton points starting at `start_index`
+/// fall inside the quarter unit circle — the native ("C module") inner
+/// loop of the paper's Fig 3b.
+uint64_t CountInsideNative(uint64_t start_index, uint64_t count);
+
+/// π estimate from totals: 4 * inside / total.
+double EstimatePi(uint64_t inside, uint64_t total);
+
+/// The same inner loop written in MiniPy (see src/interp), used for the
+/// Fig 3a "pure Python"/"PyPy" series.  The function `count_inside(start,
+/// count)` must be called after loading this module.
+const char* HaltonPiMiniPySource();
+
+}  // namespace mrs

@@ -1,0 +1,92 @@
+#include "halton/pi_kernel.h"
+
+#include "interp/treewalk.h"
+#include "interp/vm.h"
+
+namespace mrs {
+
+Result<PiEngine> ParsePiEngine(const std::string& name) {
+  if (name == "native" || name == "c") return PiEngine::kNative;
+  if (name == "vm" || name == "pypy") return PiEngine::kVm;
+  if (name == "treewalk" || name == "python" || name == "pure") {
+    return PiEngine::kTreeWalk;
+  }
+  return InvalidArgumentError("unknown pi engine: " + name);
+}
+
+std::string_view PiEngineName(PiEngine engine) {
+  switch (engine) {
+    case PiEngine::kNative: return "native";
+    case PiEngine::kVm: return "vm";
+    case PiEngine::kTreeWalk: return "treewalk";
+  }
+  return "?";
+}
+
+namespace {
+
+class NativePiKernel final : public PiKernel {
+ public:
+  Result<uint64_t> CountInside(uint64_t start, uint64_t count) override {
+    return CountInsideNative(start, count);
+  }
+  PiEngine engine() const override { return PiEngine::kNative; }
+};
+
+class VmPiKernel final : public PiKernel {
+ public:
+  Status Init() { return vm_.LoadSource(HaltonPiMiniPySource()); }
+
+  Result<uint64_t> CountInside(uint64_t start, uint64_t count) override {
+    MRS_ASSIGN_OR_RETURN(
+        minipy::PyValue out,
+        vm_.Call("count_inside",
+                 {minipy::PyValue(static_cast<int64_t>(start)),
+                  minipy::PyValue(static_cast<int64_t>(count))}));
+    return static_cast<uint64_t>(out.AsInt());
+  }
+  PiEngine engine() const override { return PiEngine::kVm; }
+
+ private:
+  minipy::Vm vm_;
+};
+
+class TreeWalkPiKernel final : public PiKernel {
+ public:
+  Status Init() { return walker_.LoadSource(HaltonPiMiniPySource()); }
+
+  Result<uint64_t> CountInside(uint64_t start, uint64_t count) override {
+    MRS_ASSIGN_OR_RETURN(
+        minipy::PyValue out,
+        walker_.Call("count_inside",
+                     {minipy::PyValue(static_cast<int64_t>(start)),
+                      minipy::PyValue(static_cast<int64_t>(count))}));
+    return static_cast<uint64_t>(out.AsInt());
+  }
+  PiEngine engine() const override { return PiEngine::kTreeWalk; }
+
+ private:
+  minipy::TreeWalker walker_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<PiKernel>> PiKernel::Create(PiEngine engine) {
+  switch (engine) {
+    case PiEngine::kNative:
+      return std::unique_ptr<PiKernel>(new NativePiKernel());
+    case PiEngine::kVm: {
+      auto kernel = std::make_unique<VmPiKernel>();
+      MRS_RETURN_IF_ERROR(kernel->Init());
+      return std::unique_ptr<PiKernel>(std::move(kernel));
+    }
+    case PiEngine::kTreeWalk: {
+      auto kernel = std::make_unique<TreeWalkPiKernel>();
+      MRS_RETURN_IF_ERROR(kernel->Init());
+      return std::unique_ptr<PiKernel>(std::move(kernel));
+    }
+  }
+  return InternalError("unknown engine");
+}
+
+}  // namespace mrs

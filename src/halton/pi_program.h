@@ -1,0 +1,42 @@
+// The PiEstimator MapReduce program (paper §V-B), shared by the example
+// binary and the Fig 3 bench harness.
+//
+// Input: (task, [start, count]) sample ranges.  Map: count Halton points
+// inside the quarter circle using the configured engine.  Reduce: sum.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/job.h"
+#include "core/program.h"
+#include "halton/pi_kernel.h"
+
+namespace mrs {
+
+class PiEstimatorProgram : public MapReduce {
+ public:
+  int64_t samples = 1000000;
+  int tasks = 8;
+  PiEngine engine = PiEngine::kNative;
+
+  /// Results after Run.
+  double estimate = 0.0;
+  int64_t inside = 0;
+
+  void AddOptions(OptionParser* parser) override;
+  Status Init(const Options& opts) override;
+  Status InputData(Job& job, DataSetPtr* out) override;
+  void Map(const Value& key, const Value& value, const Emitter& emit) override;
+  void Reduce(const Value& key, const ValueList& values,
+              const ValueEmitter& emit) override;
+  Status Run(Job& job) override;
+  /// Bypass: the plain serial loop (native kernel semantics respected per
+  /// engine), used for the equivalence invariant.
+  Status Bypass() override;
+
+ private:
+  std::unique_ptr<PiKernel> kernel_;  // lazily created per instance
+};
+
+}  // namespace mrs

@@ -1,0 +1,125 @@
+#include "http/client.h"
+
+#include "common/strings.h"
+#include "http/parser.h"
+
+namespace mrs {
+
+Result<HttpUrl> HttpUrl::Parse(std::string_view url) {
+  constexpr std::string_view kScheme = "http://";
+  if (!StartsWith(url, kScheme)) {
+    return InvalidArgumentError("only http:// URLs supported: " +
+                                std::string(url));
+  }
+  std::string_view rest = url.substr(kScheme.size());
+  size_t slash = rest.find('/');
+  std::string_view authority =
+      slash == std::string_view::npos ? rest : rest.substr(0, slash);
+  HttpUrl out;
+  out.target = slash == std::string_view::npos ? "/" : std::string(rest.substr(slash));
+  size_t colon = authority.rfind(':');
+  if (colon == std::string_view::npos) {
+    out.host = std::string(authority);
+    out.port = 80;
+  } else {
+    out.host = std::string(authority.substr(0, colon));
+    auto port = ParseUint64(authority.substr(colon + 1));
+    if (!port.has_value() || *port > 65535) {
+      return InvalidArgumentError("bad port in URL: " + std::string(url));
+    }
+    out.port = static_cast<uint16_t>(*port);
+  }
+  if (out.host.empty()) return InvalidArgumentError("empty host in URL");
+  return out;
+}
+
+std::string HttpUrl::ToString() const {
+  return "http://" + host + ":" + std::to_string(port) + target;
+}
+
+Result<HttpResponse> HttpClient::Get(std::string_view target) {
+  HttpRequest req;
+  req.method = "GET";
+  req.target = std::string(target);
+  return Do(std::move(req));
+}
+
+Result<HttpResponse> HttpClient::Post(std::string_view target,
+                                      std::string body,
+                                      std::string_view content_type) {
+  HttpRequest req;
+  req.method = "POST";
+  req.target = std::string(target);
+  req.headers.Set("Content-Type", std::string(content_type));
+  req.body = std::move(body);
+  return Do(std::move(req));
+}
+
+Status HttpClient::EnsureConnected() {
+  if (conn_.valid()) return Status::Ok();
+  MRS_ASSIGN_OR_RETURN(conn_, TcpConn::Connect(addr_));
+  (void)conn_.SetNoDelay(true);
+  return Status::Ok();
+}
+
+Result<HttpResponse> HttpClient::Do(HttpRequest req) {
+  req.headers.Set("Host", addr_.ToString());
+  std::string wire = req.Serialize();
+  Result<HttpResponse> resp = DoOnce(wire);
+  if (resp.ok()) return resp;
+  // One transparent reconnect: the kept-alive connection may have been
+  // closed by the server between requests.
+  if (resp.status().code() == StatusCode::kIoError ||
+      resp.status().code() == StatusCode::kUnavailable ||
+      resp.status().code() == StatusCode::kDataLoss) {
+    conn_.Close();
+    return DoOnce(wire);
+  }
+  return resp;
+}
+
+Result<HttpResponse> HttpClient::DoOnce(const std::string& wire) {
+  MRS_RETURN_IF_ERROR(EnsureConnected());
+  Status w = conn_.WriteAll(wire);
+  if (!w.ok()) {
+    conn_.Close();
+    return w;
+  }
+  HttpResponseParser parser;
+  char buf[16384];
+  while (!parser.Done()) {
+    Result<size_t> n = conn_.Read(buf, sizeof(buf));
+    if (!n.ok()) {
+      conn_.Close();
+      return n.status();
+    }
+    if (*n == 0) {
+      conn_.Close();
+      return DataLossError("connection closed mid-response");
+    }
+    Result<size_t> used = parser.Feed(std::string_view(buf, *n));
+    if (!used.ok()) {
+      conn_.Close();
+      return used.status();
+    }
+  }
+  HttpResponse resp = parser.TakeResponse();
+  if (auto c = resp.headers.Get("Connection");
+      c.has_value() && EqualsIgnoreCase(*c, "close")) {
+    conn_.Close();
+  }
+  return resp;
+}
+
+Result<std::string> HttpFetch(std::string_view url) {
+  MRS_ASSIGN_OR_RETURN(HttpUrl parsed, HttpUrl::Parse(url));
+  HttpClient client(SocketAddr{parsed.host, parsed.port});
+  MRS_ASSIGN_OR_RETURN(HttpResponse resp, client.Get(parsed.target));
+  if (resp.status_code != 200) {
+    return NotFoundError("GET " + std::string(url) + " -> " +
+                         std::to_string(resp.status_code));
+  }
+  return std::move(resp.body);
+}
+
+}  // namespace mrs

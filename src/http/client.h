@@ -1,0 +1,53 @@
+// Blocking HTTP/1.1 client with keep-alive connection reuse.
+//
+// Used by slaves to fetch intermediate data by URL from peer slaves, and by
+// the XML-RPC client as its transport.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "http/message.h"
+#include "net/socket.h"
+
+namespace mrs {
+
+/// Components of an "http://host:port/path?query" URL.
+struct HttpUrl {
+  std::string host;
+  uint16_t port = 80;
+  std::string target = "/";  // path + query
+
+  static Result<HttpUrl> Parse(std::string_view url);
+  std::string ToString() const;
+};
+
+/// A client bound to one host:port; reuses the connection across requests
+/// and transparently reconnects once when the server has closed it.
+class HttpClient {
+ public:
+  explicit HttpClient(SocketAddr addr) : addr_(std::move(addr)) {}
+
+  Result<HttpResponse> Get(std::string_view target);
+  Result<HttpResponse> Post(std::string_view target, std::string body,
+                            std::string_view content_type = "text/xml");
+
+  /// Issue an arbitrary request (Host and Content-Length are filled in).
+  Result<HttpResponse> Do(HttpRequest req);
+
+  const SocketAddr& addr() const { return addr_; }
+
+ private:
+  Result<HttpResponse> DoOnce(const std::string& wire);
+  Status EnsureConnected();
+
+  SocketAddr addr_;
+  TcpConn conn_;
+};
+
+/// One-shot convenience: GET a full URL.
+Result<std::string> HttpFetch(std::string_view url);
+
+}  // namespace mrs

@@ -1,0 +1,87 @@
+#include "http/message.h"
+
+#include "common/strings.h"
+
+namespace mrs {
+
+void HttpHeaders::Add(std::string name, std::string value) {
+  entries_.emplace_back(std::move(name), std::move(value));
+}
+
+void HttpHeaders::Set(std::string name, std::string value) {
+  bool replaced = false;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (EqualsIgnoreCase(it->first, name)) {
+      if (!replaced) {
+        it->second = value;
+        replaced = true;
+        ++it;
+      } else {
+        it = entries_.erase(it);
+      }
+    } else {
+      ++it;
+    }
+  }
+  if (!replaced) Add(std::move(name), std::move(value));
+}
+
+std::optional<std::string_view> HttpHeaders::Get(std::string_view name) const {
+  for (const auto& [n, v] : entries_) {
+    if (EqualsIgnoreCase(n, name)) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
+namespace {
+void AppendHeaders(std::string* out, const HttpHeaders& headers,
+                   size_t body_size) {
+  bool has_length = false;
+  for (const auto& [n, v] : headers.entries()) {
+    *out += n;
+    *out += ": ";
+    *out += v;
+    *out += "\r\n";
+    if (EqualsIgnoreCase(n, "Content-Length")) has_length = true;
+  }
+  if (!has_length) {
+    *out += "Content-Length: " + std::to_string(body_size) + "\r\n";
+  }
+  *out += "\r\n";
+}
+}  // namespace
+
+std::string HttpRequest::Serialize() const {
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  AppendHeaders(&out, headers, body.size());
+  out += body;
+  return out;
+}
+
+std::string HttpResponse::Serialize() const {
+  std::string out =
+      "HTTP/1.1 " + std::to_string(status_code) + " " + reason + "\r\n";
+  AppendHeaders(&out, headers, body.size());
+  out += body;
+  return out;
+}
+
+HttpResponse HttpResponse::Make(int code, std::string_view reason,
+                                std::string body,
+                                std::string_view content_type) {
+  HttpResponse resp;
+  resp.status_code = code;
+  resp.reason = std::string(reason);
+  resp.headers.Set("Content-Type", std::string(content_type));
+  resp.body = std::move(body);
+  return resp;
+}
+
+std::pair<std::string_view, std::string_view> SplitTarget(
+    std::string_view target) {
+  size_t q = target.find('?');
+  if (q == std::string_view::npos) return {target, std::string_view()};
+  return {target.substr(0, q), target.substr(q + 1)};
+}
+
+}  // namespace mrs

@@ -1,0 +1,78 @@
+// HTTP/1.1 message model.
+//
+// Mrs uses HTTP twice: as the transport for XML-RPC between master and
+// slaves, and as the direct-communication path for intermediate map output
+// (each slave runs "a built-in HTTP server" that peers fetch bucket files
+// from).  Only the small subset needed for those two uses is implemented:
+// GET/POST, Content-Length bodies, and case-insensitive headers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mrs {
+
+/// Ordered header list with case-insensitive lookup (headers may repeat).
+class HttpHeaders {
+ public:
+  void Add(std::string name, std::string value);
+  /// Replace all values of `name` with one value.
+  void Set(std::string name, std::string value);
+  std::optional<std::string_view> Get(std::string_view name) const;
+  bool Has(std::string_view name) const { return Get(name).has_value(); }
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+struct HttpRequest {
+  std::string method = "GET";   // GET or POST
+  std::string target = "/";     // request-target (origin form)
+  HttpHeaders headers;
+  std::string body;
+
+  /// Serialize to wire format with Content-Length set from body.
+  std::string Serialize() const;
+};
+
+struct HttpResponse {
+  int status_code = 200;
+  std::string reason = "OK";
+  HttpHeaders headers;
+  std::string body;
+
+  std::string Serialize() const;
+
+  static HttpResponse Make(int code, std::string_view reason,
+                           std::string body,
+                           std::string_view content_type = "text/plain");
+  static HttpResponse Ok(std::string body,
+                         std::string_view content_type = "text/plain") {
+    return Make(200, "OK", std::move(body), content_type);
+  }
+  static HttpResponse NotFound(std::string body = "not found") {
+    return Make(404, "Not Found", std::move(body));
+  }
+  static HttpResponse BadRequest(std::string body = "bad request") {
+    return Make(400, "Bad Request", std::move(body));
+  }
+  static HttpResponse InternalError(std::string body = "internal error") {
+    return Make(500, "Internal Server Error", std::move(body));
+  }
+};
+
+/// Split a request target into path and raw query string ("/a/b?x=1").
+std::pair<std::string_view, std::string_view> SplitTarget(
+    std::string_view target);
+
+}  // namespace mrs

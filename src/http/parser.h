@@ -1,0 +1,75 @@
+// Incremental HTTP/1.1 parser for requests and responses.
+//
+// Feed() accepts arbitrary byte chunks; Done() flips once a complete
+// message (head + Content-Length body) has been consumed.  Chunked
+// transfer encoding is not needed by Mrs traffic and is rejected
+// explicitly rather than mis-parsed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "http/message.h"
+
+namespace mrs {
+
+namespace internal {
+
+/// Shared head+body state machine; Kind selects request/response line
+/// handling.
+class HttpParserBase {
+ public:
+  bool Done() const { return state_ == State::kDone; }
+
+  /// Consume up to `data.size()` bytes; returns the number consumed (bytes
+  /// past the end of a complete message are left for the caller, enabling
+  /// keep-alive pipelining).
+  Result<size_t> Feed(std::string_view data);
+
+ protected:
+  virtual ~HttpParserBase() = default;
+  virtual Status OnStartLine(std::string_view line) = 0;
+  virtual void OnHeader(std::string name, std::string value) = 0;
+  virtual void OnBody(std::string body) = 0;
+  /// Content-Length discovered so far (-1 until seen).
+  long long content_length_ = -1;
+
+ private:
+  enum class State { kStartLine, kHeaders, kBody, kDone };
+  Status HandleHeaderLine(std::string_view line);
+
+  State state_ = State::kStartLine;
+  std::string buffer_;   // accumulated head lines / body bytes
+};
+
+}  // namespace internal
+
+class HttpRequestParser final : public internal::HttpParserBase {
+ public:
+  const HttpRequest& request() const { return request_; }
+  HttpRequest&& TakeRequest() { return std::move(request_); }
+
+ private:
+  Status OnStartLine(std::string_view line) override;
+  void OnHeader(std::string name, std::string value) override;
+  void OnBody(std::string body) override { request_.body = std::move(body); }
+
+  HttpRequest request_;
+};
+
+class HttpResponseParser final : public internal::HttpParserBase {
+ public:
+  const HttpResponse& response() const { return response_; }
+  HttpResponse&& TakeResponse() { return std::move(response_); }
+
+ private:
+  Status OnStartLine(std::string_view line) override;
+  void OnHeader(std::string name, std::string value) override;
+  void OnBody(std::string body) override { response_.body = std::move(body); }
+
+  HttpResponse response_;
+};
+
+}  // namespace mrs

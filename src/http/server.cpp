@@ -1,0 +1,105 @@
+#include "http/server.h"
+
+#include <poll.h>
+
+#include "common/log.h"
+#include "common/strings.h"
+#include "http/parser.h"
+
+namespace mrs {
+
+Result<std::unique_ptr<HttpServer>> HttpServer::Start(const std::string& host,
+                                                      uint16_t port,
+                                                      Handler handler,
+                                                      size_t num_workers) {
+  MRS_ASSIGN_OR_RETURN(TcpListener listener, TcpListener::Listen(host, port));
+  MRS_RETURN_IF_ERROR(listener.SetNonBlocking(true));
+  return std::unique_ptr<HttpServer>(
+      new HttpServer(std::move(listener), std::move(handler), num_workers));
+}
+
+HttpServer::HttpServer(TcpListener listener, Handler handler,
+                       size_t num_workers)
+    : listener_(std::move(listener)),
+      handler_(std::move(handler)),
+      workers_(num_workers) {
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+HttpServer::~HttpServer() { Shutdown(); }
+
+void HttpServer::Shutdown() {
+  bool expected = false;
+  if (!stop_.compare_exchange_strong(expected, true)) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  workers_.Shutdown();
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stop_.load()) {
+    pollfd pfd{listener_.fd(), POLLIN, 0};
+    int n = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (n <= 0) continue;
+    Result<TcpConn> conn = listener_.Accept();
+    if (!conn.ok()) {
+      if (conn.status().code() != StatusCode::kUnavailable) {
+        MRS_LOG(kWarning, "http") << "accept: " << conn.status().ToString();
+      }
+      continue;
+    }
+    // shared_ptr because std::function requires copyable closures.
+    auto shared = std::make_shared<TcpConn>(std::move(conn).value());
+    workers_.Submit([this, shared] { HandleConnection(std::move(*shared)); });
+  }
+}
+
+void HttpServer::HandleConnection(TcpConn conn) {
+  (void)conn.SetNoDelay(true);
+  std::string pending;  // bytes past the current message (keep-alive)
+  char buf[16384];
+  // Serve up to 1024 keep-alive requests per connection.
+  for (int served = 0; served < 1024 && !stop_.load(); ++served) {
+    HttpRequestParser parser;
+    // Feed leftover bytes first.
+    if (!pending.empty()) {
+      Result<size_t> used = parser.Feed(pending);
+      if (!used.ok()) return;
+      pending.erase(0, *used);
+    }
+    while (!parser.Done()) {
+      // Wait for readability in short slices so Shutdown() can reclaim this
+      // worker even while a keep-alive peer stays idle.
+      pollfd pfd{conn.fd(), POLLIN, 0};
+      int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+      if (ready == 0) {
+        if (stop_.load()) return;
+        continue;
+      }
+      if (ready < 0) return;
+      Result<size_t> n = conn.Read(buf, sizeof(buf));
+      if (!n.ok() || *n == 0) return;  // peer closed or error
+      std::string_view chunk(buf, *n);
+      Result<size_t> used = parser.Feed(chunk);
+      if (!used.ok()) {
+        HttpResponse resp = HttpResponse::BadRequest(used.status().ToString());
+        resp.headers.Set("Connection", "close");
+        (void)conn.WriteAll(resp.Serialize());
+        return;
+      }
+      if (*used < chunk.size()) pending.append(chunk.substr(*used));
+    }
+
+    HttpRequest req = parser.TakeRequest();
+    bool close = false;
+    if (auto c = req.headers.Get("Connection");
+        c.has_value() && EqualsIgnoreCase(*c, "close")) {
+      close = true;
+    }
+    HttpResponse resp = handler_(req);
+    resp.headers.Set("Connection", close ? "close" : "keep-alive");
+    if (!conn.WriteAll(resp.Serialize()).ok()) return;
+    if (close) return;
+  }
+}
+
+}  // namespace mrs

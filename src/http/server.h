@@ -1,0 +1,58 @@
+// Threaded HTTP/1.1 server.
+//
+// Plays the role of the "built-in HTTP server" each Mrs slave runs to serve
+// intermediate data files, and carries XML-RPC traffic for the master.  One
+// accept thread polls the listener; connections are handled on a small
+// worker pool; handlers are plain functions from request to response.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "common/threadpool.h"
+#include "http/message.h"
+#include "net/socket.h"
+
+namespace mrs {
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Bind to host:port (port 0 = ephemeral) and start serving on
+  /// `num_workers` connection threads.
+  static Result<std::unique_ptr<HttpServer>> Start(const std::string& host,
+                                                   uint16_t port,
+                                                   Handler handler,
+                                                   size_t num_workers = 4);
+
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  const SocketAddr& addr() const { return listener_.local_addr(); }
+  std::string url_base() const {
+    return "http://" + addr().ToString();
+  }
+
+  /// Stop accepting, drain in-flight connections, join threads.
+  void Shutdown();
+
+ private:
+  HttpServer(TcpListener listener, Handler handler, size_t num_workers);
+  void AcceptLoop();
+  void HandleConnection(TcpConn conn);
+
+  TcpListener listener_;
+  Handler handler_;
+  std::atomic<bool> stop_{false};
+  ThreadPool workers_;
+  std::thread accept_thread_;
+};
+
+}  // namespace mrs

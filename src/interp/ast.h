@@ -1,0 +1,90 @@
+// MiniPy abstract syntax tree.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mrs {
+namespace minipy {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kFloorDiv, kMod, kPow,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kAnd, kOr,
+};
+
+enum class UnOp { kNeg, kNot };
+
+struct Expr {
+  enum class Kind {
+    kIntLit, kFloatLit, kStringLit, kBoolLit, kNoneLit,
+    kName, kBinary, kUnary, kCall, kListLit, kIndex,
+  };
+
+  Kind kind;
+  int line = 0;
+
+  // kIntLit / kFloatLit / kBoolLit
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  bool bool_value = false;
+  // kStringLit / kName / kCall(callee name)
+  std::string name;
+  // kBinary / kUnary
+  BinOp bin_op = BinOp::kAdd;
+  UnOp un_op = UnOp::kNeg;
+  ExprPtr lhs;     // also: unary operand, call callee-less target, index base
+  ExprPtr rhs;     // also: index subscript
+  // kCall arguments / kListLit elements
+  std::vector<ExprPtr> args;
+};
+
+struct Stmt {
+  enum class Kind {
+    kExpr,        // expression statement
+    kAssign,      // name = expr  |  base[idx] = expr
+    kAugAssign,   // name op= expr
+    kReturn,
+    kIf,          // arms: (cond, body) pairs; else_body
+    kWhile,
+    kFor,         // for name in iterable
+    kBreak,
+    kContinue,
+    kPass,
+    kDef,
+  };
+
+  Kind kind;
+  int line = 0;
+
+  ExprPtr expr;          // kExpr / kReturn value / assign RHS
+  std::string target;    // assign target name / for variable / def name
+  ExprPtr index_base;    // subscript assignment: base expression
+  ExprPtr index_expr;    // subscript assignment: index expression
+  BinOp aug_op = BinOp::kAdd;
+
+  ExprPtr cond;          // while condition / for iterable
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> else_body;
+  // kIf: chained arms (if/elif...); conds.size() == bodies.size().
+  std::vector<ExprPtr> arm_conds;
+  std::vector<std::vector<StmtPtr>> arm_bodies;
+
+  // kDef
+  std::vector<std::string> params;
+};
+
+/// A parsed module: top-level statements (defs and initialization code).
+struct Module {
+  std::vector<StmtPtr> body;
+};
+
+}  // namespace minipy
+}  // namespace mrs

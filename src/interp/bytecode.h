@@ -1,0 +1,68 @@
+// MiniPy bytecode: instruction set and compiled-function model.
+//
+// The VM is the repo's "PyPy" stand-in: same language, same semantics, but
+// compiled name resolution (slot-indexed locals and globals), switch
+// dispatch, and inline int/float fast paths — the properties that make a
+// tracing JIT fast on numeric loops, minus the actual JIT.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "interp/pyvalue.h"
+
+namespace mrs {
+namespace minipy {
+
+enum class Op : uint8_t {
+  kLoadConst,    // a: constant index
+  kLoadLocal,    // a: slot
+  kStoreLocal,   // a: slot
+  kLoadGlobal,   // a: global slot
+  kStoreGlobal,  // a: global slot
+  kBinary,       // a: BinOp (not and/or)
+  kUnary,        // a: UnOp
+  kJump,         // a: absolute target
+  kJumpIfFalse,  // a: target; pops condition
+  kJumpIfFalsePeek,  // a: target; 'and': jump keeping value, else pop
+  kJumpIfTruePeek,   // a: target; 'or'
+  kPop,
+  kCallUser,     // a: function index, b: argc
+  kCallBuiltin,  // a: name-constant index, b: argc
+  kReturn,       // pops return value
+  kReturnNone,
+  kBuildList,    // a: element count
+  kIndex,        // stack: base, index -> value
+  kStoreIndex,   // stack: base, index, value ->
+  kLen,          // stack: list -> int (for-loop desugaring)
+};
+
+struct Instruction {
+  Op op;
+  int32_t a = 0;
+  int32_t b = 0;
+};
+
+struct CompiledFunction {
+  std::string name;
+  int num_params = 0;
+  int num_locals = 0;
+  std::vector<Instruction> code;
+  std::vector<PyValue> constants;
+};
+
+struct CompiledModule {
+  std::vector<CompiledFunction> functions;   // user functions
+  CompiledFunction top_level;                // module init code
+  std::vector<std::string> global_names;     // slot -> name
+  int FunctionIndex(const std::string& name) const {
+    for (size_t i = 0; i < functions.size(); ++i) {
+      if (functions[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+}  // namespace minipy
+}  // namespace mrs

@@ -1,0 +1,400 @@
+#include "interp/compiler.h"
+
+#include <map>
+#include <set>
+
+#include "interp/parser.h"
+
+namespace mrs {
+namespace minipy {
+
+namespace {
+
+void CollectAssignedNames(const std::vector<StmtPtr>& body,
+                          std::set<std::string>* out);
+
+/// Collect every name assigned within a statement list (Python local rule).
+void CollectAssignedNamesPtrs(const std::vector<const Stmt*>& body,
+                              std::set<std::string>* out) {
+  for (const Stmt* stmt : body) {
+    switch (stmt->kind) {
+      case Stmt::Kind::kAssign:
+        if (stmt->index_base == nullptr) out->insert(stmt->target);
+        break;
+      case Stmt::Kind::kAugAssign:
+        out->insert(stmt->target);
+        break;
+      case Stmt::Kind::kFor:
+        out->insert(stmt->target);
+        CollectAssignedNames(stmt->body, out);
+        break;
+      case Stmt::Kind::kWhile:
+        CollectAssignedNames(stmt->body, out);
+        break;
+      case Stmt::Kind::kIf:
+        for (const auto& arm : stmt->arm_bodies) CollectAssignedNames(arm, out);
+        CollectAssignedNames(stmt->else_body, out);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void CollectAssignedNames(const std::vector<StmtPtr>& body,
+                          std::set<std::string>* out) {
+  std::vector<const Stmt*> ptrs;
+  ptrs.reserve(body.size());
+  for (const StmtPtr& s : body) ptrs.push_back(s.get());
+  CollectAssignedNamesPtrs(ptrs, out);
+}
+
+class FunctionCompiler {
+ public:
+  FunctionCompiler(CompiledModule* module,
+                   std::map<std::string, int>* global_slots, bool is_top_level)
+      : module_(module),
+        global_slots_(global_slots),
+        top_level_(is_top_level) {}
+
+  Result<CompiledFunction> Compile(const std::string& name,
+                                   const std::vector<std::string>& params,
+                                   const std::vector<const Stmt*>& body) {
+    fn_.name = name;
+    fn_.num_params = static_cast<int>(params.size());
+    if (!top_level_) {
+      for (const std::string& p : params) LocalSlot(p);
+      std::set<std::string> assigned;
+      CollectAssignedNamesPtrs(body, &assigned);
+      for (const std::string& n : assigned) LocalSlot(n);
+    }
+    for (const Stmt* stmt : body) {
+      MRS_RETURN_IF_ERROR(CompileStmt(*stmt));
+    }
+    Emit(Op::kReturnNone);
+    fn_.num_locals = static_cast<int>(locals_.size());
+    return std::move(fn_);
+  }
+
+ private:
+  int Emit(Op op, int32_t a = 0, int32_t b = 0) {
+    fn_.code.push_back(Instruction{op, a, b});
+    return static_cast<int>(fn_.code.size()) - 1;
+  }
+  void Patch(int at, int32_t target) { fn_.code[static_cast<size_t>(at)].a = target; }
+  int Here() const { return static_cast<int>(fn_.code.size()); }
+
+  int AddConst(PyValue v) {
+    fn_.constants.push_back(std::move(v));
+    return static_cast<int>(fn_.constants.size()) - 1;
+  }
+
+  int LocalSlot(const std::string& name) {
+    auto it = locals_.find(name);
+    if (it != locals_.end()) return it->second;
+    int slot = static_cast<int>(locals_.size());
+    locals_[name] = slot;
+    return slot;
+  }
+  bool HasLocal(const std::string& name) const {
+    return locals_.find(name) != locals_.end();
+  }
+
+  int GlobalSlot(const std::string& name) {
+    auto it = global_slots_->find(name);
+    if (it != global_slots_->end()) return it->second;
+    int slot = static_cast<int>(module_->global_names.size());
+    module_->global_names.push_back(name);
+    (*global_slots_)[name] = slot;
+    return slot;
+  }
+
+  /// A synthetic local for loop desugaring (name cannot collide).
+  int HiddenSlot() {
+    int slot = static_cast<int>(locals_.size());
+    locals_["$hidden" + std::to_string(slot)] = slot;
+    return slot;
+  }
+
+  Status CompileStore(const std::string& name) {
+    if (top_level_) {
+      Emit(Op::kStoreGlobal, GlobalSlot(name));
+    } else {
+      Emit(Op::kStoreLocal, LocalSlot(name));
+    }
+    return Status::Ok();
+  }
+
+  Status CompileBlock(const std::vector<StmtPtr>& body) {
+    for (const StmtPtr& stmt : body) {
+      MRS_RETURN_IF_ERROR(CompileStmt(*stmt));
+    }
+    return Status::Ok();
+  }
+
+  Status CompileStmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kExpr:
+        MRS_RETURN_IF_ERROR(CompileExpr(*stmt.expr));
+        Emit(Op::kPop);
+        return Status::Ok();
+      case Stmt::Kind::kAssign:
+        if (stmt.index_base != nullptr) {
+          MRS_RETURN_IF_ERROR(CompileExpr(*stmt.index_base));
+          MRS_RETURN_IF_ERROR(CompileExpr(*stmt.index_expr));
+          MRS_RETURN_IF_ERROR(CompileExpr(*stmt.expr));
+          Emit(Op::kStoreIndex);
+          return Status::Ok();
+        }
+        MRS_RETURN_IF_ERROR(CompileExpr(*stmt.expr));
+        return CompileStore(stmt.target);
+      case Stmt::Kind::kAugAssign: {
+        MRS_RETURN_IF_ERROR(CompileName(stmt.target, stmt.line));
+        MRS_RETURN_IF_ERROR(CompileExpr(*stmt.expr));
+        Emit(Op::kBinary, static_cast<int32_t>(stmt.aug_op));
+        return CompileStore(stmt.target);
+      }
+      case Stmt::Kind::kReturn:
+        if (top_level_) {
+          return InvalidArgumentError("line " + std::to_string(stmt.line) +
+                                      ": return outside function");
+        }
+        if (stmt.expr != nullptr) {
+          MRS_RETURN_IF_ERROR(CompileExpr(*stmt.expr));
+          Emit(Op::kReturn);
+        } else {
+          Emit(Op::kReturnNone);
+        }
+        return Status::Ok();
+      case Stmt::Kind::kIf: {
+        std::vector<int> end_jumps;
+        for (size_t arm = 0; arm < stmt.arm_conds.size(); ++arm) {
+          MRS_RETURN_IF_ERROR(CompileExpr(*stmt.arm_conds[arm]));
+          int skip = Emit(Op::kJumpIfFalse);
+          MRS_RETURN_IF_ERROR(CompileBlock(stmt.arm_bodies[arm]));
+          end_jumps.push_back(Emit(Op::kJump));
+          Patch(skip, Here());
+        }
+        if (!stmt.else_body.empty()) {
+          MRS_RETURN_IF_ERROR(CompileBlock(stmt.else_body));
+        }
+        for (int j : end_jumps) Patch(j, Here());
+        return Status::Ok();
+      }
+      case Stmt::Kind::kWhile: {
+        int loop_start = Here();
+        MRS_RETURN_IF_ERROR(CompileExpr(*stmt.cond));
+        int exit_jump = Emit(Op::kJumpIfFalse);
+        loop_stack_.push_back({loop_start, {}});
+        MRS_RETURN_IF_ERROR(CompileBlock(stmt.body));
+        Emit(Op::kJump, loop_start);
+        Patch(exit_jump, Here());
+        for (int b : loop_stack_.back().break_jumps) Patch(b, Here());
+        loop_stack_.pop_back();
+        return Status::Ok();
+      }
+      case Stmt::Kind::kFor: {
+        if (top_level_) {
+          return InvalidArgumentError(
+              "line " + std::to_string(stmt.line) +
+              ": for loops at module level are not supported");
+        }
+        // Desugar:
+        //   $list = iterable; $i = 0
+        //   loop: if $i >= len($list): exit
+        //     target = $list[$i]; $i = $i + 1; body; jump loop
+        int list_slot = HiddenSlot();
+        int idx_slot = HiddenSlot();
+        MRS_RETURN_IF_ERROR(CompileExpr(*stmt.cond));
+        Emit(Op::kStoreLocal, list_slot);
+        Emit(Op::kLoadConst, AddConst(PyValue(static_cast<int64_t>(0))));
+        Emit(Op::kStoreLocal, idx_slot);
+        int loop_start = Here();
+        Emit(Op::kLoadLocal, idx_slot);
+        Emit(Op::kLoadLocal, list_slot);
+        Emit(Op::kLen);
+        Emit(Op::kBinary, static_cast<int32_t>(BinOp::kLt));
+        int exit_jump = Emit(Op::kJumpIfFalse);
+        Emit(Op::kLoadLocal, list_slot);
+        Emit(Op::kLoadLocal, idx_slot);
+        Emit(Op::kIndex);
+        Emit(Op::kStoreLocal, LocalSlot(stmt.target));
+        Emit(Op::kLoadLocal, idx_slot);
+        Emit(Op::kLoadConst, AddConst(PyValue(static_cast<int64_t>(1))));
+        Emit(Op::kBinary, static_cast<int32_t>(BinOp::kAdd));
+        Emit(Op::kStoreLocal, idx_slot);
+        // `continue` must re-test via loop_start (index already advanced).
+        loop_stack_.push_back({loop_start, {}});
+        MRS_RETURN_IF_ERROR(CompileBlock(stmt.body));
+        Emit(Op::kJump, loop_start);
+        Patch(exit_jump, Here());
+        for (int b : loop_stack_.back().break_jumps) Patch(b, Here());
+        loop_stack_.pop_back();
+        return Status::Ok();
+      }
+      case Stmt::Kind::kBreak: {
+        if (loop_stack_.empty()) {
+          return InvalidArgumentError("line " + std::to_string(stmt.line) +
+                                      ": break outside loop");
+        }
+        loop_stack_.back().break_jumps.push_back(Emit(Op::kJump));
+        return Status::Ok();
+      }
+      case Stmt::Kind::kContinue: {
+        if (loop_stack_.empty()) {
+          return InvalidArgumentError("line " + std::to_string(stmt.line) +
+                                      ": continue outside loop");
+        }
+        Emit(Op::kJump, loop_stack_.back().continue_target);
+        return Status::Ok();
+      }
+      case Stmt::Kind::kPass:
+        return Status::Ok();
+      case Stmt::Kind::kDef:
+        return InvalidArgumentError("line " + std::to_string(stmt.line) +
+                                    ": nested def is not supported");
+    }
+    return InternalError("unknown statement kind");
+  }
+
+  Status CompileName(const std::string& name, int line) {
+    if (!top_level_ && HasLocal(name)) {
+      Emit(Op::kLoadLocal, LocalSlot(name));
+      return Status::Ok();
+    }
+    if (module_->FunctionIndex(name) >= 0) {
+      return InvalidArgumentError("line " + std::to_string(line) +
+                                  ": functions are not first-class values");
+    }
+    Emit(Op::kLoadGlobal, GlobalSlot(name));
+    return Status::Ok();
+  }
+
+  Status CompileExpr(const Expr& expr) {
+    switch (expr.kind) {
+      case Expr::Kind::kIntLit:
+        Emit(Op::kLoadConst, AddConst(PyValue(expr.int_value)));
+        return Status::Ok();
+      case Expr::Kind::kFloatLit:
+        Emit(Op::kLoadConst, AddConst(PyValue(expr.float_value)));
+        return Status::Ok();
+      case Expr::Kind::kStringLit:
+        Emit(Op::kLoadConst, AddConst(PyValue(expr.name)));
+        return Status::Ok();
+      case Expr::Kind::kBoolLit:
+        Emit(Op::kLoadConst, AddConst(PyValue::Bool(expr.bool_value)));
+        return Status::Ok();
+      case Expr::Kind::kNoneLit:
+        Emit(Op::kLoadConst, AddConst(PyValue()));
+        return Status::Ok();
+      case Expr::Kind::kName:
+        return CompileName(expr.name, expr.line);
+      case Expr::Kind::kBinary: {
+        if (expr.bin_op == BinOp::kAnd || expr.bin_op == BinOp::kOr) {
+          MRS_RETURN_IF_ERROR(CompileExpr(*expr.lhs));
+          int jump = Emit(expr.bin_op == BinOp::kAnd ? Op::kJumpIfFalsePeek
+                                                     : Op::kJumpIfTruePeek);
+          MRS_RETURN_IF_ERROR(CompileExpr(*expr.rhs));
+          Patch(jump, Here());
+          return Status::Ok();
+        }
+        MRS_RETURN_IF_ERROR(CompileExpr(*expr.lhs));
+        MRS_RETURN_IF_ERROR(CompileExpr(*expr.rhs));
+        Emit(Op::kBinary, static_cast<int32_t>(expr.bin_op));
+        return Status::Ok();
+      }
+      case Expr::Kind::kUnary:
+        MRS_RETURN_IF_ERROR(CompileExpr(*expr.lhs));
+        Emit(Op::kUnary, static_cast<int32_t>(expr.un_op));
+        return Status::Ok();
+      case Expr::Kind::kCall: {
+        for (const ExprPtr& arg : expr.args) {
+          MRS_RETURN_IF_ERROR(CompileExpr(*arg));
+        }
+        int fn_index = module_->FunctionIndex(expr.name);
+        if (fn_index >= 0) {
+          Emit(Op::kCallUser, fn_index, static_cast<int32_t>(expr.args.size()));
+        } else if (IsBuiltin(expr.name)) {
+          Emit(Op::kCallBuiltin, AddConst(PyValue(expr.name)),
+               static_cast<int32_t>(expr.args.size()));
+        } else {
+          return InvalidArgumentError("line " + std::to_string(expr.line) +
+                                      ": no function named '" + expr.name +
+                                      "'");
+        }
+        return Status::Ok();
+      }
+      case Expr::Kind::kListLit:
+        for (const ExprPtr& elem : expr.args) {
+          MRS_RETURN_IF_ERROR(CompileExpr(*elem));
+        }
+        Emit(Op::kBuildList, static_cast<int32_t>(expr.args.size()));
+        return Status::Ok();
+      case Expr::Kind::kIndex:
+        MRS_RETURN_IF_ERROR(CompileExpr(*expr.lhs));
+        MRS_RETURN_IF_ERROR(CompileExpr(*expr.rhs));
+        Emit(Op::kIndex);
+        return Status::Ok();
+    }
+    return InternalError("unknown expression kind");
+  }
+
+  struct LoopContext {
+    int continue_target;
+    std::vector<int> break_jumps;
+  };
+
+  CompiledModule* module_;
+  std::map<std::string, int>* global_slots_;
+  bool top_level_;
+  CompiledFunction fn_;
+  std::map<std::string, int> locals_;
+  std::vector<LoopContext> loop_stack_;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<CompiledModule>> CompileModule(const Module& module) {
+  auto compiled = std::make_shared<CompiledModule>();
+  std::map<std::string, int> global_slots;
+
+  // Pre-register user functions so forward calls resolve.
+  std::vector<const Stmt*> defs;
+  for (const StmtPtr& stmt : module.body) {
+    if (stmt->kind == Stmt::Kind::kDef) {
+      CompiledFunction placeholder;
+      placeholder.name = stmt->target;
+      compiled->functions.push_back(std::move(placeholder));
+      defs.push_back(stmt.get());
+    }
+  }
+
+  for (const Stmt* def : defs) {
+    FunctionCompiler fc(compiled.get(), &global_slots, /*is_top_level=*/false);
+    std::vector<const Stmt*> body;
+    body.reserve(def->body.size());
+    for (const StmtPtr& s : def->body) body.push_back(s.get());
+    MRS_ASSIGN_OR_RETURN(CompiledFunction fn,
+                         fc.Compile(def->target, def->params, body));
+    int index = compiled->FunctionIndex(def->target);
+    compiled->functions[static_cast<size_t>(index)] = std::move(fn);
+  }
+
+  // Top-level non-def statements.
+  std::vector<const Stmt*> top;
+  for (const StmtPtr& stmt : module.body) {
+    if (stmt->kind != Stmt::Kind::kDef) top.push_back(stmt.get());
+  }
+  FunctionCompiler fc(compiled.get(), &global_slots, /*is_top_level=*/true);
+  MRS_ASSIGN_OR_RETURN(compiled->top_level, fc.Compile("__main__", {}, top));
+  return compiled;
+}
+
+Result<std::shared_ptr<CompiledModule>> CompileSource(
+    std::string_view source) {
+  MRS_ASSIGN_OR_RETURN(std::shared_ptr<Module> module, Parse(source));
+  return CompileModule(*module);
+}
+
+}  // namespace minipy
+}  // namespace mrs

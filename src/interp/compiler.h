@@ -1,0 +1,23 @@
+// MiniPy AST -> bytecode compiler.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "interp/ast.h"
+#include "interp/bytecode.h"
+
+namespace mrs {
+namespace minipy {
+
+/// Compile a parsed module.  Local-variable rules follow Python: a name
+/// assigned anywhere in a function body (or a parameter / for target) is a
+/// local; all other names resolve to globals (or builtins at call sites).
+Result<std::shared_ptr<CompiledModule>> CompileModule(const Module& module);
+
+/// Convenience: parse + compile.
+Result<std::shared_ptr<CompiledModule>> CompileSource(std::string_view source);
+
+}  // namespace minipy
+}  // namespace mrs

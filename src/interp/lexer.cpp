@@ -1,0 +1,371 @@
+#include "interp/lexer.h"
+
+#include <cctype>
+#include <map>
+
+#include "common/strings.h"
+
+namespace mrs {
+namespace minipy {
+
+std::string_view TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kEof: return "EOF";
+    case TokenType::kNewline: return "NEWLINE";
+    case TokenType::kIndent: return "INDENT";
+    case TokenType::kDedent: return "DEDENT";
+    case TokenType::kInt: return "INT";
+    case TokenType::kFloat: return "FLOAT";
+    case TokenType::kString: return "STRING";
+    case TokenType::kName: return "NAME";
+    case TokenType::kDef: return "def";
+    case TokenType::kReturn: return "return";
+    case TokenType::kIf: return "if";
+    case TokenType::kElif: return "elif";
+    case TokenType::kElse: return "else";
+    case TokenType::kWhile: return "while";
+    case TokenType::kFor: return "for";
+    case TokenType::kIn: return "in";
+    case TokenType::kBreak: return "break";
+    case TokenType::kContinue: return "continue";
+    case TokenType::kPass: return "pass";
+    case TokenType::kAnd: return "and";
+    case TokenType::kOr: return "or";
+    case TokenType::kNot: return "not";
+    case TokenType::kTrue: return "True";
+    case TokenType::kFalse: return "False";
+    case TokenType::kNone: return "None";
+    case TokenType::kLParen: return "(";
+    case TokenType::kRParen: return ")";
+    case TokenType::kLBracket: return "[";
+    case TokenType::kRBracket: return "]";
+    case TokenType::kComma: return ",";
+    case TokenType::kColon: return ":";
+    case TokenType::kPlus: return "+";
+    case TokenType::kMinus: return "-";
+    case TokenType::kStar: return "*";
+    case TokenType::kSlash: return "/";
+    case TokenType::kSlashSlash: return "//";
+    case TokenType::kPercent: return "%";
+    case TokenType::kStarStar: return "**";
+    case TokenType::kLess: return "<";
+    case TokenType::kLessEq: return "<=";
+    case TokenType::kGreater: return ">";
+    case TokenType::kGreaterEq: return ">=";
+    case TokenType::kEqEq: return "==";
+    case TokenType::kNotEq: return "!=";
+    case TokenType::kAssign: return "=";
+    case TokenType::kPlusAssign: return "+=";
+    case TokenType::kMinusAssign: return "-=";
+    case TokenType::kStarAssign: return "*=";
+    case TokenType::kSlashAssign: return "/=";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, TokenType, std::less<>>& Keywords() {
+  static const std::map<std::string, TokenType, std::less<>> kKeywords = {
+      {"def", TokenType::kDef},         {"return", TokenType::kReturn},
+      {"if", TokenType::kIf},           {"elif", TokenType::kElif},
+      {"else", TokenType::kElse},       {"while", TokenType::kWhile},
+      {"for", TokenType::kFor},         {"in", TokenType::kIn},
+      {"break", TokenType::kBreak},     {"continue", TokenType::kContinue},
+      {"pass", TokenType::kPass},       {"and", TokenType::kAnd},
+      {"or", TokenType::kOr},           {"not", TokenType::kNot},
+      {"True", TokenType::kTrue},       {"False", TokenType::kFalse},
+      {"None", TokenType::kNone},
+  };
+  return kKeywords;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  Result<std::vector<Token>> Run() {
+    indents_.push_back(0);
+    while (pos_ < src_.size()) {
+      MRS_RETURN_IF_ERROR(LexLine());
+    }
+    // Close any open line and blocks.
+    if (!tokens_.empty() && tokens_.back().type != TokenType::kNewline) {
+      Emit(TokenType::kNewline);
+    }
+    while (indents_.back() > 0) {
+      indents_.pop_back();
+      Emit(TokenType::kDedent);
+    }
+    Emit(TokenType::kEof);
+    return std::move(tokens_);
+  }
+
+ private:
+  void Emit(TokenType type) {
+    Token t;
+    t.type = type;
+    t.line = line_;
+    t.column = column_;
+    tokens_.push_back(std::move(t));
+  }
+
+  Status ErrorHere(const std::string& message) {
+    return InvalidArgumentError("line " + std::to_string(line_) + ": " +
+                                message);
+  }
+
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    ++column_;
+    return c;
+  }
+
+  Status LexLine() {
+    // Measure indentation (spaces only; tabs count as 8 to next stop).
+    int indent = 0;
+    size_t start = pos_;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == ' ') {
+        ++indent;
+        ++pos_;
+      } else if (c == '\t') {
+        indent = (indent / 8 + 1) * 8;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    // Blank line or comment-only line: skip entirely.
+    if (pos_ >= src_.size() || src_[pos_] == '\n' || src_[pos_] == '#' ||
+        src_[pos_] == '\r') {
+      while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      if (pos_ < src_.size()) ++pos_;
+      ++line_;
+      column_ = 0;
+      return Status::Ok();
+    }
+    (void)start;
+
+    // Indent bookkeeping.
+    if (indent > indents_.back()) {
+      indents_.push_back(indent);
+      Emit(TokenType::kIndent);
+    } else {
+      while (indent < indents_.back()) {
+        indents_.pop_back();
+        Emit(TokenType::kDedent);
+      }
+      if (indent != indents_.back()) {
+        return ErrorHere("inconsistent dedent");
+      }
+    }
+
+    // Tokens until end of line (parenthesized continuation supported).
+    int paren_depth = 0;
+    while (pos_ < src_.size()) {
+      char c = Peek();
+      if (c == '\n') {
+        ++pos_;
+        ++line_;
+        column_ = 0;
+        if (paren_depth > 0) continue;  // implicit line join
+        Emit(TokenType::kNewline);
+        return Status::Ok();
+      }
+      if (c == '\r' || c == ' ' || c == '\t') {
+        Advance();
+        continue;
+      }
+      if (c == '#') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        MRS_RETURN_IF_ERROR(LexNumber());
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        LexNameOrKeyword();
+        continue;
+      }
+      if (c == '\'' || c == '"') {
+        MRS_RETURN_IF_ERROR(LexString());
+        continue;
+      }
+      // Operators / punctuation.
+      Advance();
+      char n = Peek();
+      auto two = [&](TokenType t) {
+        Advance();
+        Emit(t);
+      };
+      switch (c) {
+        case '(': ++paren_depth; Emit(TokenType::kLParen); break;
+        case ')': --paren_depth; Emit(TokenType::kRParen); break;
+        case '[': ++paren_depth; Emit(TokenType::kLBracket); break;
+        case ']': --paren_depth; Emit(TokenType::kRBracket); break;
+        case ',': Emit(TokenType::kComma); break;
+        case ':': Emit(TokenType::kColon); break;
+        case '+':
+          if (n == '=') two(TokenType::kPlusAssign);
+          else Emit(TokenType::kPlus);
+          break;
+        case '-':
+          if (n == '=') two(TokenType::kMinusAssign);
+          else Emit(TokenType::kMinus);
+          break;
+        case '*':
+          if (n == '*') two(TokenType::kStarStar);
+          else if (n == '=') two(TokenType::kStarAssign);
+          else Emit(TokenType::kStar);
+          break;
+        case '/':
+          if (n == '/') two(TokenType::kSlashSlash);
+          else if (n == '=') two(TokenType::kSlashAssign);
+          else Emit(TokenType::kSlash);
+          break;
+        case '%': Emit(TokenType::kPercent); break;
+        case '<':
+          if (n == '=') two(TokenType::kLessEq);
+          else Emit(TokenType::kLess);
+          break;
+        case '>':
+          if (n == '=') two(TokenType::kGreaterEq);
+          else Emit(TokenType::kGreater);
+          break;
+        case '=':
+          if (n == '=') two(TokenType::kEqEq);
+          else Emit(TokenType::kAssign);
+          break;
+        case '!':
+          if (n == '=') {
+            two(TokenType::kNotEq);
+          } else {
+            return ErrorHere("unexpected '!'");
+          }
+          break;
+        default:
+          return ErrorHere(std::string("unexpected character '") + c + "'");
+      }
+    }
+    Emit(TokenType::kNewline);
+    return Status::Ok();
+  }
+
+  Status LexNumber() {
+    size_t start = pos_;
+    bool is_float = false;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_float = true;
+      Advance();
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+    } else if (Peek() == '.' &&
+               !std::isalpha(static_cast<unsigned char>(Peek(1)))) {
+      is_float = true;
+      Advance();
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      size_t save = pos_;
+      Advance();
+      if (Peek() == '+' || Peek() == '-') Advance();
+      if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        is_float = true;
+        while (std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+      } else {
+        pos_ = save;
+      }
+    }
+    std::string_view text = src_.substr(start, pos_ - start);
+    Token t;
+    t.line = line_;
+    t.column = column_;
+    if (is_float) {
+      auto v = ParseDouble(text);
+      if (!v.has_value()) return ErrorHere("bad float literal");
+      t.type = TokenType::kFloat;
+      t.float_value = *v;
+    } else {
+      auto v = ParseInt64(text);
+      if (!v.has_value()) return ErrorHere("bad int literal");
+      t.type = TokenType::kInt;
+      t.int_value = *v;
+    }
+    tokens_.push_back(std::move(t));
+    return Status::Ok();
+  }
+
+  void LexNameOrKeyword() {
+    size_t start = pos_;
+    while (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_') {
+      Advance();
+    }
+    std::string text(src_.substr(start, pos_ - start));
+    Token t;
+    t.line = line_;
+    t.column = column_;
+    auto it = Keywords().find(text);
+    if (it != Keywords().end()) {
+      t.type = it->second;
+    } else {
+      t.type = TokenType::kName;
+      t.text = std::move(text);
+    }
+    tokens_.push_back(std::move(t));
+  }
+
+  Status LexString() {
+    char quote = Advance();
+    std::string out;
+    while (true) {
+      if (pos_ >= src_.size() || Peek() == '\n') {
+        return ErrorHere("unterminated string literal");
+      }
+      char c = Advance();
+      if (c == quote) break;
+      if (c == '\\') {
+        if (pos_ >= src_.size()) return ErrorHere("dangling escape");
+        char e = Advance();
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case '\\': out += '\\'; break;
+          case '\'': out += '\''; break;
+          case '"': out += '"'; break;
+          default: return ErrorHere("unknown string escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    Token t;
+    t.type = TokenType::kString;
+    t.text = std::move(out);
+    t.line = line_;
+    t.column = column_;
+    tokens_.push_back(std::move(t));
+    return Status::Ok();
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 0;
+  std::vector<int> indents_;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace minipy
+}  // namespace mrs

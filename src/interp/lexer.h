@@ -1,0 +1,21 @@
+// MiniPy lexer with Python-style significant indentation (INDENT/DEDENT
+// tokens via an indent stack, as in CPython's tokenizer).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "interp/token.h"
+
+namespace mrs {
+namespace minipy {
+
+/// Tokenize a complete module.  Emits kNewline at logical line ends,
+/// kIndent/kDedent at block boundaries, and a final kEof (preceded by any
+/// pending dedents).  Comments (#...) and blank lines are skipped.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace minipy
+}  // namespace mrs

@@ -1,0 +1,17 @@
+// MiniPy recursive-descent parser (Pratt expression parsing).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "interp/ast.h"
+
+namespace mrs {
+namespace minipy {
+
+/// Parse a complete module from source text.
+Result<std::shared_ptr<Module>> Parse(std::string_view source);
+
+}  // namespace minipy
+}  // namespace mrs

@@ -1,0 +1,84 @@
+// MiniPy token model.
+//
+// MiniPy is the repo's stand-in for Python (DESIGN.md §1): a small
+// dynamically-typed language with Python syntax (indentation blocks, def /
+// while / if, ints, floats, strings, lists).  The paper's Fig 3 compares
+// the same numeric kernel under CPython, PyPy, and C; here the kernel runs
+// under a tree-walking interpreter, a bytecode VM, and native C++.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mrs {
+namespace minipy {
+
+enum class TokenType {
+  kEof,
+  kNewline,
+  kIndent,
+  kDedent,
+  // Literals and names.
+  kInt,
+  kFloat,
+  kString,
+  kName,
+  // Keywords.
+  kDef,
+  kReturn,
+  kIf,
+  kElif,
+  kElse,
+  kWhile,
+  kFor,
+  kIn,
+  kBreak,
+  kContinue,
+  kPass,
+  kAnd,
+  kOr,
+  kNot,
+  kTrue,
+  kFalse,
+  kNone,
+  // Punctuation and operators.
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kColon,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kSlashSlash,
+  kPercent,
+  kStarStar,
+  kLess,
+  kLessEq,
+  kGreater,
+  kGreaterEq,
+  kEqEq,
+  kNotEq,
+  kAssign,
+  kPlusAssign,
+  kMinusAssign,
+  kStarAssign,
+  kSlashAssign,
+};
+
+std::string_view TokenTypeName(TokenType type);
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;     // name/string contents
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  int line = 0;
+  int column = 0;
+};
+
+}  // namespace minipy
+}  // namespace mrs

@@ -1,0 +1,61 @@
+// MiniPy tree-walking interpreter — the "pure Python" (CPython) stand-in.
+//
+// Deliberately interpreter-shaped: every name access is a hash-map lookup
+// in an environment chain, every value is a boxed PyValue, every AST node
+// costs a virtual-ish dispatch.  This is the engine behind the Fig 3a
+// "Mrs/Python" series; its slowness relative to the bytecode VM and native
+// code is the point.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "interp/ast.h"
+#include "interp/pyvalue.h"
+
+namespace mrs {
+namespace minipy {
+
+class TreeWalker {
+ public:
+  /// Execute a module's top-level statements (typically defs).
+  Status LoadModule(std::shared_ptr<Module> module);
+  Status LoadSource(std::string_view source);
+
+  /// Call a module-level function by name.
+  Result<PyValue> Call(const std::string& function,
+                       std::vector<PyValue> args);
+
+  /// Read a module-level variable (tests).
+  Result<PyValue> GetGlobal(const std::string& name) const;
+
+ private:
+  struct FunctionDef {
+    const Stmt* def = nullptr;  // owned by module_
+  };
+
+  enum class Flow { kNormal, kReturn, kBreak, kContinue };
+
+  struct Frame {
+    std::map<std::string, PyValue> locals;
+  };
+
+  Result<PyValue> Eval(const Expr& expr, Frame* frame);
+  /// Executes a statement; on kReturn, *return_value holds the value.
+  Result<Flow> Exec(const Stmt& stmt, Frame* frame, PyValue* return_value);
+  Result<Flow> ExecBlock(const std::vector<StmtPtr>& body, Frame* frame,
+                         PyValue* return_value);
+  Result<PyValue> CallFunction(const FunctionDef& fn,
+                               std::vector<PyValue> args);
+  Status ErrorAt(int line, const std::string& message) const;
+
+  std::vector<std::shared_ptr<Module>> modules_;  // keep ASTs alive
+  std::map<std::string, PyValue> globals_;
+  std::map<std::string, FunctionDef> functions_;
+};
+
+}  // namespace minipy
+}  // namespace mrs

@@ -1,0 +1,275 @@
+#include "interp/vm.h"
+
+namespace mrs {
+namespace minipy {
+
+Status Vm::LoadSource(std::string_view source) {
+  MRS_ASSIGN_OR_RETURN(std::shared_ptr<CompiledModule> module,
+                       CompileSource(source));
+  return LoadModule(std::move(module));
+}
+
+Status Vm::LoadModule(std::shared_ptr<CompiledModule> module) {
+  module_ = std::move(module);
+  globals_.assign(module_->global_names.size(), PyValue());
+  Result<PyValue> init = RunFunction(module_->top_level, {});
+  return init.ok() ? Status::Ok() : init.status();
+}
+
+Result<PyValue> Vm::GetGlobal(const std::string& name) const {
+  for (size_t i = 0; i < module_->global_names.size(); ++i) {
+    if (module_->global_names[i] == name) return globals_[i];
+  }
+  return NotFoundError("no global named " + name);
+}
+
+Result<PyValue> Vm::Call(const std::string& function,
+                         std::vector<PyValue> args) {
+  if (module_ == nullptr) return FailedPreconditionError("no module loaded");
+  int index = module_->FunctionIndex(function);
+  if (index < 0) return NotFoundError("no function named " + function);
+  const CompiledFunction& fn = module_->functions[static_cast<size_t>(index)];
+  if (static_cast<int>(args.size()) != fn.num_params) {
+    return InvalidArgumentError(function + "() takes " +
+                                std::to_string(fn.num_params) +
+                                " arguments, got " +
+                                std::to_string(args.size()));
+  }
+  return RunFunction(fn, std::move(args));
+}
+
+Result<PyValue> Vm::RunFunction(const CompiledFunction& fn,
+                                std::vector<PyValue> args) {
+  std::vector<PyValue> locals(static_cast<size_t>(fn.num_locals));
+  for (size_t i = 0; i < args.size(); ++i) locals[i] = std::move(args[i]);
+  std::vector<PyValue> stack;
+  stack.reserve(16);
+
+  const Instruction* code = fn.code.data();
+  size_t pc = 0;
+  const size_t code_size = fn.code.size();
+
+  auto runtime_error = [&](const std::string& message) {
+    return InvalidArgumentError("in " + fn.name + ": " + message);
+  };
+
+  while (pc < code_size) {
+    const Instruction& ins = code[pc++];
+    switch (ins.op) {
+      case Op::kLoadConst:
+        stack.push_back(fn.constants[static_cast<size_t>(ins.a)]);
+        break;
+      case Op::kLoadLocal:
+        stack.push_back(locals[static_cast<size_t>(ins.a)]);
+        break;
+      case Op::kStoreLocal:
+        locals[static_cast<size_t>(ins.a)] = std::move(stack.back());
+        stack.pop_back();
+        break;
+      case Op::kLoadGlobal: {
+        PyValue& g = globals_[static_cast<size_t>(ins.a)];
+        stack.push_back(g);
+        break;
+      }
+      case Op::kStoreGlobal:
+        globals_[static_cast<size_t>(ins.a)] = std::move(stack.back());
+        stack.pop_back();
+        break;
+      case Op::kBinary: {
+        PyValue b = std::move(stack.back());
+        stack.pop_back();
+        PyValue& a = stack.back();
+        BinOp op = static_cast<BinOp>(ins.a);
+        // Inline fast paths for the numeric loop cases (int op int,
+        // float-ish op float-ish); everything else takes the generic
+        // ApplyBinary road.  Semantics must match ApplyBinary exactly.
+        if (a.is_int() && b.is_int()) {
+          int64_t x = a.AsInt();
+          int64_t y = b.AsInt();
+          switch (op) {
+            case BinOp::kAdd: a = PyValue(x + y); continue;
+            case BinOp::kSub: a = PyValue(x - y); continue;
+            case BinOp::kMul: a = PyValue(x * y); continue;
+            case BinOp::kFloorDiv:
+              if (y == 0) return runtime_error("division by zero");
+              a = PyValue(PyFloorDivInt(x, y));
+              continue;
+            case BinOp::kMod:
+              if (y == 0) return runtime_error("modulo by zero");
+              a = PyValue(PyModInt(x, y));
+              continue;
+            case BinOp::kDiv:
+              if (y == 0) return runtime_error("division by zero");
+              a = PyValue(static_cast<double>(x) / static_cast<double>(y));
+              continue;
+            case BinOp::kLt: a = PyValue::Bool(x < y); continue;
+            case BinOp::kLe: a = PyValue::Bool(x <= y); continue;
+            case BinOp::kGt: a = PyValue::Bool(x > y); continue;
+            case BinOp::kGe: a = PyValue::Bool(x >= y); continue;
+            case BinOp::kEq: a = PyValue::Bool(x == y); continue;
+            case BinOp::kNe: a = PyValue::Bool(x != y); continue;
+            default: break;
+          }
+        } else if (a.is_numeric() && b.is_numeric() &&
+                   (a.is_float() || b.is_float())) {
+          double x = a.AsFloat();
+          double y = b.AsFloat();
+          switch (op) {
+            case BinOp::kAdd: a = PyValue(x + y); continue;
+            case BinOp::kSub: a = PyValue(x - y); continue;
+            case BinOp::kMul: a = PyValue(x * y); continue;
+            case BinOp::kDiv:
+              if (y == 0.0) return runtime_error("division by zero");
+              a = PyValue(x / y);
+              continue;
+            case BinOp::kLt: a = PyValue::Bool(x < y); continue;
+            case BinOp::kLe: a = PyValue::Bool(x <= y); continue;
+            case BinOp::kGt: a = PyValue::Bool(x > y); continue;
+            case BinOp::kGe: a = PyValue::Bool(x >= y); continue;
+            case BinOp::kEq: a = PyValue::Bool(x == y); continue;
+            case BinOp::kNe: a = PyValue::Bool(x != y); continue;
+            default: break;
+          }
+        }
+        Result<PyValue> out = ApplyBinary(op, a, b);
+        if (!out.ok()) return runtime_error(out.status().message());
+        a = std::move(out).value();
+        break;
+      }
+      case Op::kUnary: {
+        Result<PyValue> out =
+            ApplyUnary(static_cast<UnOp>(ins.a), stack.back());
+        if (!out.ok()) return runtime_error(out.status().message());
+        stack.back() = std::move(out).value();
+        break;
+      }
+      case Op::kJump:
+        pc = static_cast<size_t>(ins.a);
+        break;
+      case Op::kJumpIfFalse: {
+        bool truthy = stack.back().AsBool();
+        stack.pop_back();
+        if (!truthy) pc = static_cast<size_t>(ins.a);
+        break;
+      }
+      case Op::kJumpIfFalsePeek:
+        if (!stack.back().AsBool()) {
+          pc = static_cast<size_t>(ins.a);
+        } else {
+          stack.pop_back();
+        }
+        break;
+      case Op::kJumpIfTruePeek:
+        if (stack.back().AsBool()) {
+          pc = static_cast<size_t>(ins.a);
+        } else {
+          stack.pop_back();
+        }
+        break;
+      case Op::kPop:
+        stack.pop_back();
+        break;
+      case Op::kCallUser: {
+        const CompiledFunction& callee =
+            module_->functions[static_cast<size_t>(ins.a)];
+        int argc = ins.b;
+        if (argc != callee.num_params) {
+          return runtime_error(callee.name + "() takes " +
+                               std::to_string(callee.num_params) +
+                               " arguments, got " + std::to_string(argc));
+        }
+        std::vector<PyValue> call_args(
+            std::make_move_iterator(stack.end() - argc),
+            std::make_move_iterator(stack.end()));
+        stack.resize(stack.size() - static_cast<size_t>(argc));
+        Result<PyValue> out = RunFunction(callee, std::move(call_args));
+        if (!out.ok()) return out;
+        stack.push_back(std::move(out).value());
+        break;
+      }
+      case Op::kCallBuiltin: {
+        const std::string& name =
+            fn.constants[static_cast<size_t>(ins.a)].AsString();
+        int argc = ins.b;
+        std::vector<PyValue> call_args(
+            std::make_move_iterator(stack.end() - argc),
+            std::make_move_iterator(stack.end()));
+        stack.resize(stack.size() - static_cast<size_t>(argc));
+        Result<PyValue> out = CallBuiltin(name, call_args);
+        if (!out.ok()) return runtime_error(out.status().message());
+        stack.push_back(std::move(out).value());
+        break;
+      }
+      case Op::kReturn:
+        return std::move(stack.back());
+      case Op::kReturnNone:
+        return PyValue();
+      case Op::kBuildList: {
+        PyList items(std::make_move_iterator(stack.end() - ins.a),
+                     std::make_move_iterator(stack.end()));
+        stack.resize(stack.size() - static_cast<size_t>(ins.a));
+        stack.push_back(PyValue(std::move(items)));
+        break;
+      }
+      case Op::kIndex: {
+        PyValue index = std::move(stack.back());
+        stack.pop_back();
+        PyValue& base = stack.back();
+        if (!index.is_numeric()) return runtime_error("index must be integer");
+        int64_t i = index.AsInt();
+        if (base.is_list()) {
+          const PyList& list = base.AsList();
+          if (i < 0) i += static_cast<int64_t>(list.size());
+          if (i < 0 || i >= static_cast<int64_t>(list.size())) {
+            return runtime_error("list index out of range");
+          }
+          base = list[static_cast<size_t>(i)];
+        } else if (base.is_string()) {
+          const std::string& s = base.AsString();
+          if (i < 0) i += static_cast<int64_t>(s.size());
+          if (i < 0 || i >= static_cast<int64_t>(s.size())) {
+            return runtime_error("string index out of range");
+          }
+          base = PyValue(std::string(1, s[static_cast<size_t>(i)]));
+        } else {
+          return runtime_error("object is not subscriptable");
+        }
+        break;
+      }
+      case Op::kStoreIndex: {
+        PyValue value = std::move(stack.back());
+        stack.pop_back();
+        PyValue index = std::move(stack.back());
+        stack.pop_back();
+        PyValue base = std::move(stack.back());
+        stack.pop_back();
+        if (!base.is_list() || !index.is_numeric()) {
+          return runtime_error("invalid subscript assignment");
+        }
+        PyList& list = base.AsList();
+        int64_t i = index.AsInt();
+        if (i < 0) i += static_cast<int64_t>(list.size());
+        if (i < 0 || i >= static_cast<int64_t>(list.size())) {
+          return runtime_error("list index out of range");
+        }
+        list[static_cast<size_t>(i)] = std::move(value);
+        break;
+      }
+      case Op::kLen: {
+        PyValue& v = stack.back();
+        if (v.is_list()) {
+          v = PyValue(static_cast<int64_t>(v.AsList().size()));
+        } else if (v.is_string()) {
+          v = PyValue(static_cast<int64_t>(v.AsString().size()));
+        } else {
+          return runtime_error("object has no len()");
+        }
+        break;
+      }
+    }
+  }
+  return PyValue();
+}
+
+}  // namespace minipy
+}  // namespace mrs

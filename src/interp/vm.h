@@ -1,0 +1,36 @@
+// MiniPy bytecode VM — the "PyPy" stand-in.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "interp/bytecode.h"
+#include "interp/compiler.h"
+
+namespace mrs {
+namespace minipy {
+
+class Vm {
+ public:
+  /// Install a compiled module and execute its top-level code.
+  Status LoadModule(std::shared_ptr<CompiledModule> module);
+  Status LoadSource(std::string_view source);
+
+  /// Call a module-level function by name.
+  Result<PyValue> Call(const std::string& function, std::vector<PyValue> args);
+
+  Result<PyValue> GetGlobal(const std::string& name) const;
+
+ private:
+  Result<PyValue> RunFunction(const CompiledFunction& fn,
+                              std::vector<PyValue> args);
+
+  std::shared_ptr<CompiledModule> module_;
+  std::vector<PyValue> globals_;
+};
+
+}  // namespace minipy
+}  // namespace mrs

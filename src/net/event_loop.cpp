@@ -1,0 +1,161 @@
+#include "net/event_loop.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace mrs {
+
+EventLoop::EventLoop() : clock_(RealClock::Instance()) {
+  Result<Waker> w = Waker::Create();
+  if (!w.ok()) {
+    MRS_LOG(kError, "loop") << "waker creation failed: "
+                            << w.status().ToString();
+  } else {
+    waker_ = std::move(w).value();
+  }
+  loop_thread_ = std::this_thread::get_id();
+}
+
+EventLoop::~EventLoop() { Stop(); }
+
+void EventLoop::WatchFd(int fd, FdEvents interest, FdCallback cb) {
+  if (IsInLoopThread()) {
+    watchers_[fd] = Watcher{interest, std::move(cb)};
+  } else {
+    Post([this, fd, interest, cb = std::move(cb)]() mutable {
+      watchers_[fd] = Watcher{interest, std::move(cb)};
+    });
+  }
+}
+
+void EventLoop::UnwatchFd(int fd) {
+  if (IsInLoopThread()) {
+    watchers_.erase(fd);
+  } else {
+    Post([this, fd] { watchers_.erase(fd); });
+  }
+}
+
+EventLoop::TimerId EventLoop::AddTimer(double delay_seconds,
+                                       std::function<void()> cb) {
+  TimerId id = next_timer_id_.fetch_add(1);
+  double deadline = clock_.Now() + std::max(0.0, delay_seconds);
+  {
+    std::lock_guard<std::mutex> lock(timers_mutex_);
+    timers_[id] = Timer{deadline, std::move(cb)};
+  }
+  waker_.Notify();
+  return id;
+}
+
+void EventLoop::CancelTimer(TimerId id) {
+  std::lock_guard<std::mutex> lock(timers_mutex_);
+  timers_.erase(id);
+}
+
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  waker_.Notify();
+}
+
+int EventLoop::ComputePollTimeoutMs(double max_wait_seconds) const {
+  double wait = max_wait_seconds;
+  {
+    std::lock_guard<std::mutex> lock(
+        const_cast<std::mutex&>(timers_mutex_));
+    for (const auto& [id, timer] : timers_) {
+      wait = std::min(wait, timer.deadline - clock_.Now());
+    }
+  }
+  if (wait < 0) wait = 0;
+  return static_cast<int>(wait * 1000.0) + (wait > 0 ? 1 : 0);
+}
+
+void EventLoop::FireDueTimers() {
+  std::vector<std::function<void()>> due;
+  {
+    std::lock_guard<std::mutex> lock(timers_mutex_);
+    double now = clock_.Now();
+    for (auto it = timers_.begin(); it != timers_.end();) {
+      if (it->second.deadline <= now) {
+        due.push_back(std::move(it->second.cb));
+        it = timers_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& cb : due) cb();
+}
+
+void EventLoop::DrainPosted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(posted_mutex_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+bool EventLoop::RunOnce(double timeout_seconds) {
+  loop_thread_ = std::this_thread::get_id();
+  if (stop_.load()) return false;
+
+  // Snapshot pollfds: wakeup pipe first, then registered watchers.
+  std::vector<pollfd> pfds;
+  std::vector<int> fds;
+  pfds.push_back(pollfd{waker_.read_fd(), POLLIN, 0});
+  fds.push_back(-1);
+  for (const auto& [fd, w] : watchers_) {
+    short events = 0;
+    if (w.interest.readable) events |= POLLIN;
+    if (w.interest.writable) events |= POLLOUT;
+    pfds.push_back(pollfd{fd, events, 0});
+    fds.push_back(fd);
+  }
+
+  int timeout_ms = ComputePollTimeoutMs(timeout_seconds);
+  int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  if (n < 0 && errno != EINTR) {
+    MRS_LOG(kError, "loop") << "poll failed: " << errno;
+    return false;
+  }
+
+  if (pfds[0].revents & POLLIN) waker_.Drain();
+  DrainPosted();
+  FireDueTimers();
+
+  // Dispatch fd events.  A callback may unregister fds (including its
+  // own), so re-check membership before each dispatch.
+  for (size_t i = 1; i < pfds.size(); ++i) {
+    short re = pfds[i].revents;
+    if (re == 0) continue;
+    auto it = watchers_.find(fds[i]);
+    if (it == watchers_.end()) continue;
+    FdEvents ev;
+    ev.readable = (re & (POLLIN | POLLHUP | POLLERR)) != 0;
+    ev.writable = (re & (POLLOUT | POLLERR)) != 0;
+    // Copy the callback: it may replace or erase its own registration.
+    FdCallback cb = it->second.cb;
+    cb(ev);
+  }
+  return !stop_.load();
+}
+
+void EventLoop::Run() {
+  loop_thread_ = std::this_thread::get_id();
+  stop_.store(false);
+  while (RunOnce(/*timeout_seconds=*/3600.0)) {
+  }
+}
+
+void EventLoop::Stop() {
+  stop_.store(true);
+  waker_.Notify();
+}
+
+}  // namespace mrs

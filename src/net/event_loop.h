@@ -1,0 +1,102 @@
+// Poll-based event loop with pipe wakeup and timers.
+//
+// Reproduces the Mrs main-thread discipline (paper §IV-B): the main thread
+// of each master/slave runs an event loop based on poll(); it never blocks
+// on locks for extended periods; other threads hand it work by pushing a
+// closure and writing a wakeup byte to a pipe.
+#pragma once
+
+#include <poll.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "net/waker.h"
+
+namespace mrs {
+
+/// Events a watcher may subscribe to.
+struct FdEvents {
+  bool readable = false;
+  bool writable = false;
+};
+
+class EventLoop {
+ public:
+  using FdCallback = std::function<void(FdEvents)>;
+  using TimerId = uint64_t;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Watch an fd; the callback fires on the loop thread.  Re-registering an
+  /// fd replaces its watcher.
+  void WatchFd(int fd, FdEvents interest, FdCallback cb);
+  void UnwatchFd(int fd);
+
+  /// One-shot timer; fires on the loop thread after `delay_seconds`.
+  TimerId AddTimer(double delay_seconds, std::function<void()> cb);
+  void CancelTimer(TimerId id);
+
+  /// Queue a closure to run on the loop thread; wakes the loop via the
+  /// pipe.  Safe from any thread.  If called from the loop thread itself
+  /// the closure still runs asynchronously (next iteration).
+  void Post(std::function<void()> fn);
+
+  /// Run until Stop() is called.  Must be called from exactly one thread.
+  void Run();
+
+  /// Run at most one poll iteration (useful for tests); waits up to
+  /// `timeout_seconds` for activity.  Returns false if the loop is stopped.
+  bool RunOnce(double timeout_seconds);
+
+  /// Request the loop to exit; safe from any thread.
+  void Stop();
+
+  bool IsInLoopThread() const {
+    return std::this_thread::get_id() == loop_thread_;
+  }
+
+ private:
+  struct Watcher {
+    FdEvents interest;
+    FdCallback cb;
+  };
+  struct Timer {
+    double deadline;
+    std::function<void()> cb;
+  };
+
+  int ComputePollTimeoutMs(double max_wait_seconds) const;
+  void FireDueTimers();
+  void DrainPosted();
+
+  Waker waker_;
+  std::atomic<bool> stop_{false};
+  std::thread::id loop_thread_;
+
+  // fd watchers: only touched on the loop thread (WatchFd from other
+  // threads goes through Post()).
+  std::map<int, Watcher> watchers_;
+
+  std::mutex posted_mutex_;
+  std::vector<std::function<void()>> posted_;
+
+  std::mutex timers_mutex_;
+  std::map<TimerId, Timer> timers_;
+  std::atomic<TimerId> next_timer_id_{1};
+
+  const Clock& clock_;
+};
+
+}  // namespace mrs

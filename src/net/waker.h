@@ -1,0 +1,41 @@
+// Pipe-based wakeup, as in the paper:
+//
+//   "Writing a single byte to a pipe wakes up poll in a remote process or
+//    thread and causes it to continue through its event loop."
+//
+// A Waker owns a pipe pair; any thread may call Notify(), and the event
+// loop polls the read end and calls Drain() when it becomes readable.
+#pragma once
+
+#include "common/status.h"
+#include "net/fd.h"
+
+namespace mrs {
+
+class Waker {
+ public:
+  /// Create the pipe pair (non-blocking read end).
+  static Result<Waker> Create();
+
+  Waker() = default;
+
+  int read_fd() const { return read_end_.get(); }
+
+  /// Write one byte to the pipe.  Safe from any thread and from signal
+  /// handlers; a full pipe is fine (the loop is already scheduled to wake).
+  void Notify() const;
+
+  /// Consume all pending wakeup bytes.
+  void Drain() const;
+
+  bool valid() const { return read_end_.valid() && write_end_.valid(); }
+
+ private:
+  Waker(Fd read_end, Fd write_end)
+      : read_end_(std::move(read_end)), write_end_(std::move(write_end)) {}
+
+  Fd read_end_;
+  Fd write_end_;
+};
+
+}  // namespace mrs

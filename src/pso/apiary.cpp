@@ -1,0 +1,324 @@
+#include "pso/apiary.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/clock.h"
+#include "common/log.h"
+
+namespace mrs {
+namespace pso {
+
+namespace {
+// Random-stream tags: the first argument of every Random(...) tuple, so
+// streams used for different purposes can never collide.
+constexpr uint64_t kInitStream = 0xA91;
+constexpr uint64_t kMoveStream = 0xA92;
+
+double BestOfPackedHives(const std::vector<KeyValue>& records) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const KeyValue& kv : records) {
+    Result<SubSwarm> hive = UnpackSubSwarm(kv.value);
+    if (hive.ok()) best = std::min(best, hive->BestValue());
+  }
+  return best;
+}
+}  // namespace
+
+Result<std::vector<int64_t>> TopologyNeighbors(const std::string& topology,
+                                               int64_t sid, int64_t n) {
+  std::vector<int64_t> out;
+  if (n <= 1 || topology == "isolated") return out;
+  if (topology == "ring") {
+    int64_t left = (sid + n - 1) % n;
+    int64_t right = (sid + 1) % n;
+    out.push_back(left);
+    if (right != left) out.push_back(right);
+    return out;
+  }
+  if (topology == "star") {
+    for (int64_t other = 0; other < n; ++other) {
+      if (other != sid) out.push_back(other);
+    }
+    return out;
+  }
+  return InvalidArgumentError("unknown topology: " + topology);
+}
+
+ApiaryPso::ApiaryPso() {
+  RegisterMap("move", [this](const Value& k, const Value& v,
+                             const Emitter& e) { MoveOp(k, v, e); });
+  RegisterReduce("best", [this](const Value& k, const ValueList& vs,
+                                const ValueEmitter& e) { BestOp(k, vs, e); });
+}
+
+void ApiaryPso::AddOptions(OptionParser* parser) {
+  parser->Add("pso-function", 0, true, "objective function name",
+              "rosenbrock");
+  parser->Add("pso-dims", 0, true, "problem dimensionality", "250");
+  parser->Add("pso-subswarms", 0, true, "number of hives", "8");
+  parser->Add("pso-particles", 0, true, "particles per hive", "5");
+  parser->Add("pso-inner", 0, true, "inner iterations per round", "100");
+  parser->Add("pso-target", 0, true, "convergence target value", "1e-5");
+  parser->Add("pso-rounds", 0, true, "maximum MapReduce rounds", "100");
+  parser->Add("pso-check", 0, true, "convergence check interval (rounds)",
+              "1");
+  parser->Add("pso-topology", 0, true,
+              "inter-hive topology: ring, star, isolated", "ring");
+}
+
+Status ApiaryPso::Init(const Options& opts) {
+  MRS_RETURN_IF_ERROR(MapReduce::Init(opts));
+  if (opts.Has("pso-function")) {
+    config.function = opts.GetString("pso-function", config.function);
+    config.dims = static_cast<int>(opts.GetInt("pso-dims", config.dims));
+    config.num_subswarms =
+        static_cast<int>(opts.GetInt("pso-subswarms", config.num_subswarms));
+    config.particles_per_subswarm =
+        static_cast<int>(opts.GetInt("pso-particles",
+                                     config.particles_per_subswarm));
+    config.inner_iterations =
+        static_cast<int>(opts.GetInt("pso-inner", config.inner_iterations));
+    config.target = opts.GetDouble("pso-target", config.target);
+    config.max_rounds =
+        static_cast<int>(opts.GetInt("pso-rounds", config.max_rounds));
+    config.check_interval =
+        static_cast<int>(opts.GetInt("pso-check", config.check_interval));
+    config.topology = opts.GetString("pso-topology", config.topology);
+  }
+  // Validate the topology eagerly so a typo fails at startup, not inside
+  // a map task.
+  MRS_RETURN_IF_ERROR(
+      TopologyNeighbors(config.topology, 0, config.num_subswarms).status());
+  MRS_ASSIGN_OR_RETURN(function_, MakeFunction(config.function));
+  return Status::Ok();
+}
+
+void ApiaryPso::MoveOp(const Value& key, const Value& value,
+                       const Emitter& emit) {
+  Result<SubSwarm> hive_or = UnpackSubSwarm(value);
+  if (!hive_or.ok()) {
+    MRS_LOG(kError, "apiary") << "bad hive for key " << key.Repr() << ": "
+                              << hive_or.status().ToString();
+    return;
+  }
+  SubSwarm hive = std::move(hive_or).value();
+  // The stream depends only on (what this hive is, how far it has run) —
+  // never on scheduling — so every implementation moves it identically.
+  MT19937_64 rng = Random({kMoveStream,
+                           static_cast<uint64_t>(hive.iterations_done),
+                           static_cast<uint64_t>(hive.id)});
+  StepSubSwarm(hive, *function_, config.inner_iterations, rng);
+
+  // Best-position messages to the topology neighbours.
+  Result<std::vector<int64_t>> neighbors =
+      TopologyNeighbors(config.topology, hive.id, config.num_subswarms);
+  if (neighbors.ok()) {
+    double best_val = hive.BestValue();
+    std::span<const double> best_pos = hive.BestPosition();
+    for (int64_t neighbor : *neighbors) {
+      emit(Value(neighbor), PackBestMessage(best_pos, best_val));
+    }
+  } else {
+    MRS_LOG(kError, "apiary") << neighbors.status().ToString();
+  }
+  emit(Value(hive.id), PackSubSwarm(hive));
+}
+
+void ApiaryPso::BestOp(const Value& key, const ValueList& values,
+                       const ValueEmitter& emit) {
+  SubSwarm hive;
+  bool have_hive = false;
+  std::vector<std::pair<std::vector<double>, double>> messages;
+  for (const Value& v : values) {
+    if (IsBestMessage(v)) {
+      Result<std::pair<std::vector<double>, double>> msg = UnpackBestMessage(v);
+      if (msg.ok()) messages.push_back(std::move(msg).value());
+      continue;
+    }
+    Result<SubSwarm> h = UnpackSubSwarm(v);
+    if (h.ok()) {
+      hive = std::move(h).value();
+      have_hive = true;
+    }
+  }
+  if (!have_hive) {
+    MRS_LOG(kError, "apiary") << "no hive among values for key "
+                              << key.Repr();
+    return;
+  }
+  for (const auto& [pos, val] : messages) InjectBest(hive, pos, val);
+  emit(PackSubSwarm(hive));
+}
+
+std::vector<KeyValue> ApiaryPso::InitialHives() {
+  std::vector<KeyValue> records;
+  records.reserve(static_cast<size_t>(config.num_subswarms));
+  for (int sid = 0; sid < config.num_subswarms; ++sid) {
+    MT19937_64 rng = Random({kInitStream, static_cast<uint64_t>(sid)});
+    SubSwarm hive = InitSubSwarm(sid, config.particles_per_subswarm,
+                                 config.dims, *function_, rng);
+    records.push_back(
+        KeyValue{Value(static_cast<int64_t>(sid)), PackSubSwarm(hive)});
+  }
+  return records;
+}
+
+Status ApiaryPso::Run(Job& job) {
+  result = ApiaryResult();
+  Stopwatch watch;
+
+  std::vector<KeyValue> initial = InitialHives();
+  int64_t evals = static_cast<int64_t>(config.num_subswarms) *
+                  config.particles_per_subswarm;  // initialization evals
+  result.history.push_back(
+      ConvergencePoint{0, evals, BestOfPackedHives(initial),
+                       watch.ElapsedSeconds()});
+
+  DataSetPtr data = job.LocalData(std::move(initial), config.num_subswarms);
+
+  struct PendingCheck {
+    int64_t round;
+    int64_t evaluations;
+    DataSetPtr dataset;
+  };
+  std::deque<PendingCheck> checks;
+  // Datasets per round, discarded once a later check has been collected.
+  std::deque<std::pair<int64_t, std::vector<DataSetPtr>>> live;
+
+  DataSetOptions move_options;
+  move_options.op_name = "move";
+  move_options.num_splits = config.num_subswarms;
+  DataSetOptions best_options;
+  best_options.op_name = "best";
+  best_options.num_splits = config.num_subswarms;
+
+  auto collect_check = [&](const PendingCheck& check) -> Result<bool> {
+    MRS_ASSIGN_OR_RETURN(std::vector<KeyValue> hives,
+                         job.Collect(check.dataset));
+    double best = BestOfPackedHives(hives);
+    result.history.push_back(ConvergencePoint{
+        check.round, check.evaluations, best, watch.ElapsedSeconds()});
+    result.best = std::min(result.best, best);
+    result.rounds = check.round;
+    result.evaluations = check.evaluations;
+    if (best <= config.target && result.rounds_to_target < 0) {
+      result.rounds_to_target = check.round;
+    }
+    // Free everything strictly older than this check.
+    while (!live.empty() && live.front().first < check.round) {
+      for (const DataSetPtr& ds : live.front().second) job.Discard(ds);
+      live.pop_front();
+    }
+    return result.rounds_to_target >= 0;
+  };
+
+  bool converged = false;
+  for (int round = 1; round <= config.max_rounds && !converged; ++round) {
+    DataSetPtr moved = job.MapData(data, move_options);
+    DataSetPtr next = job.ReduceData(moved, best_options);
+    live.push_back({round, {data, moved}});
+    data = next;
+    evals += EvalsPerRound();
+
+    if (round % config.check_interval == 0 || round == config.max_rounds) {
+      checks.push_back(PendingCheck{round, evals, next});
+    }
+    // Keep up to two checks in flight so the convergence check overlaps
+    // the following rounds' computation (paper §IV-A).
+    while (checks.size() > 2) {
+      MRS_ASSIGN_OR_RETURN(converged, collect_check(checks.front()));
+      checks.pop_front();
+      if (converged) break;
+    }
+  }
+  while (!checks.empty() && !converged) {
+    MRS_ASSIGN_OR_RETURN(converged, collect_check(checks.front()));
+    checks.pop_front();
+  }
+  result.seconds = watch.ElapsedSeconds();
+  return Status::Ok();
+}
+
+Status ApiaryPso::Bypass() {
+  MRS_ASSIGN_OR_RETURN(result, RunApiarySerial(config, seed()));
+  return Status::Ok();
+}
+
+Result<ApiaryResult> RunApiarySerial(const ApiaryConfig& config,
+                                     uint64_t seed) {
+  MRS_ASSIGN_OR_RETURN(std::unique_ptr<ObjectiveFunction> function,
+                       MakeFunction(config.function));
+  RandomStreams streams(seed);
+  Stopwatch watch;
+  ApiaryResult result;
+
+  std::vector<SubSwarm> hives;
+  for (int sid = 0; sid < config.num_subswarms; ++sid) {
+    MT19937_64 rng = streams.Get({kInitStream, static_cast<uint64_t>(sid)});
+    hives.push_back(InitSubSwarm(sid, config.particles_per_subswarm,
+                                 config.dims, *function, rng));
+  }
+  int64_t evals = static_cast<int64_t>(config.num_subswarms) *
+                  config.particles_per_subswarm;
+  auto global_best = [&] {
+    double best = std::numeric_limits<double>::infinity();
+    for (const SubSwarm& h : hives) best = std::min(best, h.BestValue());
+    return best;
+  };
+  result.history.push_back(
+      ConvergencePoint{0, evals, global_best(), watch.ElapsedSeconds()});
+
+  int64_t n = config.num_subswarms;
+  for (int round = 1; round <= config.max_rounds; ++round) {
+    // Phase 1 (the map): advance every hive independently.
+    for (SubSwarm& hive : hives) {
+      MT19937_64 rng = streams.Get({kMoveStream,
+                                static_cast<uint64_t>(hive.iterations_done),
+                                static_cast<uint64_t>(hive.id)});
+      StepSubSwarm(hive, *function, config.inner_iterations, rng);
+    }
+    // Phase 2 (the reduce): exchange bests along the topology.  Messages
+    // flow *from* each hive *to* its neighbours, so hive h receives from
+    // every hive that lists h as a neighbour — symmetric for ring and
+    // star, so receiving from one's own neighbour set is equivalent.
+    if (n > 1) {
+      std::vector<std::pair<std::vector<double>, double>> bests;
+      bests.reserve(hives.size());
+      for (const SubSwarm& hive : hives) {
+        bests.emplace_back(std::vector<double>(hive.BestPosition().begin(),
+                                               hive.BestPosition().end()),
+                           hive.BestValue());
+      }
+      for (SubSwarm& hive : hives) {
+        MRS_ASSIGN_OR_RETURN(
+            std::vector<int64_t> neighbors,
+            TopologyNeighbors(config.topology, hive.id, n));
+        for (int64_t neighbor : neighbors) {
+          InjectBest(hive, bests[static_cast<size_t>(neighbor)].first,
+                     bests[static_cast<size_t>(neighbor)].second);
+        }
+      }
+    }
+    evals += static_cast<int64_t>(config.num_subswarms) *
+             config.particles_per_subswarm * config.inner_iterations;
+
+    if (round % config.check_interval == 0 || round == config.max_rounds) {
+      double best = global_best();
+      result.history.push_back(
+          ConvergencePoint{round, evals, best, watch.ElapsedSeconds()});
+      result.best = std::min(result.best, best);
+      result.rounds = round;
+      result.evaluations = evals;
+      if (best <= config.target) {
+        result.rounds_to_target = round;
+        break;
+      }
+    }
+  }
+  result.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace pso
+}  // namespace mrs

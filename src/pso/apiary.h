@@ -1,0 +1,106 @@
+// Apiary PSO: subswarm ("hive") particle swarm optimization as an
+// iterative MapReduce program (paper §V-B, refs [10]-[12]).
+//
+// Each map task advances one or more subswarms by `inner_iterations` of
+// standard constriction PSO and emits best-position messages to the
+// neighbouring hives on a ring; the reduce task merges each hive with the
+// messages addressed to it.  Task granularity is deliberately coarse —
+// "a swarm can be divided into several subswarms or islands, and each map
+// task operates on several iterations of a subswarm of particles" — which
+// is what makes PSO viable on MapReduce at all.
+//
+// The Bypass implementation runs the same hive operations in a plain loop
+// and must produce bit-identical results to every MapReduce
+// implementation; tests enforce this.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/job.h"
+#include "core/program.h"
+#include "pso/functions.h"
+#include "pso/swarm.h"
+
+namespace mrs {
+namespace pso {
+
+struct ApiaryConfig {
+  std::string function = "rosenbrock";
+  int dims = 250;
+  int num_subswarms = 8;
+  int particles_per_subswarm = 5;
+  /// Inner PSO iterations per MapReduce round.
+  int inner_iterations = 100;
+  double target = 1e-5;
+  int max_rounds = 100;
+  /// Collect and record the global best every this many rounds; the check
+  /// overlaps the next round's computation (paper §IV-A).
+  int check_interval = 1;
+  /// Inter-hive communication topology: "ring" (the Apiary default — each
+  /// hive messages its two ring neighbours), "star" (every hive messages
+  /// every other hive, maximal coupling), or "isolated" (no messages —
+  /// independent islands, the island-model baseline of refs [10][11]).
+  std::string topology = "ring";
+};
+
+/// Ring / star / isolated neighbour sets (excluding sid itself).
+Result<std::vector<int64_t>> TopologyNeighbors(const std::string& topology,
+                                               int64_t sid, int64_t n);
+
+/// One point of the convergence history (Fig 4 axes: evaluations and
+/// seconds).
+struct ConvergencePoint {
+  int64_t round = 0;
+  int64_t evaluations = 0;
+  double best = std::numeric_limits<double>::infinity();
+  double seconds = 0.0;
+};
+
+struct ApiaryResult {
+  std::vector<ConvergencePoint> history;
+  double best = std::numeric_limits<double>::infinity();
+  int64_t rounds = 0;
+  int64_t evaluations = 0;
+  double seconds = 0.0;
+  /// Rounds needed to reach `target`, or -1 if never reached.
+  int64_t rounds_to_target = -1;
+};
+
+class ApiaryPso : public MapReduce {
+ public:
+  ApiaryPso();
+
+  ApiaryConfig config;
+  /// Filled by Run / Bypass.
+  ApiaryResult result;
+
+  void AddOptions(OptionParser* parser) override;
+  Status Init(const Options& opts) override;
+  Status Run(Job& job) override;
+  Status Bypass() override;
+
+ private:
+  // Operations (registered as "move" / "best").
+  void MoveOp(const Value& key, const Value& value, const Emitter& emit);
+  void BestOp(const Value& key, const ValueList& values,
+              const ValueEmitter& emit);
+
+  std::vector<KeyValue> InitialHives();
+  int64_t EvalsPerRound() const {
+    return static_cast<int64_t>(config.num_subswarms) *
+           config.particles_per_subswarm * config.inner_iterations;
+  }
+
+  std::unique_ptr<ObjectiveFunction> function_;
+};
+
+/// The plain serial equivalent (used by Bypass and as the Fig 4 "serial"
+/// series).  Identical trajectories to the MapReduce path by construction.
+Result<ApiaryResult> RunApiarySerial(const ApiaryConfig& config,
+                                     uint64_t seed);
+
+}  // namespace pso
+}  // namespace mrs

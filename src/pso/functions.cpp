@@ -1,0 +1,95 @@
+#include "pso/functions.h"
+
+#include <cmath>
+
+namespace mrs {
+namespace pso {
+
+std::vector<double> ObjectiveFunction::Optimum(int dims) const {
+  return std::vector<double>(static_cast<size_t>(dims), 0.0);
+}
+
+double Sphere::Evaluate(std::span<const double> x) const {
+  double sum = 0.0;
+  for (double v : x) sum += v * v;
+  return sum;
+}
+
+double Rosenbrock::Evaluate(std::span<const double> x) const {
+  double sum = 0.0;
+  for (size_t i = 0; i + 1 < x.size(); ++i) {
+    double a = x[i + 1] - x[i] * x[i];
+    double b = 1.0 - x[i];
+    sum += 100.0 * a * a + b * b;
+  }
+  return sum;
+}
+
+std::vector<double> Rosenbrock::Optimum(int dims) const {
+  return std::vector<double>(static_cast<size_t>(dims), 1.0);
+}
+
+double Rastrigin::Evaluate(std::span<const double> x) const {
+  double sum = 10.0 * static_cast<double>(x.size());
+  for (double v : x) sum += v * v - 10.0 * std::cos(2.0 * M_PI * v);
+  return sum;
+}
+
+double Griewank::Evaluate(std::span<const double> x) const {
+  double sum = 0.0;
+  double prod = 1.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sum += x[i] * x[i] / 4000.0;
+    prod *= std::cos(x[i] / std::sqrt(static_cast<double>(i + 1)));
+  }
+  return 1.0 + sum - prod;
+}
+
+double Ackley::Evaluate(std::span<const double> x) const {
+  double sum_sq = 0.0;
+  double sum_cos = 0.0;
+  for (double v : x) {
+    sum_sq += v * v;
+    sum_cos += std::cos(2.0 * M_PI * v);
+  }
+  double n = static_cast<double>(x.size());
+  return 20.0 + M_E - 20.0 * std::exp(-0.2 * std::sqrt(sum_sq / n)) -
+         std::exp(sum_cos / n);
+}
+
+double Schwefel12::Evaluate(std::span<const double> x) const {
+  double total = 0.0;
+  double prefix = 0.0;
+  for (double v : x) {
+    prefix += v;
+    total += prefix * prefix;
+  }
+  return total;
+}
+
+Result<std::unique_ptr<ObjectiveFunction>> MakeFunction(
+    const std::string& name) {
+  if (name == "sphere") return std::unique_ptr<ObjectiveFunction>(new Sphere());
+  if (name == "rosenbrock") {
+    return std::unique_ptr<ObjectiveFunction>(new Rosenbrock());
+  }
+  if (name == "rastrigin") {
+    return std::unique_ptr<ObjectiveFunction>(new Rastrigin());
+  }
+  if (name == "griewank") {
+    return std::unique_ptr<ObjectiveFunction>(new Griewank());
+  }
+  if (name == "ackley") return std::unique_ptr<ObjectiveFunction>(new Ackley());
+  if (name == "schwefel12") {
+    return std::unique_ptr<ObjectiveFunction>(new Schwefel12());
+  }
+  return NotFoundError("unknown objective function: " + name);
+}
+
+std::vector<std::string> FunctionNames() {
+  return {"sphere", "rosenbrock", "rastrigin", "griewank", "ackley",
+          "schwefel12"};
+}
+
+}  // namespace pso
+}  // namespace mrs

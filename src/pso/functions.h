@@ -1,0 +1,92 @@
+// Benchmark objective functions for empirical function optimization.
+//
+// Rosenbrock in 250 dimensions is the paper's Fig 4 workload
+// ("Rosenbrock-250"); the others are the standard PSO benchmark suite
+// (Bratton & Kennedy 2007) and exercise the same code paths in tests and
+// ablation benches.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mrs {
+namespace pso {
+
+class ObjectiveFunction {
+ public:
+  virtual ~ObjectiveFunction() = default;
+
+  virtual std::string name() const = 0;
+  /// f(x); lower is better, global minimum 0 at `Optimum()` for all
+  /// functions in this suite.
+  virtual double Evaluate(std::span<const double> x) const = 0;
+  /// Symmetric initialization/search bounds per dimension.
+  virtual double lower_bound() const = 0;
+  virtual double upper_bound() const = 0;
+  /// Location of the global minimum (for tests).
+  virtual std::vector<double> Optimum(int dims) const;
+};
+
+class Sphere final : public ObjectiveFunction {
+ public:
+  std::string name() const override { return "sphere"; }
+  double Evaluate(std::span<const double> x) const override;
+  double lower_bound() const override { return -50.0; }
+  double upper_bound() const override { return 50.0; }
+};
+
+class Rosenbrock final : public ObjectiveFunction {
+ public:
+  std::string name() const override { return "rosenbrock"; }
+  double Evaluate(std::span<const double> x) const override;
+  // Standard PSO benchmark domain for Rosenbrock (Bratton & Kennedy 2007).
+  double lower_bound() const override { return -30.0; }
+  double upper_bound() const override { return 30.0; }
+  std::vector<double> Optimum(int dims) const override;
+};
+
+class Rastrigin final : public ObjectiveFunction {
+ public:
+  std::string name() const override { return "rastrigin"; }
+  double Evaluate(std::span<const double> x) const override;
+  double lower_bound() const override { return -5.12; }
+  double upper_bound() const override { return 5.12; }
+};
+
+class Griewank final : public ObjectiveFunction {
+ public:
+  std::string name() const override { return "griewank"; }
+  double Evaluate(std::span<const double> x) const override;
+  double lower_bound() const override { return -600.0; }
+  double upper_bound() const override { return 600.0; }
+};
+
+class Ackley final : public ObjectiveFunction {
+ public:
+  std::string name() const override { return "ackley"; }
+  double Evaluate(std::span<const double> x) const override;
+  double lower_bound() const override { return -32.0; }
+  double upper_bound() const override { return 32.0; }
+};
+
+class Schwefel12 final : public ObjectiveFunction {
+ public:
+  std::string name() const override { return "schwefel12"; }
+  double Evaluate(std::span<const double> x) const override;
+  double lower_bound() const override { return -65.0; }
+  double upper_bound() const override { return 65.0; }
+};
+
+/// Construct a function by name ("sphere", "rosenbrock", ...).
+Result<std::unique_ptr<ObjectiveFunction>> MakeFunction(
+    const std::string& name);
+
+/// All function names known to MakeFunction.
+std::vector<std::string> FunctionNames();
+
+}  // namespace pso
+}  // namespace mrs

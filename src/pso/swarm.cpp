@@ -1,0 +1,198 @@
+#include "pso/swarm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace mrs {
+namespace pso {
+
+double SubSwarm::BestValue() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const Particle& p : particles) best = std::min(best, p.pbest_val);
+  return best;
+}
+
+std::span<const double> SubSwarm::BestPosition() const {
+  const Particle* best = nullptr;
+  for (const Particle& p : particles) {
+    if (best == nullptr || p.pbest_val < best->pbest_val) best = &p;
+  }
+  if (best == nullptr) return {};
+  return best->pbest_pos;
+}
+
+SubSwarm InitSubSwarm(int64_t id, int num_particles, int dims,
+                      const ObjectiveFunction& function, MT19937_64& rng) {
+  SubSwarm swarm;
+  swarm.id = id;
+  swarm.particles.resize(static_cast<size_t>(num_particles));
+  double lo = function.lower_bound();
+  double hi = function.upper_bound();
+  double vrange = (hi - lo) / 2.0;
+  for (Particle& p : swarm.particles) {
+    p.position.resize(static_cast<size_t>(dims));
+    p.velocity.resize(static_cast<size_t>(dims));
+    for (int d = 0; d < dims; ++d) {
+      p.position[static_cast<size_t>(d)] = rng.NextUniform(lo, hi);
+      p.velocity[static_cast<size_t>(d)] = rng.NextUniform(-vrange, vrange);
+    }
+    p.pbest_pos = p.position;
+    p.pbest_val = function.Evaluate(p.position);
+    p.nbest_pos = p.pbest_pos;
+    p.nbest_val = p.pbest_val;
+  }
+  // Share the initial best within the subswarm (star neighbourhood).
+  double best_val = swarm.BestValue();
+  std::vector<double> best_pos(swarm.BestPosition().begin(),
+                               swarm.BestPosition().end());
+  InjectBest(swarm, best_pos, best_val);
+  return swarm;
+}
+
+int64_t StepSubSwarm(SubSwarm& swarm, const ObjectiveFunction& function,
+                     int iterations, MT19937_64& rng) {
+  int64_t evals = 0;
+  for (int it = 0; it < iterations; ++it) {
+    for (Particle& p : swarm.particles) {
+      size_t dims = p.position.size();
+      for (size_t d = 0; d < dims; ++d) {
+        double u1 = rng.NextDouble() * kPhi;
+        double u2 = rng.NextDouble() * kPhi;
+        p.velocity[d] = kChi * (p.velocity[d] +
+                                u1 * (p.pbest_pos[d] - p.position[d]) +
+                                u2 * (p.nbest_pos[d] - p.position[d]));
+        p.position[d] += p.velocity[d];
+      }
+      double value = function.Evaluate(p.position);
+      ++evals;
+      if (value < p.pbest_val) {
+        p.pbest_val = value;
+        p.pbest_pos = p.position;
+      }
+    }
+    // Star topology within the subswarm: broadcast the iteration's best.
+    const Particle* best = nullptr;
+    for (const Particle& p : swarm.particles) {
+      if (best == nullptr || p.pbest_val < best->pbest_val) best = &p;
+    }
+    if (best != nullptr) {
+      for (Particle& p : swarm.particles) {
+        if (best->pbest_val < p.nbest_val) {
+          p.nbest_val = best->pbest_val;
+          p.nbest_pos = best->pbest_pos;
+        }
+      }
+    }
+    ++swarm.iterations_done;
+  }
+  return evals;
+}
+
+void InjectBest(SubSwarm& swarm, std::span<const double> pos, double val) {
+  for (Particle& p : swarm.particles) {
+    if (val < p.nbest_val) {
+      p.nbest_val = val;
+      p.nbest_pos.assign(pos.begin(), pos.end());
+    }
+  }
+}
+
+namespace {
+Value PackVector(std::span<const double> v) {
+  ValueList list;
+  list.reserve(v.size());
+  for (double x : v) list.push_back(Value(x));
+  return Value(std::move(list));
+}
+
+Result<std::vector<double>> UnpackVector(const Value& v) {
+  if (!v.is_list()) return DataLossError("expected list of doubles");
+  std::vector<double> out;
+  out.reserve(v.AsList().size());
+  for (const Value& x : v.AsList()) {
+    if (!x.is_numeric()) return DataLossError("expected numeric element");
+    out.push_back(x.AsDouble());
+  }
+  return out;
+}
+}  // namespace
+
+Value PackSubSwarm(const SubSwarm& swarm) {
+  ValueList list;
+  list.push_back(Value("swarm"));
+  list.push_back(Value(swarm.id));
+  list.push_back(Value(swarm.iterations_done));
+  for (const Particle& p : swarm.particles) {
+    ValueList pl;
+    pl.push_back(PackVector(p.position));
+    pl.push_back(PackVector(p.velocity));
+    pl.push_back(PackVector(p.pbest_pos));
+    pl.push_back(Value(p.pbest_val));
+    pl.push_back(PackVector(p.nbest_pos));
+    pl.push_back(Value(p.nbest_val));
+    list.push_back(Value(std::move(pl)));
+  }
+  return Value(std::move(list));
+}
+
+Result<SubSwarm> UnpackSubSwarm(const Value& value) {
+  if (!value.is_list() || value.AsList().size() < 3) {
+    return DataLossError("malformed packed subswarm");
+  }
+  const ValueList& list = value.AsList();
+  if (!list[0].is_string() || list[0].AsString() != "swarm") {
+    return DataLossError("packed value is not a subswarm");
+  }
+  SubSwarm swarm;
+  if (!list[1].is_int() || !list[2].is_int()) {
+    return DataLossError("malformed subswarm header");
+  }
+  swarm.id = list[1].AsInt();
+  swarm.iterations_done = list[2].AsInt();
+  for (size_t i = 3; i < list.size(); ++i) {
+    if (!list[i].is_list() || list[i].AsList().size() != 6) {
+      return DataLossError("malformed packed particle");
+    }
+    const ValueList& pl = list[i].AsList();
+    Particle p;
+    MRS_ASSIGN_OR_RETURN(p.position, UnpackVector(pl[0]));
+    MRS_ASSIGN_OR_RETURN(p.velocity, UnpackVector(pl[1]));
+    MRS_ASSIGN_OR_RETURN(p.pbest_pos, UnpackVector(pl[2]));
+    if (!pl[3].is_numeric()) return DataLossError("bad pbest value");
+    p.pbest_val = pl[3].AsDouble();
+    MRS_ASSIGN_OR_RETURN(p.nbest_pos, UnpackVector(pl[4]));
+    if (!pl[5].is_numeric()) return DataLossError("bad nbest value");
+    p.nbest_val = pl[5].AsDouble();
+    swarm.particles.push_back(std::move(p));
+  }
+  return swarm;
+}
+
+Value PackBestMessage(std::span<const double> pos, double val) {
+  ValueList list;
+  list.push_back(Value("msg"));
+  list.push_back(Value(val));
+  list.push_back(PackVector(pos));
+  return Value(std::move(list));
+}
+
+bool IsBestMessage(const Value& value) {
+  return value.is_list() && !value.AsList().empty() &&
+         value.AsList()[0].is_string() &&
+         value.AsList()[0].AsString() == "msg";
+}
+
+Result<std::pair<std::vector<double>, double>> UnpackBestMessage(
+    const Value& value) {
+  if (!IsBestMessage(value) || value.AsList().size() != 3) {
+    return DataLossError("malformed best message");
+  }
+  const ValueList& list = value.AsList();
+  if (!list[1].is_numeric()) return DataLossError("bad message value");
+  MRS_ASSIGN_OR_RETURN(std::vector<double> pos, UnpackVector(list[2]));
+  return std::make_pair(std::move(pos), list[1].AsDouble());
+}
+
+}  // namespace pso
+}  // namespace mrs

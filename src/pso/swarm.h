@@ -1,0 +1,81 @@
+// Particles, subswarms, and standard constriction-coefficient PSO motion.
+//
+// Motion follows "Defining a standard for particle swarm optimization"
+// (Bratton & Kennedy 2007, the paper's ref [9]): constriction chi=0.72984,
+// phi1=phi2=2.05, velocity update
+//   v <- chi * (v + U(0,phi1)*(pbest - x) + U(0,phi2)*(nbest - x))
+// with no explicit velocity clamp.  Randomness comes from an injected
+// MT19937-64 so the same stream reproduces the same trajectory in every
+// execution implementation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "pso/functions.h"
+#include "rng/mt19937_64.h"
+#include "ser/value.h"
+
+namespace mrs {
+namespace pso {
+
+inline constexpr double kChi = 0.7298437881283576;
+inline constexpr double kPhi = 2.05;
+
+struct Particle {
+  std::vector<double> position;
+  std::vector<double> velocity;
+  std::vector<double> pbest_pos;
+  double pbest_val = 0.0;
+  /// Neighbourhood best seen by this particle.
+  std::vector<double> nbest_pos;
+  double nbest_val = 0.0;
+};
+
+/// A subswarm ("island"/"hive"): the unit of work of one Apiary map task
+/// (paper §V-B: "each map task operates on several iterations of a
+/// subswarm of particles").
+struct SubSwarm {
+  int64_t id = 0;
+  /// Total inner iterations executed so far (for random-stream derivation
+  /// and the evals-vs-quality curve).
+  int64_t iterations_done = 0;
+  std::vector<Particle> particles;
+
+  /// Best (value, position) over all particles' pbest.
+  double BestValue() const;
+  std::span<const double> BestPosition() const;
+};
+
+/// Initialize a subswarm with positions/velocities uniform in the
+/// function's bounds (velocity in [-range, range] halved, per standard
+/// PSO), evaluating each particle once.
+SubSwarm InitSubSwarm(int64_t id, int num_particles, int dims,
+                      const ObjectiveFunction& function, MT19937_64& rng);
+
+/// Run `iterations` of fully-informed-star PSO *within* the subswarm:
+/// every particle's neighbourhood is the whole subswarm.  Returns the
+/// number of function evaluations performed.
+int64_t StepSubSwarm(SubSwarm& swarm, const ObjectiveFunction& function,
+                     int iterations, MT19937_64& rng);
+
+/// Inject an external best (from a neighbouring subswarm) into this
+/// subswarm's particles' neighbourhood bests.
+void InjectBest(SubSwarm& swarm, std::span<const double> pos, double val);
+
+// ---- Serialization to mrs::Value (MapReduce transport) ----------------
+
+Value PackSubSwarm(const SubSwarm& swarm);
+Result<SubSwarm> UnpackSubSwarm(const Value& value);
+
+/// A best-position message exchanged between subswarms.
+Value PackBestMessage(std::span<const double> pos, double val);
+/// Distinguish packed swarms from packed messages.
+bool IsBestMessage(const Value& value);
+Result<std::pair<std::vector<double>, double>> UnpackBestMessage(
+    const Value& value);
+
+}  // namespace pso
+}  // namespace mrs

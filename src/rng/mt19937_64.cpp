@@ -1,0 +1,102 @@
+#include "rng/mt19937_64.h"
+
+#include <cmath>
+
+namespace mrs {
+
+namespace {
+constexpr int kNN = MT19937_64::kStateSize;
+constexpr int kMM = 156;
+constexpr uint64_t kMatrixA = 0xB5026F5AA96619E9ull;
+constexpr uint64_t kUpperMask = 0xFFFFFFFF80000000ull;  // most significant 33 bits
+constexpr uint64_t kLowerMask = 0x7FFFFFFFull;          // least significant 31 bits
+}  // namespace
+
+void MT19937_64::SeedScalar(uint64_t seed) {
+  mt_[0] = seed;
+  for (int i = 1; i < kNN; ++i) {
+    mt_[i] = 6364136223846793005ull * (mt_[i - 1] ^ (mt_[i - 1] >> 62)) +
+             static_cast<uint64_t>(i);
+  }
+  mti_ = kNN;
+  has_gauss_ = false;
+}
+
+void MT19937_64::SeedByArray(std::span<const uint64_t> keys) {
+  SeedScalar(19650218ull);
+  size_t i = 1, j = 0;
+  size_t k = (static_cast<size_t>(kNN) > keys.size()) ? static_cast<size_t>(kNN)
+                                                      : keys.size();
+  for (; k != 0; --k) {
+    mt_[i] = (mt_[i] ^ ((mt_[i - 1] ^ (mt_[i - 1] >> 62)) * 3935559000370003845ull)) +
+             (keys.empty() ? 0 : keys[j]) + static_cast<uint64_t>(j);
+    ++i;
+    ++j;
+    if (i >= static_cast<size_t>(kNN)) {
+      mt_[0] = mt_[kNN - 1];
+      i = 1;
+    }
+    if (j >= keys.size()) j = 0;
+    if (keys.empty()) j = 0;
+  }
+  for (k = kNN - 1; k != 0; --k) {
+    mt_[i] = (mt_[i] ^ ((mt_[i - 1] ^ (mt_[i - 1] >> 62)) * 2862933555777941757ull)) -
+             static_cast<uint64_t>(i);
+    ++i;
+    if (i >= static_cast<size_t>(kNN)) {
+      mt_[0] = mt_[kNN - 1];
+      i = 1;
+    }
+  }
+  mt_[0] = 1ull << 63;  // MSB is 1, assuring a non-zero initial array
+  mti_ = kNN;
+  has_gauss_ = false;
+}
+
+void MT19937_64::Twist() {
+  for (int i = 0; i < kNN; ++i) {
+    uint64_t x = (mt_[i] & kUpperMask) | (mt_[(i + 1) % kNN] & kLowerMask);
+    mt_[i] = mt_[(i + kMM) % kNN] ^ (x >> 1) ^ ((x & 1) ? kMatrixA : 0ull);
+  }
+  mti_ = 0;
+}
+
+uint64_t MT19937_64::NextU64() {
+  if (mti_ >= kNN) Twist();
+  uint64_t x = mt_[mti_++];
+  x ^= (x >> 29) & 0x5555555555555555ull;
+  x ^= (x << 17) & 0x71D67FFFEDA60000ull;
+  x ^= (x << 37) & 0xFFF7EEE000000000ull;
+  x ^= x >> 43;
+  return x;
+}
+
+uint64_t MT19937_64::NextBounded(uint64_t bound) {
+  if (bound <= 1) return 0;
+  // Rejection sampling over the top `bound`-aligned range.
+  uint64_t threshold = (~bound + 1) % bound;  // = 2^64 mod bound
+  while (true) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double MT19937_64::NextGaussian() {
+  if (has_gauss_) {
+    has_gauss_ = false;
+    return gauss_;
+  }
+  // Box-Muller with rejection of u1 == 0.
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  double u2 = NextDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  gauss_ = r * std::sin(theta);
+  has_gauss_ = true;
+  return r * std::cos(theta);
+}
+
+}  // namespace mrs

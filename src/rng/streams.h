@@ -1,0 +1,64 @@
+// Independent pseudorandom streams, the Mrs `random(...)` API.
+//
+// Paper §IV-A: "The mrs.MapReduce class provides a random method that
+// returns a random number generator.  The method takes a variable number of
+// integer arguments and ensures that the random number generator is unique
+// for any particular combination of inputs."  Determinism across the
+// serial / mock-parallel / master-slave implementations follows because the
+// stream depends only on the argument tuple (typically: program seed,
+// operation id, task index), never on scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "rng/mt19937_64.h"
+
+namespace mrs {
+
+/// Derives generators from (seed, args...) tuples via MT19937-64 array
+/// seeding.  Distinct tuples — including tuples of different lengths —
+/// yield independent streams; equal tuples yield identical streams.
+class RandomStreams {
+ public:
+  explicit RandomStreams(uint64_t program_seed = 0) : seed_(program_seed) {}
+
+  uint64_t program_seed() const { return seed_; }
+  void set_program_seed(uint64_t seed) { seed_ = seed; }
+
+  /// Mrs's `self.random(a, b, ...)`.  The argument tuple is absorbed
+  /// losslessly into the 312-word state (up to ~300 64-bit args; beyond
+  /// that, keys wrap and streams remain well-mixed but no longer injective,
+  /// matching the paper's "around 300 arguments" bound).
+  MT19937_64 Get(std::span<const uint64_t> args) const {
+    std::vector<uint64_t> keys;
+    keys.reserve(args.size() + 2);
+    keys.push_back(seed_);
+    // Length tag: makes (1) and (1, 0) distinct even though a zero suffix
+    // would otherwise collide for short tuples.
+    keys.push_back(0x6d72735f726e6700ull ^ args.size());  // "mrs_rng" tag
+    keys.insert(keys.end(), args.begin(), args.end());
+    return MT19937_64(std::span<const uint64_t>(keys));
+  }
+
+  MT19937_64 Get(std::initializer_list<uint64_t> args) const {
+    return Get(std::span<const uint64_t>(args.begin(), args.size()));
+  }
+
+  template <typename... Ints>
+  MT19937_64 operator()(Ints... args) const {
+    if constexpr (sizeof...(Ints) == 0) {
+      return Get(std::span<const uint64_t>());
+    } else {
+      const uint64_t arr[] = {static_cast<uint64_t>(args)...};
+      return Get(std::span<const uint64_t>(arr, sizeof...(Ints)));
+    }
+  }
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace mrs

@@ -1,0 +1,59 @@
+#include "rt/cluster.h"
+
+#include "common/log.h"
+
+namespace mrs {
+
+Result<std::unique_ptr<ClusterLauncher>> ClusterLauncher::Start(
+    const ProgramFactory& factory, const Options& opts, Config config) {
+  std::unique_ptr<ClusterLauncher> cluster(new ClusterLauncher());
+  MRS_ASSIGN_OR_RETURN(cluster->master_, Master::Start(config.master));
+
+  for (int i = 0; i < config.num_slaves; ++i) {
+    std::unique_ptr<MapReduce> program = factory();
+    MRS_RETURN_IF_ERROR(program->Init(opts));
+
+    Slave::Config slave_config = config.slave;
+    slave_config.master = cluster->master_->addr();
+    if (i == 0) slave_config.fail_first_n_tasks = config.first_slave_faults;
+
+    MRS_ASSIGN_OR_RETURN(std::unique_ptr<Slave> slave,
+                         Slave::Start(program.get(), slave_config));
+    Slave* slave_ptr = slave.get();
+    cluster->slave_programs_.push_back(std::move(program));
+    cluster->slaves_.push_back(std::move(slave));
+    cluster->slave_threads_.emplace_back([slave_ptr] {
+      Status status = slave_ptr->Run();
+      if (!status.ok()) {
+        MRS_LOG(kWarning, "cluster") << "slave loop exited: "
+                                     << status.ToString();
+      }
+    });
+  }
+
+  MRS_RETURN_IF_ERROR(
+      cluster->master_->WaitForSlaves(config.num_slaves, /*timeout=*/30.0));
+  return cluster;
+}
+
+ClusterLauncher::~ClusterLauncher() { Shutdown(); }
+
+void ClusterLauncher::Shutdown() {
+  if (shutdown_) return;
+  shutdown_ = true;
+  for (auto& slave : slaves_) slave->Stop();
+  master_->Shutdown();  // pending get_task calls return "quit"
+  for (auto& t : slave_threads_) {
+    if (t.joinable()) t.join();
+  }
+  slaves_.clear();
+  slave_programs_.clear();
+}
+
+int64_t ClusterLauncher::TotalTasksExecuted() const {
+  int64_t total = 0;
+  for (const auto& slave : slaves_) total += slave->tasks_executed();
+  return total;
+}
+
+}  // namespace mrs

@@ -1,0 +1,78 @@
+// Cluster assembly: the master/slave Runner and the in-process launcher.
+//
+// MasterRunner adapts a Master to the Runner interface.  ClusterLauncher
+// plays the role of the paper's startup scripts (Program 3): it starts the
+// master, "waits for the master to start" (the port handshake), and starts
+// N slaves — here as threads speaking real XML-RPC over loopback TCP, each
+// with its own program instance exactly as separate processes would have.
+#pragma once
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/job.h"
+#include "core/program.h"
+#include "core/runner.h"
+#include "rt/master.h"
+#include "rt/slave.h"
+
+namespace mrs {
+
+/// Runner facade over a Master (used by both the in-process masterslave
+/// implementation and the multi-process master implementation).
+class MasterRunner final : public Runner {
+ public:
+  explicit MasterRunner(Master* master) : master_(master) {}
+
+  void Submit(const DataSetPtr& dataset) override { master_->Submit(dataset); }
+  Status Wait(const DataSetPtr& dataset) override {
+    return master_->Wait(dataset);
+  }
+  UrlFetcher fetcher() override { return master_->fetcher(); }
+  std::string name() const override { return "masterslave"; }
+  void Discard(const DataSetPtr& dataset) override {
+    master_->Discard(dataset);
+  }
+
+ private:
+  Master* master_;
+};
+
+/// An in-process cluster: one master plus N slave threads.
+class ClusterLauncher {
+ public:
+  struct Config {
+    int num_slaves = 2;
+    Master::Config master;
+    Slave::Config slave;  // master addr is filled in automatically
+    /// Inject this many failures into the first slave (tests).
+    int first_slave_faults = 0;
+  };
+
+  /// Start everything; each slave runs `factory()` initialized with
+  /// `opts`, mirroring a fresh process running the same binary.
+  static Result<std::unique_ptr<ClusterLauncher>> Start(
+      const ProgramFactory& factory, const Options& opts, Config config);
+
+  ~ClusterLauncher();
+
+  Master& master() { return *master_; }
+
+  /// Stop slaves and master; join threads.  Idempotent.
+  void Shutdown();
+
+  int64_t TotalTasksExecuted() const;
+
+ private:
+  ClusterLauncher() = default;
+
+  std::unique_ptr<Master> master_;
+  std::vector<std::unique_ptr<MapReduce>> slave_programs_;
+  std::vector<std::unique_ptr<Slave>> slaves_;
+  std::vector<std::thread> slave_threads_;
+  bool shutdown_ = false;
+};
+
+}  // namespace mrs

@@ -1,0 +1,38 @@
+#include "rt/equivalence.h"
+
+namespace mrs {
+
+Result<EquivalenceReport> CheckEquivalence(
+    const ProgramFactory& factory, const Options& opts,
+    const std::vector<std::string>& impls,
+    const std::function<std::string(MapReduce&)>& fingerprint,
+    int num_slaves) {
+  if (impls.empty()) {
+    return InvalidArgumentError("no implementations to compare");
+  }
+  EquivalenceReport report;
+  for (const std::string& impl : impls) {
+    std::unique_ptr<MapReduce> program = factory();
+    MRS_RETURN_IF_ERROR(program->Init(opts));
+    if (impl == "bypass") {
+      MRS_RETURN_IF_ERROR(program->Bypass());
+    } else {
+      RunConfig config;
+      config.impl = impl;
+      config.num_slaves = num_slaves;
+      MRS_RETURN_IF_ERROR(RunProgram(factory, program.get(), config));
+    }
+    report.fingerprints.emplace_back(impl, fingerprint(*program));
+  }
+  const std::string& reference = report.fingerprints.front().second;
+  for (size_t i = 1; i < report.fingerprints.size(); ++i) {
+    if (report.fingerprints[i].second != reference) {
+      report.identical = false;
+      report.details += report.fingerprints[i].first + " differs from " +
+                        report.fingerprints.front().first + "\n";
+    }
+  }
+  return report;
+}
+
+}  // namespace mrs

@@ -1,0 +1,40 @@
+// Implementation-equivalence checking as a library feature.
+//
+// Paper §IV-A: "A program's master/slave, serial, mock parallel, and
+// bypass implementations should all produce identical answers.
+// Differences in behavior between any two implementations, even in
+// stochastic algorithms, indicate a bug in the program or possibly in
+// Mrs."  CheckEquivalence automates exactly that debugging step: run the
+// same program under each implementation and diff a caller-defined
+// fingerprint of its results.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/program.h"
+#include "rt/mrs_main.h"
+
+namespace mrs {
+
+struct EquivalenceReport {
+  bool identical = true;
+  /// Fingerprint per implementation, in the order run.
+  std::vector<std::pair<std::string, std::string>> fingerprints;
+  /// Human-readable mismatch description (empty when identical).
+  std::string details;
+};
+
+/// Run the program under each implementation in `impls` (any of "bypass",
+/// "serial", "mockparallel", "masterslave") and compare fingerprints.
+/// `fingerprint` reads results off the program instance after its run.
+/// Execution errors abort the check with that implementation's status.
+Result<EquivalenceReport> CheckEquivalence(
+    const ProgramFactory& factory, const Options& opts,
+    const std::vector<std::string>& impls,
+    const std::function<std::string(MapReduce&)>& fingerprint,
+    int num_slaves = 2);
+
+}  // namespace mrs

@@ -1,0 +1,452 @@
+#include "rt/master.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/clock.h"
+#include "common/log.h"
+#include "common/strings.h"
+#include "core/fetch_registry.h"
+#include "http/client.h"
+
+namespace mrs {
+
+namespace {
+double NowSeconds() { return RealClock::Instance().Now(); }
+}  // namespace
+
+Master::Master(Config config) : config_(std::move(config)) {}
+
+Result<std::unique_ptr<Master>> Master::Start(Config config) {
+  std::unique_ptr<Master> master(new Master(std::move(config)));
+  MRS_RETURN_IF_ERROR(master->Init());
+  return master;
+}
+
+Status Master::Init() {
+  dispatcher_.Register("signin", [this](const XmlRpcArray& p) {
+    return RpcSignin(p);
+  });
+  dispatcher_.Register("get_task", [this](const XmlRpcArray& p) {
+    return RpcGetTask(p);
+  });
+  dispatcher_.Register("task_done", [this](const XmlRpcArray& p) {
+    return RpcTaskDone(p);
+  });
+  dispatcher_.Register("task_failed", [this](const XmlRpcArray& p) {
+    return RpcTaskFailed(p);
+  });
+  dispatcher_.Register("ping", [this](const XmlRpcArray& p) {
+    return RpcPing(p);
+  });
+
+  MRS_ASSIGN_OR_RETURN(
+      server_, HttpServer::Start(config_.host, config_.port,
+                                 dispatcher_.MakeHttpHandler("/RPC2"),
+                                 config_.rpc_workers));
+  monitor_ = std::thread([this] { MonitorLoop(); });
+  MRS_LOG(kInfo, "master") << "listening on " << server_->addr().ToString();
+  return Status::Ok();
+}
+
+Master::~Master() { Shutdown(); }
+
+void Master::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  sched_cv_.notify_all();
+  done_cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+  // Give slaves a moment to pick up the quit response before the server
+  // goes away; they also handle connection failures gracefully.
+  server_->Shutdown();
+}
+
+Status Master::WaitForSlaves(int n, double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  bool ok = sched_cv_.wait_for(
+      lock, std::chrono::duration<double>(timeout_seconds), [&] {
+        int alive = 0;
+        for (const auto& [id, s] : slaves_) {
+          if (s.alive) ++alive;
+        }
+        return alive >= n || shutdown_;
+      });
+  if (!ok) {
+    return DeadlineExceededError("timed out waiting for " + std::to_string(n) +
+                                 " slaves");
+  }
+  return Status::Ok();
+}
+
+int Master::num_slaves() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int alive = 0;
+  for (const auto& [id, s] : slaves_) {
+    if (s.alive) ++alive;
+  }
+  return alive;
+}
+
+Master::Stats Master::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+// ---- Runner-facing ----------------------------------------------------
+
+void Master::Submit(const DataSetPtr& dataset) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RegisterDataSetLocked(dataset);
+    waiting_.push_back(dataset);
+    PromoteRunnableLocked();
+  }
+  sched_cv_.notify_all();
+}
+
+Status Master::Wait(const DataSetPtr& dataset) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] {
+    return dataset->Complete() || !job_status_.ok() || shutdown_;
+  });
+  if (!job_status_.ok()) return job_status_;
+  if (!dataset->Complete()) {
+    return CancelledError("master shut down before dataset completed");
+  }
+  return Status::Ok();
+}
+
+void Master::Discard(const DataSetPtr& dataset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  datasets_.erase(dataset->id());
+  for (auto& [id, slave] : slaves_) {
+    slave.pending_discards.push_back(dataset->id());
+  }
+  dataset->EvictAll();
+}
+
+UrlFetcher Master::fetcher() const {
+  return [](const std::string& url) { return ResolveUrl(url); };
+}
+
+// ---- Scheduling -------------------------------------------------------
+
+void Master::RegisterDataSetLocked(const DataSetPtr& dataset) {
+  for (DataSetPtr ds = dataset; ds != nullptr; ds = ds->input()) {
+    datasets_[ds->id()] = ds;
+  }
+}
+
+bool Master::DataSetReadyLocked(const DataSet& dataset) const {
+  return dataset.input() != nullptr && dataset.input()->Complete();
+}
+
+void Master::PromoteRunnableLocked() {
+  for (auto it = waiting_.begin(); it != waiting_.end();) {
+    if (DataSetReadyLocked(**it)) {
+      for (int s = 0; s < (*it)->num_sources(); ++s) {
+        runnable_.push_back(TaskRef{(*it)->id(), s});
+      }
+      it = waiting_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<TaskAssignment> Master::BuildAssignmentLocked(const TaskRef& ref) {
+  auto it = datasets_.find(ref.dataset_id);
+  if (it == datasets_.end()) {
+    return NotFoundError("dataset " + std::to_string(ref.dataset_id) +
+                         " no longer registered");
+  }
+  DataSet& ds = *it->second;
+  TaskAssignment assignment;
+  assignment.dataset_id = ds.id();
+  assignment.kind = ds.kind();
+  assignment.source = ref.source;
+  assignment.num_splits = ds.num_splits();
+  assignment.options = ds.options();
+  MRS_ASSIGN_OR_RETURN(assignment.inputs,
+                       BuildTaskInputParts(*ds.input(), ref.source));
+  return assignment;
+}
+
+void Master::RequeueTasksOfSlaveLocked(SlaveInfo& slave) {
+  for (int64_t key : slave.running) {
+    int dataset_id = static_cast<int>(key / 1000000);
+    int source = static_cast<int>(key % 1000000);
+    auto it = datasets_.find(dataset_id);
+    if (it == datasets_.end()) continue;
+    if (it->second->task_state(source) == TaskState::kRunning) {
+      it->second->ResetTask(source);
+      runnable_.push_back(TaskRef{dataset_id, source});
+    }
+  }
+  slave.running.clear();
+}
+
+void Master::FailJobLocked(Status status) {
+  if (job_status_.ok()) job_status_ = std::move(status);
+}
+
+void Master::MonitorLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (shutdown_) return;
+      double now = NowSeconds();
+      bool requeued = false;
+      for (auto& [id, slave] : slaves_) {
+        if (slave.alive && now - slave.last_ping > config_.slave_timeout) {
+          MRS_LOG(kWarning, "master")
+              << "slave " << id << " lost (no contact for "
+              << config_.slave_timeout << "s)";
+          slave.alive = false;
+          ++stats_.slaves_lost;
+          RequeueTasksOfSlaveLocked(slave);
+          requeued = true;
+        }
+      }
+      if (requeued) sched_cv_.notify_all();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+}
+
+// ---- RPC handlers -------------------------------------------------------
+
+Result<XmlRpcValue> Master::RpcSignin(const XmlRpcArray& params) {
+  if (params.size() != 2) return InvalidArgumentError("signin(host, port)");
+  MRS_ASSIGN_OR_RETURN(std::string host, params[0].AsString());
+  MRS_ASSIGN_OR_RETURN(int64_t port, params[1].AsInt());
+  std::lock_guard<std::mutex> lock(mutex_);
+  int id = next_slave_id_++;
+  SlaveInfo info;
+  info.id = id;
+  info.data_url_base = "http://" + host + ":" + std::to_string(port);
+  info.last_ping = NowSeconds();
+  slaves_[id] = std::move(info);
+  MRS_LOG(kInfo, "master") << "slave " << id << " signed in from "
+                           << slaves_[id].data_url_base;
+  sched_cv_.notify_all();
+  XmlRpcStruct out;
+  out["slave_id"] = XmlRpcValue(static_cast<int64_t>(id));
+  return XmlRpcValue(std::move(out));
+}
+
+Result<XmlRpcValue> Master::RpcGetTask(const XmlRpcArray& params) {
+  if (params.size() != 1) return InvalidArgumentError("get_task(slave_id)");
+  MRS_ASSIGN_OR_RETURN(int64_t slave_id, params[0].AsInt());
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto sit = slaves_.find(static_cast<int>(slave_id));
+  if (sit == slaves_.end()) return NotFoundError("unknown slave");
+  sit->second.last_ping = NowSeconds();
+  sit->second.alive = true;
+
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(config_.long_poll_seconds));
+  while (true) {
+    if (shutdown_) {
+      XmlRpcStruct out;
+      out["kind"] = XmlRpcValue("quit");
+      return XmlRpcValue(std::move(out));
+    }
+    if (!runnable_.empty()) {
+      // Pick a task: prefer one whose affinity key points at this slave.
+      size_t pick = 0;
+      if (config_.enable_affinity) {
+        for (size_t i = 0; i < runnable_.size(); ++i) {
+          const TaskRef& ref = runnable_[i];
+          auto dsit = datasets_.find(ref.dataset_id);
+          if (dsit == datasets_.end()) continue;
+          std::string key = dsit->second->options().op_name + ":" +
+                            std::to_string(ref.source);
+          auto ait = affinity_.find(key);
+          if (ait != affinity_.end() && ait->second == slave_id) {
+            pick = i;
+            ++stats_.affinity_hits;
+            break;
+          }
+        }
+      }
+      TaskRef ref = runnable_[pick];
+      runnable_.erase(runnable_.begin() + static_cast<long>(pick));
+
+      auto dsit = datasets_.find(ref.dataset_id);
+      if (dsit == datasets_.end()) continue;  // discarded meanwhile
+      if (!dsit->second->TryClaimTask(ref.source)) continue;  // raced
+
+      Result<TaskAssignment> assignment = BuildAssignmentLocked(ref);
+      if (!assignment.ok()) {
+        dsit->second->ResetTask(ref.source);
+        FailJobLocked(assignment.status());
+        done_cv_.notify_all();
+        return assignment.status();
+      }
+      sit->second.running.insert(TaskKey(ref.dataset_id, ref.source));
+      ++stats_.tasks_assigned;
+
+      XmlRpcValue rpc = assignment->ToRpc();
+      // Piggyback discard notices.
+      XmlRpcStruct out = *rpc.AsStruct().value();
+      XmlRpcArray discards;
+      for (int d : sit->second.pending_discards) {
+        discards.push_back(XmlRpcValue(static_cast<int64_t>(d)));
+      }
+      sit->second.pending_discards.clear();
+      out["discard"] = XmlRpcValue(std::move(discards));
+      return XmlRpcValue(std::move(out));
+    }
+    if (sched_cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        runnable_.empty()) {
+      XmlRpcStruct out;
+      out["kind"] = XmlRpcValue("wait");
+      XmlRpcArray discards;
+      for (int d : sit->second.pending_discards) {
+        discards.push_back(XmlRpcValue(static_cast<int64_t>(d)));
+      }
+      sit->second.pending_discards.clear();
+      out["discard"] = XmlRpcValue(std::move(discards));
+      return XmlRpcValue(std::move(out));
+    }
+  }
+}
+
+Result<XmlRpcValue> Master::RpcTaskDone(const XmlRpcArray& params) {
+  if (params.size() != 4) {
+    return InvalidArgumentError("task_done(slave_id, dataset_id, source, urls)");
+  }
+  MRS_ASSIGN_OR_RETURN(int64_t slave_id, params[0].AsInt());
+  MRS_ASSIGN_OR_RETURN(int64_t dataset_id, params[1].AsInt());
+  MRS_ASSIGN_OR_RETURN(int64_t source, params[2].AsInt());
+  MRS_ASSIGN_OR_RETURN(const XmlRpcArray* urls, params[3].AsArray());
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto sit = slaves_.find(static_cast<int>(slave_id));
+  if (sit != slaves_.end()) {
+    sit->second.last_ping = NowSeconds();
+    sit->second.running.erase(TaskKey(static_cast<int>(dataset_id),
+                                      static_cast<int>(source)));
+  }
+  auto dsit = datasets_.find(static_cast<int>(dataset_id));
+  if (dsit == datasets_.end()) {
+    return XmlRpcValue(XmlRpcStruct{});  // dataset discarded; drop result
+  }
+  DataSet& ds = *dsit->second;
+  if (static_cast<int>(urls->size()) != ds.num_splits()) {
+    return ProtocolError("task_done url count mismatch");
+  }
+  if (ds.task_state(static_cast<int>(source)) == TaskState::kComplete) {
+    return XmlRpcValue(XmlRpcStruct{});  // duplicate completion
+  }
+  std::vector<Bucket> row;
+  row.reserve(urls->size());
+  for (int p = 0; p < ds.num_splits(); ++p) {
+    MRS_ASSIGN_OR_RETURN(std::string url, (*urls)[static_cast<size_t>(p)].AsString());
+    Bucket b(static_cast<int>(source), p);
+    b.set_url(std::move(url));
+    row.push_back(std::move(b));
+  }
+  ds.SetRow(static_cast<int>(source), std::move(row));
+  ++stats_.tasks_completed;
+
+  // Record affinity for the corresponding task of the next iteration.
+  affinity_[ds.options().op_name + ":" + std::to_string(source)] =
+      static_cast<int>(slave_id);
+
+  PromoteRunnableLocked();
+  sched_cv_.notify_all();
+  done_cv_.notify_all();
+  return XmlRpcValue(XmlRpcStruct{});
+}
+
+Result<XmlRpcValue> Master::RpcTaskFailed(const XmlRpcArray& params) {
+  if (params.size() != 5) {
+    return InvalidArgumentError(
+        "task_failed(slave_id, dataset_id, source, message, bad_url)");
+  }
+  MRS_ASSIGN_OR_RETURN(int64_t slave_id, params[0].AsInt());
+  MRS_ASSIGN_OR_RETURN(int64_t dataset_id, params[1].AsInt());
+  MRS_ASSIGN_OR_RETURN(int64_t source, params[2].AsInt());
+  MRS_ASSIGN_OR_RETURN(std::string message, params[3].AsString());
+  MRS_ASSIGN_OR_RETURN(std::string bad_url, params[4].AsString());
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  MRS_LOG(kWarning, "master") << "task (" << dataset_id << "," << source
+                              << ") failed on slave " << slave_id << ": "
+                              << message;
+  ++stats_.tasks_failed;
+  auto sit = slaves_.find(static_cast<int>(slave_id));
+  if (sit != slaves_.end()) {
+    sit->second.last_ping = NowSeconds();
+    sit->second.running.erase(TaskKey(static_cast<int>(dataset_id),
+                                      static_cast<int>(source)));
+  }
+
+  int64_t key = TaskKey(static_cast<int>(dataset_id), static_cast<int>(source));
+  int attempts = ++attempts_[key];
+  if (attempts >= config_.max_task_attempts) {
+    FailJobLocked(InternalError("task (" + std::to_string(dataset_id) + "," +
+                                std::to_string(source) + ") failed " +
+                                std::to_string(attempts) + " times: " + message));
+    done_cv_.notify_all();
+    return XmlRpcValue(XmlRpcStruct{});
+  }
+
+  auto dsit = datasets_.find(static_cast<int>(dataset_id));
+  if (dsit != datasets_.end()) {
+    dsit->second->ResetTask(static_cast<int>(source));
+    runnable_.push_back(
+        TaskRef{static_cast<int>(dataset_id), static_cast<int>(source)});
+  }
+
+  // Lineage recovery: if the slave could not fetch an input bucket
+  // ("http://host:port/bucket/<ds>/<source>/<split>"), re-run the task
+  // that produced it.
+  if (!bad_url.empty()) {
+    size_t pos = bad_url.find("/bucket/");
+    if (pos != std::string::npos) {
+      std::vector<std::string_view> parts =
+          SplitChar(std::string_view(bad_url).substr(pos + 8), '/');
+      if (parts.size() >= 2) {
+        auto ds_id = ParseInt64(parts[0]);
+        auto src = ParseInt64(parts[1]);
+        if (ds_id.has_value() && src.has_value()) {
+          auto pit = datasets_.find(static_cast<int>(*ds_id));
+          if (pit != datasets_.end() &&
+              pit->second->task_state(static_cast<int>(*src)) ==
+                  TaskState::kComplete) {
+            pit->second->ResetTask(static_cast<int>(*src));
+            runnable_.push_back(
+                TaskRef{static_cast<int>(*ds_id), static_cast<int>(*src)});
+            MRS_LOG(kWarning, "master")
+                << "re-running lineage task (" << *ds_id << "," << *src
+                << ") for lost bucket " << bad_url;
+          }
+        }
+      }
+    }
+  }
+
+  sched_cv_.notify_all();
+  return XmlRpcValue(XmlRpcStruct{});
+}
+
+Result<XmlRpcValue> Master::RpcPing(const XmlRpcArray& params) {
+  if (params.size() != 1) return InvalidArgumentError("ping(slave_id)");
+  MRS_ASSIGN_OR_RETURN(int64_t slave_id, params[0].AsInt());
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto sit = slaves_.find(static_cast<int>(slave_id));
+  if (sit == slaves_.end()) return NotFoundError("unknown slave");
+  sit->second.last_ping = NowSeconds();
+  return XmlRpcValue(XmlRpcStruct{});
+}
+
+}  // namespace mrs

@@ -1,0 +1,137 @@
+// The Mrs master: slave registry, task scheduler, and result tracking.
+//
+// Starting a job "requires merely starting one copy of the program as a
+// master and any number of other copies of the program as slaves" (paper
+// §IV).  The master serves XML-RPC on one TCP port; slaves sign in knowing
+// only host:port.  The scheduler implements the paper's iterative
+// optimizations: operations queue up and start the moment their inputs are
+// complete, independent datasets run concurrently, and "corresponding
+// tasks" are assigned "to the same processor from one iteration to the
+// next" (affinity) to keep data local.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "core/program.h"
+#include "core/runner.h"
+#include "http/server.h"
+#include "rt/protocol.h"
+#include "xmlrpc/server.h"
+
+namespace mrs {
+
+class Master {
+ public:
+  struct Config {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;           // 0 = ephemeral
+    double slave_timeout = 15.0;  // seconds without ping before a slave is lost
+    int max_task_attempts = 4;
+    double long_poll_seconds = 0.25;
+    size_t rpc_workers = 16;
+    bool enable_affinity = true;
+  };
+
+  /// Bind the RPC server and start the scheduler.
+  static Result<std::unique_ptr<Master>> Start(Config config);
+  ~Master();
+
+  Master(const Master&) = delete;
+  Master& operator=(const Master&) = delete;
+
+  const SocketAddr& addr() const { return server_->addr(); }
+
+  /// Block until at least `n` slaves have signed in.
+  Status WaitForSlaves(int n, double timeout_seconds);
+  int num_slaves() const;
+
+  // ---- Runner-facing interface ---------------------------------------
+  void Submit(const DataSetPtr& dataset);
+  Status Wait(const DataSetPtr& dataset);
+  void Discard(const DataSetPtr& dataset);
+  UrlFetcher fetcher() const;
+
+  /// Tell all slaves to quit and stop the server.  Idempotent.
+  void Shutdown();
+
+  /// Scheduler statistics (for benches and tests).
+  struct Stats {
+    int64_t tasks_assigned = 0;
+    int64_t tasks_completed = 0;
+    int64_t tasks_failed = 0;
+    int64_t affinity_hits = 0;
+    int64_t slaves_lost = 0;
+  };
+  Stats stats() const;
+
+ private:
+  explicit Master(Config config);
+  Status Init();
+
+  struct SlaveInfo {
+    int id = 0;
+    std::string data_url_base;  // "http://host:port"
+    double last_ping = 0;
+    bool alive = true;
+    std::set<int64_t> running;  // task keys
+    std::vector<int> pending_discards;
+  };
+
+  struct TaskRef {
+    int dataset_id = 0;
+    int source = 0;
+  };
+
+  static int64_t TaskKey(int dataset_id, int source) {
+    return static_cast<int64_t>(dataset_id) * 1000000 + source;
+  }
+
+  // RPC handlers.
+  Result<XmlRpcValue> RpcSignin(const XmlRpcArray& params);
+  Result<XmlRpcValue> RpcGetTask(const XmlRpcArray& params);
+  Result<XmlRpcValue> RpcTaskDone(const XmlRpcArray& params);
+  Result<XmlRpcValue> RpcTaskFailed(const XmlRpcArray& params);
+  Result<XmlRpcValue> RpcPing(const XmlRpcArray& params);
+
+  // Scheduling internals (callers hold mutex_ unless noted).
+  void RegisterDataSetLocked(const DataSetPtr& dataset);
+  void PromoteRunnableLocked();
+  bool DataSetReadyLocked(const DataSet& dataset) const;
+  Result<TaskAssignment> BuildAssignmentLocked(const TaskRef& ref);
+  void RequeueTasksOfSlaveLocked(SlaveInfo& slave);
+  void FailJobLocked(Status status);
+  void MonitorLoop();
+
+  Config config_;
+  std::unique_ptr<HttpServer> server_;
+  XmlRpcDispatcher dispatcher_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable sched_cv_;  // wakes long-polling get_task
+  std::condition_variable done_cv_;   // wakes Wait
+  bool shutdown_ = false;
+  Status job_status_;  // first unrecoverable failure
+
+  std::map<int, DataSetPtr> datasets_;
+  std::vector<DataSetPtr> waiting_;   // submitted, inputs not ready yet
+  std::deque<TaskRef> runnable_;
+  std::map<int64_t, int> attempts_;
+  std::map<int, SlaveInfo> slaves_;
+  int next_slave_id_ = 1;
+  std::map<std::string, int> affinity_;  // "op:source" -> slave id
+  Stats stats_;
+
+  std::thread monitor_;
+};
+
+}  // namespace mrs

@@ -1,0 +1,93 @@
+#include "rt/protocol.h"
+
+#include "ser/record.h"
+
+namespace mrs {
+
+XmlRpcValue RecordsToRpc(const std::vector<KeyValue>& records) {
+  return XmlRpcValue::Binary(EncodeBinaryRecords(records));
+}
+
+Result<std::vector<KeyValue>> RecordsFromRpc(const XmlRpcValue& v) {
+  MRS_ASSIGN_OR_RETURN(std::string raw, v.AsString());
+  return DecodeBinaryRecords(raw);
+}
+
+XmlRpcValue TaskAssignment::ToRpc() const {
+  XmlRpcStruct s;
+  s["kind"] = XmlRpcValue("task");
+  s["dataset_id"] = XmlRpcValue(static_cast<int64_t>(dataset_id));
+  s["ds_kind"] =
+      XmlRpcValue(kind == DataSetKind::kMap ? "map_op" : "reduce_op");
+  s["source"] = XmlRpcValue(static_cast<int64_t>(source));
+  s["num_splits"] = XmlRpcValue(static_cast<int64_t>(num_splits));
+  s["op_name"] = XmlRpcValue(options.op_name);
+  s["use_combiner"] = XmlRpcValue(options.use_combiner);
+  s["combine_name"] = XmlRpcValue(options.combine_name);
+
+  XmlRpcArray parts;
+  for (const TaskInputPart& part : inputs) {
+    XmlRpcStruct p;
+    if (part.inline_records) {
+      p["records"] = RecordsToRpc(part.records);
+    } else {
+      p["url"] = XmlRpcValue(part.url);
+    }
+    parts.push_back(XmlRpcValue(std::move(p)));
+  }
+  s["inputs"] = XmlRpcValue(std::move(parts));
+  return XmlRpcValue(std::move(s));
+}
+
+Result<TaskAssignment> TaskAssignment::FromRpc(const XmlRpcValue& v) {
+  TaskAssignment out;
+  MRS_ASSIGN_OR_RETURN(const XmlRpcValue* dataset_id, v.Field("dataset_id"));
+  MRS_ASSIGN_OR_RETURN(int64_t id, dataset_id->AsInt());
+  out.dataset_id = static_cast<int>(id);
+
+  MRS_ASSIGN_OR_RETURN(const XmlRpcValue* ds_kind, v.Field("ds_kind"));
+  MRS_ASSIGN_OR_RETURN(std::string kind_name, ds_kind->AsString());
+  if (kind_name == "map_op") {
+    out.kind = DataSetKind::kMap;
+  } else if (kind_name == "reduce_op") {
+    out.kind = DataSetKind::kReduce;
+  } else {
+    return ProtocolError("bad ds_kind: " + kind_name);
+  }
+
+  MRS_ASSIGN_OR_RETURN(const XmlRpcValue* source, v.Field("source"));
+  MRS_ASSIGN_OR_RETURN(int64_t src, source->AsInt());
+  out.source = static_cast<int>(src);
+
+  MRS_ASSIGN_OR_RETURN(const XmlRpcValue* splits, v.Field("num_splits"));
+  MRS_ASSIGN_OR_RETURN(int64_t ns, splits->AsInt());
+  out.num_splits = static_cast<int>(ns);
+
+  MRS_ASSIGN_OR_RETURN(const XmlRpcValue* op, v.Field("op_name"));
+  MRS_ASSIGN_OR_RETURN(out.options.op_name, op->AsString());
+  out.options.num_splits = out.num_splits;
+
+  MRS_ASSIGN_OR_RETURN(const XmlRpcValue* comb, v.Field("use_combiner"));
+  MRS_ASSIGN_OR_RETURN(out.options.use_combiner, comb->AsBool());
+  MRS_ASSIGN_OR_RETURN(const XmlRpcValue* comb_name, v.Field("combine_name"));
+  MRS_ASSIGN_OR_RETURN(out.options.combine_name, comb_name->AsString());
+
+  MRS_ASSIGN_OR_RETURN(const XmlRpcValue* inputs, v.Field("inputs"));
+  MRS_ASSIGN_OR_RETURN(const XmlRpcArray* parts, inputs->AsArray());
+  for (const XmlRpcValue& pv : *parts) {
+    MRS_ASSIGN_OR_RETURN(const XmlRpcStruct* p, pv.AsStruct());
+    TaskInputPart part;
+    if (auto it = p->find("url"); it != p->end()) {
+      MRS_ASSIGN_OR_RETURN(part.url, it->second.AsString());
+    } else if (auto rec = p->find("records"); rec != p->end()) {
+      MRS_ASSIGN_OR_RETURN(part.records, RecordsFromRpc(rec->second));
+      part.inline_records = true;
+    } else {
+      return ProtocolError("task input part missing url/records");
+    }
+    out.inputs.push_back(std::move(part));
+  }
+  return out;
+}
+
+}  // namespace mrs

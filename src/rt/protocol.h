@@ -1,0 +1,45 @@
+// Master/slave wire protocol (XML-RPC method schemas).
+//
+// The control channel mirrors Mrs: slaves know only the master's host:port;
+// they sign in, long-poll for task assignments, and report completion with
+// the URLs of the buckets they produced.  Intermediate data never touches
+// the master — peers fetch it directly from the producing slave's built-in
+// HTTP server (paper §IV-B).
+//
+// Methods served by the master at /RPC2:
+//   signin(host, data_port)                  -> {slave_id}
+//   get_task(slave_id)                       -> assignment | {kind:"wait"} | {kind:"quit"}
+//   task_done(slave_id, dataset_id, source, urls)   -> {}
+//   task_failed(slave_id, dataset_id, source, message, bad_url) -> {}
+//   ping(slave_id)                           -> {}
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset.h"
+#include "core/task.h"
+#include "xmlrpc/value.h"
+
+namespace mrs {
+
+/// A task assignment sent master -> slave.
+struct TaskAssignment {
+  int dataset_id = 0;
+  DataSetKind kind = DataSetKind::kMap;  // kMap or kReduce
+  int source = 0;
+  int num_splits = 1;
+  DataSetOptions options;
+  std::vector<TaskInputPart> inputs;
+
+  XmlRpcValue ToRpc() const;
+  static Result<TaskAssignment> FromRpc(const XmlRpcValue& v);
+};
+
+/// Encode/decode inline record sets for RPC transport (base64 of the
+/// binary record format).
+XmlRpcValue RecordsToRpc(const std::vector<KeyValue>& records);
+Result<std::vector<KeyValue>> RecordsFromRpc(const XmlRpcValue& v);
+
+}  // namespace mrs

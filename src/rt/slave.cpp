@@ -1,0 +1,218 @@
+#include "rt/slave.h"
+
+#include <chrono>
+
+#include "common/clock.h"
+#include "common/log.h"
+#include "common/strings.h"
+#include "core/fetch_registry.h"
+#include "fs/file_io.h"
+#include "http/client.h"
+#include "ser/record.h"
+
+namespace mrs {
+
+Slave::Slave(MapReduce* program, Config config)
+    : program_(program), config_(std::move(config)) {
+  faults_remaining_.store(config_.fail_first_n_tasks);
+}
+
+Result<std::unique_ptr<Slave>> Slave::Start(MapReduce* program,
+                                            Config config) {
+  std::unique_ptr<Slave> slave(new Slave(program, std::move(config)));
+  MRS_RETURN_IF_ERROR(slave->Init());
+  return slave;
+}
+
+Status Slave::Init() {
+  MRS_ASSIGN_OR_RETURN(
+      data_server_,
+      HttpServer::Start(config_.host, config_.data_port,
+                        [this](const HttpRequest& req) {
+                          return ServeData(req);
+                        },
+                        /*num_workers=*/4));
+  rpc_ = std::make_unique<XmlRpcClient>(config_.master);
+
+  MRS_ASSIGN_OR_RETURN(
+      XmlRpcValue reply,
+      rpc_->Call("signin",
+                 XmlRpcArray{XmlRpcValue(data_server_->addr().host),
+                             XmlRpcValue(static_cast<int64_t>(
+                                 data_server_->addr().port))}));
+  MRS_ASSIGN_OR_RETURN(const XmlRpcValue* id, reply.Field("slave_id"));
+  MRS_ASSIGN_OR_RETURN(int64_t slave_id, id->AsInt());
+  id_ = static_cast<int>(slave_id);
+  MRS_LOG(kInfo, "slave") << "slave " << id_ << " signed in; data server on "
+                          << data_server_->addr().ToString();
+  ping_rpc_ = std::make_unique<XmlRpcClient>(config_.master);
+  ping_thread_ = std::thread([this] { PingLoop(); });
+  return Status::Ok();
+}
+
+void Slave::PingLoop() {
+  // Paper §IV: slaves stay in contact with the master; the ping keeps the
+  // slave alive in the registry even while a long map task runs.
+  const double interval = std::max(0.1, config_.ping_interval);
+  while (!stop_.load()) {
+    // Sleep in short slices so Stop() takes effect promptly.
+    for (double slept = 0; slept < interval && !stop_.load(); slept += 0.05) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (stop_.load()) return;
+    Result<XmlRpcValue> r = ping_rpc_->Call(
+        "ping", XmlRpcArray{XmlRpcValue(static_cast<int64_t>(id_))});
+    (void)r;  // transient failures are fine; the next ping retries
+  }
+}
+
+Slave::~Slave() {
+  Stop();
+  if (ping_thread_.joinable()) ping_thread_.join();
+  if (data_server_) data_server_->Shutdown();
+}
+
+HttpResponse Slave::ServeData(const HttpRequest& req) {
+  auto [path, query] = SplitTarget(req.target);
+  (void)query;
+  if (!StartsWith(path, "/bucket/")) return HttpResponse::NotFound();
+  std::string key(path.substr(8));
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  auto it = store_.find(key);
+  if (it == store_.end()) return HttpResponse::NotFound("no bucket " + key);
+  return HttpResponse::Ok(it->second, "application/octet-stream");
+}
+
+void Slave::HandleDiscards(const XmlRpcValue& response) {
+  auto discard = response.Field("discard");
+  if (!discard.ok()) return;
+  auto arr = (*discard)->AsArray();
+  if (!arr.ok()) return;
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  for (const XmlRpcValue& v : **arr) {
+    auto id = v.AsInt();
+    if (!id.ok()) continue;
+    std::string prefix = std::to_string(*id) + "/";
+    for (auto it = store_.lower_bound(prefix); it != store_.end();) {
+      if (!StartsWith(it->first, prefix)) break;
+      it = store_.erase(it);
+    }
+  }
+}
+
+Status Slave::ExecuteAssignment(const TaskAssignment& assignment) {
+  // Fault injection hook: report failure without doing the work.
+  if (faults_remaining_.load() > 0) {
+    faults_remaining_.fetch_sub(1);
+    return InternalError("injected task fault");
+  }
+
+  UrlFetcher fetch = [](const std::string& url) { return ResolveUrl(url); };
+
+  MRS_ASSIGN_OR_RETURN(std::vector<KeyValue> input,
+                       LoadTaskInput(assignment.inputs, fetch));
+  MRS_ASSIGN_OR_RETURN(
+      std::vector<Bucket> row,
+      RunTask(*program_, assignment.kind, assignment.options,
+              assignment.num_splits, std::move(input)));
+
+  // Publish each bucket and collect URLs.
+  XmlRpcArray urls;
+  for (int p = 0; p < assignment.num_splits; ++p) {
+    Bucket& b = row[static_cast<size_t>(p)];
+    std::string encoded = EncodeBinaryRecords(b.records());
+    std::string rel = std::to_string(assignment.dataset_id) + "/" +
+                      std::to_string(assignment.source) + "/" +
+                      std::to_string(p);
+    if (config_.shared_dir.empty()) {
+      // Direct communication: keep in memory, serve over HTTP.
+      {
+        std::lock_guard<std::mutex> lock(store_mutex_);
+        store_[rel] = std::move(encoded);
+      }
+      urls.push_back(XmlRpcValue("http://" + data_server_->addr().ToString() +
+                                 "/bucket/" + rel));
+    } else {
+      // Fault-tolerant path: write to the shared filesystem.
+      std::string dir = JoinPath(config_.shared_dir,
+                                 std::to_string(assignment.dataset_id));
+      MRS_RETURN_IF_ERROR(EnsureDir(dir));
+      std::string file = JoinPath(
+          dir, "source_" + std::to_string(assignment.source) + "_split_" +
+                   std::to_string(p) + ".mrsb");
+      MRS_RETURN_IF_ERROR(WriteFileAtomic(file, encoded));
+      urls.push_back(XmlRpcValue("file://" + file));
+    }
+  }
+
+  MRS_ASSIGN_OR_RETURN(
+      XmlRpcValue reply,
+      rpc_->Call("task_done",
+                 XmlRpcArray{XmlRpcValue(static_cast<int64_t>(id_)),
+                             XmlRpcValue(static_cast<int64_t>(
+                                 assignment.dataset_id)),
+                             XmlRpcValue(static_cast<int64_t>(
+                                 assignment.source)),
+                             XmlRpcValue(std::move(urls))}));
+  (void)reply;
+  tasks_executed_.fetch_add(1);
+  return Status::Ok();
+}
+
+Status Slave::Run() {
+  int idle_streak = 0;
+  while (!stop_.load()) {
+    Result<XmlRpcValue> reply = rpc_->Call(
+        "get_task", XmlRpcArray{XmlRpcValue(static_cast<int64_t>(id_))});
+    if (!reply.ok()) {
+      // Master gone?  Retry briefly, then give up.
+      if (++idle_streak > 20) {
+        return UnavailableError("lost contact with master: " +
+                                reply.status().ToString());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      continue;
+    }
+    idle_streak = 0;
+    HandleDiscards(*reply);
+
+    auto kind_field = reply->Field("kind");
+    if (!kind_field.ok()) return kind_field.status();
+    MRS_ASSIGN_OR_RETURN(std::string kind, (*kind_field)->AsString());
+
+    if (kind == "quit") return Status::Ok();
+    if (kind == "wait") continue;  // long poll already waited server-side
+    if (kind != "task") return ProtocolError("unexpected get_task kind: " + kind);
+
+    Result<TaskAssignment> assignment = TaskAssignment::FromRpc(*reply);
+    if (!assignment.ok()) return assignment.status();
+
+    Status exec = ExecuteAssignment(*assignment);
+    if (!exec.ok()) {
+      // Identify a bad input URL for lineage recovery, if the failure was
+      // a fetch error.
+      std::string bad_url;
+      for (const TaskInputPart& part : assignment->inputs) {
+        if (!part.inline_records &&
+            exec.message().find(part.url) != std::string::npos) {
+          bad_url = part.url;
+          break;
+        }
+      }
+      Result<XmlRpcValue> r = rpc_->Call(
+          "task_failed",
+          XmlRpcArray{
+              XmlRpcValue(static_cast<int64_t>(id_)),
+              XmlRpcValue(static_cast<int64_t>(assignment->dataset_id)),
+              XmlRpcValue(static_cast<int64_t>(assignment->source)),
+              XmlRpcValue(exec.ToString()), XmlRpcValue(bad_url)});
+      if (!r.ok()) {
+        MRS_LOG(kWarning, "slave") << "task_failed report failed: "
+                                   << r.status().ToString();
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace mrs

@@ -1,0 +1,89 @@
+// The Mrs slave: executes tasks and serves its output to peers.
+//
+// A slave needs "only the master's address and port to connect" (paper
+// §IV).  It runs a built-in HTTP server from which the master and peer
+// slaves fetch bucket data directly (the direct-communication path — data
+// lives in memory and is served without ever touching disk), signs in,
+// long-polls for assignments, executes them through the shared task
+// executor, and reports the bucket URLs back.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "core/program.h"
+#include "http/server.h"
+#include "rt/protocol.h"
+#include "xmlrpc/client.h"
+
+namespace mrs {
+
+class Slave {
+ public:
+  struct Config {
+    SocketAddr master;
+    std::string host = "127.0.0.1";
+    uint16_t data_port = 0;  // HTTP data server; 0 = ephemeral
+    double ping_interval = 2.0;
+    /// If non-empty, persist buckets to this (shared) directory and
+    /// publish file:// URLs instead of serving from memory — the
+    /// fault-tolerant path of paper §IV-B.
+    std::string shared_dir;
+    /// Fault injection for tests: fail this many tasks before working.
+    int fail_first_n_tasks = 0;
+  };
+
+  /// Start the data server and sign in to the master.
+  static Result<std::unique_ptr<Slave>> Start(MapReduce* program,
+                                              Config config);
+  ~Slave();
+
+  Slave(const Slave&) = delete;
+  Slave& operator=(const Slave&) = delete;
+
+  int id() const { return id_; }
+  const SocketAddr& data_addr() const { return data_server_->addr(); }
+
+  /// Main loop: poll for tasks until the master says quit or Stop() is
+  /// called.  Returns the loop's exit status.
+  Status Run();
+
+  /// Ask the loop to exit (safe from other threads).
+  void Stop() { stop_.store(true); }
+
+  int64_t tasks_executed() const { return tasks_executed_.load(); }
+
+ private:
+  Slave(MapReduce* program, Config config);
+  Status Init();
+  HttpResponse ServeData(const HttpRequest& req);
+  Status ExecuteAssignment(const TaskAssignment& assignment);
+  void HandleDiscards(const XmlRpcValue& response);
+
+  void PingLoop();
+
+  MapReduce* program_;
+  Config config_;
+  int id_ = 0;
+  std::unique_ptr<HttpServer> data_server_;
+  std::unique_ptr<XmlRpcClient> rpc_;
+  // Heartbeats run on their own connection so a long-running task (which
+  // keeps the main loop away from get_task) never looks like a dead slave
+  // to the master.
+  std::unique_ptr<XmlRpcClient> ping_rpc_;
+  std::thread ping_thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int64_t> tasks_executed_{0};
+  std::atomic<int> faults_remaining_{0};
+
+  // In-memory bucket store: "<dataset>/<source>/<split>" -> encoded records.
+  std::mutex store_mutex_;
+  std::map<std::string, std::string> store_;
+};
+
+}  // namespace mrs

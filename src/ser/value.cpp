@@ -1,0 +1,204 @@
+#include "ser/value.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace mrs {
+
+int64_t Value::AsInt() const {
+  assert(type_ == Type::kInt);
+  return int_;
+}
+
+double Value::AsDouble() const {
+  assert(type_ == Type::kInt || type_ == Type::kDouble);
+  return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+}
+
+const std::string& Value::AsString() const {
+  assert(type_ == Type::kString || type_ == Type::kBytes);
+  return str_;
+}
+
+const ValueList& Value::AsList() const {
+  assert(type_ == Type::kList);
+  return *list_;
+}
+
+namespace {
+/// Rank for cross-type ordering; Int and Double share a rank so mixed
+/// numeric comparisons use numeric order (as Python 2 sorting did).
+int TypeRank(Value::Type t) {
+  switch (t) {
+    case Value::Type::kNone: return 0;
+    case Value::Type::kInt:
+    case Value::Type::kDouble: return 1;
+    case Value::Type::kString: return 2;
+    case Value::Type::kBytes: return 3;
+    case Value::Type::kList: return 4;
+  }
+  return 5;
+}
+
+int Cmp(int64_t a, int64_t b) { return a < b ? -1 : (a > b ? 1 : 0); }
+int Cmp(double a, double b) { return a < b ? -1 : (a > b ? 1 : 0); }
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = TypeRank(type_);
+  int rb = TypeRank(other.type_);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (type_) {
+    case Type::kNone:
+      return 0;
+    case Type::kInt:
+      if (other.type_ == Type::kInt) return Cmp(int_, other.int_);
+      return Cmp(static_cast<double>(int_), other.double_);
+    case Type::kDouble:
+      if (other.type_ == Type::kInt) {
+        return Cmp(double_, static_cast<double>(other.int_));
+      }
+      return Cmp(double_, other.double_);
+    case Type::kString:
+    case Type::kBytes:
+      return str_ < other.str_ ? -1 : (str_ > other.str_ ? 1 : 0);
+    case Type::kList: {
+      const ValueList& a = *list_;
+      const ValueList& b = *other.list_;
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c;
+      }
+      return Cmp(static_cast<int64_t>(a.size()), static_cast<int64_t>(b.size()));
+    }
+  }
+  return 0;
+}
+
+uint64_t Value::Hash() const {
+  Bytes buf;
+  ByteWriter w(&buf);
+  // An integral double hashes like the equal int, so hash respects ==.
+  if (type_ == Type::kDouble && std::floor(double_) == double_ &&
+      double_ >= -9.2e18 && double_ <= 9.2e18) {
+    Value as_int(static_cast<int64_t>(double_));
+    as_int.Serialize(&w);
+  } else {
+    Serialize(&w);
+  }
+  return Fnv1a64(std::string_view(reinterpret_cast<const char*>(buf.data()),
+                                  buf.size()));
+}
+
+void Value::Serialize(ByteWriter* writer) const {
+  writer->PutU8(static_cast<uint8_t>(type_));
+  switch (type_) {
+    case Type::kNone:
+      break;
+    case Type::kInt:
+      writer->PutVarintSigned(int_);
+      break;
+    case Type::kDouble:
+      writer->PutDouble(double_);
+      break;
+    case Type::kString:
+    case Type::kBytes:
+      writer->PutLengthPrefixed(str_);
+      break;
+    case Type::kList:
+      writer->PutVarint(list_->size());
+      for (const Value& v : *list_) v.Serialize(writer);
+      break;
+  }
+}
+
+Result<Value> Value::Deserialize(ByteReader* reader) {
+  MRS_ASSIGN_OR_RETURN(uint8_t tag, reader->GetU8());
+  switch (static_cast<Type>(tag)) {
+    case Type::kNone:
+      return Value();
+    case Type::kInt: {
+      MRS_ASSIGN_OR_RETURN(int64_t v, reader->GetVarintSigned());
+      return Value(v);
+    }
+    case Type::kDouble: {
+      MRS_ASSIGN_OR_RETURN(double v, reader->GetDouble());
+      return Value(v);
+    }
+    case Type::kString: {
+      MRS_ASSIGN_OR_RETURN(std::string s, reader->GetLengthPrefixed());
+      return Value(std::move(s));
+    }
+    case Type::kBytes: {
+      MRS_ASSIGN_OR_RETURN(std::string s, reader->GetLengthPrefixed());
+      return Value::BytesValue(std::move(s));
+    }
+    case Type::kList: {
+      MRS_ASSIGN_OR_RETURN(uint64_t n, reader->GetVarint());
+      if (n > (1ull << 30)) return DataLossError("absurd list length");
+      ValueList list;
+      list.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        MRS_ASSIGN_OR_RETURN(Value v, Deserialize(reader));
+        list.push_back(std::move(v));
+      }
+      return Value(std::move(list));
+    }
+  }
+  return DataLossError("unknown Value tag: " + std::to_string(tag));
+}
+
+std::string Value::Repr() const {
+  switch (type_) {
+    case Type::kNone:
+      return "None";
+    case Type::kInt:
+      return std::to_string(int_);
+    case Type::kDouble: {
+      std::string s = StrPrintf("%.17g", double_);
+      // Ensure a double never reads back as an int.
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos &&
+          s.find("nan") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case Type::kString:
+    case Type::kBytes: {
+      std::string out = type_ == Type::kBytes ? "b'" : "'";
+      for (char c : str_) {
+        switch (c) {
+          case '\\': out += "\\\\"; break;
+          case '\'': out += "\\'"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+              out += StrPrintf("\\x%02x", static_cast<unsigned char>(c));
+            } else {
+              out += c;
+            }
+        }
+      }
+      out += '\'';
+      return out;
+    }
+    case Type::kList: {
+      std::string out = "[";
+      for (size_t i = 0; i < list_->size(); ++i) {
+        if (i > 0) out += ", ";
+        out += (*list_)[i].Repr();
+      }
+      return out + "]";
+    }
+  }
+  return "?";
+}
+
+}  // namespace mrs

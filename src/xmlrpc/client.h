@@ -1,0 +1,29 @@
+// XML-RPC client: POSTs <methodCall> documents to an HTTP endpoint.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "http/client.h"
+#include "xmlrpc/protocol.h"
+
+namespace mrs {
+
+class XmlRpcClient {
+ public:
+  /// `endpoint` is the request path, "/RPC2" by convention.
+  explicit XmlRpcClient(SocketAddr addr, std::string endpoint = "/RPC2")
+      : http_(std::move(addr)), endpoint_(std::move(endpoint)) {}
+
+  /// Invoke a remote method.  Transport and protocol failures, and remote
+  /// faults, all surface as error Status.
+  Result<XmlRpcValue> Call(const std::string& method, XmlRpcArray params);
+
+  const SocketAddr& addr() const { return http_.addr(); }
+
+ private:
+  HttpClient http_;
+  std::string endpoint_;
+};
+
+}  // namespace mrs

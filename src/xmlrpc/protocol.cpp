@@ -1,0 +1,104 @@
+#include "xmlrpc/protocol.h"
+
+namespace mrs {
+namespace xmlrpc {
+
+namespace {
+constexpr std::string_view kDeclaration = "<?xml version=\"1.0\"?>";
+
+XmlElement ParamsElement(const XmlRpcArray& params) {
+  XmlElement params_elem;
+  params_elem.name = "params";
+  for (const XmlRpcValue& p : params) {
+    XmlElement param;
+    param.name = "param";
+    param.children.push_back(p.ToXml());
+    params_elem.children.push_back(std::move(param));
+  }
+  return params_elem;
+}
+}  // namespace
+
+std::string BuildCall(const MethodCall& call) {
+  XmlElement root;
+  root.name = "methodCall";
+  XmlElement name;
+  name.name = "methodName";
+  name.text = call.method;
+  root.children.push_back(std::move(name));
+  root.children.push_back(ParamsElement(call.params));
+  return std::string(kDeclaration) + WriteXml(root);
+}
+
+Result<MethodCall> ParseCall(std::string_view xml) {
+  MRS_ASSIGN_OR_RETURN(XmlElement root, ParseXml(xml));
+  if (root.name != "methodCall") {
+    return ProtocolError("expected <methodCall>, got <" + root.name + ">");
+  }
+  const XmlElement* name = root.Child("methodName");
+  if (name == nullptr) return ProtocolError("<methodCall> missing <methodName>");
+  MethodCall call;
+  call.method = name->TrimmedText();
+  if (const XmlElement* params = root.Child("params"); params != nullptr) {
+    for (const XmlElement& param : params->children) {
+      if (param.name != "param") continue;
+      const XmlElement* value = param.Child("value");
+      if (value == nullptr) return ProtocolError("<param> missing <value>");
+      MRS_ASSIGN_OR_RETURN(XmlRpcValue v, XmlRpcValue::FromXml(*value));
+      call.params.push_back(std::move(v));
+    }
+  }
+  return call;
+}
+
+std::string BuildResponse(const XmlRpcValue& result) {
+  XmlElement root;
+  root.name = "methodResponse";
+  root.children.push_back(ParamsElement(XmlRpcArray{result}));
+  return std::string(kDeclaration) + WriteXml(root);
+}
+
+std::string BuildFault(int code, std::string_view message) {
+  XmlRpcStruct fault;
+  fault["faultCode"] = XmlRpcValue(static_cast<int64_t>(code));
+  fault["faultString"] = XmlRpcValue(std::string(message));
+
+  XmlElement root;
+  root.name = "methodResponse";
+  XmlElement fault_elem;
+  fault_elem.name = "fault";
+  fault_elem.children.push_back(XmlRpcValue(std::move(fault)).ToXml());
+  root.children.push_back(std::move(fault_elem));
+  return std::string(kDeclaration) + WriteXml(root);
+}
+
+Result<XmlRpcValue> ParseResponse(std::string_view xml) {
+  MRS_ASSIGN_OR_RETURN(XmlElement root, ParseXml(xml));
+  if (root.name != "methodResponse") {
+    return ProtocolError("expected <methodResponse>, got <" + root.name + ">");
+  }
+  if (const XmlElement* fault = root.Child("fault"); fault != nullptr) {
+    const XmlElement* value = fault->Child("value");
+    if (value == nullptr) return ProtocolError("<fault> missing <value>");
+    MRS_ASSIGN_OR_RETURN(XmlRpcValue v, XmlRpcValue::FromXml(*value));
+    int64_t code = 0;
+    std::string message = "unknown fault";
+    if (auto f = v.Field("faultCode"); f.ok()) {
+      code = (*f)->AsInt().ValueOr(0);
+    }
+    if (auto f = v.Field("faultString"); f.ok()) {
+      message = (*f)->AsString().ValueOr(message);
+    }
+    return InternalError("fault " + std::to_string(code) + ": " + message);
+  }
+  const XmlElement* params = root.Child("params");
+  if (params == nullptr || params->children.empty()) {
+    return ProtocolError("<methodResponse> missing <params>");
+  }
+  const XmlElement* value = params->children.front().Child("value");
+  if (value == nullptr) return ProtocolError("response <param> missing <value>");
+  return XmlRpcValue::FromXml(*value);
+}
+
+}  // namespace xmlrpc
+}  // namespace mrs

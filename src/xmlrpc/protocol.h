@@ -1,0 +1,35 @@
+// XML-RPC request/response framing (methodCall / methodResponse / fault).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "xmlrpc/value.h"
+
+namespace mrs {
+namespace xmlrpc {
+
+struct MethodCall {
+  std::string method;
+  XmlRpcArray params;
+};
+
+/// Serialize a <methodCall> document.
+std::string BuildCall(const MethodCall& call);
+
+/// Parse a <methodCall> document.
+Result<MethodCall> ParseCall(std::string_view xml);
+
+/// Serialize a successful <methodResponse> with a single return value.
+std::string BuildResponse(const XmlRpcValue& result);
+
+/// Serialize a <fault> response.
+std::string BuildFault(int code, std::string_view message);
+
+/// Parse a <methodResponse>; a <fault> becomes an error Status carrying
+/// "fault <code>: <message>".
+Result<XmlRpcValue> ParseResponse(std::string_view xml);
+
+}  // namespace xmlrpc
+}  // namespace mrs

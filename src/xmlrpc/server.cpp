@@ -1,0 +1,55 @@
+#include "xmlrpc/server.h"
+
+namespace mrs {
+
+void XmlRpcDispatcher::Register(std::string name, Method method) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  methods_[std::move(name)] = std::move(method);
+}
+
+Result<XmlRpcValue> XmlRpcDispatcher::Dispatch(
+    const xmlrpc::MethodCall& call) const {
+  Method method;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = methods_.find(call.method);
+    if (it == methods_.end()) {
+      return NotFoundError("unknown XML-RPC method: " + call.method);
+    }
+    method = it->second;
+  }
+  return method(call.params);
+}
+
+HttpResponse XmlRpcDispatcher::HandleHttp(const HttpRequest& req) const {
+  Result<xmlrpc::MethodCall> call = xmlrpc::ParseCall(req.body);
+  std::string body;
+  if (!call.ok()) {
+    body = xmlrpc::BuildFault(400, call.status().ToString());
+  } else {
+    Result<XmlRpcValue> result = Dispatch(*call);
+    if (result.ok()) {
+      body = xmlrpc::BuildResponse(*result);
+    } else {
+      int code = result.status().code() == StatusCode::kNotFound ? 404 : 500;
+      body = xmlrpc::BuildFault(code, result.status().ToString());
+    }
+  }
+  return HttpResponse::Ok(std::move(body), "text/xml");
+}
+
+std::function<HttpResponse(const HttpRequest&)>
+XmlRpcDispatcher::MakeHttpHandler(
+    std::string rpc_path,
+    std::function<HttpResponse(const HttpRequest&)> fallback) const {
+  return [this, rpc_path = std::move(rpc_path),
+          fallback = std::move(fallback)](const HttpRequest& req) {
+    auto [path, query] = SplitTarget(req.target);
+    (void)query;
+    if (req.method == "POST" && path == rpc_path) return HandleHttp(req);
+    if (fallback) return fallback(req);
+    return HttpResponse::NotFound();
+  };
+}
+
+}  // namespace mrs

@@ -1,0 +1,44 @@
+// XML-RPC method dispatch for an HttpServer.
+//
+// Register methods on a Dispatcher, then install MakeHttpHandler() as the
+// server handler (optionally delegating non-RPC paths to a fallback, which
+// Mrs slaves use to serve bucket data from the same port).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "http/message.h"
+#include "xmlrpc/protocol.h"
+
+namespace mrs {
+
+class XmlRpcDispatcher {
+ public:
+  using Method = std::function<Result<XmlRpcValue>(const XmlRpcArray& params)>;
+
+  /// Register a method; replaces any existing registration of that name.
+  void Register(std::string name, Method method);
+
+  /// Dispatch one parsed call.
+  Result<XmlRpcValue> Dispatch(const xmlrpc::MethodCall& call) const;
+
+  /// Handle one HTTP request carrying an XML-RPC call; always returns a
+  /// well-formed XML-RPC response document (faults for errors).
+  HttpResponse HandleHttp(const HttpRequest& req) const;
+
+  /// Build a complete HttpServer handler: requests to `rpc_path` are
+  /// dispatched here; anything else goes to `fallback` (or 404).
+  std::function<HttpResponse(const HttpRequest&)> MakeHttpHandler(
+      std::string rpc_path = "/RPC2",
+      std::function<HttpResponse(const HttpRequest&)> fallback = nullptr) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Method> methods_;
+};
+
+}  // namespace mrs

@@ -1,0 +1,299 @@
+#include "xmlrpc/value.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace mrs {
+
+namespace {
+constexpr char kB64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::string_view TypeName(XmlRpcValue::Type t) {
+  switch (t) {
+    case XmlRpcValue::Type::kNil: return "nil";
+    case XmlRpcValue::Type::kBool: return "bool";
+    case XmlRpcValue::Type::kInt: return "int";
+    case XmlRpcValue::Type::kDouble: return "double";
+    case XmlRpcValue::Type::kString: return "string";
+    case XmlRpcValue::Type::kBinary: return "binary";
+    case XmlRpcValue::Type::kArray: return "array";
+    case XmlRpcValue::Type::kStruct: return "struct";
+  }
+  return "?";
+}
+
+Status WrongType(std::string_view want, XmlRpcValue::Type got) {
+  return ProtocolError("XML-RPC type mismatch: want " + std::string(want) +
+                       ", got " + std::string(TypeName(got)));
+}
+}  // namespace
+
+Result<bool> XmlRpcValue::AsBool() const {
+  if (type_ != Type::kBool) return WrongType("bool", type_);
+  return bool_;
+}
+
+Result<int64_t> XmlRpcValue::AsInt() const {
+  if (type_ != Type::kInt) return WrongType("int", type_);
+  return int_;
+}
+
+Result<double> XmlRpcValue::AsDouble() const {
+  if (type_ == Type::kDouble) return double_;
+  if (type_ == Type::kInt) return static_cast<double>(int_);
+  return WrongType("double", type_);
+}
+
+Result<std::string> XmlRpcValue::AsString() const {
+  if (type_ != Type::kString && type_ != Type::kBinary) {
+    return WrongType("string", type_);
+  }
+  return string_;
+}
+
+Result<const XmlRpcArray*> XmlRpcValue::AsArray() const {
+  if (type_ != Type::kArray) return WrongType("array", type_);
+  return array_.get();
+}
+
+Result<const XmlRpcStruct*> XmlRpcValue::AsStruct() const {
+  if (type_ != Type::kStruct) return WrongType("struct", type_);
+  return struct_.get();
+}
+
+Result<const XmlRpcValue*> XmlRpcValue::Field(std::string_view name) const {
+  MRS_ASSIGN_OR_RETURN(const XmlRpcStruct* s, AsStruct());
+  auto it = s->find(std::string(name));
+  if (it == s->end()) {
+    return ProtocolError("XML-RPC struct missing field: " + std::string(name));
+  }
+  return &it->second;
+}
+
+XmlElement XmlRpcValue::ToXml() const {
+  XmlElement value;
+  value.name = "value";
+  XmlElement inner;
+  switch (type_) {
+    case Type::kNil:
+      inner.name = "nil";
+      break;
+    case Type::kBool:
+      inner.name = "boolean";
+      inner.text = bool_ ? "1" : "0";
+      break;
+    case Type::kInt:
+      inner.name = "i8";
+      inner.text = std::to_string(int_);
+      break;
+    case Type::kDouble: {
+      inner.name = "double";
+      inner.text = StrPrintf("%.17g", double_);
+      break;
+    }
+    case Type::kString:
+      inner.name = "string";
+      inner.text = string_;
+      break;
+    case Type::kBinary:
+      inner.name = "base64";
+      inner.text = Base64Encode(string_);
+      break;
+    case Type::kArray: {
+      inner.name = "array";
+      XmlElement data;
+      data.name = "data";
+      for (const XmlRpcValue& v : *array_) data.children.push_back(v.ToXml());
+      inner.children.push_back(std::move(data));
+      break;
+    }
+    case Type::kStruct: {
+      inner.name = "struct";
+      for (const auto& [k, v] : *struct_) {
+        XmlElement member;
+        member.name = "member";
+        XmlElement name;
+        name.name = "name";
+        name.text = k;
+        member.children.push_back(std::move(name));
+        member.children.push_back(v.ToXml());
+        inner.children.push_back(std::move(member));
+      }
+      break;
+    }
+  }
+  value.children.push_back(std::move(inner));
+  return value;
+}
+
+Result<XmlRpcValue> XmlRpcValue::FromXml(const XmlElement& value_elem) {
+  if (value_elem.name != "value") {
+    return ProtocolError("expected <value>, got <" + value_elem.name + ">");
+  }
+  if (value_elem.children.empty()) {
+    // Bare text inside <value> is a string per the XML-RPC spec.
+    return XmlRpcValue(value_elem.text);
+  }
+  const XmlElement& t = value_elem.children.front();
+  if (t.name == "nil") return XmlRpcValue();
+  if (t.name == "boolean") {
+    std::string s = t.TrimmedText();
+    if (s == "1" || EqualsIgnoreCase(s, "true")) return XmlRpcValue(true);
+    if (s == "0" || EqualsIgnoreCase(s, "false")) return XmlRpcValue(false);
+    return ProtocolError("bad <boolean> value: " + s);
+  }
+  if (t.name == "int" || t.name == "i4" || t.name == "i8") {
+    auto v = ParseInt64(t.TrimmedText());
+    if (!v.has_value()) return ProtocolError("bad <" + t.name + ">: " + t.text);
+    return XmlRpcValue(*v);
+  }
+  if (t.name == "double") {
+    auto v = ParseDouble(t.TrimmedText());
+    if (!v.has_value()) return ProtocolError("bad <double>: " + t.text);
+    return XmlRpcValue(*v);
+  }
+  if (t.name == "string") return XmlRpcValue(t.text);
+  if (t.name == "base64") {
+    MRS_ASSIGN_OR_RETURN(std::string bytes, Base64Decode(t.TrimmedText()));
+    return XmlRpcValue::Binary(std::move(bytes));
+  }
+  if (t.name == "array") {
+    const XmlElement* data = t.Child("data");
+    if (data == nullptr) return ProtocolError("<array> missing <data>");
+    XmlRpcArray arr;
+    for (const XmlElement& child : data->children) {
+      MRS_ASSIGN_OR_RETURN(XmlRpcValue v, FromXml(child));
+      arr.push_back(std::move(v));
+    }
+    return XmlRpcValue(std::move(arr));
+  }
+  if (t.name == "struct") {
+    XmlRpcStruct s;
+    for (const XmlElement& member : t.children) {
+      if (member.name != "member") continue;
+      const XmlElement* name = member.Child("name");
+      const XmlElement* value = member.Child("value");
+      if (name == nullptr || value == nullptr) {
+        return ProtocolError("<member> missing <name> or <value>");
+      }
+      MRS_ASSIGN_OR_RETURN(XmlRpcValue v, FromXml(*value));
+      s[name->text] = std::move(v);
+    }
+    return XmlRpcValue(std::move(s));
+  }
+  return ProtocolError("unknown XML-RPC type element: <" + t.name + ">");
+}
+
+std::string XmlRpcValue::DebugString() const {
+  switch (type_) {
+    case Type::kNil: return "nil";
+    case Type::kBool: return bool_ ? "true" : "false";
+    case Type::kInt: return std::to_string(int_);
+    case Type::kDouble: return StrPrintf("%g", double_);
+    case Type::kString: return "\"" + string_ + "\"";
+    case Type::kBinary: return StrPrintf("<%zu bytes>", string_.size());
+    case Type::kArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < array_->size(); ++i) {
+        if (i > 0) out += ", ";
+        out += (*array_)[i].DebugString();
+      }
+      return out + "]";
+    }
+    case Type::kStruct: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [k, v] : *struct_) {
+        if (!first) out += ", ";
+        out += k + ": " + v.DebugString();
+        first = false;
+      }
+      return out + "}";
+    }
+  }
+  return "?";
+}
+
+bool XmlRpcValue::operator==(const XmlRpcValue& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNil: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kInt: return int_ == other.int_;
+    case Type::kDouble: return double_ == other.double_;
+    case Type::kString:
+    case Type::kBinary: return string_ == other.string_;
+    case Type::kArray: return *array_ == *other.array_;
+    case Type::kStruct: return *struct_ == *other.struct_;
+  }
+  return false;
+}
+
+std::string Base64Encode(std::string_view data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  size_t i = 0;
+  while (i + 3 <= data.size()) {
+    uint32_t n = (static_cast<uint8_t>(data[i]) << 16) |
+                 (static_cast<uint8_t>(data[i + 1]) << 8) |
+                 static_cast<uint8_t>(data[i + 2]);
+    out += kB64Alphabet[(n >> 18) & 63];
+    out += kB64Alphabet[(n >> 12) & 63];
+    out += kB64Alphabet[(n >> 6) & 63];
+    out += kB64Alphabet[n & 63];
+    i += 3;
+  }
+  size_t rem = data.size() - i;
+  if (rem == 1) {
+    uint32_t n = static_cast<uint8_t>(data[i]) << 16;
+    out += kB64Alphabet[(n >> 18) & 63];
+    out += kB64Alphabet[(n >> 12) & 63];
+    out += "==";
+  } else if (rem == 2) {
+    uint32_t n = (static_cast<uint8_t>(data[i]) << 16) |
+                 (static_cast<uint8_t>(data[i + 1]) << 8);
+    out += kB64Alphabet[(n >> 18) & 63];
+    out += kB64Alphabet[(n >> 12) & 63];
+    out += kB64Alphabet[(n >> 6) & 63];
+    out += '=';
+  }
+  return out;
+}
+
+Result<std::string> Base64Decode(std::string_view encoded) {
+  auto decode_char = [](char c) -> int {
+    if (c >= 'A' && c <= 'Z') return c - 'A';
+    if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+    if (c >= '0' && c <= '9') return c - '0' + 52;
+    if (c == '+') return 62;
+    if (c == '/') return 63;
+    return -1;
+  };
+  std::string out;
+  out.reserve(encoded.size() / 4 * 3);
+  uint32_t acc = 0;
+  int bits = 0;
+  int pad = 0;
+  for (char c : encoded) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (c == '=') {
+      ++pad;
+      continue;
+    }
+    if (pad > 0) return ProtocolError("base64 data after padding");
+    int v = decode_char(c);
+    if (v < 0) return ProtocolError("bad base64 character");
+    acc = (acc << 6) | static_cast<uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out += static_cast<char>((acc >> bits) & 0xFF);
+    }
+  }
+  if (pad > 2) return ProtocolError("too much base64 padding");
+  return out;
+}
+
+}  // namespace mrs

@@ -1,0 +1,89 @@
+// XML-RPC value model: the wire types of the master/slave control channel.
+//
+// Standard XML-RPC scalars plus the widely-supported <i8> extension (Mrs
+// task ids and sample counts exceed 32 bits).  Binary payloads travel as
+// <base64>.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xmlrpc/xml.h"
+
+namespace mrs {
+
+class XmlRpcValue;
+using XmlRpcArray = std::vector<XmlRpcValue>;
+using XmlRpcStruct = std::map<std::string, XmlRpcValue>;
+
+class XmlRpcValue {
+ public:
+  enum class Type { kNil, kBool, kInt, kDouble, kString, kBinary, kArray, kStruct };
+
+  XmlRpcValue() : type_(Type::kNil) {}
+  XmlRpcValue(bool b) : type_(Type::kBool), bool_(b) {}                 // NOLINT
+  XmlRpcValue(int v) : type_(Type::kInt), int_(v) {}                    // NOLINT
+  XmlRpcValue(int64_t v) : type_(Type::kInt), int_(v) {}                // NOLINT
+  XmlRpcValue(uint64_t v) : type_(Type::kInt), int_(static_cast<int64_t>(v)) {}  // NOLINT
+  XmlRpcValue(double v) : type_(Type::kDouble), double_(v) {}           // NOLINT
+  XmlRpcValue(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  XmlRpcValue(const char* s) : type_(Type::kString), string_(s) {}      // NOLINT
+  XmlRpcValue(XmlRpcArray a)                                            // NOLINT
+      : type_(Type::kArray), array_(std::make_shared<XmlRpcArray>(std::move(a))) {}
+  XmlRpcValue(XmlRpcStruct s)                                           // NOLINT
+      : type_(Type::kStruct), struct_(std::make_shared<XmlRpcStruct>(std::move(s))) {}
+
+  static XmlRpcValue Binary(std::string bytes) {
+    XmlRpcValue v;
+    v.type_ = Type::kBinary;
+    v.string_ = std::move(bytes);
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_nil() const { return type_ == Type::kNil; }
+
+  // Checked accessors: wrong-type access is a ProtocolError, because these
+  // values arrive from the network.
+  Result<bool> AsBool() const;
+  Result<int64_t> AsInt() const;
+  Result<double> AsDouble() const;       // accepts int too (promotes)
+  Result<std::string> AsString() const;  // string or binary
+  Result<const XmlRpcArray*> AsArray() const;
+  Result<const XmlRpcStruct*> AsStruct() const;
+
+  /// Struct field lookup; missing field is a ProtocolError.
+  Result<const XmlRpcValue*> Field(std::string_view name) const;
+
+  /// Serialize as a <value>...</value> element.
+  XmlElement ToXml() const;
+  /// Parse from a <value> element.
+  static Result<XmlRpcValue> FromXml(const XmlElement& value_elem);
+
+  /// Debug rendering ("{a: 1, b: [2, 3]}").
+  std::string DebugString() const;
+
+  bool operator==(const XmlRpcValue& other) const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  // shared_ptr keeps XmlRpcValue cheap to copy and breaks the recursive
+  // type; values are treated as immutable after construction.
+  std::shared_ptr<XmlRpcArray> array_;
+  std::shared_ptr<XmlRpcStruct> struct_;
+};
+
+/// RFC 4648 base64 (standard alphabet, padded).
+std::string Base64Encode(std::string_view data);
+Result<std::string> Base64Decode(std::string_view encoded);
+
+}  // namespace mrs

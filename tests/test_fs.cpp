@@ -1,0 +1,166 @@
+// Tests for filesystem helpers and the bucket abstraction.
+#include <gtest/gtest.h>
+
+#include "fs/bucket.h"
+#include "fs/file_io.h"
+#include "ser/record.h"
+
+namespace mrs {
+namespace {
+
+class FsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = MakeTempDir("mrs_fs_test_");
+    ASSERT_TRUE(dir.ok());
+    dir_ = *dir;
+  }
+  void TearDown() override { RemoveTree(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(FsTest, WriteReadRoundTrip) {
+  std::string path = JoinPath(dir_, "f.txt");
+  ASSERT_TRUE(WriteFileAtomic(path, "contents\n").ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "contents\n");
+}
+
+TEST_F(FsTest, AtomicWriteReplacesExisting) {
+  std::string path = JoinPath(dir_, "f.txt");
+  ASSERT_TRUE(WriteFileAtomic(path, "old").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "new").ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "new");
+  // No leftover temp files.
+  auto files = ListFilesRecursive(dir_);
+  ASSERT_TRUE(files.ok());
+  EXPECT_EQ(files->size(), 1u);
+}
+
+TEST_F(FsTest, ReadMissingFileIsNotFound) {
+  auto content = ReadFileToString(JoinPath(dir_, "missing"));
+  ASSERT_FALSE(content.ok());
+  EXPECT_EQ(content.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FsTest, AppendToFile) {
+  std::string path = JoinPath(dir_, "log");
+  ASSERT_TRUE(AppendToFile(path, "a").ok());
+  ASSERT_TRUE(AppendToFile(path, "b").ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "ab");
+}
+
+TEST_F(FsTest, EnsureDirCreatesNestedPath) {
+  std::string nested = JoinPath(dir_, "a/b/c");
+  ASSERT_TRUE(EnsureDir(nested).ok());
+  EXPECT_TRUE(IsDirectory(nested));
+  // Idempotent.
+  ASSERT_TRUE(EnsureDir(nested).ok());
+}
+
+TEST_F(FsTest, ListFilesRecursiveSortedAcrossNestedDirs) {
+  ASSERT_TRUE(EnsureDir(JoinPath(dir_, "x/y")).ok());
+  ASSERT_TRUE(EnsureDir(JoinPath(dir_, "a")).ok());
+  ASSERT_TRUE(WriteFileAtomic(JoinPath(dir_, "x/y/deep.txt"), "1").ok());
+  ASSERT_TRUE(WriteFileAtomic(JoinPath(dir_, "a/top.txt"), "2").ok());
+  ASSERT_TRUE(WriteFileAtomic(JoinPath(dir_, "root.txt"), "3").ok());
+  auto files = ListFilesRecursive(dir_);
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files->size(), 3u);
+  // Sorted lexicographically (deterministic task splits).
+  EXPECT_TRUE(std::is_sorted(files->begin(), files->end()));
+}
+
+TEST_F(FsTest, FileSizeAndExists) {
+  std::string path = JoinPath(dir_, "sz");
+  ASSERT_TRUE(WriteFileAtomic(path, "12345").ok());
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_FALSE(FileExists(path + "x"));
+  EXPECT_EQ(FileSize(path).value(), 5u);
+}
+
+TEST_F(FsTest, RemoveTreeDeletesEverything) {
+  ASSERT_TRUE(EnsureDir(JoinPath(dir_, "t/u")).ok());
+  ASSERT_TRUE(WriteFileAtomic(JoinPath(dir_, "t/u/f"), "x").ok());
+  RemoveTree(JoinPath(dir_, "t"));
+  EXPECT_FALSE(FileExists(JoinPath(dir_, "t")));
+}
+
+TEST(JoinPathTest, HandlesSlashes) {
+  EXPECT_EQ(JoinPath("a", "b"), "a/b");
+  EXPECT_EQ(JoinPath("a/", "b"), "a/b");
+  EXPECT_EQ(JoinPath("", "b"), "b");
+  EXPECT_EQ(JoinPath("a", ""), "a");
+}
+
+// ---- Buckets ----------------------------------------------------------------
+
+std::vector<KeyValue> TwoRecords() {
+  return {{Value("k1"), Value(int64_t{1})}, {Value("k2"), Value(2.5)}};
+}
+
+TEST_F(FsTest, BucketPersistAndReload) {
+  Bucket b(3, 1);
+  for (KeyValue kv : TwoRecords()) b.Append(std::move(kv));
+  b.MarkLoaded();
+  std::string path = JoinPath(dir_, "bucket.mrsb");
+  ASSERT_TRUE(b.PersistToFile(path).ok());
+  EXPECT_EQ(b.url(), "file://" + path);
+
+  b.Evict();
+  EXPECT_FALSE(b.loaded());
+  EXPECT_TRUE(b.records().empty());
+
+  ASSERT_TRUE(b.EnsureLoaded(nullptr).ok());
+  EXPECT_TRUE(b.loaded());
+  EXPECT_EQ(b.records(), TwoRecords());
+}
+
+TEST_F(FsTest, BucketHttpUrlUsesInjectedFetcher) {
+  Bucket b(0, 0);
+  b.set_url("http://fake.host:1/bucket/1/0/0");
+  int fetches = 0;
+  auto fetch = [&](const std::string& url) -> Result<std::string> {
+    ++fetches;
+    EXPECT_EQ(url, "http://fake.host:1/bucket/1/0/0");
+    return EncodeBinaryRecords(TwoRecords());
+  };
+  ASSERT_TRUE(b.EnsureLoaded(fetch).ok());
+  EXPECT_EQ(fetches, 1);
+  EXPECT_EQ(b.records(), TwoRecords());
+  // Second call is a no-op.
+  ASSERT_TRUE(b.EnsureLoaded(fetch).ok());
+  EXPECT_EQ(fetches, 1);
+}
+
+TEST_F(FsTest, BucketFetchFailurePropagates) {
+  Bucket b(0, 0);
+  b.set_url("http://gone:1/x");
+  auto fetch = [](const std::string&) -> Result<std::string> {
+    return UnavailableError("host gone");
+  };
+  EXPECT_FALSE(b.EnsureLoaded(fetch).ok());
+  EXPECT_FALSE(b.loaded());
+}
+
+TEST_F(FsTest, BucketUnsupportedSchemeRejected) {
+  Bucket b(0, 0);
+  b.set_url("ftp://x/y");
+  EXPECT_FALSE(b.EnsureLoaded(nullptr).ok());
+}
+
+TEST_F(FsTest, BucketMemoryOnlyIsAuthoritative) {
+  Bucket b(0, 0);
+  b.Append(Value("k"), Value(int64_t{9}));
+  ASSERT_TRUE(b.EnsureLoaded(nullptr).ok());
+  EXPECT_EQ(b.records().size(), 1u);
+}
+
+TEST(BucketNaming, DeterministicFileName) {
+  EXPECT_EQ(BucketFileName("ds7", 2, 5), "ds7/source_2_split_5.mrsb");
+}
+
+}  // namespace
+}  // namespace mrs

@@ -1,0 +1,263 @@
+// Tests for the HTTP message model, incremental parser, server and client.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/clock.h"
+#include "http/client.h"
+#include "http/message.h"
+#include "http/parser.h"
+#include "http/server.h"
+
+namespace mrs {
+namespace {
+
+// ---- Headers -------------------------------------------------------------
+
+TEST(HttpHeaders, CaseInsensitiveLookup) {
+  HttpHeaders h;
+  h.Add("Content-Type", "text/xml");
+  EXPECT_EQ(h.Get("content-type").value(), "text/xml");
+  EXPECT_EQ(h.Get("CONTENT-TYPE").value(), "text/xml");
+  EXPECT_FALSE(h.Get("missing").has_value());
+}
+
+TEST(HttpHeaders, SetReplacesAllValues) {
+  HttpHeaders h;
+  h.Add("X", "1");
+  h.Add("X", "2");
+  h.Set("X", "3");
+  int count = 0;
+  for (const auto& [name, value] : h.entries()) {
+    if (name == "X") {
+      ++count;
+      EXPECT_EQ(value, "3");
+    }
+  }
+  EXPECT_EQ(count, 1);
+}
+
+// ---- Serialization ---------------------------------------------------------
+
+TEST(HttpMessage, RequestSerializeSetsContentLength) {
+  HttpRequest req;
+  req.method = "POST";
+  req.target = "/RPC2";
+  req.body = "12345";
+  std::string wire = req.Serialize();
+  EXPECT_NE(wire.find("POST /RPC2 HTTP/1.1\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_TRUE(wire.ends_with("\r\n12345"));
+}
+
+TEST(HttpMessage, ResponseHelpers) {
+  HttpResponse resp = HttpResponse::NotFound();
+  EXPECT_EQ(resp.status_code, 404);
+  EXPECT_EQ(HttpResponse::Ok("x").status_code, 200);
+  EXPECT_EQ(HttpResponse::BadRequest().status_code, 400);
+}
+
+TEST(HttpMessage, SplitTarget) {
+  auto [path, query] = SplitTarget("/bucket/1/2?x=1&y=2");
+  EXPECT_EQ(path, "/bucket/1/2");
+  EXPECT_EQ(query, "x=1&y=2");
+  auto [path2, query2] = SplitTarget("/plain");
+  EXPECT_EQ(path2, "/plain");
+  EXPECT_TRUE(query2.empty());
+}
+
+// ---- Parser -----------------------------------------------------------------
+
+TEST(HttpParser, ParsesRequestInOneChunk) {
+  HttpRequestParser parser;
+  std::string wire =
+      "GET /path?q=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 3\r\n\r\nabc";
+  auto used = parser.Feed(wire);
+  ASSERT_TRUE(used.ok());
+  EXPECT_EQ(*used, wire.size());
+  ASSERT_TRUE(parser.Done());
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().target, "/path?q=1");
+  EXPECT_EQ(parser.request().body, "abc");
+}
+
+TEST(HttpParser, ParsesByteByByte) {
+  HttpResponseParser parser;
+  std::string wire =
+      "HTTP/1.1 200 OK\r\nContent-Length: 4\r\nX-A: b\r\n\r\nbody";
+  for (char c : wire) {
+    ASSERT_FALSE(parser.Done());
+    auto used = parser.Feed(std::string_view(&c, 1));
+    ASSERT_TRUE(used.ok());
+  }
+  ASSERT_TRUE(parser.Done());
+  EXPECT_EQ(parser.response().status_code, 200);
+  EXPECT_EQ(parser.response().reason, "OK");
+  EXPECT_EQ(parser.response().body, "body");
+  EXPECT_EQ(parser.response().headers.Get("x-a").value(), "b");
+}
+
+TEST(HttpParser, LeavesPipelinedBytes) {
+  HttpRequestParser parser;
+  std::string two =
+      "GET /a HTTP/1.1\r\nContent-Length: 0\r\n\r\nGET /b HTTP/1.1\r\n";
+  auto used = parser.Feed(two);
+  ASSERT_TRUE(used.ok());
+  EXPECT_TRUE(parser.Done());
+  EXPECT_LT(*used, two.size());
+  EXPECT_EQ(two.substr(*used), "GET /b HTTP/1.1\r\n");
+}
+
+TEST(HttpParser, NoContentLengthMeansEmptyBody) {
+  HttpRequestParser parser;
+  auto used = parser.Feed("GET / HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(used.ok());
+  EXPECT_TRUE(parser.Done());
+  EXPECT_TRUE(parser.request().body.empty());
+}
+
+TEST(HttpParser, RejectsMalformedStartLine) {
+  HttpRequestParser parser;
+  EXPECT_FALSE(parser.Feed("NONSENSE\r\n\r\n").ok());
+}
+
+TEST(HttpParser, RejectsBadContentLength) {
+  HttpRequestParser parser;
+  EXPECT_FALSE(
+      parser.Feed("GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n").ok());
+}
+
+TEST(HttpParser, RejectsChunkedEncoding) {
+  HttpResponseParser parser;
+  EXPECT_FALSE(
+      parser.Feed("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n")
+          .ok());
+}
+
+TEST(HttpParser, ToleratesBareLf) {
+  HttpRequestParser parser;
+  auto used = parser.Feed("GET / HTTP/1.1\nHost: x\n\n");
+  ASSERT_TRUE(used.ok());
+  EXPECT_TRUE(parser.Done());
+}
+
+// ---- URL parsing -------------------------------------------------------------
+
+TEST(HttpUrl, ParseFullUrl) {
+  auto url = HttpUrl::Parse("http://10.0.0.1:8080/bucket/3/1?x=2");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url->host, "10.0.0.1");
+  EXPECT_EQ(url->port, 8080);
+  EXPECT_EQ(url->target, "/bucket/3/1?x=2");
+}
+
+TEST(HttpUrl, DefaultsPortAndPath) {
+  auto url = HttpUrl::Parse("http://h.example");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url->port, 80);
+  EXPECT_EQ(url->target, "/");
+}
+
+TEST(HttpUrl, RejectsOtherSchemes) {
+  EXPECT_FALSE(HttpUrl::Parse("https://x/").ok());
+  EXPECT_FALSE(HttpUrl::Parse("ftp://x/").ok());
+  EXPECT_FALSE(HttpUrl::Parse("http://:80/").ok());
+}
+
+// ---- Server + client integration ---------------------------------------------
+
+class HttpIntegration : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto server = HttpServer::Start(
+        "127.0.0.1", 0,
+        [this](const HttpRequest& req) { return Handle(req); },
+        /*num_workers=*/2);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(server).value();
+  }
+
+  HttpResponse Handle(const HttpRequest& req) {
+    auto [path, query] = SplitTarget(req.target);
+    (void)query;
+    if (path == "/echo") {
+      return HttpResponse::Ok(req.method + ":" + req.body);
+    }
+    if (path == "/big") {
+      return HttpResponse::Ok(std::string(1 << 20, 'x'));
+    }
+    return HttpResponse::NotFound();
+  }
+
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpIntegration, GetAndPostRoundTrip) {
+  HttpClient client(server_->addr());
+  auto get = client.Get("/echo");
+  ASSERT_TRUE(get.ok()) << get.status().ToString();
+  EXPECT_EQ(get->status_code, 200);
+  EXPECT_EQ(get->body, "GET:");
+
+  auto post = client.Post("/echo", "payload");
+  ASSERT_TRUE(post.ok());
+  EXPECT_EQ(post->body, "POST:payload");
+}
+
+TEST_F(HttpIntegration, KeepAliveReusesConnection) {
+  HttpClient client(server_->addr());
+  for (int i = 0; i < 20; ++i) {
+    auto resp = client.Get("/echo");
+    ASSERT_TRUE(resp.ok()) << i << ": " << resp.status().ToString();
+    EXPECT_EQ(resp->status_code, 200);
+  }
+}
+
+TEST_F(HttpIntegration, NotFoundStatus) {
+  HttpClient client(server_->addr());
+  auto resp = client.Get("/nope");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status_code, 404);
+}
+
+TEST_F(HttpIntegration, LargeBody) {
+  HttpClient client(server_->addr());
+  auto resp = client.Get("/big");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->body.size(), 1u << 20);
+}
+
+TEST_F(HttpIntegration, ConcurrentClients) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> ok_count{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      HttpClient client(server_->addr());
+      for (int i = 0; i < 25; ++i) {
+        auto resp = client.Post("/echo", "x");
+        if (resp.ok() && resp->body == "POST:x") ok_count.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok_count.load(), kThreads * 25);
+}
+
+TEST_F(HttpIntegration, HttpFetchHelper) {
+  std::string url = server_->url_base() + "/echo";
+  auto body = HttpFetch(url);
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  EXPECT_EQ(*body, "GET:");
+  EXPECT_FALSE(HttpFetch(server_->url_base() + "/nope").ok());
+}
+
+TEST_F(HttpIntegration, ShutdownIsIdempotentAndFast) {
+  Stopwatch watch;
+  server_->Shutdown();
+  server_->Shutdown();
+  EXPECT_LT(watch.ElapsedSeconds(), 2.0);
+}
+
+}  // namespace
+}  // namespace mrs

@@ -1,0 +1,117 @@
+// True multi-process integration test: the paper's Program 3 story.
+//
+// Launches the quickstart WordCount binary once as a master (which writes
+// its host:port to a port file) and twice as slaves (which connect knowing
+// only that address), exactly as the PBS startup script would, and checks
+// that the distributed output matches an in-process serial run.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/strings.h"
+#include "fs/file_io.h"
+
+extern char** environ;
+
+#ifndef MRS_QUICKSTART_BINARY
+#define MRS_QUICKSTART_BINARY ""
+#endif
+
+namespace mrs {
+namespace {
+
+Result<pid_t> Spawn(const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+  argv.push_back(nullptr);
+  pid_t pid = 0;
+  int rc = ::posix_spawn(&pid, args[0].c_str(), nullptr, nullptr, argv.data(),
+                         environ);
+  if (rc != 0) return IoErrorFromErrno("posix_spawn", rc);
+  return pid;
+}
+
+/// Wait for a process with a deadline; kills it on timeout.
+int WaitFor(pid_t pid, double timeout_seconds) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(timeout_seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    int status = 0;
+    pid_t done = ::waitpid(pid, &status, WNOHANG);
+    if (done == pid) {
+      return WIFEXITED(status) ? WEXITSTATUS(status) : -2;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+  return -1;
+}
+
+TEST(MultiProcess, MasterAndSlaveProcessesMatchSerial) {
+  std::string binary = MRS_QUICKSTART_BINARY;
+  ASSERT_FALSE(binary.empty());
+  ASSERT_TRUE(FileExists(binary)) << binary;
+
+  auto dir = MakeTempDir("mrs_multiproc_");
+  ASSERT_TRUE(dir.ok());
+  ASSERT_TRUE(EnsureDir(JoinPath(*dir, "in/sub")).ok());
+  ASSERT_TRUE(WriteFileAtomic(JoinPath(*dir, "in/a.txt"),
+                              "hello world hello\n").ok());
+  ASSERT_TRUE(WriteFileAtomic(JoinPath(*dir, "in/sub/b.txt"),
+                              "world again\nhello\n").ok());
+
+  std::string port_file = JoinPath(*dir, "master.port");
+  std::string serial_out = JoinPath(*dir, "serial.txt");
+  std::string distributed_out = JoinPath(*dir, "distributed.txt");
+
+  // Reference run, in a child process too (same binary, serial impl).
+  {
+    auto pid = Spawn({binary, "-o", serial_out, JoinPath(*dir, "in")});
+    ASSERT_TRUE(pid.ok());
+    EXPECT_EQ(WaitFor(*pid, 20.0), 0);
+  }
+
+  // Step 2 of Program 3: start the master.
+  auto master = Spawn({binary, "-I", "master", "--mrs-port-file", port_file,
+                       "-N", "2", "-o", distributed_out,
+                       JoinPath(*dir, "in")});
+  ASSERT_TRUE(master.ok());
+
+  // Step 3: wait for the master's port file.
+  std::string address;
+  for (int i = 0; i < 200 && address.empty(); ++i) {
+    if (FileExists(port_file)) {
+      auto content = ReadFileToString(port_file);
+      if (content.ok()) address = std::string(Trim(*content));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  ASSERT_FALSE(address.empty()) << "master never wrote its port file";
+
+  // Step 4: start the slaves, knowing only host:port.
+  auto slave1 = Spawn({binary, "-I", "slave", "-M", address});
+  auto slave2 = Spawn({binary, "-I", "slave", "-M", address});
+  ASSERT_TRUE(slave1.ok() && slave2.ok());
+
+  EXPECT_EQ(WaitFor(*master, 60.0), 0);
+  EXPECT_EQ(WaitFor(*slave1, 20.0), 0);
+  EXPECT_EQ(WaitFor(*slave2, 20.0), 0);
+
+  auto serial = ReadFileToString(serial_out);
+  auto distributed = ReadFileToString(distributed_out);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(distributed.ok());
+  EXPECT_EQ(*serial, *distributed);
+  EXPECT_NE(serial->find("'hello'\t3"), std::string::npos);
+  RemoveTree(*dir);
+}
+
+}  // namespace
+}  // namespace mrs

@@ -1,0 +1,411 @@
+// Tests for the PSO library: objective functions, standard constriction
+// motion, subswarm serialization, and the Apiary MapReduce program's
+// equivalence across implementations — the paper's §IV-A invariant applied
+// to a real stochastic algorithm.
+#include <gtest/gtest.h>
+
+#include "pso/apiary.h"
+#include "pso/functions.h"
+#include "pso/swarm.h"
+#include "rt/mrs_main.h"
+
+namespace mrs {
+namespace pso {
+namespace {
+
+// ---- Objective functions -----------------------------------------------------
+
+class FunctionProperties : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FunctionProperties, ZeroAtOptimum) {
+  auto fn = MakeFunction(GetParam());
+  ASSERT_TRUE(fn.ok());
+  std::vector<double> x = (*fn)->Optimum(8);
+  EXPECT_NEAR((*fn)->Evaluate(x), 0.0, 1e-9) << GetParam();
+}
+
+TEST_P(FunctionProperties, PositiveAwayFromOptimum) {
+  auto fn = MakeFunction(GetParam());
+  ASSERT_TRUE(fn.ok());
+  std::vector<double> x = (*fn)->Optimum(8);
+  for (double& v : x) v += 1.7;
+  EXPECT_GT((*fn)->Evaluate(x), 0.0) << GetParam();
+}
+
+TEST_P(FunctionProperties, BoundsAreSane) {
+  auto fn = MakeFunction(GetParam());
+  ASSERT_TRUE(fn.ok());
+  EXPECT_LT((*fn)->lower_bound(), (*fn)->upper_bound());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFunctions, FunctionProperties,
+                         ::testing::ValuesIn(FunctionNames()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+TEST(Functions, RosenbrockKnownValues) {
+  Rosenbrock f;
+  std::vector<double> ones(250, 1.0);
+  EXPECT_DOUBLE_EQ(f.Evaluate(ones), 0.0);
+  std::vector<double> zeros(2, 0.0);
+  EXPECT_DOUBLE_EQ(f.Evaluate(zeros), 1.0);  // 100*(0-0)^2 + (1-0)^2
+}
+
+TEST(Functions, SphereIsSumOfSquares) {
+  Sphere f;
+  std::vector<double> x = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(f.Evaluate(x), 25.0);
+}
+
+TEST(Functions, UnknownNameRejected) {
+  EXPECT_FALSE(MakeFunction("banana").ok());
+}
+
+// ---- Swarm mechanics -----------------------------------------------------------
+
+TEST(Swarm, InitRespectsponds) {
+  Sphere f;
+  MT19937_64 rng(1);
+  SubSwarm s = InitSubSwarm(0, 10, 4, f, rng);
+  ASSERT_EQ(s.particles.size(), 10u);
+  for (const Particle& p : s.particles) {
+    for (double x : p.position) {
+      EXPECT_GE(x, f.lower_bound());
+      EXPECT_LE(x, f.upper_bound());
+    }
+    EXPECT_DOUBLE_EQ(p.pbest_val, f.Evaluate(p.pbest_pos));
+  }
+}
+
+TEST(Swarm, InitSharesBestAcrossParticles) {
+  Sphere f;
+  MT19937_64 rng(1);
+  SubSwarm s = InitSubSwarm(0, 10, 4, f, rng);
+  double best = s.BestValue();
+  for (const Particle& p : s.particles) {
+    EXPECT_DOUBLE_EQ(p.nbest_val, best);
+  }
+}
+
+TEST(Swarm, StepIsDeterministicGivenStream) {
+  Sphere f;
+  MT19937_64 rng1(7), rng2(7);
+  SubSwarm a = InitSubSwarm(0, 5, 6, f, rng1);
+  SubSwarm b = InitSubSwarm(0, 5, 6, f, rng2);
+  MT19937_64 step1(99), step2(99);
+  StepSubSwarm(a, f, 20, step1);
+  StepSubSwarm(b, f, 20, step2);
+  EXPECT_EQ(a.BestValue(), b.BestValue());
+  EXPECT_EQ(a.iterations_done, b.iterations_done);
+  for (size_t i = 0; i < a.particles.size(); ++i) {
+    EXPECT_EQ(a.particles[i].position, b.particles[i].position);
+  }
+}
+
+TEST(Swarm, StepImprovesSphere) {
+  Sphere f;
+  MT19937_64 rng(5);
+  SubSwarm s = InitSubSwarm(0, 10, 5, f, rng);
+  double before = s.BestValue();
+  MT19937_64 step(6);
+  int64_t evals = StepSubSwarm(s, f, 50, step);
+  EXPECT_EQ(evals, 10 * 50);
+  EXPECT_LT(s.BestValue(), before);
+}
+
+TEST(Swarm, PbestNeverWorsens) {
+  Sphere f;
+  MT19937_64 rng(5);
+  SubSwarm s = InitSubSwarm(0, 5, 4, f, rng);
+  std::vector<double> before;
+  for (const Particle& p : s.particles) before.push_back(p.pbest_val);
+  MT19937_64 step(6);
+  StepSubSwarm(s, f, 25, step);
+  for (size_t i = 0; i < s.particles.size(); ++i) {
+    EXPECT_LE(s.particles[i].pbest_val, before[i]);
+  }
+}
+
+TEST(Swarm, InjectBestOnlyImproves) {
+  Sphere f;
+  MT19937_64 rng(5);
+  SubSwarm s = InitSubSwarm(0, 3, 4, f, rng);
+  double good_val = -1.0;  // better than anything (f >= 0)
+  std::vector<double> pos(4, 0.0);
+  InjectBest(s, pos, good_val);
+  for (const Particle& p : s.particles) {
+    EXPECT_DOUBLE_EQ(p.nbest_val, good_val);
+  }
+  // A worse value must be ignored.
+  InjectBest(s, pos, 1e9);
+  for (const Particle& p : s.particles) {
+    EXPECT_DOUBLE_EQ(p.nbest_val, good_val);
+  }
+}
+
+TEST(Swarm, PackUnpackRoundTrip) {
+  Rosenbrock f;
+  MT19937_64 rng(11);
+  SubSwarm s = InitSubSwarm(3, 4, 7, f, rng);
+  s.iterations_done = 42;
+  auto back = UnpackSubSwarm(PackSubSwarm(s));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->id, 3);
+  EXPECT_EQ(back->iterations_done, 42);
+  ASSERT_EQ(back->particles.size(), 4u);
+  for (size_t i = 0; i < s.particles.size(); ++i) {
+    EXPECT_EQ(back->particles[i].position, s.particles[i].position);
+    EXPECT_EQ(back->particles[i].velocity, s.particles[i].velocity);
+    EXPECT_DOUBLE_EQ(back->particles[i].pbest_val, s.particles[i].pbest_val);
+    EXPECT_DOUBLE_EQ(back->particles[i].nbest_val, s.particles[i].nbest_val);
+  }
+}
+
+TEST(Swarm, MessagePackUnpackAndTagging) {
+  std::vector<double> pos = {1.0, -2.0};
+  Value msg = PackBestMessage(pos, 0.5);
+  EXPECT_TRUE(IsBestMessage(msg));
+  auto back = UnpackBestMessage(msg);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->first, pos);
+  EXPECT_DOUBLE_EQ(back->second, 0.5);
+
+  Sphere f;
+  MT19937_64 rng(2);
+  Value swarm = PackSubSwarm(InitSubSwarm(0, 2, 2, f, rng));
+  EXPECT_FALSE(IsBestMessage(swarm));
+  EXPECT_FALSE(UnpackBestMessage(swarm).ok());
+  EXPECT_FALSE(UnpackSubSwarm(msg).ok());
+}
+
+// ---- Apiary equivalence across implementations -------------------------------
+
+ApiaryConfig SmallConfig() {
+  ApiaryConfig config;
+  config.function = "sphere";
+  config.dims = 12;
+  config.num_subswarms = 4;
+  config.particles_per_subswarm = 4;
+  config.inner_iterations = 15;
+  config.max_rounds = 6;
+  config.target = -1.0;  // never converge: run all rounds
+  return config;
+}
+
+ApiaryResult RunWithImpl(const std::string& impl) {
+  ApiaryPso program;
+  program.config = SmallConfig();
+  EXPECT_TRUE(program.Init(Options()).ok());
+  if (impl == "bypass") {
+    EXPECT_TRUE(program.Bypass().ok());
+    return program.result;
+  }
+  RunConfig config;
+  config.impl = impl;
+  config.num_slaves = 2;
+  Status status = RunProgram(
+      [] {
+        auto p = std::make_unique<ApiaryPso>();
+        p->config = SmallConfig();
+        return std::unique_ptr<MapReduce>(std::move(p));
+      },
+      &program, config);
+  EXPECT_TRUE(status.ok()) << impl << ": " << status.ToString();
+  return program.result;
+}
+
+void ExpectSameTrajectory(const ApiaryResult& a, const ApiaryResult& b,
+                          const std::string& label) {
+  ASSERT_EQ(a.history.size(), b.history.size()) << label;
+  for (size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(a.history[i].round, b.history[i].round) << label;
+    EXPECT_EQ(a.history[i].evaluations, b.history[i].evaluations) << label;
+    // Bit-identical best values: same streams, same arithmetic.
+    EXPECT_EQ(a.history[i].best, b.history[i].best)
+        << label << " at round " << a.history[i].round;
+  }
+  EXPECT_EQ(a.best, b.best) << label;
+}
+
+TEST(Apiary, BypassMatchesSerialMapReduce) {
+  ExpectSameTrajectory(RunWithImpl("bypass"), RunWithImpl("serial"),
+                       "bypass-vs-serial");
+}
+
+TEST(Apiary, MockParallelMatchesBypass) {
+  ExpectSameTrajectory(RunWithImpl("bypass"), RunWithImpl("mockparallel"),
+                       "bypass-vs-mock");
+}
+
+TEST(Apiary, MasterSlaveMatchesBypass) {
+  ExpectSameTrajectory(RunWithImpl("bypass"), RunWithImpl("masterslave"),
+                       "bypass-vs-masterslave");
+}
+
+TEST(Apiary, SeedChangesTrajectory) {
+  ApiaryPso a, b;
+  a.config = SmallConfig();
+  b.config = SmallConfig();
+  OptionParser parser;
+  AddStandardMrsOptions(&parser);
+  auto opts1 = parser.Parse(std::vector<std::string>{"--mrs-seed", "1"});
+  auto opts2 = parser.Parse(std::vector<std::string>{"--mrs-seed", "2"});
+  ASSERT_TRUE(a.Init(*opts1).ok());
+  ASSERT_TRUE(b.Init(*opts2).ok());
+  ASSERT_TRUE(a.Bypass().ok());
+  ASSERT_TRUE(b.Bypass().ok());
+  EXPECT_NE(a.result.best, b.result.best);
+}
+
+TEST(Apiary, ConvergesOnEasySphere) {
+  ApiaryConfig config;
+  config.function = "sphere";
+  config.dims = 6;
+  config.num_subswarms = 4;
+  config.particles_per_subswarm = 6;
+  config.inner_iterations = 40;
+  config.max_rounds = 60;
+  config.target = 1e-5;
+  auto result = RunApiarySerial(config, /*seed=*/42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->rounds_to_target, 0)
+      << "did not reach 1e-5; best=" << result->best;
+}
+
+TEST(Apiary, HistoryIsMonotoneInEvalsAndBest) {
+  auto result = RunApiarySerial(SmallConfig(), 42);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->history.size(); ++i) {
+    EXPECT_GT(result->history[i].evaluations,
+              result->history[i - 1].evaluations);
+    EXPECT_LE(result->history[i].best, result->history[i - 1].best);
+  }
+}
+
+TEST(Apiary, CheckIntervalThinsHistory) {
+  ApiaryConfig config = SmallConfig();
+  config.check_interval = 3;
+  auto result = RunApiarySerial(config, 42);
+  ASSERT_TRUE(result.ok());
+  // Initial point + rounds 3, 6 = 3 history entries.
+  EXPECT_EQ(result->history.size(), 3u);
+}
+
+TEST(Apiary, SingleSubswarmHasNoNeighbors) {
+  ApiaryConfig config = SmallConfig();
+  config.num_subswarms = 1;
+  auto result = RunApiarySerial(config, 42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rounds, config.max_rounds);
+}
+
+TEST(Apiary, OptionsOverrideConfig) {
+  ApiaryPso program;
+  OptionParser parser;
+  AddStandardMrsOptions(&parser);
+  program.AddOptions(&parser);
+  auto opts = parser.Parse(std::vector<std::string>{
+      "--pso-function", "ackley", "--pso-dims", "17", "--pso-subswarms",
+      "3"});
+  ASSERT_TRUE(opts.ok()) << opts.status().ToString();
+  ASSERT_TRUE(program.Init(*opts).ok());
+  EXPECT_EQ(program.config.function, "ackley");
+  EXPECT_EQ(program.config.dims, 17);
+  EXPECT_EQ(program.config.num_subswarms, 3);
+}
+
+}  // namespace
+}  // namespace pso
+}  // namespace mrs
+
+// Appended: inter-hive topology tests (ring / star / isolated extension).
+namespace mrs {
+namespace pso {
+namespace {
+
+TEST(Topology, NeighborSets) {
+  auto ring = TopologyNeighbors("ring", 0, 5);
+  ASSERT_TRUE(ring.ok());
+  EXPECT_EQ(*ring, (std::vector<int64_t>{4, 1}));
+
+  auto ring2 = TopologyNeighbors("ring", 1, 2);
+  ASSERT_TRUE(ring2.ok());
+  EXPECT_EQ(*ring2, (std::vector<int64_t>{0}));  // left == right collapses
+
+  auto star = TopologyNeighbors("star", 2, 4);
+  ASSERT_TRUE(star.ok());
+  EXPECT_EQ(*star, (std::vector<int64_t>{0, 1, 3}));
+
+  auto isolated = TopologyNeighbors("isolated", 0, 8);
+  ASSERT_TRUE(isolated.ok());
+  EXPECT_TRUE(isolated->empty());
+
+  EXPECT_TRUE(TopologyNeighbors("ring", 0, 1).value().empty());
+  EXPECT_FALSE(TopologyNeighbors("torus", 0, 8).ok());
+}
+
+TEST(Topology, BadTopologyRejectedAtInit) {
+  ApiaryPso program;
+  program.config = SmallConfig();
+  program.config.topology = "torus";
+  EXPECT_FALSE(program.Init(Options()).ok());
+}
+
+class TopologyEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TopologyEquivalence, MapReduceMatchesBypass) {
+  ApiaryConfig config = SmallConfig();
+  config.topology = GetParam();
+
+  ApiaryPso bypass_program;
+  bypass_program.config = config;
+  ASSERT_TRUE(bypass_program.Init(Options()).ok());
+  ASSERT_TRUE(bypass_program.Bypass().ok());
+
+  ApiaryPso mr_program;
+  mr_program.config = config;
+  ASSERT_TRUE(mr_program.Init(Options()).ok());
+  RunConfig run_config;
+  run_config.impl = "masterslave";
+  run_config.num_slaves = 2;
+  Status status = RunProgram(
+      [&]() -> std::unique_ptr<MapReduce> {
+        auto p = std::make_unique<ApiaryPso>();
+        p->config = config;
+        return p;
+      },
+      &mr_program, run_config);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ExpectSameTrajectory(bypass_program.result, mr_program.result, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, TopologyEquivalence,
+                         ::testing::Values("ring", "star", "isolated"));
+
+TEST(Topology, StarSharesAtLeastAsFastAsIsolated) {
+  // With communication, the global best propagates; isolated islands
+  // cannot be *better* at the shared-information game on a unimodal
+  // function with the same streams.
+  ApiaryConfig config;
+  config.function = "sphere";
+  config.dims = 10;
+  config.num_subswarms = 6;
+  config.particles_per_subswarm = 4;
+  config.inner_iterations = 10;
+  config.max_rounds = 12;
+  config.target = -1.0;
+
+  config.topology = "star";
+  auto star = RunApiarySerial(config, 42);
+  config.topology = "isolated";
+  auto isolated = RunApiarySerial(config, 42);
+  ASSERT_TRUE(star.ok() && isolated.ok());
+  // Not a strict theorem, but with identical init streams the coupled
+  // topology should not lose badly; assert within a generous factor.
+  EXPECT_LT(star->best, isolated->best * 10 + 1.0);
+}
+
+}  // namespace
+}  // namespace pso
+}  // namespace mrs

@@ -1,0 +1,170 @@
+// Tests for the from-scratch MT19937-64 and the Mrs independent-stream
+// API, including the published reference vectors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "rng/mt19937_64.h"
+#include "rng/streams.h"
+
+namespace mrs {
+namespace {
+
+TEST(MT19937_64, ReferenceVectorsInitByArray) {
+  // From Nishimura & Matsumoto's mt19937-64.out.txt: init_by_array64 with
+  // {0x12345, 0x23456, 0x34567, 0x45678}; first ten outputs.
+  const uint64_t keys[] = {0x12345ull, 0x23456ull, 0x34567ull, 0x45678ull};
+  MT19937_64 rng{std::span<const uint64_t>(keys, 4)};
+  const uint64_t expected[10] = {
+      7266447313870364031ull,  4946485549665804864ull,
+      16945909448695747420ull, 16394063075524226720ull,
+      4873882236456199058ull,  14877448043947020171ull,
+      6740343660852211943ull,  13857871200353263164ull,
+      5249110015610582907ull,  10205081126064480383ull,
+  };
+  for (uint64_t e : expected) {
+    EXPECT_EQ(rng.NextU64(), e);
+  }
+}
+
+TEST(MT19937_64, ScalarSeedDeterministic) {
+  MT19937_64 a(12345);
+  MT19937_64 b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(MT19937_64, DifferentSeedsDiverge) {
+  MT19937_64 a(1);
+  MT19937_64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(MT19937_64, NextDoubleInHalfOpenUnitInterval) {
+  MT19937_64 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(MT19937_64, NextDoubleMeanNearHalf) {
+  MT19937_64 rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(MT19937_64, NextBoundedUnbiasedRange) {
+  MT19937_64 rng(3);
+  int histogram[7] = {0};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t v = rng.NextBounded(7);
+    ASSERT_LT(v, 7u);
+    ++histogram[v];
+  }
+  for (int count : histogram) {
+    EXPECT_NEAR(count, n / 7, n / 70);  // within 10%
+  }
+}
+
+TEST(MT19937_64, NextBoundedEdgeCases) {
+  MT19937_64 rng(3);
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+  EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(MT19937_64, GaussianMomentsRoughlyStandard) {
+  MT19937_64 rng(17);
+  const int n = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(MT19937_64, WorksWithStdShuffleInterface) {
+  static_assert(MT19937_64::min() == 0);
+  static_assert(MT19937_64::max() == ~0ull);
+  MT19937_64 rng(5);
+  EXPECT_NE(rng(), rng());
+}
+
+// ---- RandomStreams (the Mrs random(...) API) ---------------------------
+
+TEST(RandomStreams, SameArgsSameStream) {
+  RandomStreams streams(42);
+  MT19937_64 a = streams(1, 2, 3);
+  MT19937_64 b = streams(1, 2, 3);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RandomStreams, DifferentArgsIndependentStreams) {
+  RandomStreams streams(42);
+  MT19937_64 a = streams(1, 2, 3);
+  MT19937_64 b = streams(1, 2, 4);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(RandomStreams, TupleLengthMatters) {
+  // (1) and (1, 0) must be distinct streams.
+  RandomStreams streams(42);
+  MT19937_64 a = streams(uint64_t{1});
+  MT19937_64 b = streams(uint64_t{1}, uint64_t{0});
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+TEST(RandomStreams, ProgramSeedMatters) {
+  RandomStreams s1(1);
+  RandomStreams s2(2);
+  EXPECT_NE(s1(7, 7).NextU64(), s2(7, 7).NextU64());
+}
+
+TEST(RandomStreams, EmptyTupleWorks) {
+  RandomStreams streams(42);
+  MT19937_64 a = streams();
+  MT19937_64 b = streams();
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RandomStreams, ManyArgumentsSupported) {
+  // The paper: "the random method can accept around 300 arguments".
+  RandomStreams streams(42);
+  std::vector<uint64_t> args(300);
+  for (size_t i = 0; i < args.size(); ++i) args[i] = i * 1234567ull;
+  MT19937_64 a = streams.Get(args);
+  args[299] += 1;
+  MT19937_64 b = streams.Get(args);
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+TEST(RandomStreams, StreamsPairwiseDistinctOverGrid) {
+  RandomStreams streams(42);
+  std::set<uint64_t> firsts;
+  for (uint64_t op = 0; op < 8; ++op) {
+    for (uint64_t task = 0; task < 32; ++task) {
+      firsts.insert(streams(op, task).NextU64());
+    }
+  }
+  EXPECT_EQ(firsts.size(), 8u * 32u);
+}
+
+}  // namespace
+}  // namespace mrs
