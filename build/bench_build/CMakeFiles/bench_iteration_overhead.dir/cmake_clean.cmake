@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_iteration_overhead"
+  "../bench/bench_iteration_overhead.pdb"
+  "CMakeFiles/bench_iteration_overhead.dir/bench_iteration_overhead.cpp.o"
+  "CMakeFiles/bench_iteration_overhead.dir/bench_iteration_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iteration_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pi"
+  "../bench/bench_pi.pdb"
+  "CMakeFiles/bench_pi.dir/bench_pi.cpp.o"
+  "CMakeFiles/bench_pi.dir/bench_pi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

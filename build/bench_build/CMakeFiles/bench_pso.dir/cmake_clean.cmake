@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pso"
+  "../bench/bench_pso.pdb"
+  "CMakeFiles/bench_pso.dir/bench_pso.cpp.o"
+  "CMakeFiles/bench_pso.dir/bench_pso.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

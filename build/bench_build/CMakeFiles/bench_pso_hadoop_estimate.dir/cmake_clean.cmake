@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pso_hadoop_estimate"
+  "../bench/bench_pso_hadoop_estimate.pdb"
+  "CMakeFiles/bench_pso_hadoop_estimate.dir/bench_pso_hadoop_estimate.cpp.o"
+  "CMakeFiles/bench_pso_hadoop_estimate.dir/bench_pso_hadoop_estimate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pso_hadoop_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_pso_hadoop_estimate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_wordcount"
+  "../bench/bench_wordcount.pdb"
+  "CMakeFiles/bench_wordcount.dir/bench_wordcount.cpp.o"
+  "CMakeFiles/bench_wordcount.dir/bench_wordcount.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wordcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_gen.dir/corpus_gen.cpp.o"
+  "CMakeFiles/corpus_gen.dir/corpus_gen.cpp.o.d"
+  "corpus_gen"
+  "corpus_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

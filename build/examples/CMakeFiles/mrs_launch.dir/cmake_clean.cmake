@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrs_launch.dir/mrs_launch.cpp.o"
+  "CMakeFiles/mrs_launch.dir/mrs_launch.cpp.o.d"
+  "mrs_launch"
+  "mrs_launch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrs_launch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

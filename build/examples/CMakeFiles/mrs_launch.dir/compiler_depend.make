@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mrs_launch.
+# This may be replaced when dependencies are built.

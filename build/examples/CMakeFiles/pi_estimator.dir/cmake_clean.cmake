@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_estimator.dir/pi_estimator.cpp.o"
+  "CMakeFiles/pi_estimator.dir/pi_estimator.cpp.o.d"
+  "pi_estimator"
+  "pi_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

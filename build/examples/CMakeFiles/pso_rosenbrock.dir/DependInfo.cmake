@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/pso_rosenbrock.cpp" "examples/CMakeFiles/pso_rosenbrock.dir/pso_rosenbrock.cpp.o" "gcc" "examples/CMakeFiles/pso_rosenbrock.dir/pso_rosenbrock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/mrs_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/pso/CMakeFiles/mrs_pso.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlrpc/CMakeFiles/mrs_xmlrpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/mrs_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mrs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/mrs_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/mrs_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/ser/CMakeFiles/mrs_ser.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pso_rosenbrock.dir/pso_rosenbrock.cpp.o"
+  "CMakeFiles/pso_rosenbrock.dir/pso_rosenbrock.cpp.o.d"
+  "pso_rosenbrock"
+  "pso_rosenbrock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pso_rosenbrock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

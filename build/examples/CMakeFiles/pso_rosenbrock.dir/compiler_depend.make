@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pso_rosenbrock.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for pso_rosenbrock.
+# This may be replaced when dependencies are built.

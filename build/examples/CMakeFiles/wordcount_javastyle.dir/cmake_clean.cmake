@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordcount_javastyle.dir/wordcount_javastyle.cpp.o"
+  "CMakeFiles/wordcount_javastyle.dir/wordcount_javastyle.cpp.o.d"
+  "wordcount_javastyle"
+  "wordcount_javastyle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordcount_javastyle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

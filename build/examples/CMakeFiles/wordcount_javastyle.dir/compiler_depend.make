@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wordcount_javastyle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("rng")
+subdirs("net")
+subdirs("http")
+subdirs("xmlrpc")
+subdirs("ser")
+subdirs("fs")
+subdirs("core")
+subdirs("rt")
+subdirs("interp")
+subdirs("hadoopsim")
+subdirs("pso")
+subdirs("halton")
+subdirs("corpus")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrs_common.dir/clock.cpp.o"
+  "CMakeFiles/mrs_common.dir/clock.cpp.o.d"
+  "CMakeFiles/mrs_common.dir/log.cpp.o"
+  "CMakeFiles/mrs_common.dir/log.cpp.o.d"
+  "CMakeFiles/mrs_common.dir/options.cpp.o"
+  "CMakeFiles/mrs_common.dir/options.cpp.o.d"
+  "CMakeFiles/mrs_common.dir/status.cpp.o"
+  "CMakeFiles/mrs_common.dir/status.cpp.o.d"
+  "CMakeFiles/mrs_common.dir/strings.cpp.o"
+  "CMakeFiles/mrs_common.dir/strings.cpp.o.d"
+  "CMakeFiles/mrs_common.dir/threadpool.cpp.o"
+  "CMakeFiles/mrs_common.dir/threadpool.cpp.o.d"
+  "libmrs_common.a"
+  "libmrs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

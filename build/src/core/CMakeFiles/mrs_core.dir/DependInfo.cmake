@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dataset.cpp" "src/core/CMakeFiles/mrs_core.dir/dataset.cpp.o" "gcc" "src/core/CMakeFiles/mrs_core.dir/dataset.cpp.o.d"
+  "/root/repo/src/core/fetch_registry.cpp" "src/core/CMakeFiles/mrs_core.dir/fetch_registry.cpp.o" "gcc" "src/core/CMakeFiles/mrs_core.dir/fetch_registry.cpp.o.d"
+  "/root/repo/src/core/job.cpp" "src/core/CMakeFiles/mrs_core.dir/job.cpp.o" "gcc" "src/core/CMakeFiles/mrs_core.dir/job.cpp.o.d"
+  "/root/repo/src/core/mock_runner.cpp" "src/core/CMakeFiles/mrs_core.dir/mock_runner.cpp.o" "gcc" "src/core/CMakeFiles/mrs_core.dir/mock_runner.cpp.o.d"
+  "/root/repo/src/core/program.cpp" "src/core/CMakeFiles/mrs_core.dir/program.cpp.o" "gcc" "src/core/CMakeFiles/mrs_core.dir/program.cpp.o.d"
+  "/root/repo/src/core/serial_runner.cpp" "src/core/CMakeFiles/mrs_core.dir/serial_runner.cpp.o" "gcc" "src/core/CMakeFiles/mrs_core.dir/serial_runner.cpp.o.d"
+  "/root/repo/src/core/task.cpp" "src/core/CMakeFiles/mrs_core.dir/task.cpp.o" "gcc" "src/core/CMakeFiles/mrs_core.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ser/CMakeFiles/mrs_ser.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/mrs_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/mrs_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/mrs_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mrs_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrs_core.dir/dataset.cpp.o"
+  "CMakeFiles/mrs_core.dir/dataset.cpp.o.d"
+  "CMakeFiles/mrs_core.dir/fetch_registry.cpp.o"
+  "CMakeFiles/mrs_core.dir/fetch_registry.cpp.o.d"
+  "CMakeFiles/mrs_core.dir/job.cpp.o"
+  "CMakeFiles/mrs_core.dir/job.cpp.o.d"
+  "CMakeFiles/mrs_core.dir/mock_runner.cpp.o"
+  "CMakeFiles/mrs_core.dir/mock_runner.cpp.o.d"
+  "CMakeFiles/mrs_core.dir/program.cpp.o"
+  "CMakeFiles/mrs_core.dir/program.cpp.o.d"
+  "CMakeFiles/mrs_core.dir/serial_runner.cpp.o"
+  "CMakeFiles/mrs_core.dir/serial_runner.cpp.o.d"
+  "CMakeFiles/mrs_core.dir/task.cpp.o"
+  "CMakeFiles/mrs_core.dir/task.cpp.o.d"
+  "libmrs_core.a"
+  "libmrs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrs_corpus.dir/corpus.cpp.o"
+  "CMakeFiles/mrs_corpus.dir/corpus.cpp.o.d"
+  "libmrs_corpus.a"
+  "libmrs_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrs_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

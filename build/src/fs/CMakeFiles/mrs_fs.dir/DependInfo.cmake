@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/bucket.cpp" "src/fs/CMakeFiles/mrs_fs.dir/bucket.cpp.o" "gcc" "src/fs/CMakeFiles/mrs_fs.dir/bucket.cpp.o.d"
+  "/root/repo/src/fs/file_io.cpp" "src/fs/CMakeFiles/mrs_fs.dir/file_io.cpp.o" "gcc" "src/fs/CMakeFiles/mrs_fs.dir/file_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ser/CMakeFiles/mrs_ser.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrs_fs.dir/bucket.cpp.o"
+  "CMakeFiles/mrs_fs.dir/bucket.cpp.o.d"
+  "CMakeFiles/mrs_fs.dir/file_io.cpp.o"
+  "CMakeFiles/mrs_fs.dir/file_io.cpp.o.d"
+  "libmrs_fs.a"
+  "libmrs_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrs_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

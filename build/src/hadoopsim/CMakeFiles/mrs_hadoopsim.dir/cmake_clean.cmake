@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrs_hadoopsim.dir/cluster.cpp.o"
+  "CMakeFiles/mrs_hadoopsim.dir/cluster.cpp.o.d"
+  "CMakeFiles/mrs_hadoopsim.dir/des.cpp.o"
+  "CMakeFiles/mrs_hadoopsim.dir/des.cpp.o.d"
+  "CMakeFiles/mrs_hadoopsim.dir/hdfs.cpp.o"
+  "CMakeFiles/mrs_hadoopsim.dir/hdfs.cpp.o.d"
+  "CMakeFiles/mrs_hadoopsim.dir/javaapi.cpp.o"
+  "CMakeFiles/mrs_hadoopsim.dir/javaapi.cpp.o.d"
+  "CMakeFiles/mrs_hadoopsim.dir/scripts.cpp.o"
+  "CMakeFiles/mrs_hadoopsim.dir/scripts.cpp.o.d"
+  "CMakeFiles/mrs_hadoopsim.dir/webhdfs.cpp.o"
+  "CMakeFiles/mrs_hadoopsim.dir/webhdfs.cpp.o.d"
+  "libmrs_hadoopsim.a"
+  "libmrs_hadoopsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrs_hadoopsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

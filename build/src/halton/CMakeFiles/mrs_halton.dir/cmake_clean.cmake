@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrs_halton.dir/halton.cpp.o"
+  "CMakeFiles/mrs_halton.dir/halton.cpp.o.d"
+  "CMakeFiles/mrs_halton.dir/pi_kernel.cpp.o"
+  "CMakeFiles/mrs_halton.dir/pi_kernel.cpp.o.d"
+  "CMakeFiles/mrs_halton.dir/pi_program.cpp.o"
+  "CMakeFiles/mrs_halton.dir/pi_program.cpp.o.d"
+  "libmrs_halton.a"
+  "libmrs_halton.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrs_halton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

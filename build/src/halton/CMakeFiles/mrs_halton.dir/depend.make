@@ -1,0 +1,2 @@
+# Empty dependencies file for mrs_halton.
+# This may be replaced when dependencies are built.

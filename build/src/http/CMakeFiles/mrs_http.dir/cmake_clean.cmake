@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrs_http.dir/client.cpp.o"
+  "CMakeFiles/mrs_http.dir/client.cpp.o.d"
+  "CMakeFiles/mrs_http.dir/message.cpp.o"
+  "CMakeFiles/mrs_http.dir/message.cpp.o.d"
+  "CMakeFiles/mrs_http.dir/parser.cpp.o"
+  "CMakeFiles/mrs_http.dir/parser.cpp.o.d"
+  "CMakeFiles/mrs_http.dir/server.cpp.o"
+  "CMakeFiles/mrs_http.dir/server.cpp.o.d"
+  "libmrs_http.a"
+  "libmrs_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrs_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interp/compiler.cpp" "src/interp/CMakeFiles/mrs_interp.dir/compiler.cpp.o" "gcc" "src/interp/CMakeFiles/mrs_interp.dir/compiler.cpp.o.d"
+  "/root/repo/src/interp/lexer.cpp" "src/interp/CMakeFiles/mrs_interp.dir/lexer.cpp.o" "gcc" "src/interp/CMakeFiles/mrs_interp.dir/lexer.cpp.o.d"
+  "/root/repo/src/interp/parser.cpp" "src/interp/CMakeFiles/mrs_interp.dir/parser.cpp.o" "gcc" "src/interp/CMakeFiles/mrs_interp.dir/parser.cpp.o.d"
+  "/root/repo/src/interp/pyvalue.cpp" "src/interp/CMakeFiles/mrs_interp.dir/pyvalue.cpp.o" "gcc" "src/interp/CMakeFiles/mrs_interp.dir/pyvalue.cpp.o.d"
+  "/root/repo/src/interp/treewalk.cpp" "src/interp/CMakeFiles/mrs_interp.dir/treewalk.cpp.o" "gcc" "src/interp/CMakeFiles/mrs_interp.dir/treewalk.cpp.o.d"
+  "/root/repo/src/interp/vm.cpp" "src/interp/CMakeFiles/mrs_interp.dir/vm.cpp.o" "gcc" "src/interp/CMakeFiles/mrs_interp.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrs_interp.dir/compiler.cpp.o"
+  "CMakeFiles/mrs_interp.dir/compiler.cpp.o.d"
+  "CMakeFiles/mrs_interp.dir/lexer.cpp.o"
+  "CMakeFiles/mrs_interp.dir/lexer.cpp.o.d"
+  "CMakeFiles/mrs_interp.dir/parser.cpp.o"
+  "CMakeFiles/mrs_interp.dir/parser.cpp.o.d"
+  "CMakeFiles/mrs_interp.dir/pyvalue.cpp.o"
+  "CMakeFiles/mrs_interp.dir/pyvalue.cpp.o.d"
+  "CMakeFiles/mrs_interp.dir/treewalk.cpp.o"
+  "CMakeFiles/mrs_interp.dir/treewalk.cpp.o.d"
+  "CMakeFiles/mrs_interp.dir/vm.cpp.o"
+  "CMakeFiles/mrs_interp.dir/vm.cpp.o.d"
+  "libmrs_interp.a"
+  "libmrs_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrs_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

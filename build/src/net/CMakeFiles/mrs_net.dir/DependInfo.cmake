@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/event_loop.cpp" "src/net/CMakeFiles/mrs_net.dir/event_loop.cpp.o" "gcc" "src/net/CMakeFiles/mrs_net.dir/event_loop.cpp.o.d"
+  "/root/repo/src/net/socket.cpp" "src/net/CMakeFiles/mrs_net.dir/socket.cpp.o" "gcc" "src/net/CMakeFiles/mrs_net.dir/socket.cpp.o.d"
+  "/root/repo/src/net/waker.cpp" "src/net/CMakeFiles/mrs_net.dir/waker.cpp.o" "gcc" "src/net/CMakeFiles/mrs_net.dir/waker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrs_net.dir/event_loop.cpp.o"
+  "CMakeFiles/mrs_net.dir/event_loop.cpp.o.d"
+  "CMakeFiles/mrs_net.dir/socket.cpp.o"
+  "CMakeFiles/mrs_net.dir/socket.cpp.o.d"
+  "CMakeFiles/mrs_net.dir/waker.cpp.o"
+  "CMakeFiles/mrs_net.dir/waker.cpp.o.d"
+  "libmrs_net.a"
+  "libmrs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

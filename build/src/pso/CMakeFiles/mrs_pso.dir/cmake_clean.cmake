@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrs_pso.dir/apiary.cpp.o"
+  "CMakeFiles/mrs_pso.dir/apiary.cpp.o.d"
+  "CMakeFiles/mrs_pso.dir/functions.cpp.o"
+  "CMakeFiles/mrs_pso.dir/functions.cpp.o.d"
+  "CMakeFiles/mrs_pso.dir/swarm.cpp.o"
+  "CMakeFiles/mrs_pso.dir/swarm.cpp.o.d"
+  "libmrs_pso.a"
+  "libmrs_pso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrs_pso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrs_rng.dir/mt19937_64.cpp.o"
+  "CMakeFiles/mrs_rng.dir/mt19937_64.cpp.o.d"
+  "libmrs_rng.a"
+  "libmrs_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrs_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

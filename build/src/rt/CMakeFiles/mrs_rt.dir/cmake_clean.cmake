@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrs_rt.dir/cluster.cpp.o"
+  "CMakeFiles/mrs_rt.dir/cluster.cpp.o.d"
+  "CMakeFiles/mrs_rt.dir/equivalence.cpp.o"
+  "CMakeFiles/mrs_rt.dir/equivalence.cpp.o.d"
+  "CMakeFiles/mrs_rt.dir/master.cpp.o"
+  "CMakeFiles/mrs_rt.dir/master.cpp.o.d"
+  "CMakeFiles/mrs_rt.dir/mrs_main.cpp.o"
+  "CMakeFiles/mrs_rt.dir/mrs_main.cpp.o.d"
+  "CMakeFiles/mrs_rt.dir/protocol.cpp.o"
+  "CMakeFiles/mrs_rt.dir/protocol.cpp.o.d"
+  "CMakeFiles/mrs_rt.dir/slave.cpp.o"
+  "CMakeFiles/mrs_rt.dir/slave.cpp.o.d"
+  "libmrs_rt.a"
+  "libmrs_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrs_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mrs_rt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrs_ser.dir/record.cpp.o"
+  "CMakeFiles/mrs_ser.dir/record.cpp.o.d"
+  "CMakeFiles/mrs_ser.dir/value.cpp.o"
+  "CMakeFiles/mrs_ser.dir/value.cpp.o.d"
+  "libmrs_ser.a"
+  "libmrs_ser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrs_ser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mrs_ser.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xmlrpc/client.cpp" "src/xmlrpc/CMakeFiles/mrs_xmlrpc.dir/client.cpp.o" "gcc" "src/xmlrpc/CMakeFiles/mrs_xmlrpc.dir/client.cpp.o.d"
+  "/root/repo/src/xmlrpc/protocol.cpp" "src/xmlrpc/CMakeFiles/mrs_xmlrpc.dir/protocol.cpp.o" "gcc" "src/xmlrpc/CMakeFiles/mrs_xmlrpc.dir/protocol.cpp.o.d"
+  "/root/repo/src/xmlrpc/server.cpp" "src/xmlrpc/CMakeFiles/mrs_xmlrpc.dir/server.cpp.o" "gcc" "src/xmlrpc/CMakeFiles/mrs_xmlrpc.dir/server.cpp.o.d"
+  "/root/repo/src/xmlrpc/value.cpp" "src/xmlrpc/CMakeFiles/mrs_xmlrpc.dir/value.cpp.o" "gcc" "src/xmlrpc/CMakeFiles/mrs_xmlrpc.dir/value.cpp.o.d"
+  "/root/repo/src/xmlrpc/xml.cpp" "src/xmlrpc/CMakeFiles/mrs_xmlrpc.dir/xml.cpp.o" "gcc" "src/xmlrpc/CMakeFiles/mrs_xmlrpc.dir/xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mrs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/mrs_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mrs_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

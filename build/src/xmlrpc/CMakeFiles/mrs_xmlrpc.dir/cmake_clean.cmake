@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrs_xmlrpc.dir/client.cpp.o"
+  "CMakeFiles/mrs_xmlrpc.dir/client.cpp.o.d"
+  "CMakeFiles/mrs_xmlrpc.dir/protocol.cpp.o"
+  "CMakeFiles/mrs_xmlrpc.dir/protocol.cpp.o.d"
+  "CMakeFiles/mrs_xmlrpc.dir/server.cpp.o"
+  "CMakeFiles/mrs_xmlrpc.dir/server.cpp.o.d"
+  "CMakeFiles/mrs_xmlrpc.dir/value.cpp.o"
+  "CMakeFiles/mrs_xmlrpc.dir/value.cpp.o.d"
+  "CMakeFiles/mrs_xmlrpc.dir/xml.cpp.o"
+  "CMakeFiles/mrs_xmlrpc.dir/xml.cpp.o.d"
+  "libmrs_xmlrpc.a"
+  "libmrs_xmlrpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrs_xmlrpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corpus.dir/test_corpus.cpp.o"
+  "CMakeFiles/test_corpus.dir/test_corpus.cpp.o.d"
+  "test_corpus"
+  "test_corpus.pdb"
+  "test_corpus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hadoopsim.dir/test_hadoopsim.cpp.o"
+  "CMakeFiles/test_hadoopsim.dir/test_hadoopsim.cpp.o.d"
+  "test_hadoopsim"
+  "test_hadoopsim.pdb"
+  "test_hadoopsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hadoopsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

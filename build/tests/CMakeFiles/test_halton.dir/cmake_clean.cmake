@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_halton.dir/test_halton.cpp.o"
+  "CMakeFiles/test_halton.dir/test_halton.cpp.o.d"
+  "test_halton"
+  "test_halton.pdb"
+  "test_halton[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_halton.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

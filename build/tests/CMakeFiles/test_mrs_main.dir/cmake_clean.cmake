@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mrs_main.dir/test_mrs_main.cpp.o"
+  "CMakeFiles/test_mrs_main.dir/test_mrs_main.cpp.o.d"
+  "test_mrs_main"
+  "test_mrs_main.pdb"
+  "test_mrs_main[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mrs_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

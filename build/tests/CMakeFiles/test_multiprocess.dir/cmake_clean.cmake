@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiprocess.dir/test_multiprocess.cpp.o"
+  "CMakeFiles/test_multiprocess.dir/test_multiprocess.cpp.o.d"
+  "test_multiprocess"
+  "test_multiprocess.pdb"
+  "test_multiprocess[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pso.dir/test_pso.cpp.o"
+  "CMakeFiles/test_pso.dir/test_pso.cpp.o.d"
+  "test_pso"
+  "test_pso.pdb"
+  "test_pso[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt.dir/test_rt.cpp.o"
+  "CMakeFiles/test_rt.dir/test_rt.cpp.o.d"
+  "test_rt"
+  "test_rt.pdb"
+  "test_rt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

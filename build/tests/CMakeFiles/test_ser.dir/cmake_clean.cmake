@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ser.dir/test_ser.cpp.o"
+  "CMakeFiles/test_ser.dir/test_ser.cpp.o.d"
+  "test_ser"
+  "test_ser.pdb"
+  "test_ser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_smoke_pipeline.cpp" "tests/CMakeFiles/test_smoke_pipeline.dir/test_smoke_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_smoke_pipeline.dir/test_smoke_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/mrs_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mrs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/mrs_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ser/CMakeFiles/mrs_ser.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/mrs_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlrpc/CMakeFiles/mrs_xmlrpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/mrs_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mrs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mrs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

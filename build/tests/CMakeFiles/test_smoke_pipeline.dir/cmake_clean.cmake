@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smoke_pipeline.dir/test_smoke_pipeline.cpp.o"
+  "CMakeFiles/test_smoke_pipeline.dir/test_smoke_pipeline.cpp.o.d"
+  "test_smoke_pipeline"
+  "test_smoke_pipeline.pdb"
+  "test_smoke_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smoke_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xmlrpc.dir/test_xmlrpc.cpp.o"
+  "CMakeFiles/test_xmlrpc.dir/test_xmlrpc.cpp.o.d"
+  "test_xmlrpc"
+  "test_xmlrpc.pdb"
+  "test_xmlrpc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xmlrpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

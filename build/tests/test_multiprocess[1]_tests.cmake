@@ -1,0 +1,3 @@
+add_test([=[MultiProcess.MasterAndSlaveProcessesMatchSerial]=]  /root/repo/build/tests/test_multiprocess [==[--gtest_filter=MultiProcess.MasterAndSlaveProcessesMatchSerial]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[MultiProcess.MasterAndSlaveProcessesMatchSerial]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_multiprocess_TESTS MultiProcess.MasterAndSlaveProcessesMatchSerial)
