@@ -1,0 +1,64 @@
+#include "common/retry.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/hash.h"
+
+namespace mrs {
+
+namespace {
+std::atomic<int64_t> g_rpc_retries{0};
+std::atomic<int64_t> g_fetch_retries{0};
+
+uint64_t NextJitterState() {
+  thread_local uint64_t state = [] {
+    auto now = std::chrono::steady_clock::now().time_since_epoch().count();
+    auto tid = std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return SplitMix64(static_cast<uint64_t>(now) ^ static_cast<uint64_t>(tid));
+  }();
+  state = SplitMix64(state);
+  return state;
+}
+}  // namespace
+
+bool IsTransportRetryable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kIoError:
+    case StatusCode::kDataLoss:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double BackoffDelaySeconds(const RetryPolicy& policy, int failures) {
+  if (failures < 1) failures = 1;
+  double delay = policy.initial_backoff_seconds;
+  for (int i = 1; i < failures && delay < policy.max_backoff_seconds; ++i) {
+    delay *= policy.backoff_multiplier;
+  }
+  if (delay > policy.max_backoff_seconds) delay = policy.max_backoff_seconds;
+  if (policy.jitter_fraction > 0) {
+    // Uniform in [1-jitter, 1+jitter] from 53 random bits.
+    double u = static_cast<double>(NextJitterState() >> 11) /
+               static_cast<double>(1ull << 53);
+    delay *= 1.0 + policy.jitter_fraction * (2.0 * u - 1.0);
+  }
+  return delay < 0 ? 0 : delay;
+}
+
+void SleepForSeconds(double seconds) {
+  if (seconds <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+int64_t RpcRetryCount() { return g_rpc_retries.load(); }
+int64_t FetchRetryCount() { return g_fetch_retries.load(); }
+void CountRpcRetry() { g_rpc_retries.fetch_add(1); }
+void CountFetchRetry() { g_fetch_retries.fetch_add(1); }
+
+}  // namespace mrs

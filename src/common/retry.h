@@ -1,0 +1,73 @@
+// Bounded exponential backoff with jitter for transient failures.
+//
+// The distributed runtime assumes processes and connections die at any
+// time (paper §I: "a job scheduler may kill processes at any time").  Both
+// network clients — the XML-RPC control channel and the bucket data
+// fetcher — funnel their retry loops through this policy so behaviour is
+// uniform and observable: every retry is counted in a process-wide
+// counter that Master::Stats surfaces to tests and benches.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace mrs {
+
+struct RetryPolicy {
+  /// Total tries including the first.  1 disables retries.
+  int max_attempts = 1;
+  double initial_backoff_seconds = 0.02;
+  double max_backoff_seconds = 0.5;
+  double backoff_multiplier = 2.0;
+  /// Each delay is scaled by a uniform factor in [1-jitter, 1+jitter].
+  double jitter_fraction = 0.25;
+};
+
+/// Errors worth retrying at the transport layer: connection refused/reset
+/// (kUnavailable, kIoError), timeouts (kDeadlineExceeded), and truncated
+/// or checksum-failed payloads (kDataLoss).  Application errors (bad
+/// argument, not found, internal) are not retried.
+bool IsTransportRetryable(const Status& status);
+
+/// Jittered delay before the retry following failure number `failures`
+/// (1-based): min(initial * multiplier^(failures-1), max) * U[1±jitter].
+double BackoffDelaySeconds(const RetryPolicy& policy, int failures);
+
+void SleepForSeconds(double seconds);
+
+// ---- Process-wide retry counters ---------------------------------------
+// Shared by every client in the process; Master::stats() reports deltas so
+// in-process cluster tests can assert that retries actually happened.
+
+int64_t RpcRetryCount();
+int64_t FetchRetryCount();
+void CountRpcRetry();
+void CountFetchRetry();
+
+inline const Status& RetryStatusOf(const Status& s) { return s; }
+template <typename T>
+const Status& RetryStatusOf(const Result<T>& r) {
+  return r.status();
+}
+
+/// Run `fn` until it succeeds, returns a non-retryable error, or the
+/// attempt budget is exhausted.  `count_retry` (may be null) is invoked
+/// once per retry performed.
+template <typename F>
+auto CallWithRetry(const RetryPolicy& policy, void (*count_retry)(), F&& fn)
+    -> decltype(fn()) {
+  auto result = fn();
+  for (int failures = 1; failures < policy.max_attempts; ++failures) {
+    if (RetryStatusOf(result).ok() ||
+        !IsTransportRetryable(RetryStatusOf(result))) {
+      break;
+    }
+    if (count_retry != nullptr) count_retry();
+    SleepForSeconds(BackoffDelaySeconds(policy, failures));
+    result = fn();
+  }
+  return result;
+}
+
+}  // namespace mrs

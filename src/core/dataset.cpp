@@ -74,6 +74,14 @@ void DataSet::ResetTask(int source) {
   task_states_[source] = TaskState::kPending;
 }
 
+void DataSet::InvalidateTask(int source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (int p = 0; p < num_splits_; ++p) {
+    grid_[GridIndex(source, p)] = Bucket(source, p);
+  }
+  task_states_[source] = TaskState::kPending;
+}
+
 bool DataSet::Complete() const {
   std::lock_guard<std::mutex> lock(mutex_);
   for (TaskState s : task_states_) {

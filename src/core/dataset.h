@@ -85,6 +85,10 @@ class DataSet {
   bool TryClaimTask(int source);
   /// Reset a task for re-execution (failure recovery).
   void ResetTask(int source);
+  /// Lineage recovery: the host of row `source`'s output died.  Drops the
+  /// row's buckets entirely (urls and records) and returns the task to
+  /// kPending so the scheduler re-executes it from its input lineage.
+  void InvalidateTask(int source);
 
   bool Complete() const;
   int NumCompleteTasks() const;

@@ -53,4 +53,18 @@ Result<std::string> ResolveUrl(const std::string& url) {
   return fetcher(url);
 }
 
+RetryPolicy DefaultFetchRetryPolicy() {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_seconds = 0.02;
+  policy.max_backoff_seconds = 0.25;
+  return policy;
+}
+
+Result<std::string> ResolveUrlWithRetry(const std::string& url,
+                                        const RetryPolicy& policy) {
+  return CallWithRetry(policy, &CountFetchRetry,
+                       [&] { return ResolveUrl(url); });
+}
+
 }  // namespace mrs

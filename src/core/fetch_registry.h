@@ -11,6 +11,7 @@
 #include <functional>
 #include <string>
 
+#include "common/retry.h"
 #include "common/status.h"
 
 namespace mrs {
@@ -27,5 +28,19 @@ bool CanResolveUrl(const std::string& url);
 /// Fetch a URL through the registry: built-in file:// handling, http://
 /// via the HTTP client, anything else via its registered scheme.
 Result<std::string> ResolveUrl(const std::string& url);
+
+/// Default retry policy for bucket/data fetches: a few attempts with
+/// short, jittered exponential backoff, so a transient hiccup (dropped
+/// connection, truncated payload, a peer mid-restart) is absorbed without
+/// burning a task attempt.
+RetryPolicy DefaultFetchRetryPolicy();
+
+/// ResolveUrl with bounded exponential backoff on transport errors
+/// (kUnavailable/kIoError/kDataLoss/kDeadlineExceeded).  A 404 — the peer
+/// is alive but genuinely lost the data — is NOT retried: that is a
+/// lineage failure the master must repair.  Retries are counted in the
+/// process-wide FetchRetryCount().
+Result<std::string> ResolveUrlWithRetry(const std::string& url,
+                                        const RetryPolicy& policy);
 
 }  // namespace mrs

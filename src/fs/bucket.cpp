@@ -31,7 +31,16 @@ Status Bucket::EnsureLoaded(
   } else {
     return InvalidArgumentError("unsupported bucket url scheme: " + url_);
   }
-  MRS_ASSIGN_OR_RETURN(records_, DecodeRecords(raw));
+  // Truncation guard: a payload that does not decode cleanly is data loss
+  // (short read, dead peer mid-transfer), surfaced as retryable kDataLoss
+  // — never silently parsed as a shorter record stream.
+  Result<std::vector<KeyValue>> decoded = DecodeRecords(raw);
+  if (!decoded.ok()) {
+    return DataLossError("bucket " + url_ + " payload corrupt after " +
+                         std::to_string(raw.size()) +
+                         " bytes: " + decoded.status().message());
+  }
+  records_ = std::move(*decoded);
   loaded_ = true;
   return Status::Ok();
 }

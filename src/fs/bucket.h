@@ -58,7 +58,8 @@ class Bucket {
   /// Ensure records are in memory, fetching by url if needed.
   /// `http_fetch` resolves http:// urls (injected to avoid a dependency
   /// cycle and to allow fault injection in tests); file:// urls are read
-  /// directly.
+  /// directly.  A payload that fails to decode is reported as kDataLoss
+  /// (truncated transfer) so callers can retry the fetch.
   Status EnsureLoaded(
       const std::function<Result<std::string>(const std::string&)>& http_fetch);
 

@@ -114,10 +114,33 @@ Result<HttpResponse> HttpClient::DoOnce(const std::string& wire) {
 Result<std::string> HttpFetch(std::string_view url) {
   MRS_ASSIGN_OR_RETURN(HttpUrl parsed, HttpUrl::Parse(url));
   HttpClient client(SocketAddr{parsed.host, parsed.port});
-  MRS_ASSIGN_OR_RETURN(HttpResponse resp, client.Get(parsed.target));
+  Result<HttpResponse> got = client.Get(parsed.target);
+  if (!got.ok()) {
+    // Keep the URL in the message: the slave's failure report extracts it
+    // as bad_url, which is what triggers the master's lineage recovery
+    // when the hosting peer is dead (connection refused has no response).
+    return Status(got.status().code(),
+                  "GET " + std::string(url) + ": " + got.status().message());
+  }
+  HttpResponse resp = std::move(*got);
+  if (resp.status_code == 503) {
+    // Server up but temporarily unable to serve (e.g. shutting down).
+    return UnavailableError("GET " + std::string(url) + " -> 503");
+  }
   if (resp.status_code != 200) {
     return NotFoundError("GET " + std::string(url) + " -> " +
                          std::to_string(resp.status_code));
+  }
+  // Integrity guard: mrs data servers attach a checksum so a truncated or
+  // corrupted body is detected here (kDataLoss, retryable) rather than
+  // failing obscurely — or succeeding silently — during record decode.
+  if (auto sum = resp.headers.Get(kMrsChecksumHeader); sum.has_value()) {
+    std::string actual = ContentChecksum(resp.body);
+    if (*sum != actual) {
+      return DataLossError("checksum mismatch fetching " + std::string(url) +
+                           " (got " + actual + ", header said " +
+                           std::string(*sum) + ")");
+    }
   }
   return std::move(resp.body);
 }

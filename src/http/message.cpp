@@ -1,5 +1,8 @@
 #include "http/message.h"
 
+#include <cstdio>
+
+#include "common/hash.h"
 #include "common/strings.h"
 
 namespace mrs {
@@ -75,6 +78,13 @@ HttpResponse HttpResponse::Make(int code, std::string_view reason,
   resp.headers.Set("Content-Type", std::string(content_type));
   resp.body = std::move(body);
   return resp;
+}
+
+std::string ContentChecksum(std::string_view body) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(body)));
+  return std::string(buf);
 }
 
 std::pair<std::string_view, std::string_view> SplitTarget(

@@ -75,4 +75,14 @@ struct HttpResponse {
 std::pair<std::string_view, std::string_view> SplitTarget(
     std::string_view target);
 
+/// End-to-end integrity header for bucket transfers.  Servers that set it
+/// (the slave data servers do) promise the value equals
+/// ContentChecksum(body); HttpFetch verifies and reports kDataLoss on
+/// mismatch so the retry layer re-fetches instead of parsing a truncated
+/// or corrupted payload.
+inline constexpr std::string_view kMrsChecksumHeader = "X-Mrs-Checksum";
+
+/// Hex FNV-1a of the payload (cheap, deterministic; not cryptographic).
+std::string ContentChecksum(std::string_view body);
+
 }  // namespace mrs

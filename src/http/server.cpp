@@ -32,6 +32,9 @@ void HttpServer::Shutdown() {
   bool expected = false;
   if (!stop_.compare_exchange_strong(expected, true)) return;
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Close the listener so late peers get connection-refused (retryable)
+  // instead of sitting in the accept backlog waiting on a dead server.
+  listener_.Close();
   workers_.Shutdown();
 }
 

@@ -45,6 +45,12 @@ class TcpListener {
   /// Make accepts non-blocking (for event-loop use).
   Status SetNonBlocking(bool enabled) const;
 
+  /// Stop listening.  Pending not-yet-accepted connections are reset, and
+  /// later connect()s are refused — without this, a peer connecting after
+  /// the acceptor stopped would queue in the backlog and block forever
+  /// waiting for a response no one will send.
+  void Close() { fd_.Reset(); }
+
  private:
   TcpListener(Fd fd, SocketAddr addr) : fd_(std::move(fd)), addr_(std::move(addr)) {}
   Fd fd_;

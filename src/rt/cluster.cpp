@@ -15,7 +15,12 @@ Result<std::unique_ptr<ClusterLauncher>> ClusterLauncher::Start(
 
     Slave::Config slave_config = config.slave;
     slave_config.master = cluster->master_->addr();
-    if (i == 0) slave_config.fail_first_n_tasks = config.first_slave_faults;
+    if (i == 0) slave_config.faults.fail_first_n_tasks = config.first_slave_faults;
+    if (static_cast<size_t>(i) < config.fault_plans.size()) {
+      slave_config.faults = config.fault_plans[static_cast<size_t>(i)];
+    }
+    // Distinct chaos RNG streams per slave.
+    slave_config.faults.seed += static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ull;
 
     MRS_ASSIGN_OR_RETURN(std::unique_ptr<Slave> slave,
                          Slave::Start(program.get(), slave_config));

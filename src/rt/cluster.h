@@ -49,6 +49,9 @@ class ClusterLauncher {
     Slave::Config slave;  // master addr is filled in automatically
     /// Inject this many failures into the first slave (tests).
     int first_slave_faults = 0;
+    /// Per-slave chaos plans; entry i overrides `slave.faults` for slave
+    /// i.  Shorter than num_slaves is fine — the rest keep the default.
+    std::vector<Slave::FaultPlan> fault_plans;
   };
 
   /// Start everything; each slave runs `factory()` initialized with
@@ -59,6 +62,10 @@ class ClusterLauncher {
   ~ClusterLauncher();
 
   Master& master() { return *master_; }
+
+  int num_slaves() const { return static_cast<int>(slaves_.size()); }
+  /// Direct handle to slave `i` (chaos tests: Crash(), crashed(), ...).
+  Slave& slave(int i) { return *slaves_[static_cast<size_t>(i)]; }
 
   /// Stop slaves and master; join threads.  Idempotent.
   void Shutdown();

@@ -5,6 +5,7 @@
 
 #include "common/clock.h"
 #include "common/log.h"
+#include "common/retry.h"
 #include "common/strings.h"
 #include "core/fetch_registry.h"
 #include "http/client.h"
@@ -13,6 +14,24 @@ namespace mrs {
 
 namespace {
 double NowSeconds() { return RealClock::Instance().Now(); }
+
+/// Parse "<base>/bucket/<dataset>/<source>/<split>" into its coordinates.
+bool ParseBucketUrl(const std::string& url, int* dataset_id, int* source,
+                    int* split) {
+  size_t pos = url.find("/bucket/");
+  if (pos == std::string::npos) return false;
+  std::vector<std::string_view> parts =
+      SplitChar(std::string_view(url).substr(pos + 8), '/');
+  if (parts.size() < 3) return false;
+  auto ds = ParseInt64(parts[0]);
+  auto src = ParseInt64(parts[1]);
+  auto sp = ParseInt64(parts[2]);
+  if (!ds.has_value() || !src.has_value() || !sp.has_value()) return false;
+  *dataset_id = static_cast<int>(*ds);
+  *source = static_cast<int>(*src);
+  *split = static_cast<int>(*sp);
+  return true;
+}
 }  // namespace
 
 Master::Master(Config config) : config_(std::move(config)) {}
@@ -44,6 +63,8 @@ Status Master::Init() {
       server_, HttpServer::Start(config_.host, config_.port,
                                  dispatcher_.MakeHttpHandler("/RPC2"),
                                  config_.rpc_workers));
+  rpc_retries_base_ = RpcRetryCount();
+  fetch_retries_base_ = FetchRetryCount();
   monitor_ = std::thread([this] { MonitorLoop(); });
   MRS_LOG(kInfo, "master") << "listening on " << server_->addr().ToString();
   return Status::Ok();
@@ -59,6 +80,7 @@ void Master::Shutdown() {
   }
   sched_cv_.notify_all();
   done_cv_.notify_all();
+  monitor_cv_.notify_all();
   if (monitor_.joinable()) monitor_.join();
   // Give slaves a moment to pick up the quit response before the server
   // goes away; they also handle connection failures gracefully.
@@ -93,7 +115,10 @@ int Master::num_slaves() const {
 
 Master::Stats Master::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats out = stats_;
+  out.rpc_retries = RpcRetryCount() - rpc_retries_base_;
+  out.fetch_retries = FetchRetryCount() - fetch_retries_base_;
+  return out;
 }
 
 // ---- Runner-facing ----------------------------------------------------
@@ -130,7 +155,11 @@ void Master::Discard(const DataSetPtr& dataset) {
 }
 
 UrlFetcher Master::fetcher() const {
-  return [](const std::string& url) { return ResolveUrl(url); };
+  // Collect()-side fetches get the same transient-failure tolerance as
+  // slave-side input fetches.
+  return [](const std::string& url) {
+    return ResolveUrlWithRetry(url, DefaultFetchRetryPolicy());
+  };
 }
 
 // ---- Scheduling -------------------------------------------------------
@@ -176,6 +205,55 @@ Result<TaskAssignment> Master::BuildAssignmentLocked(const TaskRef& ref) {
   return assignment;
 }
 
+bool Master::PickRunnableLocked(int slave_id, TaskRef* out,
+                                bool* affinity_hit) {
+  // One pass: prune refs that are stale (dataset discarded, or the task
+  // already claimed/recomputed elsewhere), skip refs whose inputs are not
+  // complete (they become assignable again once lineage repair finishes),
+  // and among the eligible prefer this slave's affinity match.
+  bool found = false;
+  size_t pick = 0;
+  bool affinity_pick = false;
+  for (size_t i = 0; i < runnable_.size();) {
+    const TaskRef& ref = runnable_[i];
+    auto dsit = datasets_.find(ref.dataset_id);
+    if (dsit == datasets_.end()) {  // discarded meanwhile
+      runnable_.erase(runnable_.begin() + static_cast<long>(i));
+      continue;
+    }
+    DataSet& ds = *dsit->second;
+    if (ds.task_state(ref.source) != TaskState::kPending) {
+      // Duplicate ref (requeued by several recovery paths) — drop it.
+      runnable_.erase(runnable_.begin() + static_cast<long>(i));
+      continue;
+    }
+    if (!DataSetReadyLocked(ds)) {
+      ++i;  // inputs lost to a dead slave; wait for the upstream re-run
+      continue;
+    }
+    if (!found) {
+      found = true;
+      pick = i;
+    }
+    if (config_.enable_affinity) {
+      std::string key =
+          ds.options().op_name + ":" + std::to_string(ref.source);
+      auto ait = affinity_.find(key);
+      if (ait != affinity_.end() && ait->second == slave_id) {
+        pick = i;
+        affinity_pick = true;
+        break;
+      }
+    }
+    ++i;
+  }
+  if (!found) return false;
+  *out = runnable_[pick];
+  *affinity_hit = affinity_pick;
+  runnable_.erase(runnable_.begin() + static_cast<long>(pick));
+  return true;
+}
+
 void Master::RequeueTasksOfSlaveLocked(SlaveInfo& slave) {
   for (int64_t key : slave.running) {
     int dataset_id = static_cast<int>(key / 1000000);
@@ -190,31 +268,113 @@ void Master::RequeueTasksOfSlaveLocked(SlaveInfo& slave) {
   slave.running.clear();
 }
 
+int Master::InvalidateSlaveOutputsLocked(SlaveInfo& slave) {
+  int invalidated = 0;
+  for (int64_t key : slave.hosted) {
+    int dataset_id = static_cast<int>(key / 1000000);
+    int source = static_cast<int>(key % 1000000);
+    auto it = datasets_.find(dataset_id);
+    if (it == datasets_.end()) continue;  // discarded; nothing to recover
+    DataSet& ds = *it->second;
+    if (ds.task_state(source) != TaskState::kComplete) continue;
+    ds.InvalidateTask(source);
+    runnable_.push_back(TaskRef{dataset_id, source});
+    ++invalidated;
+  }
+  slave.hosted.clear();
+  if (invalidated > 0) {
+    stats_.tasks_invalidated += invalidated;
+    ++stats_.lineage_recoveries;
+    MRS_LOG(kWarning, "master")
+        << "lineage recovery: invalidated " << invalidated
+        << " completed tasks hosted on slave " << slave.id
+        << "; their sub-DAG will re-run";
+  }
+  return invalidated;
+}
+
+void Master::HandleSlaveLossLocked(SlaveInfo& slave) {
+  RequeueTasksOfSlaveLocked(slave);
+  InvalidateSlaveOutputsLocked(slave);
+  // Corresponding tasks must stop chasing the dead slave, or every future
+  // iteration wastes its long poll preferring an unreachable host.
+  for (auto it = affinity_.begin(); it != affinity_.end();) {
+    if (it->second == slave.id) {
+      it = affinity_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool Master::RecoverLostUrlLocked(const std::string& bad_url) {
+  int dataset_id = 0, source = 0, split = 0;
+  if (!ParseBucketUrl(bad_url, &dataset_id, &source, &split)) return false;
+  auto dsit = datasets_.find(dataset_id);
+  if (dsit == datasets_.end()) return false;
+  DataSet& ds = *dsit->second;
+  if (source < 0 || source >= ds.num_sources() || split < 0 ||
+      split >= ds.num_splits()) {
+    return false;
+  }
+  if (ds.bucket(source, split).url() != bad_url) {
+    // The row was already invalidated and recomputed (its URL moved); the
+    // reporting task simply ran with a stale assignment.  Environmental —
+    // requeue without charging an attempt.
+    return true;
+  }
+  // The unreachable URL is current: its hosting slave's data server is
+  // gone.  Treat the host as lost and invalidate everything it serves —
+  // every other bucket behind that data server is equally unreachable.
+  for (auto& [id, slave] : slaves_) {
+    if (!StartsWith(bad_url, slave.data_url_base + "/")) continue;
+    if (slave.alive) {
+      MRS_LOG(kWarning, "master")
+          << "slave " << id << " presumed lost (unreachable bucket "
+          << bad_url << ")";
+      slave.alive = false;
+      ++stats_.slaves_lost;
+    }
+    HandleSlaveLossLocked(slave);
+    return true;
+  }
+  // Host already signed off / unknown: recover just this producing task.
+  if (ds.task_state(source) == TaskState::kComplete) {
+    ds.InvalidateTask(source);
+    runnable_.push_back(TaskRef{dataset_id, source});
+    ++stats_.tasks_invalidated;
+    ++stats_.lineage_recoveries;
+    MRS_LOG(kWarning, "master")
+        << "re-running lineage task (" << dataset_id << "," << source
+        << ") for lost bucket " << bad_url;
+  }
+  return true;
+}
+
 void Master::FailJobLocked(Status status) {
   if (job_status_.ok()) job_status_ = std::move(status);
 }
 
 void Master::MonitorLoop() {
-  while (true) {
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      if (shutdown_) return;
-      double now = NowSeconds();
-      bool requeued = false;
-      for (auto& [id, slave] : slaves_) {
-        if (slave.alive && now - slave.last_ping > config_.slave_timeout) {
-          MRS_LOG(kWarning, "master")
-              << "slave " << id << " lost (no contact for "
-              << config_.slave_timeout << "s)";
-          slave.alive = false;
-          ++stats_.slaves_lost;
-          RequeueTasksOfSlaveLocked(slave);
-          requeued = true;
-        }
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!shutdown_) {
+    monitor_cv_.wait_for(
+        lock, std::chrono::duration<double>(config_.monitor_interval));
+    if (shutdown_) return;
+    double now = NowSeconds();
+    bool lost = false;
+    for (auto& [id, slave] : slaves_) {
+      if (slave.alive && now - slave.last_ping > config_.slave_timeout) {
+        MRS_LOG(kWarning, "master")
+            << "slave " << id << " lost (no contact for "
+            << config_.slave_timeout << "s)";
+        slave.alive = false;
+        ++stats_.slaves_lost;
+        HandleSlaveLossLocked(slave);
+        lost = true;
       }
-      if (requeued) sched_cv_.notify_all();
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    if (lost) sched_cv_.notify_all();
   }
 }
 
@@ -247,7 +407,7 @@ Result<XmlRpcValue> Master::RpcGetTask(const XmlRpcArray& params) {
   auto sit = slaves_.find(static_cast<int>(slave_id));
   if (sit == slaves_.end()) return NotFoundError("unknown slave");
   sit->second.last_ping = NowSeconds();
-  sit->second.alive = true;
+  sit->second.alive = true;  // a presumed-lost slave may revive
 
   auto deadline = std::chrono::steady_clock::now() +
                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -258,29 +418,11 @@ Result<XmlRpcValue> Master::RpcGetTask(const XmlRpcArray& params) {
       out["kind"] = XmlRpcValue("quit");
       return XmlRpcValue(std::move(out));
     }
-    if (!runnable_.empty()) {
-      // Pick a task: prefer one whose affinity key points at this slave.
-      size_t pick = 0;
-      if (config_.enable_affinity) {
-        for (size_t i = 0; i < runnable_.size(); ++i) {
-          const TaskRef& ref = runnable_[i];
-          auto dsit = datasets_.find(ref.dataset_id);
-          if (dsit == datasets_.end()) continue;
-          std::string key = dsit->second->options().op_name + ":" +
-                            std::to_string(ref.source);
-          auto ait = affinity_.find(key);
-          if (ait != affinity_.end() && ait->second == slave_id) {
-            pick = i;
-            ++stats_.affinity_hits;
-            break;
-          }
-        }
-      }
-      TaskRef ref = runnable_[pick];
-      runnable_.erase(runnable_.begin() + static_cast<long>(pick));
-
+    TaskRef ref;
+    bool affinity_hit = false;
+    if (PickRunnableLocked(static_cast<int>(slave_id), &ref, &affinity_hit)) {
       auto dsit = datasets_.find(ref.dataset_id);
-      if (dsit == datasets_.end()) continue;  // discarded meanwhile
+      if (dsit == datasets_.end()) continue;           // discarded (raced)
       if (!dsit->second->TryClaimTask(ref.source)) continue;  // raced
 
       Result<TaskAssignment> assignment = BuildAssignmentLocked(ref);
@@ -290,6 +432,7 @@ Result<XmlRpcValue> Master::RpcGetTask(const XmlRpcArray& params) {
         done_cv_.notify_all();
         return assignment.status();
       }
+      if (affinity_hit) ++stats_.affinity_hits;
       sit->second.running.insert(TaskKey(ref.dataset_id, ref.source));
       ++stats_.tasks_assigned;
 
@@ -304,8 +447,7 @@ Result<XmlRpcValue> Master::RpcGetTask(const XmlRpcArray& params) {
       out["discard"] = XmlRpcValue(std::move(discards));
       return XmlRpcValue(std::move(out));
     }
-    if (sched_cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
-        runnable_.empty()) {
+    if (sched_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
       XmlRpcStruct out;
       out["kind"] = XmlRpcValue("wait");
       XmlRpcArray discards;
@@ -348,14 +490,26 @@ Result<XmlRpcValue> Master::RpcTaskDone(const XmlRpcArray& params) {
   }
   std::vector<Bucket> row;
   row.reserve(urls->size());
+  bool hosted_here = false;
   for (int p = 0; p < ds.num_splits(); ++p) {
     MRS_ASSIGN_OR_RETURN(std::string url, (*urls)[static_cast<size_t>(p)].AsString());
+    if (sit != slaves_.end() &&
+        StartsWith(url, sit->second.data_url_base + "/")) {
+      hosted_here = true;
+    }
     Bucket b(static_cast<int>(source), p);
     b.set_url(std::move(url));
     row.push_back(std::move(b));
   }
   ds.SetRow(static_cast<int>(source), std::move(row));
   ++stats_.tasks_completed;
+
+  // Lineage record: this slave's data server now hosts the row.  Shared-
+  // filesystem (file://) outputs survive slave death and need no entry.
+  if (hosted_here) {
+    sit->second.hosted.insert(
+        TaskKey(static_cast<int>(dataset_id), static_cast<int>(source)));
+  }
 
   // Record affinity for the corresponding task of the next iteration.
   affinity_[ds.options().op_name + ":" + std::to_string(source)] =
@@ -390,49 +544,35 @@ Result<XmlRpcValue> Master::RpcTaskFailed(const XmlRpcArray& params) {
                                       static_cast<int>(source)));
   }
 
-  int64_t key = TaskKey(static_cast<int>(dataset_id), static_cast<int>(source));
-  int attempts = ++attempts_[key];
-  if (attempts >= config_.max_task_attempts) {
-    FailJobLocked(InternalError("task (" + std::to_string(dataset_id) + "," +
-                                std::to_string(source) + ") failed " +
-                                std::to_string(attempts) + " times: " + message));
-    done_cv_.notify_all();
-    return XmlRpcValue(XmlRpcStruct{});
+  // Lineage recovery: if the slave could not fetch an input bucket, the
+  // producing slave's data is gone — re-run the producers.  Such failures
+  // are environmental and do not consume the reporting task's attempts.
+  bool environmental = !bad_url.empty() && RecoverLostUrlLocked(bad_url);
+
+  if (!environmental) {
+    int64_t key =
+        TaskKey(static_cast<int>(dataset_id), static_cast<int>(source));
+    int attempts = ++attempts_[key];
+    if (attempts >= config_.max_task_attempts) {
+      FailJobLocked(InternalError(
+          "task (" + std::to_string(dataset_id) + "," +
+          std::to_string(source) + ") failed " + std::to_string(attempts) +
+          " times (max_task_attempts=" +
+          std::to_string(config_.max_task_attempts) +
+          "); last error: " + message));
+      done_cv_.notify_all();
+      return XmlRpcValue(XmlRpcStruct{});
+    }
   }
 
   auto dsit = datasets_.find(static_cast<int>(dataset_id));
   if (dsit != datasets_.end()) {
-    dsit->second->ResetTask(static_cast<int>(source));
+    if (dsit->second->task_state(static_cast<int>(source)) ==
+        TaskState::kRunning) {
+      dsit->second->ResetTask(static_cast<int>(source));
+    }
     runnable_.push_back(
         TaskRef{static_cast<int>(dataset_id), static_cast<int>(source)});
-  }
-
-  // Lineage recovery: if the slave could not fetch an input bucket
-  // ("http://host:port/bucket/<ds>/<source>/<split>"), re-run the task
-  // that produced it.
-  if (!bad_url.empty()) {
-    size_t pos = bad_url.find("/bucket/");
-    if (pos != std::string::npos) {
-      std::vector<std::string_view> parts =
-          SplitChar(std::string_view(bad_url).substr(pos + 8), '/');
-      if (parts.size() >= 2) {
-        auto ds_id = ParseInt64(parts[0]);
-        auto src = ParseInt64(parts[1]);
-        if (ds_id.has_value() && src.has_value()) {
-          auto pit = datasets_.find(static_cast<int>(*ds_id));
-          if (pit != datasets_.end() &&
-              pit->second->task_state(static_cast<int>(*src)) ==
-                  TaskState::kComplete) {
-            pit->second->ResetTask(static_cast<int>(*src));
-            runnable_.push_back(
-                TaskRef{static_cast<int>(*ds_id), static_cast<int>(*src)});
-            MRS_LOG(kWarning, "master")
-                << "re-running lineage task (" << *ds_id << "," << *src
-                << ") for lost bucket " << bad_url;
-          }
-        }
-      }
-    }
   }
 
   sched_cv_.notify_all();

@@ -8,6 +8,15 @@
 // complete, independent datasets run concurrently, and "corresponding
 // tasks" are assigned "to the same processor from one iteration to the
 // next" (affinity) to keep data local.
+//
+// Fault tolerance is lineage-based (paper §I: "a job scheduler may kill
+// processes at any time").  The master records which slave hosts each
+// completed task's output URLs; when a slave is lost — ping timeout, or a
+// peer reports an unreachable bucket — every completed task whose output
+// lived there is invalidated and requeued, the affected sub-DAG re-runs
+// on the survivors, and the job completes with results identical to the
+// serial runner.  Tasks are only handed out while their inputs are
+// complete, so a recovering sub-DAG re-executes in dependency order.
 #pragma once
 
 #include <condition_variable>
@@ -36,6 +45,9 @@ class Master {
     std::string host = "127.0.0.1";
     uint16_t port = 0;           // 0 = ephemeral
     double slave_timeout = 15.0;  // seconds without ping before a slave is lost
+    /// How often the monitor thread checks for lost slaves.  The monitor
+    /// sleeps on a condition variable, so Shutdown() is prompt regardless.
+    double monitor_interval = 0.2;
     int max_task_attempts = 4;
     double long_poll_seconds = 0.25;
     size_t rpc_workers = 16;
@@ -71,6 +83,16 @@ class Master {
     int64_t tasks_failed = 0;
     int64_t affinity_hits = 0;
     int64_t slaves_lost = 0;
+    /// Completed tasks whose outputs were re-queued because their hosting
+    /// slave died (lineage recovery).
+    int64_t tasks_invalidated = 0;
+    /// Recovery events: one per slave loss or bad-bucket report that
+    /// invalidated at least one completed task.
+    int64_t lineage_recoveries = 0;
+    /// Process-wide transport retries since this master started (control
+    /// channel / bucket fetches) — meaningful for in-process clusters.
+    int64_t rpc_retries = 0;
+    int64_t fetch_retries = 0;
   };
   Stats stats() const;
 
@@ -84,6 +106,9 @@ class Master {
     double last_ping = 0;
     bool alive = true;
     std::set<int64_t> running;  // task keys
+    /// Completed task keys whose output URLs point at this slave's data
+    /// server — the lineage record consulted when the slave dies.
+    std::set<int64_t> hosted;
     std::vector<int> pending_discards;
   };
 
@@ -108,7 +133,22 @@ class Master {
   void PromoteRunnableLocked();
   bool DataSetReadyLocked(const DataSet& dataset) const;
   Result<TaskAssignment> BuildAssignmentLocked(const TaskRef& ref);
+  /// Pick the next runnable task this slave may execute (inputs complete,
+  /// still pending), preferring its affinity matches.  Prunes stale refs.
+  /// Returns false if nothing is currently assignable.
+  bool PickRunnableLocked(int slave_id, TaskRef* out, bool* affinity_hit);
   void RequeueTasksOfSlaveLocked(SlaveInfo& slave);
+  /// Full reaction to a dead slave: requeue its running tasks, invalidate
+  /// every completed task it hosted, and drop its affinity entries.
+  void HandleSlaveLossLocked(SlaveInfo& slave);
+  /// Lineage core: reset + requeue each completed task whose output lived
+  /// on `slave`.  Returns the number of tasks invalidated.
+  int InvalidateSlaveOutputsLocked(SlaveInfo& slave);
+  /// React to an unreachable bucket URL reported by a fetching slave.
+  /// Returns true if the failure was environmental (lineage repaired or
+  /// already repaired) — such failures are not charged against the
+  /// reporting task's attempt budget.
+  bool RecoverLostUrlLocked(const std::string& bad_url);
   void FailJobLocked(Status status);
   void MonitorLoop();
 
@@ -117,8 +157,9 @@ class Master {
   XmlRpcDispatcher dispatcher_;
 
   mutable std::mutex mutex_;
-  std::condition_variable sched_cv_;  // wakes long-polling get_task
-  std::condition_variable done_cv_;   // wakes Wait
+  std::condition_variable sched_cv_;    // wakes long-polling get_task
+  std::condition_variable done_cv_;     // wakes Wait
+  std::condition_variable monitor_cv_;  // wakes MonitorLoop (shutdown)
   bool shutdown_ = false;
   Status job_status_;  // first unrecoverable failure
 
@@ -130,6 +171,8 @@ class Master {
   int next_slave_id_ = 1;
   std::map<std::string, int> affinity_;  // "op:source" -> slave id
   Stats stats_;
+  int64_t rpc_retries_base_ = 0;    // process counters at Init
+  int64_t fetch_retries_base_ = 0;
 
   std::thread monitor_;
 };

@@ -12,6 +12,17 @@
 //   task_done(slave_id, dataset_id, source, urls)   -> {}
 //   task_failed(slave_id, dataset_id, source, message, bad_url) -> {}
 //   ping(slave_id)                           -> {}
+//
+// Fault-recovery semantics: the URLs reported via task_done double as the
+// job's lineage record — the master notes which slave's data server hosts
+// each completed row.  task_failed's bad_url names an input bucket the
+// slave could not fetch after retries; the master reacts by invalidating
+// the producing tasks (usually the whole dead host's output set) and
+// requeueing them, and such environmental failures are not charged
+// against the reporting task's attempt budget.  ping doubles as the
+// liveness signal the master's monitor thread watches; get_task and
+// task_done also refresh it, and a presumed-lost slave that polls again
+// is revived.
 #pragma once
 
 #include <string>

@@ -1,8 +1,10 @@
 #include "rt/slave.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/clock.h"
+#include "common/hash.h"
 #include "common/log.h"
 #include "common/strings.h"
 #include "core/fetch_registry.h"
@@ -14,7 +16,8 @@ namespace mrs {
 
 Slave::Slave(MapReduce* program, Config config)
     : program_(program), config_(std::move(config)) {
-  faults_remaining_.store(config_.fail_first_n_tasks);
+  faults_remaining_.store(config_.faults.fail_first_n_tasks);
+  chaos_rng_.store(config_.faults.seed);
 }
 
 Result<std::unique_ptr<Slave>> Slave::Start(MapReduce* program,
@@ -33,6 +36,7 @@ Status Slave::Init() {
                         },
                         /*num_workers=*/4));
   rpc_ = std::make_unique<XmlRpcClient>(config_.master);
+  rpc_->set_retry_policy(config_.rpc_retry);
 
   MRS_ASSIGN_OR_RETURN(
       XmlRpcValue reply,
@@ -45,30 +49,72 @@ Status Slave::Init() {
   id_ = static_cast<int>(slave_id);
   MRS_LOG(kInfo, "slave") << "slave " << id_ << " signed in; data server on "
                           << data_server_->addr().ToString();
+  // Pings are deliberately unretried: a missed beat is fine (the next one
+  // is a fresh liveness sample) and backoff lives in PingLoop itself.
   ping_rpc_ = std::make_unique<XmlRpcClient>(config_.master);
   ping_thread_ = std::thread([this] { PingLoop(); });
   return Status::Ok();
 }
 
+bool Slave::InPingDropWindow() {
+  const FaultPlan& plan = config_.faults;
+  if (plan.drop_pings_after_n_tasks < 0 || plan.drop_pings_for_seconds <= 0) {
+    return false;
+  }
+  double now = RealClock::Instance().Now();
+  if (ping_drop_until_ == 0) {
+    if (tasks_executed_.load() < plan.drop_pings_after_n_tasks) return false;
+    ping_drop_until_ = now + plan.drop_pings_for_seconds;
+    MRS_LOG(kWarning, "slave")
+        << "slave " << id_ << " dropping pings for "
+        << plan.drop_pings_for_seconds << "s (chaos)";
+  }
+  return now < ping_drop_until_;
+}
+
 void Slave::PingLoop() {
   // Paper §IV: slaves stay in contact with the master; the ping keeps the
-  // slave alive in the registry even while a long map task runs.
-  const double interval = std::max(0.1, config_.ping_interval);
+  // slave alive in the registry even while a long map task runs.  On
+  // consecutive failures the loop logs once per threshold and backs off
+  // exponentially so a dead master is not hammered.
+  const double base_interval = std::max(0.1, config_.ping_interval);
+  const int log_threshold = std::max(1, config_.ping_failure_log_threshold);
+  double interval = base_interval;
+  int consecutive_failures = 0;
   while (!stop_.load()) {
     // Sleep in short slices so Stop() takes effect promptly.
     for (double slept = 0; slept < interval && !stop_.load(); slept += 0.05) {
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
     if (stop_.load()) return;
+    if (InPingDropWindow()) continue;
     Result<XmlRpcValue> r = ping_rpc_->Call(
         "ping", XmlRpcArray{XmlRpcValue(static_cast<int64_t>(id_))});
-    (void)r;  // transient failures are fine; the next ping retries
+    if (r.ok()) {
+      consecutive_failures = 0;
+      interval = base_interval;
+      continue;
+    }
+    ++consecutive_failures;
+    if (consecutive_failures % log_threshold == 0) {
+      MRS_LOG(kWarning, "slave")
+          << "slave " << id_ << ": " << consecutive_failures
+          << " consecutive pings failed (last: " << r.status().ToString()
+          << "); next ping in " << interval << "s";
+    }
+    interval = std::min(interval * 2, base_interval * 10);
   }
 }
 
 Slave::~Slave() {
   Stop();
   if (ping_thread_.joinable()) ping_thread_.join();
+  if (data_server_) data_server_->Shutdown();
+}
+
+void Slave::Crash() {
+  crashed_.store(true);
+  stop_.store(true);
   if (data_server_) data_server_->Shutdown();
 }
 
@@ -80,7 +126,10 @@ HttpResponse Slave::ServeData(const HttpRequest& req) {
   std::lock_guard<std::mutex> lock(store_mutex_);
   auto it = store_.find(key);
   if (it == store_.end()) return HttpResponse::NotFound("no bucket " + key);
-  return HttpResponse::Ok(it->second, "application/octet-stream");
+  HttpResponse resp =
+      HttpResponse::Ok(it->second.data, "application/octet-stream");
+  resp.headers.Set(std::string(kMrsChecksumHeader), it->second.checksum);
+  return resp;
 }
 
 void Slave::HandleDiscards(const XmlRpcValue& response) {
@@ -100,14 +149,38 @@ void Slave::HandleDiscards(const XmlRpcValue& response) {
   }
 }
 
+bool Slave::DrawFetchFault() {
+  double p = config_.faults.fail_fetch_probability;
+  if (p <= 0) return false;
+  uint64_t s = chaos_rng_.fetch_add(0x9e3779b97f4a7c15ull);
+  double u = static_cast<double>(SplitMix64(s) >> 11) /
+             static_cast<double>(1ull << 53);
+  return u < p;
+}
+
 Status Slave::ExecuteAssignment(const TaskAssignment& assignment) {
   // Fault injection hook: report failure without doing the work.
   if (faults_remaining_.load() > 0) {
     faults_remaining_.fetch_sub(1);
     return InternalError("injected task fault");
   }
+  if (config_.faults.slow_task_seconds > 0) {
+    SleepForSeconds(config_.faults.slow_task_seconds);  // straggler
+  }
 
-  UrlFetcher fetch = [](const std::string& url) { return ResolveUrl(url); };
+  // Each fetch attempt may be chaos-failed; the retry wrapper absorbs
+  // transient misses with backoff, so only a persistently unreachable
+  // peer surfaces as a task failure (and a bad_url lineage report).
+  UrlFetcher fetch = [this](const std::string& url) {
+    return CallWithRetry(config_.fetch_retry, &CountFetchRetry,
+                         [&]() -> Result<std::string> {
+                           if (DrawFetchFault()) {
+                             return UnavailableError(
+                                 "injected fetch fault (chaos): " + url);
+                           }
+                           return ResolveUrl(url);
+                         });
+  };
 
   MRS_ASSIGN_OR_RETURN(std::vector<KeyValue> input,
                        LoadTaskInput(assignment.inputs, fetch));
@@ -128,7 +201,9 @@ Status Slave::ExecuteAssignment(const TaskAssignment& assignment) {
       // Direct communication: keep in memory, serve over HTTP.
       {
         std::lock_guard<std::mutex> lock(store_mutex_);
-        store_[rel] = std::move(encoded);
+        StoredBucket& stored = store_[rel];
+        stored.checksum = ContentChecksum(encoded);
+        stored.data = std::move(encoded);
       }
       urls.push_back(XmlRpcValue("http://" + data_server_->addr().ToString() +
                                  "/bucket/" + rel));
@@ -164,6 +239,7 @@ Status Slave::Run() {
   while (!stop_.load()) {
     Result<XmlRpcValue> reply = rpc_->Call(
         "get_task", XmlRpcArray{XmlRpcValue(static_cast<int64_t>(id_))});
+    if (stop_.load()) break;
     if (!reply.ok()) {
       // Master gone?  Retry briefly, then give up.
       if (++idle_streak > 20) {
@@ -188,29 +264,43 @@ Status Slave::Run() {
     if (!assignment.ok()) return assignment.status();
 
     Status exec = ExecuteAssignment(*assignment);
-    if (!exec.ok()) {
-      // Identify a bad input URL for lineage recovery, if the failure was
-      // a fetch error.
-      std::string bad_url;
-      for (const TaskInputPart& part : assignment->inputs) {
-        if (!part.inline_records &&
-            exec.message().find(part.url) != std::string::npos) {
-          bad_url = part.url;
-          break;
-        }
+    if (exec.ok()) {
+      // Chaos: die the instant the Nth task has been reported complete —
+      // the master now holds URLs pointing at a corpse.
+      if (config_.faults.crash_after_n_tasks >= 0 &&
+          tasks_executed_.load() >= config_.faults.crash_after_n_tasks) {
+        MRS_LOG(kWarning, "slave")
+            << "slave " << id_ << " hard-crashing after "
+            << tasks_executed_.load() << " tasks (chaos)";
+        Crash();
+        return UnavailableError("slave crashed (chaos injection)");
       }
-      Result<XmlRpcValue> r = rpc_->Call(
-          "task_failed",
-          XmlRpcArray{
-              XmlRpcValue(static_cast<int64_t>(id_)),
-              XmlRpcValue(static_cast<int64_t>(assignment->dataset_id)),
-              XmlRpcValue(static_cast<int64_t>(assignment->source)),
-              XmlRpcValue(exec.ToString()), XmlRpcValue(bad_url)});
-      if (!r.ok()) {
-        MRS_LOG(kWarning, "slave") << "task_failed report failed: "
-                                   << r.status().ToString();
+      continue;
+    }
+    // Identify a bad input URL for lineage recovery, if the failure was
+    // a fetch error.
+    std::string bad_url;
+    for (const TaskInputPart& part : assignment->inputs) {
+      if (!part.inline_records &&
+          exec.message().find(part.url) != std::string::npos) {
+        bad_url = part.url;
+        break;
       }
     }
+    Result<XmlRpcValue> r = rpc_->Call(
+        "task_failed",
+        XmlRpcArray{
+            XmlRpcValue(static_cast<int64_t>(id_)),
+            XmlRpcValue(static_cast<int64_t>(assignment->dataset_id)),
+            XmlRpcValue(static_cast<int64_t>(assignment->source)),
+            XmlRpcValue(exec.ToString()), XmlRpcValue(bad_url)});
+    if (!r.ok()) {
+      MRS_LOG(kWarning, "slave") << "task_failed report failed: "
+                                 << r.status().ToString();
+    }
+  }
+  if (crashed_.load()) {
+    return UnavailableError("slave crashed (chaos injection)");
   }
   return Status::Ok();
 }

@@ -6,6 +6,12 @@
 // lives in memory and is served without ever touching disk), signs in,
 // long-polls for assignments, executes them through the shared task
 // executor, and reports the bucket URLs back.
+//
+// Because Mrs targets shared clusters where "a job scheduler may kill
+// processes at any time", the slave also embeds a chaos-injection harness
+// (FaultPlan) so tests can crash slaves mid-job, drop heartbeats, fail
+// fetches probabilistically, and add stragglers — exercising the master's
+// lineage-recovery machinery end to end.
 #pragma once
 
 #include <atomic>
@@ -15,6 +21,7 @@
 #include <string>
 #include <thread>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "core/program.h"
 #include "http/server.h"
@@ -25,6 +32,26 @@ namespace mrs {
 
 class Slave {
  public:
+  /// Chaos-injection plan (tests only; every knob defaults off).
+  struct FaultPlan {
+    /// Report failure for this many tasks before doing real work.
+    int fail_first_n_tasks = 0;
+    /// >= 0: hard-kill the slave (data server down, pings stop, loop
+    /// abandoned without signoff) once it has completed this many tasks.
+    int crash_after_n_tasks = -1;
+    /// >= 0: once this many tasks completed, stop sending pings ...
+    int drop_pings_after_n_tasks = -1;
+    /// ... for this long; the slave looks dead, then revives.
+    double drop_pings_for_seconds = 0;
+    /// Each individual fetch attempt fails with this probability (the
+    /// retry layer sees a kUnavailable transport error).
+    double fail_fetch_probability = 0;
+    /// Straggler: sleep this long before executing each task.
+    double slow_task_seconds = 0;
+    /// Chaos RNG stream (fetch-fault draws).
+    uint64_t seed = 0x9e3779b97f4a7c15ull;
+  };
+
   struct Config {
     SocketAddr master;
     std::string host = "127.0.0.1";
@@ -34,8 +61,17 @@ class Slave {
     /// publish file:// URLs instead of serving from memory — the
     /// fault-tolerant path of paper §IV-B.
     std::string shared_dir;
-    /// Fault injection for tests: fail this many tasks before working.
-    int fail_first_n_tasks = 0;
+    /// Backoff for control-channel calls (signin/get_task/task_done/...).
+    RetryPolicy rpc_retry{.max_attempts = 4,
+                          .initial_backoff_seconds = 0.05,
+                          .max_backoff_seconds = 0.5};
+    /// Backoff for bucket-input fetches.
+    RetryPolicy fetch_retry{.max_attempts = 4,
+                            .initial_backoff_seconds = 0.02,
+                            .max_backoff_seconds = 0.25};
+    /// Log at kWarning once this many consecutive pings have failed.
+    int ping_failure_log_threshold = 3;
+    FaultPlan faults;
   };
 
   /// Start the data server and sign in to the master.
@@ -56,6 +92,13 @@ class Slave {
   /// Ask the loop to exit (safe from other threads).
   void Stop() { stop_.store(true); }
 
+  /// Hard-kill for chaos tests: the data server goes down immediately,
+  /// pings stop, and the main loop exits without signing off — exactly
+  /// what a scheduler's SIGKILL looks like to the rest of the cluster.
+  /// Safe from other threads.  Irreversible.
+  void Crash();
+  bool crashed() const { return crashed_.load(); }
+
   int64_t tasks_executed() const { return tasks_executed_.load(); }
 
  private:
@@ -64,6 +107,8 @@ class Slave {
   HttpResponse ServeData(const HttpRequest& req);
   Status ExecuteAssignment(const TaskAssignment& assignment);
   void HandleDiscards(const XmlRpcValue& response);
+  bool DrawFetchFault();
+  bool InPingDropWindow();
 
   void PingLoop();
 
@@ -78,12 +123,21 @@ class Slave {
   std::unique_ptr<XmlRpcClient> ping_rpc_;
   std::thread ping_thread_;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> crashed_{false};
   std::atomic<int64_t> tasks_executed_{0};
   std::atomic<int> faults_remaining_{0};
+  std::atomic<uint64_t> chaos_rng_{0};
+  double ping_drop_until_ = 0;  // ping thread only; 0 = window not started
 
-  // In-memory bucket store: "<dataset>/<source>/<split>" -> encoded records.
+  // In-memory bucket store: "<dataset>/<source>/<split>" -> payload with
+  // its checksum, computed once at publish time and attached to every
+  // response so fetchers can detect truncation.
+  struct StoredBucket {
+    std::string data;
+    std::string checksum;
+  };
   std::mutex store_mutex_;
-  std::map<std::string, std::string> store_;
+  std::map<std::string, StoredBucket> store_;
 };
 
 }  // namespace mrs

@@ -2,20 +2,26 @@
 
 namespace mrs {
 
-Result<XmlRpcValue> XmlRpcClient::Call(const std::string& method,
-                                       XmlRpcArray params) {
-  xmlrpc::MethodCall call;
-  call.method = method;
-  call.params = std::move(params);
-  std::string body = xmlrpc::BuildCall(call);
+Result<XmlRpcValue> XmlRpcClient::CallOnce(const std::string& body,
+                                           const std::string& method) {
   MRS_ASSIGN_OR_RETURN(HttpResponse resp,
-                       http_.Post(endpoint_, std::move(body), "text/xml"));
+                       http_.Post(endpoint_, body, "text/xml"));
   if (resp.status_code != 200) {
     return UnavailableError("XML-RPC HTTP status " +
                             std::to_string(resp.status_code) + " calling " +
                             method);
   }
   return xmlrpc::ParseResponse(resp.body);
+}
+
+Result<XmlRpcValue> XmlRpcClient::Call(const std::string& method,
+                                       XmlRpcArray params) {
+  xmlrpc::MethodCall call;
+  call.method = method;
+  call.params = std::move(params);
+  std::string body = xmlrpc::BuildCall(call);
+  return CallWithRetry(retry_, &CountRpcRetry,
+                       [&] { return CallOnce(body, method); });
 }
 
 }  // namespace mrs

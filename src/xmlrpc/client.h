@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "http/client.h"
 #include "xmlrpc/protocol.h"
@@ -15,6 +16,13 @@ class XmlRpcClient {
   explicit XmlRpcClient(SocketAddr addr, std::string endpoint = "/RPC2")
       : http_(std::move(addr)), endpoint_(std::move(endpoint)) {}
 
+  /// Transient transport failures (connection refused/reset, truncated
+  /// response) are retried with bounded exponential backoff + jitter;
+  /// each retry is counted in the process-wide RpcRetryCount().  Remote
+  /// faults are application errors and are never retried here.
+  void set_retry_policy(RetryPolicy policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
   /// Invoke a remote method.  Transport and protocol failures, and remote
   /// faults, all surface as error Status.
   Result<XmlRpcValue> Call(const std::string& method, XmlRpcArray params);
@@ -22,8 +30,12 @@ class XmlRpcClient {
   const SocketAddr& addr() const { return http_.addr(); }
 
  private:
+  Result<XmlRpcValue> CallOnce(const std::string& body,
+                               const std::string& method);
+
   HttpClient http_;
   std::string endpoint_;
+  RetryPolicy retry_;  // default: no retries
 };
 
 }  // namespace mrs

@@ -159,7 +159,15 @@ TEST(MasterSlave, TooManyFailuresFailsTheJob) {
   DataSetPtr data = job.LocalData({{Value(int64_t{1}), Value(int64_t{1})}});
   DataSetPtr mapped = job.MapData(data);
   Status status = job.Wait(mapped);
-  EXPECT_FALSE(status.ok());
+  ASSERT_FALSE(status.ok());
+  // The error must identify the task, the attempt budget, and the last
+  // underlying failure — enough to debug without grepping logs.
+  EXPECT_NE(status.message().find("failed"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("max_task_attempts"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("injected task fault"), std::string::npos)
+      << status.ToString();
   (*cluster)->Shutdown();
 }
 
