@@ -3,6 +3,7 @@
 // generation, and the MiniPy engines — the per-sample rates behind Fig 3.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "halton/halton.h"
 #include "halton/pi_kernel.h"
 #include "interp/treewalk.h"
@@ -143,4 +144,14 @@ BENCHMARK(BM_MT19937_64);
 }  // namespace
 }  // namespace mrs
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded so the bench can emit its machine-readable
+// result line after the google-benchmark run.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  size_t ran = benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  mrs::bench::EmitBenchJson(
+      "bench_micro", {{"benchmarks_run", static_cast<double>(ran)}});
+  return 0;
+}

@@ -172,5 +172,14 @@ int main(int argc, char** argv) {
       "(paper: Mrs wins below ~32s task times — extended to ~40s with the\n"
       " C inner loop; in Fig 3b the C loop beats the Java model everywhere\n"
       " except the far right where both are compute-bound)\n");
+
+  bench::EmitBenchJson(
+      "bench_pi",
+      {{"max_exponent", static_cast<double>(max_exp)},
+       {"native_s_per_sample", native_rate},
+       {"vm_s_per_sample", vm_rate},
+       {"treewalk_s_per_sample", tw_rate},
+       {"java_model_s_per_sample", java_rate},
+       {"hadoop_sim_floor_s", SimulateHadoopPi(1, java_rate)}});
   return 0;
 }

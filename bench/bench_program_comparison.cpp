@@ -31,7 +31,7 @@ int CountOccurrences(const std::string& text, std::string_view needle) {
   return count;
 }
 
-void RunE1() {
+void RunE1(std::vector<bench::BenchMetric>* metrics) {
   std::string base = MRS_SOURCE_DIR;
   auto mrs_src = ReadFileToString(base + "/examples/quickstart.cpp");
   auto java_src = ReadFileToString(base + "/examples/wordcount_javastyle.cpp");
@@ -58,13 +58,17 @@ void RunE1() {
       {{"api", "sloc", "config/ritual calls", "wrapper-type mentions"},
        row("mrs-cpp (quickstart.cpp)", *mrs_src),
        row("java-style (wordcount_javastyle.cpp)", *java_src)});
+  metrics->push_back(
+      {"mrs_sloc", static_cast<double>(bench::CountSloc(*mrs_src))});
+  metrics->push_back(
+      {"javastyle_sloc", static_cast<double>(bench::CountSloc(*java_src))});
   std::printf(
       "(paper: the Mrs WordCount is the map and reduce methods plus one\n"
       " line of main; the Hadoop version needs wrapper Writable types and\n"
       " an explicit job-configuration ritual)\n");
 }
 
-void RunE2() {
+void RunE2(std::vector<bench::BenchMetric>* metrics) {
   const int kNodes = 21;  // the paper's private cluster
   auto mrs_steps = hadoopsim::MrsStartupScript(kNodes);
   auto hadoop_steps = hadoopsim::HadoopStartupScript(kNodes);
@@ -94,6 +98,13 @@ void RunE2() {
   for (const auto& step : hadoop_steps) {
     std::printf("  - %s\n", step.description.c_str());
   }
+  metrics->push_back(
+      {"mrs_script_steps", static_cast<double>(mrs_summary.total_steps)});
+  metrics->push_back({"hadoop_script_steps",
+                      static_cast<double>(hadoop_summary.total_steps)});
+  metrics->push_back({"mrs_script_overhead_s", mrs_summary.overhead_seconds});
+  metrics->push_back(
+      {"hadoop_script_overhead_s", hadoop_summary.overhead_seconds});
 }
 
 }  // namespace
@@ -101,7 +112,9 @@ void RunE2() {
 
 int main() {
   std::printf("bench_program_comparison: subjective evaluation (paper §V-A)\n");
-  mrs::RunE1();
-  mrs::RunE2();
+  std::vector<mrs::bench::BenchMetric> metrics;
+  mrs::RunE1(&metrics);
+  mrs::RunE2(&metrics);
+  mrs::bench::EmitBenchJson("bench_program_comparison", metrics);
   return 0;
 }

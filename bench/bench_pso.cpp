@@ -183,5 +183,16 @@ int main(int argc, char** argv) {
   }
   bench::PrintTable("Ablation: inter-hive topology (same seed and budget)",
                     topo_rows);
+
+  bench::EmitBenchJson(
+      "bench_pso",
+      {{"rounds", static_cast<double>(rounds)},
+       {"dims", static_cast<double>(dims)},
+       {"serial_total_s", serial->seconds},
+       {"serial_s_per_round", serial_per_round},
+       {"parallel_total_s", parallel.result.seconds},
+       {"parallel_s_per_round", parallel_per_round},
+       {"parallel_startup_s", parallel.startup_seconds},
+       {"best_value", serial->best}});
   return 0;
 }

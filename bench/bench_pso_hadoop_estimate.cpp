@@ -97,5 +97,15 @@ int main(int argc, char** argv) {
        {"per-iteration (sim s)", bench::Fmt("%.1f", per_iteration)},
        {"hadoop projected (h)", bench::Fmt("%.1f", paper_total / 3600)},
        {"paper said", "2471 x 30s = a little over 20 hours"}});
+
+  bench::EmitBenchJson(
+      "bench_pso_hadoop_estimate",
+      {{"dims", static_cast<double>(dims)},
+       {"mrs_rounds", static_cast<double>(r.rounds)},
+       {"mrs_wall_s", r.seconds},
+       {"mrs_best_value", r.best},
+       {"hadoop_sim_s_per_iter", per_iteration},
+       {"hadoop_sim_total_s", hadoop_total},
+       {"paper_projection_hours", paper_total / 3600}});
   return 0;
 }

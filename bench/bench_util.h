@@ -1,8 +1,10 @@
-// Shared helpers for the experiment benches: aligned table printing and
-// source-line accounting for the subjective comparison.
+// Shared helpers for the experiment benches: aligned table printing,
+// source-line accounting for the subjective comparison, and the
+// machine-readable result line every bench emits.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -60,6 +62,35 @@ inline int CountSloc(const std::string& source) {
     ++sloc;
   }
   return sloc;
+}
+
+/// One named numeric result; `name` must be a plain identifier (no
+/// quoting is applied).
+struct BenchMetric {
+  std::string name;
+  double value = 0;
+};
+
+/// Emit the bench's machine-readable result as a single JSON line:
+/// prefixed "[mrs-bench-json] " on stdout for humans/greppers, and the
+/// bare JSON appended to the file named by $MRS_BENCH_JSON when set
+/// (how the `bench_snapshot` CMake target collects BENCH_obs.json).
+inline void EmitBenchJson(const std::string& bench,
+                          const std::vector<BenchMetric>& metrics) {
+  std::string json = "{\"bench\":\"" + bench + "\",\"metrics\":{";
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    if (i > 0) json += ",";
+    json += "\"" + metrics[i].name + "\":" +
+            StrPrintf("%.9g", metrics[i].value);
+  }
+  json += "}}";
+  std::printf("[mrs-bench-json] %s\n", json.c_str());
+  if (const char* path = std::getenv("MRS_BENCH_JSON")) {
+    if (std::FILE* f = std::fopen(path, "a")) {
+      std::fprintf(f, "%s\n", json.c_str());
+      std::fclose(f);
+    }
+  }
 }
 
 }  // namespace bench

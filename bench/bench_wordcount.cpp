@@ -130,6 +130,9 @@ int main(int argc, char** argv) {
   rows.push_back({"corpus", "files", "MB", "mrs serial (s)",
                   "mrs masterslave (s)", "hadoopsim startup (s)",
                   "hadoopsim total (s)"});
+  std::vector<bench::BenchMetric> json_metrics;
+  json_metrics.push_back(
+      {"denominator", static_cast<double>(denominator)});
 
   std::vector<std::vector<std::string>> paper_rows;
   paper_rows.push_back({"corpus (paper scale)", "files",
@@ -181,6 +184,12 @@ int main(int argc, char** argv) {
                     bench::Fmt("%.2f", t_serial), bench::Fmt("%.2f", t_ms),
                     bench::Fmt("%.1f", sim.startup()),
                     bench::Fmt("%.1f", sim.total)});
+    std::string prefix = scale.name;
+    json_metrics.push_back(
+        {prefix + "_files", static_cast<double>(files->size())});
+    json_metrics.push_back({prefix + "_serial_s", t_serial});
+    json_metrics.push_back({prefix + "_masterslave_s", t_ms});
+    json_metrics.push_back({prefix + "_hadoop_sim_total_s", sim.total});
 
     // Paper-scale projection: DES runs at real file counts; Mrs total is
     // the measured masterslave throughput scaled linearly in bytes.
@@ -210,8 +219,11 @@ int main(int argc, char** argv) {
                       {{"variant", "seconds"},
                        {"with combiner", bench::Fmt("%.2f", with_combiner)},
                        {"without combiner", bench::Fmt("%.2f", without)}});
+    json_metrics.push_back({"combiner_on_s", with_combiner});
+    json_metrics.push_back({"combiner_off_s", without});
   }
 
   RemoveTree(*tmp);
+  bench::EmitBenchJson("bench_wordcount", json_metrics);
   return 0;
 }

@@ -186,6 +186,12 @@ void AddStandardMrsOptions(OptionParser* parser) {
               "instead of serving them over HTTP (fault-tolerant mode)");
   parser->Add("mrs-timing", 0, false,
               "print wall-time for the Run method to stderr");
+  parser->Add("trace-out", 0, true,
+              "write per-task trace spans as Chrome trace_event JSON to "
+              "this file on exit (load via chrome://tracing)");
+  parser->Add("mrs-no-metrics", 0, false,
+              "disable the metrics registry hot path (observability kill "
+              "switch)");
   parser->Add("mrs-verbose", 'v', false, "enable info logging");
   parser->Add("mrs-debug", 0, false, "enable debug logging");
   parser->Add("help", 'h', false, "show this help");

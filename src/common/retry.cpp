@@ -5,12 +5,24 @@
 #include <thread>
 
 #include "common/hash.h"
+#include "obs/metrics.h"
 
 namespace mrs {
 
 namespace {
-std::atomic<int64_t> g_rpc_retries{0};
-std::atomic<int64_t> g_fetch_retries{0};
+// Retry counters live in the process metrics registry so they show up in
+// /metrics and bench snapshots; the accessors below keep the historical
+// RpcRetryCount()/FetchRetryCount() API on top of it.
+obs::Counter& RpcRetries() {
+  static obs::Counter* c =
+      obs::Registry::Instance().GetCounter("mrs.retry.rpc");
+  return *c;
+}
+obs::Counter& FetchRetries() {
+  static obs::Counter* c =
+      obs::Registry::Instance().GetCounter("mrs.retry.fetch");
+  return *c;
+}
 
 uint64_t NextJitterState() {
   thread_local uint64_t state = [] {
@@ -56,9 +68,9 @@ void SleepForSeconds(double seconds) {
   std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
 }
 
-int64_t RpcRetryCount() { return g_rpc_retries.load(); }
-int64_t FetchRetryCount() { return g_fetch_retries.load(); }
-void CountRpcRetry() { g_rpc_retries.fetch_add(1); }
-void CountFetchRetry() { g_fetch_retries.fetch_add(1); }
+int64_t RpcRetryCount() { return RpcRetries().value(); }
+int64_t FetchRetryCount() { return FetchRetries().value(); }
+void CountRpcRetry() { RpcRetries().Inc(); }
+void CountFetchRetry() { FetchRetries().Inc(); }
 
 }  // namespace mrs

@@ -4,8 +4,9 @@
 // time (paper §I: "a job scheduler may kill processes at any time").  Both
 // network clients — the XML-RPC control channel and the bucket data
 // fetcher — funnel their retry loops through this policy so behaviour is
-// uniform and observable: every retry is counted in a process-wide
-// counter that Master::Stats surfaces to tests and benches.
+// uniform and observable: every retry is counted in the process metrics
+// registry (mrs.retry.rpc / mrs.retry.fetch, see obs/metrics.h), which
+// Master::Stats, /metrics, and the bench snapshots all read.
 #pragma once
 
 #include <cstdint>
@@ -37,8 +38,10 @@ double BackoffDelaySeconds(const RetryPolicy& policy, int failures);
 void SleepForSeconds(double seconds);
 
 // ---- Process-wide retry counters ---------------------------------------
-// Shared by every client in the process; Master::stats() reports deltas so
-// in-process cluster tests can assert that retries actually happened.
+// Thin accessors over the metrics-registry counters mrs.retry.rpc and
+// mrs.retry.fetch; Master::stats() reports deltas so in-process cluster
+// tests can assert that retries actually happened.  Note the registry
+// kill switch (obs::SetMetricsEnabled(false)) freezes these too.
 
 int64_t RpcRetryCount();
 int64_t FetchRetryCount();

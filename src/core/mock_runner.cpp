@@ -2,6 +2,8 @@
 
 #include "core/program.h"
 #include "fs/file_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mrs {
 
@@ -21,8 +23,14 @@ Status MockParallelRunner::Compute(const DataSetPtr& dataset) {
       JoinPath(tmpdir_, "dataset_" + std::to_string(dataset->id()));
   MRS_RETURN_IF_ERROR(EnsureDir(ds_dir));
 
+  static obs::Counter* tasks =
+      obs::Registry::Instance().GetCounter("mrs.mock.tasks");
   for (int source = 0; source < dataset->num_sources(); ++source) {
     if (!dataset->TryClaimTask(source)) continue;
+    obs::ScopedSpan span(dataset->options().op_name,
+                         dataset->kind() == DataSetKind::kMap ? "map"
+                                                              : "reduce");
+    span.set_task(dataset->id(), source);
     MRS_ASSIGN_OR_RETURN(
         std::vector<KeyValue> input,
         GatherInputRecords(*dataset->input(), source, LocalFetch));
@@ -44,6 +52,7 @@ Status MockParallelRunner::Compute(const DataSetPtr& dataset) {
       b.Evict();
     }
     dataset->SetRow(source, std::move(row).value());
+    tasks->Inc();
   }
   return Status::Ok();
 }

@@ -1,6 +1,8 @@
 #include "core/serial_runner.h"
 
 #include "core/program.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mrs {
 
@@ -13,8 +15,14 @@ Status SerialRunner::Compute(const DataSetPtr& dataset) {
   if (dataset->IsSourceData()) return Status::Ok();  // complete at creation
   MRS_RETURN_IF_ERROR(Compute(dataset->input()));
 
+  static obs::Counter* tasks =
+      obs::Registry::Instance().GetCounter("mrs.serial.tasks");
   for (int source = 0; source < dataset->num_sources(); ++source) {
     if (!dataset->TryClaimTask(source)) continue;
+    obs::ScopedSpan span(dataset->options().op_name,
+                         dataset->kind() == DataSetKind::kMap ? "map"
+                                                              : "reduce");
+    span.set_task(dataset->id(), source);
     MRS_ASSIGN_OR_RETURN(
         std::vector<KeyValue> input,
         GatherInputRecords(*dataset->input(), source, LocalFetch));
@@ -26,6 +34,7 @@ Status SerialRunner::Compute(const DataSetPtr& dataset) {
       return row.status();
     }
     dataset->SetRow(source, std::move(row).value());
+    tasks->Inc();
   }
   return Status::Ok();
 }

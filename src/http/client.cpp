@@ -2,6 +2,8 @@
 
 #include "common/strings.h"
 #include "http/parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mrs {
 
@@ -63,18 +65,28 @@ Status HttpClient::EnsureConnected() {
 }
 
 Result<HttpResponse> HttpClient::Do(HttpRequest req) {
+  static obs::Counter* requests =
+      obs::Registry::Instance().GetCounter("mrs.http.client.requests");
+  static obs::Counter* errors =
+      obs::Registry::Instance().GetCounter("mrs.http.client.errors");
+  static obs::Histogram* request_seconds =
+      obs::Registry::Instance().GetHistogram("mrs.http.client.request_seconds");
+  double start = obs::TraceNowSeconds();
+
   req.headers.Set("Host", addr_.ToString());
   std::string wire = req.Serialize();
   Result<HttpResponse> resp = DoOnce(wire);
-  if (resp.ok()) return resp;
   // One transparent reconnect: the kept-alive connection may have been
   // closed by the server between requests.
-  if (resp.status().code() == StatusCode::kIoError ||
-      resp.status().code() == StatusCode::kUnavailable ||
-      resp.status().code() == StatusCode::kDataLoss) {
+  if (!resp.ok() && (resp.status().code() == StatusCode::kIoError ||
+                     resp.status().code() == StatusCode::kUnavailable ||
+                     resp.status().code() == StatusCode::kDataLoss)) {
     conn_.Close();
-    return DoOnce(wire);
+    resp = DoOnce(wire);
   }
+  request_seconds->Observe(obs::TraceNowSeconds() - start);
+  requests->Inc();
+  if (!resp.ok()) errors->Inc();
   return resp;
 }
 

@@ -5,6 +5,8 @@
 #include "common/log.h"
 #include "common/strings.h"
 #include "http/parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mrs {
 
@@ -98,7 +100,14 @@ void HttpServer::HandleConnection(TcpConn conn) {
         c.has_value() && EqualsIgnoreCase(*c, "close")) {
       close = true;
     }
+    static obs::Counter* requests =
+        obs::Registry::Instance().GetCounter("mrs.http.server.requests");
+    static obs::Histogram* handle_seconds =
+        obs::Registry::Instance().GetHistogram("mrs.http.server.handle_seconds");
+    double handle_start = obs::TraceNowSeconds();
     HttpResponse resp = handler_(req);
+    handle_seconds->Observe(obs::TraceNowSeconds() - handle_start);
+    requests->Inc();
     resp.headers.Set("Connection", close ? "close" : "keep-alive");
     if (!conn.WriteAll(resp.Serialize()).ok()) return;
     if (close) return;

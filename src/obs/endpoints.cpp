@@ -1,0 +1,33 @@
+#include "obs/endpoints.h"
+
+#include "http/message.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mrs {
+namespace obs {
+
+HttpServer::Handler MakeObsHandler(StatusProvider status_provider,
+                                   HttpServer::Handler fallback) {
+  return [status_provider = std::move(status_provider),
+          fallback = std::move(fallback)](const HttpRequest& req) {
+    auto [path, query] = SplitTarget(req.target);
+    (void)query;
+    if (path == "/metrics") {
+      return HttpResponse::Ok(Registry::Instance().RenderPrometheus(),
+                              "text/plain; version=0.0.4");
+    }
+    if (path == "/status") {
+      std::string body = status_provider ? status_provider() : "{}";
+      return HttpResponse::Ok(std::move(body), "application/json");
+    }
+    if (path == "/trace") {
+      return HttpResponse::Ok(RenderChromeTrace(), "application/json");
+    }
+    if (fallback) return fallback(req);
+    return HttpResponse::NotFound();
+  };
+}
+
+}  // namespace obs
+}  // namespace mrs

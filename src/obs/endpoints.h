@@ -1,0 +1,27 @@
+// mrs::obs — /metrics, /status and /trace endpoints for HttpServer.
+//
+// Both the master's RPC server and every slave's data server mount these
+// by wrapping their existing handler: GET /metrics renders the process
+// metrics registry in Prometheus text format, GET /status returns the
+// caller-supplied JSON (job progress on the master, executor state on a
+// slave), and GET /trace returns the span ring as Chrome trace JSON.
+// Anything else falls through to the wrapped handler.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "http/server.h"
+
+namespace mrs {
+namespace obs {
+
+/// Produces the /status JSON body on demand (must be thread-safe).
+using StatusProvider = std::function<std::string()>;
+
+/// Wrap `fallback` (may be null -> 404) with the observability endpoints.
+HttpServer::Handler MakeObsHandler(StatusProvider status_provider,
+                                   HttpServer::Handler fallback);
+
+}  // namespace obs
+}  // namespace mrs

@@ -1,0 +1,178 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace mrs {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string Sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, "_");
+  return out;
+}
+
+std::string FmtInt(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+double Histogram::BucketBound(int i) const {
+  double bound = base_;
+  for (int k = 0; k < i; ++k) bound *= 2;
+  return bound;
+}
+
+Registry& Registry::Instance() {
+  static Registry* instance = new Registry();  // never destroyed
+  return *instance;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name, double base) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(base);
+  return slot.get();
+}
+
+std::string Registry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    std::string n = Sanitize(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + FmtInt(c->value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::string n = Sanitize(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + FmtDouble(g->value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::string n = Sanitize(name);
+    out += "# TYPE " + n + " histogram\n";
+    int64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      cumulative += h->bucket_count(i);
+      std::string le = i == Histogram::kNumBuckets - 1
+                           ? "+Inf"
+                           : FmtDouble(h->BucketBound(i));
+      out += n + "_bucket{le=\"" + le + "\"} " + FmtInt(cumulative) + "\n";
+    }
+    out += n + "_sum " + FmtDouble(h->sum()) + "\n";
+    out += n + "_count " + FmtInt(h->count()) + "\n";
+  }
+  return out;
+}
+
+std::string Registry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + FmtInt(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + FmtDouble(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":{\"count\":" + FmtInt(h->count()) +
+           ",\"sum\":" + FmtDouble(h->sum()) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::map<std::string, int64_t> Registry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->value();
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace mrs

@@ -1,0 +1,153 @@
+// mrs::obs — process-wide metrics registry.
+//
+// The paper's claims are operational ("very low per-iteration overhead",
+// identical answers across implementations), so the runtime needs a
+// substrate that makes them measurable: every component counts what it
+// does into one registry, and the /metrics endpoint (Prometheus text) and
+// bench JSON lines are just renderings of it.
+//
+// Design constraints:
+//  - Lock-cheap hot path: instruments are append-only; once created a
+//    Counter/Gauge/Histogram is a stable pointer whose update is a single
+//    relaxed atomic op (plus one relaxed load for the kill switch).  The
+//    registry mutex is taken only on first lookup of a name.
+//  - No dependencies: this header is used from src/common (retry counters),
+//    so it must not pull in common/ — it stands alone below everything.
+//  - Kill switch: SetMetricsEnabled(false) turns every update into a
+//    no-op (one relaxed load + branch), which is how the <=2% overhead
+//    budget on bench_iteration_overhead is enforced and verified.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mrs {
+namespace obs {
+
+/// Runtime kill switch for all metric updates (reads stay available).
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+class Counter {
+ public:
+  void Inc(int64_t n = 1) {
+    if (!MetricsEnabled()) return;
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) {
+    if (!MetricsEnabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void Add(double d) {
+    if (!MetricsEnabled()) return;
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Histogram with fixed log-scale buckets: bucket i counts observations in
+/// (base * 2^(i-1), base * 2^i], bucket 0 is (-inf, base], and the last
+/// bucket is the +Inf overflow.  With the default base of 1 microsecond
+/// and 36 buckets the range covers 1 us .. ~9.5 hours, which fits every
+/// latency this runtime produces.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 36;
+  static constexpr double kDefaultBase = 1e-6;  // seconds
+
+  explicit Histogram(double base = kDefaultBase) : base_(base) {}
+
+  void Observe(double v) {
+    if (!MetricsEnabled()) return;
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  int BucketIndex(double v) const {
+    int idx = 0;
+    double bound = base_;
+    while (v > bound && idx < kNumBuckets - 1) {
+      bound *= 2;
+      ++idx;
+    }
+    return idx;
+  }
+  /// Upper bound of bucket i (the last bucket is unbounded).
+  double BucketBound(int i) const;
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t bucket_count(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  double base() const { return base_; }
+
+ private:
+  const double base_;
+  std::atomic<int64_t> buckets_[kNumBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name-keyed instrument registry.  Instruments are created on first
+/// lookup and never destroyed, so returned pointers stay valid for the
+/// process lifetime and may be cached in function-local statics.
+class Registry {
+ public:
+  static Registry& Instance();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          double base = Histogram::kDefaultBase);
+
+  /// Prometheus text exposition ("# TYPE" lines, _bucket/_sum/_count for
+  /// histograms).  Metric names have '.' and '-' mapped to '_'.
+  std::string RenderPrometheus() const;
+
+  /// Compact JSON snapshot: {"counters":{..},"gauges":{..},
+  /// "histograms":{"name":{"count":..,"sum":..}}}.
+  std::string RenderJson() const;
+
+  /// Current counter values by name (tests and benches).
+  std::map<std::string, int64_t> CounterValues() const;
+
+  /// Zero is not possible (instruments are cumulative by design); tests
+  /// instead snapshot CounterValues() and assert on deltas.
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// JSON string escaping (shared by the status endpoints and trace export).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace obs
+}  // namespace mrs

@@ -1,0 +1,189 @@
+#include "obs/trace.h"
+
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace mrs {
+namespace obs {
+
+namespace {
+std::atomic<bool> g_tracing_enabled{true};
+
+uint64_t CurrentTid() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+std::string FmtI64(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+}  // namespace
+
+double TraceNowSeconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+double ThreadCpuSeconds() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+TraceBuffer& TraceBuffer::Instance() {
+  static TraceBuffer* instance =
+      new TraceBuffer(kDefaultCapacity);  // never destroyed
+  return *instance;
+}
+
+void TraceBuffer::Record(TraceSpan span) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+    if (ring_.size() == capacity_) next_ = 0;  // next overwrite target
+    return;
+  }
+  ring_[next_] = std::move(span);
+  next_ = (next_ + 1) % capacity_;
+  wrapped_ = true;
+}
+
+std::vector<TraceSpan> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceSpan> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_ || !wrapped_) {
+    out = ring_;
+    return out;
+  }
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+size_t TraceBuffer::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+int64_t TraceBuffer::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+void TraceBuffer::SetCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.reserve(capacity_);
+  next_ = 0;
+  wrapped_ = false;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+}
+
+ScopedSpan::ScopedSpan(std::string name, std::string cat)
+    : active_(TracingEnabled()) {
+  if (!active_) return;
+  span_.name = std::move(name);
+  span_.cat = std::move(cat);
+  span_.start_seconds = TraceNowSeconds();
+  span_.tid = CurrentTid();
+  cpu_start_ = ThreadCpuSeconds();
+}
+
+void ScopedSpan::End() {
+  if (!active_) return;
+  active_ = false;
+  span_.wall_seconds = TraceNowSeconds() - span_.start_seconds;
+  span_.cpu_seconds = ThreadCpuSeconds() - cpu_start_;
+  TraceBuffer::Instance().Record(std::move(span_));
+}
+
+ScopedSpan::~ScopedSpan() { End(); }
+
+std::string RenderChromeTrace(const std::vector<TraceSpan>& spans) {
+  std::string out = "{\"traceEvents\":[";
+  const int64_t pid = static_cast<int64_t>(::getpid());
+  bool first = true;
+  for (const TraceSpan& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    char head[256];
+    // Chrome expects microsecond ts/dur; tid must be small-ish, so fold
+    // the hash down to 31 bits.
+    std::snprintf(head, sizeof(head),
+                  "{\"ph\":\"X\",\"pid\":%" PRId64
+                  ",\"tid\":%u,\"ts\":%.3f,\"dur\":%.3f",
+                  pid, static_cast<unsigned>(s.tid & 0x7fffffff),
+                  s.start_seconds * 1e6, s.wall_seconds * 1e6);
+    out += head;
+    out += ",\"name\":\"" + JsonEscape(s.name) + "\"";
+    out += ",\"cat\":\"" + JsonEscape(s.cat) + "\"";
+    char args[256];
+    std::snprintf(args, sizeof(args),
+                  ",\"args\":{\"dataset\":%d,\"source\":%d,\"attempt\":%d,"
+                  "\"cpu_us\":%.3f,\"bytes_in\":%" PRId64
+                  ",\"bytes_out\":%" PRId64 "}}",
+                  s.dataset_id, s.source, s.attempt, s.cpu_seconds * 1e6,
+                  s.bytes_in, s.bytes_out);
+    out += args;
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"totalRecorded\":" +
+         FmtI64(TraceBuffer::Instance().total_recorded()) + "}}";
+  return out;
+}
+
+std::string RenderChromeTrace() {
+  return RenderChromeTrace(TraceBuffer::Instance().Snapshot());
+}
+
+bool WriteChromeTraceFile(const std::string& path) {
+  std::string doc = RenderChromeTrace();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  bool ok = written == doc.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace mrs

@@ -1,0 +1,118 @@
+// mrs::obs — per-task trace spans in a bounded ring buffer.
+//
+// Every task attempt (and every phase within it: fetch, map, reduce)
+// records one span: wall time, thread CPU time, and bytes moved.  Spans
+// live in a fixed-capacity ring so tracing is always-on with bounded
+// memory, and export as Chrome trace_event JSON ("ph":"X" complete
+// events) that chrome://tracing and Perfetto load directly — the same
+// per-task timeline methodology LLMapReduce and the JVM-vs-native Hadoop
+// comparisons use to make overhead claims inspectable.
+//
+// Like metrics.h this header stands alone (no common/ dependency) so any
+// layer may record spans.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mrs {
+namespace obs {
+
+/// Wall clock for span timestamps (monotonic seconds).
+double TraceNowSeconds();
+/// CPU time consumed by the calling thread, in seconds.
+double ThreadCpuSeconds();
+
+struct TraceSpan {
+  std::string name;  // e.g. "map:wordcount" or "task"
+  std::string cat;   // phase: "map" | "shuffle" | "reduce" | "fetch" | ...
+  int dataset_id = -1;
+  int source = -1;   // task id within the dataset
+  int attempt = 1;
+  double start_seconds = 0;  // TraceNowSeconds() at begin
+  double wall_seconds = 0;
+  double cpu_seconds = 0;
+  int64_t bytes_in = 0;
+  int64_t bytes_out = 0;
+  uint64_t tid = 0;  // recording thread
+};
+
+/// Runtime switch for span recording (default on; the ring is bounded so
+/// always-on costs a few MB at most).
+bool TracingEnabled();
+void SetTracingEnabled(bool enabled);
+
+/// Process-wide bounded ring of spans.
+class TraceBuffer {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  static TraceBuffer& Instance();
+
+  void Record(TraceSpan span);
+
+  /// All retained spans, oldest first.
+  std::vector<TraceSpan> Snapshot() const;
+
+  size_t size() const;
+  size_t capacity() const;
+  /// Total spans ever recorded (>= size() once the ring wraps).
+  int64_t total_recorded() const;
+
+  /// Resize (drops retained spans).  Capacity 0 is clamped to 1.
+  void SetCapacity(size_t capacity);
+  void Clear();
+
+ private:
+  explicit TraceBuffer(size_t capacity);
+
+  mutable std::mutex mutex_;
+  std::vector<TraceSpan> ring_;
+  size_t capacity_;
+  size_t next_ = 0;    // ring write position
+  bool wrapped_ = false;
+  int64_t total_ = 0;
+};
+
+/// RAII span: captures wall + CPU time from construction to End() (or
+/// destruction).  Byte counts are attached by the caller as they become
+/// known.  Recording is skipped entirely when tracing is disabled.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string name, std::string cat);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void set_task(int dataset_id, int source, int attempt = 1) {
+    span_.dataset_id = dataset_id;
+    span_.source = source;
+    span_.attempt = attempt;
+  }
+  void add_bytes_in(int64_t n) { span_.bytes_in += n; }
+  void add_bytes_out(int64_t n) { span_.bytes_out += n; }
+
+  /// Close and record the span now (idempotent).
+  void End();
+
+ private:
+  TraceSpan span_;
+  double cpu_start_ = 0;
+  bool active_ = false;
+};
+
+/// Render spans as a Chrome trace_event JSON document.
+std::string RenderChromeTrace(const std::vector<TraceSpan>& spans);
+
+/// Snapshot the process ring and render it.
+std::string RenderChromeTrace();
+
+/// Write the current ring to `path` as Chrome trace JSON.  Returns false
+/// (with errno set) if the file could not be written.
+bool WriteChromeTraceFile(const std::string& path);
+
+}  // namespace obs
+}  // namespace mrs

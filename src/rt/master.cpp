@@ -9,11 +9,39 @@
 #include "common/strings.h"
 #include "core/fetch_registry.h"
 #include "http/client.h"
+#include "obs/endpoints.h"
+#include "obs/metrics.h"
 
 namespace mrs {
 
 namespace {
 double NowSeconds() { return RealClock::Instance().Now(); }
+
+/// Process-wide mirrors of the scheduler counters, so a live master's
+/// activity is visible at /metrics without calling stats().
+struct MasterCounters {
+  obs::Counter* tasks_assigned;
+  obs::Counter* tasks_completed;
+  obs::Counter* tasks_failed;
+  obs::Counter* affinity_hits;
+  obs::Counter* slaves_lost;
+  obs::Counter* tasks_invalidated;
+  obs::Counter* lineage_recoveries;
+
+  static MasterCounters& Get() {
+    static MasterCounters c = [] {
+      obs::Registry& reg = obs::Registry::Instance();
+      return MasterCounters{reg.GetCounter("mrs.master.tasks_assigned"),
+                            reg.GetCounter("mrs.master.tasks_completed"),
+                            reg.GetCounter("mrs.master.tasks_failed"),
+                            reg.GetCounter("mrs.master.affinity_hits"),
+                            reg.GetCounter("mrs.master.slaves_lost"),
+                            reg.GetCounter("mrs.master.tasks_invalidated"),
+                            reg.GetCounter("mrs.master.lineage_recoveries")};
+    }();
+    return c;
+  }
+};
 
 /// Parse "<base>/bucket/<dataset>/<source>/<split>" into its coordinates.
 bool ParseBucketUrl(const std::string& url, int* dataset_id, int* source,
@@ -59,10 +87,16 @@ Status Master::Init() {
     return RpcPing(p);
   });
 
+  // Non-RPC paths fall through to the observability endpoints: /metrics,
+  // /status (the JSON below), and /trace.
   MRS_ASSIGN_OR_RETURN(
-      server_, HttpServer::Start(config_.host, config_.port,
-                                 dispatcher_.MakeHttpHandler("/RPC2"),
-                                 config_.rpc_workers));
+      server_,
+      HttpServer::Start(
+          config_.host, config_.port,
+          dispatcher_.MakeHttpHandler(
+              "/RPC2", obs::MakeObsHandler([this] { return StatusJson(); },
+                                           nullptr)),
+          config_.rpc_workers));
   rpc_retries_base_ = RpcRetryCount();
   fetch_retries_base_ = FetchRetryCount();
   monitor_ = std::thread([this] { MonitorLoop(); });
@@ -118,6 +152,102 @@ Master::Stats Master::stats() const {
   Stats out = stats_;
   out.rpc_retries = RpcRetryCount() - rpc_retries_base_;
   out.fetch_retries = FetchRetryCount() - fetch_retries_base_;
+  return out;
+}
+
+bool Master::WaitUntilStats(const std::function<bool(const Stats&)>& pred,
+                            double timeout_seconds) {
+  auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    Stats snapshot = stats_;
+    snapshot.rpc_retries = RpcRetryCount() - rpc_retries_base_;
+    snapshot.fetch_retries = FetchRetryCount() - fetch_retries_base_;
+    if (pred(snapshot)) return true;
+    if (shutdown_) return false;
+    // Bounded slices rather than a bare wait: the retry counters are
+    // process-wide atomics with no associated cv, so poll them too.
+    auto slice = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(25);
+    auto until = slice < deadline ? slice : deadline;
+    if (done_cv_.wait_until(lock, until) == std::cv_status::timeout &&
+        std::chrono::steady_clock::now() >= deadline) {
+      Stats last = stats_;
+      last.rpc_retries = RpcRetryCount() - rpc_retries_base_;
+      last.fetch_retries = FetchRetryCount() - fetch_retries_base_;
+      return pred(last);
+    }
+  }
+}
+
+std::string Master::StatusJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double now = NowSeconds();
+  std::string out;
+  out.reserve(1024);
+  out += "{\"role\":\"master\",";
+  out += "\"job\":{\"ok\":";
+  out += job_status_.ok() ? "true" : "false";
+  if (!job_status_.ok()) {
+    out += ",\"error\":\"" + obs::JsonEscape(job_status_.message()) + "\"";
+  }
+  out += ",\"shutdown\":";
+  out += shutdown_ ? "true" : "false";
+  out += "},";
+
+  out += "\"datasets\":[";
+  bool first = true;
+  for (const auto& [id, ds] : datasets_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"id\":" + std::to_string(id);
+    out += ",\"kind\":\"";
+    out += ds->kind() == DataSetKind::kMap ? "map" : "reduce";
+    out += "\",\"sources\":" + std::to_string(ds->num_sources());
+    out += ",\"splits\":" + std::to_string(ds->num_splits());
+    out += ",\"complete_tasks\":" + std::to_string(ds->NumCompleteTasks());
+    out += ",\"complete\":";
+    out += ds->Complete() ? "true" : "false";
+    out += "}";
+  }
+  out += "],";
+  out += "\"queue\":{\"runnable\":" + std::to_string(runnable_.size());
+  out += ",\"waiting\":" + std::to_string(waiting_.size()) + "},";
+
+  out += "\"slaves\":[";
+  first = true;
+  for (const auto& [id, slave] : slaves_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"id\":" + std::to_string(id);
+    out += ",\"alive\":";
+    out += slave.alive ? "true" : "false";
+    out += ",\"data_url\":\"" + obs::JsonEscape(slave.data_url_base) + "\"";
+    out += ",\"last_ping_age_seconds\":" +
+           std::to_string(now - slave.last_ping);
+    out += ",\"running_tasks\":" + std::to_string(slave.running.size());
+    out += ",\"hosted_rows\":" + std::to_string(slave.hosted.size());
+    out += "}";
+  }
+  out += "],";
+
+  out += "\"stats\":{";
+  out += "\"tasks_assigned\":" + std::to_string(stats_.tasks_assigned);
+  out += ",\"tasks_completed\":" + std::to_string(stats_.tasks_completed);
+  out += ",\"tasks_failed\":" + std::to_string(stats_.tasks_failed);
+  out += ",\"affinity_hits\":" + std::to_string(stats_.affinity_hits);
+  out += ",\"slaves_lost\":" + std::to_string(stats_.slaves_lost);
+  out += ",\"tasks_invalidated\":" + std::to_string(stats_.tasks_invalidated);
+  out += ",\"lineage_recoveries\":" +
+         std::to_string(stats_.lineage_recoveries);
+  out += ",\"rpc_retries\":" +
+         std::to_string(RpcRetryCount() - rpc_retries_base_);
+  out += ",\"fetch_retries\":" +
+         std::to_string(FetchRetryCount() - fetch_retries_base_);
+  out += "}}";
   return out;
 }
 
@@ -199,6 +329,9 @@ Result<TaskAssignment> Master::BuildAssignmentLocked(const TaskRef& ref) {
   assignment.kind = ds.kind();
   assignment.source = ref.source;
   assignment.num_splits = ds.num_splits();
+  // 1-based attempt number: prior failures + 1 (for slave-side spans).
+  auto ait = attempts_.find(TaskKey(ref.dataset_id, ref.source));
+  assignment.attempt = (ait == attempts_.end() ? 0 : ait->second) + 1;
   assignment.options = ds.options();
   MRS_ASSIGN_OR_RETURN(assignment.inputs,
                        BuildTaskInputParts(*ds.input(), ref.source));
@@ -285,6 +418,8 @@ int Master::InvalidateSlaveOutputsLocked(SlaveInfo& slave) {
   if (invalidated > 0) {
     stats_.tasks_invalidated += invalidated;
     ++stats_.lineage_recoveries;
+    MasterCounters::Get().tasks_invalidated->Inc(invalidated);
+    MasterCounters::Get().lineage_recoveries->Inc();
     MRS_LOG(kWarning, "master")
         << "lineage recovery: invalidated " << invalidated
         << " completed tasks hosted on slave " << slave.id
@@ -334,6 +469,7 @@ bool Master::RecoverLostUrlLocked(const std::string& bad_url) {
           << bad_url << ")";
       slave.alive = false;
       ++stats_.slaves_lost;
+      MasterCounters::Get().slaves_lost->Inc();
     }
     HandleSlaveLossLocked(slave);
     return true;
@@ -344,6 +480,8 @@ bool Master::RecoverLostUrlLocked(const std::string& bad_url) {
     runnable_.push_back(TaskRef{dataset_id, source});
     ++stats_.tasks_invalidated;
     ++stats_.lineage_recoveries;
+    MasterCounters::Get().tasks_invalidated->Inc();
+    MasterCounters::Get().lineage_recoveries->Inc();
     MRS_LOG(kWarning, "master")
         << "re-running lineage task (" << dataset_id << "," << source
         << ") for lost bucket " << bad_url;
@@ -370,11 +508,16 @@ void Master::MonitorLoop() {
             << config_.slave_timeout << "s)";
         slave.alive = false;
         ++stats_.slaves_lost;
+        MasterCounters::Get().slaves_lost->Inc();
         HandleSlaveLossLocked(slave);
         lost = true;
       }
     }
-    if (lost) sched_cv_.notify_all();
+    // done_cv_ doubles as the stats-changed signal for WaitUntilStats.
+    if (lost) {
+      sched_cv_.notify_all();
+      done_cv_.notify_all();
+    }
   }
 }
 
@@ -432,9 +575,13 @@ Result<XmlRpcValue> Master::RpcGetTask(const XmlRpcArray& params) {
         done_cv_.notify_all();
         return assignment.status();
       }
-      if (affinity_hit) ++stats_.affinity_hits;
+      if (affinity_hit) {
+        ++stats_.affinity_hits;
+        MasterCounters::Get().affinity_hits->Inc();
+      }
       sit->second.running.insert(TaskKey(ref.dataset_id, ref.source));
       ++stats_.tasks_assigned;
+      MasterCounters::Get().tasks_assigned->Inc();
 
       XmlRpcValue rpc = assignment->ToRpc();
       // Piggyback discard notices.
@@ -503,6 +650,7 @@ Result<XmlRpcValue> Master::RpcTaskDone(const XmlRpcArray& params) {
   }
   ds.SetRow(static_cast<int>(source), std::move(row));
   ++stats_.tasks_completed;
+  MasterCounters::Get().tasks_completed->Inc();
 
   // Lineage record: this slave's data server now hosts the row.  Shared-
   // filesystem (file://) outputs survive slave death and need no entry.
@@ -537,6 +685,7 @@ Result<XmlRpcValue> Master::RpcTaskFailed(const XmlRpcArray& params) {
                               << ") failed on slave " << slave_id << ": "
                               << message;
   ++stats_.tasks_failed;
+  MasterCounters::Get().tasks_failed->Inc();
   auto sit = slaves_.find(static_cast<int>(slave_id));
   if (sit != slaves_.end()) {
     sit->second.last_ping = NowSeconds();
@@ -576,6 +725,7 @@ Result<XmlRpcValue> Master::RpcTaskFailed(const XmlRpcArray& params) {
   }
 
   sched_cv_.notify_all();
+  done_cv_.notify_all();  // stats changed — wake WaitUntilStats
   return XmlRpcValue(XmlRpcStruct{});
 }
 

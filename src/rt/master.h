@@ -3,7 +3,9 @@
 // Starting a job "requires merely starting one copy of the program as a
 // master and any number of other copies of the program as slaves" (paper
 // §IV).  The master serves XML-RPC on one TCP port; slaves sign in knowing
-// only host:port.  The scheduler implements the paper's iterative
+// only host:port.  The same port also serves the observability endpoints:
+// GET /metrics (Prometheus text), GET /status (job progress + slave
+// liveness JSON), GET /trace (Chrome trace_event spans) — see obs/.  The scheduler implements the paper's iterative
 // optimizations: operations queue up and start the moment their inputs are
 // complete, independent datasets run concurrently, and "corresponding
 // tasks" are assigned "to the same processor from one iteration to the
@@ -21,6 +23,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -95,6 +98,17 @@ class Master {
     int64_t fetch_retries = 0;
   };
   Stats stats() const;
+
+  /// Condition-variable wait until `pred(stats())` holds or the timeout
+  /// expires.  Used by tests to wait on observable scheduler state (e.g.
+  /// "a slave was declared lost") instead of sleeping wall-clock time.
+  bool WaitUntilStats(const std::function<bool(const Stats&)>& pred,
+                      double timeout_seconds);
+
+  /// The /status document: job progress, per-slave liveness, and lineage
+  /// counters as JSON.  Served by the master's HTTP server and callable
+  /// directly (thread-safe).
+  std::string StatusJson() const;
 
  private:
   explicit Master(Config config);

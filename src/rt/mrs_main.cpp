@@ -8,6 +8,8 @@
 #include "core/mock_runner.h"
 #include "core/serial_runner.h"
 #include "fs/file_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rt/cluster.h"
 
 namespace mrs {
@@ -165,6 +167,13 @@ int RunMain(const ProgramFactory& factory, int argc,
   } else if (opts->GetBool("mrs-verbose")) {
     SetLogLevel(LogLevel::kInfo);
   }
+  if (opts->GetBool("mrs-no-metrics")) {
+    obs::SetMetricsEnabled(false);
+  }
+  std::string trace_out = opts->GetString("trace-out");
+  if (!trace_out.empty()) {
+    obs::SetTracingEnabled(true);
+  }
 
   Status init = program->Init(*opts);
   if (!init.ok()) {
@@ -194,6 +203,15 @@ int RunMain(const ProgramFactory& factory, int argc,
   if (opts->GetBool("mrs-timing")) {
     std::fprintf(stderr, "[mrs] %s run took %.3f s\n", impl.c_str(),
                  watch.ElapsedSeconds());
+  }
+  if (!trace_out.empty()) {
+    if (obs::WriteChromeTraceFile(trace_out)) {
+      std::fprintf(stderr, "[mrs] wrote %zu trace spans to %s\n",
+                   obs::TraceBuffer::Instance().size(), trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "[mrs] failed to write trace file %s\n",
+                   trace_out.c_str());
+    }
   }
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());

@@ -20,6 +20,7 @@ XmlRpcValue TaskAssignment::ToRpc() const {
   s["ds_kind"] =
       XmlRpcValue(kind == DataSetKind::kMap ? "map_op" : "reduce_op");
   s["source"] = XmlRpcValue(static_cast<int64_t>(source));
+  s["attempt"] = XmlRpcValue(static_cast<int64_t>(attempt));
   s["num_splits"] = XmlRpcValue(static_cast<int64_t>(num_splits));
   s["op_name"] = XmlRpcValue(options.op_name);
   s["use_combiner"] = XmlRpcValue(options.use_combiner);
@@ -58,6 +59,12 @@ Result<TaskAssignment> TaskAssignment::FromRpc(const XmlRpcValue& v) {
   MRS_ASSIGN_OR_RETURN(const XmlRpcValue* source, v.Field("source"));
   MRS_ASSIGN_OR_RETURN(int64_t src, source->AsInt());
   out.source = static_cast<int>(src);
+
+  // Optional for wire compatibility with pre-observability masters.
+  if (auto att = v.Field("attempt"); att.ok()) {
+    MRS_ASSIGN_OR_RETURN(int64_t a, (*att)->AsInt());
+    out.attempt = static_cast<int>(a);
+  }
 
   MRS_ASSIGN_OR_RETURN(const XmlRpcValue* splits, v.Field("num_splits"));
   MRS_ASSIGN_OR_RETURN(int64_t ns, splits->AsInt());

@@ -40,6 +40,9 @@ struct TaskAssignment {
   int dataset_id = 0;
   DataSetKind kind = DataSetKind::kMap;  // kMap or kReduce
   int source = 0;
+  /// 1-based execution attempt for this task (prior failures + 1); carried
+  /// so slave-side trace spans are labelled per attempt.
+  int attempt = 1;
   int num_splits = 1;
   DataSetOptions options;
   std::vector<TaskInputPart> inputs;

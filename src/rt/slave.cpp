@@ -10,6 +10,9 @@
 #include "core/fetch_registry.h"
 #include "fs/file_io.h"
 #include "http/client.h"
+#include "obs/endpoints.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ser/record.h"
 
 namespace mrs {
@@ -28,12 +31,17 @@ Result<std::unique_ptr<Slave>> Slave::Start(MapReduce* program,
 }
 
 Status Slave::Init() {
+  // The data server doubles as the slave's observability surface:
+  // /metrics, /status, and /trace resolve before falling through to the
+  // bucket store.
   MRS_ASSIGN_OR_RETURN(
       data_server_,
       HttpServer::Start(config_.host, config_.data_port,
-                        [this](const HttpRequest& req) {
-                          return ServeData(req);
-                        },
+                        obs::MakeObsHandler(
+                            [this] { return StatusJson(); },
+                            [this](const HttpRequest& req) {
+                              return ServeData(req);
+                            }),
                         /*num_workers=*/4));
   rpc_ = std::make_unique<XmlRpcClient>(config_.master);
   rpc_->set_retry_policy(config_.rpc_retry);
@@ -168,18 +176,33 @@ Status Slave::ExecuteAssignment(const TaskAssignment& assignment) {
     SleepForSeconds(config_.faults.slow_task_seconds);  // straggler
   }
 
+  // One span per task attempt, labelled with the phase it executes.
+  obs::ScopedSpan span(assignment.options.op_name,
+                       assignment.kind == DataSetKind::kMap ? "map"
+                                                            : "reduce");
+  span.set_task(assignment.dataset_id, assignment.source, assignment.attempt);
+
   // Each fetch attempt may be chaos-failed; the retry wrapper absorbs
   // transient misses with backoff, so only a persistently unreachable
   // peer surfaces as a task failure (and a bad_url lineage report).
-  UrlFetcher fetch = [this](const std::string& url) {
-    return CallWithRetry(config_.fetch_retry, &CountFetchRetry,
-                         [&]() -> Result<std::string> {
-                           if (DrawFetchFault()) {
-                             return UnavailableError(
-                                 "injected fetch fault (chaos): " + url);
-                           }
-                           return ResolveUrl(url);
-                         });
+  UrlFetcher fetch = [this, &span, &assignment](const std::string& url) {
+    obs::ScopedSpan fetch_span("fetch", "fetch");
+    fetch_span.set_task(assignment.dataset_id, assignment.source,
+                        assignment.attempt);
+    Result<std::string> got =
+        CallWithRetry(config_.fetch_retry, &CountFetchRetry,
+                      [&]() -> Result<std::string> {
+                        if (DrawFetchFault()) {
+                          return UnavailableError(
+                              "injected fetch fault (chaos): " + url);
+                        }
+                        return ResolveUrl(url);
+                      });
+    if (got.ok()) {
+      fetch_span.add_bytes_in(static_cast<int64_t>(got->size()));
+      span.add_bytes_in(static_cast<int64_t>(got->size()));
+    }
+    return got;
   };
 
   MRS_ASSIGN_OR_RETURN(std::vector<KeyValue> input,
@@ -194,6 +217,7 @@ Status Slave::ExecuteAssignment(const TaskAssignment& assignment) {
   for (int p = 0; p < assignment.num_splits; ++p) {
     Bucket& b = row[static_cast<size_t>(p)];
     std::string encoded = EncodeBinaryRecords(b.records());
+    span.add_bytes_out(static_cast<int64_t>(encoded.size()));
     std::string rel = std::to_string(assignment.dataset_id) + "/" +
                       std::to_string(assignment.source) + "/" +
                       std::to_string(p);
@@ -231,7 +255,27 @@ Status Slave::ExecuteAssignment(const TaskAssignment& assignment) {
                              XmlRpcValue(std::move(urls))}));
   (void)reply;
   tasks_executed_.fetch_add(1);
+  static obs::Counter* executed =
+      obs::Registry::Instance().GetCounter("mrs.slave.tasks_executed");
+  executed->Inc();
   return Status::Ok();
+}
+
+std::string Slave::StatusJson() {
+  size_t buckets = 0;
+  size_t bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(store_mutex_);
+    buckets = store_.size();
+    for (const auto& [key, stored] : store_) bytes += stored.data.size();
+  }
+  std::string out = "{\"role\":\"slave\",\"id\":" + std::to_string(id_);
+  out += ",\"crashed\":";
+  out += crashed_.load() ? "true" : "false";
+  out += ",\"tasks_executed\":" + std::to_string(tasks_executed_.load());
+  out += ",\"store\":{\"buckets\":" + std::to_string(buckets);
+  out += ",\"bytes\":" + std::to_string(bytes) + "}}";
+  return out;
 }
 
 Status Slave::Run() {

@@ -101,6 +101,10 @@ class Slave {
 
   int64_t tasks_executed() const { return tasks_executed_.load(); }
 
+  /// The /status document served by the data server: slave id, task
+  /// counts, and bucket-store occupancy as JSON.  Thread-safe.
+  std::string StatusJson();
+
  private:
   Slave(MapReduce* program, Config config);
   Status Init();

@@ -303,7 +303,12 @@ TEST(Chaos, PingDropSlaveIsDeclaredLostAndMayRevive) {
 
   EXPECT_EQ(EncodeTextRecords(program.result),
             EncodeTextRecords(SerialWordCount()));
-  EXPECT_GE((*cluster)->master().stats().slaves_lost, 1);
+  // The loss is declared asynchronously by the monitor thread; the job can
+  // finish a monitor tick before the declaration lands.  Wait on the
+  // observable stats state (cv-signalled) instead of sampling once.
+  EXPECT_TRUE((*cluster)->master().WaitUntilStats(
+      [](const Master::Stats& s) { return s.slaves_lost >= 1; },
+      /*timeout_seconds=*/5.0));
   (*cluster)->Shutdown();
 }
 

@@ -1,0 +1,148 @@
+// Determinism guarantees (paper §IV-A: "even in stochastic algorithms"
+// the implementations must agree, which requires the stochastic inputs
+// themselves to be reproducible): the Halton stream is a pure function of
+// its index, PSO trajectories are a pure function of the seed, and two
+// identical serial runs drive the runtime through exactly the same task
+// sequence — observable via the obs registry's task counters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "halton/halton.h"
+#include "obs/metrics.h"
+#include "pso/apiary.h"
+#include "rt/mrs_main.h"
+#include "ser/record.h"
+
+namespace mrs {
+namespace {
+
+// ---- Halton -------------------------------------------------------------
+
+TEST(Determinism, HaltonSequenceMatchesRadicalInverseOracle) {
+  HaltonSequence seq(3);
+  // Next() advances first, so the i-th call yields index i.
+  for (uint64_t i = 1; i <= 2000; ++i) {
+    EXPECT_DOUBLE_EQ(seq.Next(), HaltonSequence::RadicalInverse(3, i)) << i;
+  }
+}
+
+TEST(Determinism, HaltonStreamsWithSameStartAreIdentical) {
+  HaltonSequence a(2, /*start_index=*/12345);
+  HaltonSequence b(2, /*start_index=*/12345);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next()) << i;  // bitwise, not approximate
+  }
+}
+
+TEST(Determinism, HaltonStreamIsAPureFunctionOfTheIndex) {
+  // Jumping ahead equals streaming ahead: start_index seeks, it doesn't
+  // reseed.
+  HaltonSequence streamed(5);
+  for (int i = 0; i < 100; ++i) streamed.Next();
+  HaltonSequence jumped(5, /*start_index=*/100);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(streamed.Next(), jumped.Next()) << i;
+  }
+}
+
+// ---- PSO ----------------------------------------------------------------
+
+TEST(Determinism, PsoTrajectoryIsAPureFunctionOfTheSeed) {
+  pso::ApiaryConfig config;
+  config.dims = 10;
+  config.num_subswarms = 4;
+  config.particles_per_subswarm = 3;
+  config.inner_iterations = 10;
+  config.max_rounds = 5;
+  config.target = 0.0;
+
+  auto first = pso::RunApiarySerial(config, /*seed=*/42);
+  auto second = pso::RunApiarySerial(config, /*seed=*/42);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->best, second->best);  // bitwise
+  EXPECT_EQ(first->rounds, second->rounds);
+  EXPECT_EQ(first->evaluations, second->evaluations);
+  ASSERT_EQ(first->history.size(), second->history.size());
+  for (size_t i = 0; i < first->history.size(); ++i) {
+    EXPECT_EQ(first->history[i].round, second->history[i].round);
+    EXPECT_EQ(first->history[i].best, second->history[i].best) << i;
+    EXPECT_EQ(first->history[i].evaluations, second->history[i].evaluations);
+  }
+
+  auto other_seed = pso::RunApiarySerial(config, /*seed=*/43);
+  ASSERT_TRUE(other_seed.ok());
+  EXPECT_NE(other_seed->best, first->best);  // the seed actually matters
+}
+
+// ---- Serial runner task counts ------------------------------------------
+
+class DetWordCount : public MapReduce {
+ public:
+  std::vector<KeyValue> result;
+
+  void Map(const Value& key, const Value& value,
+           const Emitter& emit) override {
+    (void)key;
+    for (std::string_view word : SplitWhitespace(value.AsString())) {
+      emit(Value(word), Value(int64_t{1}));
+    }
+  }
+  void Reduce(const Value& key, const ValueList& values,
+              const ValueEmitter& emit) override {
+    (void)key;
+    int64_t sum = 0;
+    for (const Value& v : values) sum += v.AsInt();
+    emit(Value(sum));
+  }
+  Status Run(Job& job) override {
+    std::vector<KeyValue> lines;
+    for (int64_t i = 0; i < 60; ++i) {
+      lines.push_back({Value(i), Value(std::string("alpha beta gamma ") +
+                                       (i % 2 ? "delta" : "beta"))});
+    }
+    DataSetPtr input = job.LocalData(std::move(lines), /*num_splits=*/6);
+    DataSetOptions map_options;
+    map_options.num_splits = 3;  // the reduce runs one task per map split
+    DataSetPtr mapped = job.MapData(input, map_options);
+    DataSetPtr reduced = job.ReduceData(mapped);
+    MRS_ASSIGN_OR_RETURN(result, job.Collect(reduced));
+    std::sort(result.begin(), result.end(), KeyValueLess);
+    return Status::Ok();
+  }
+};
+
+// Runs the program under the serial runner and returns {tasks-counter
+// delta, encoded results}.
+std::pair<int64_t, std::string> RunSerialOnce() {
+  int64_t before =
+      obs::Registry::Instance().GetCounter("mrs.serial.tasks")->value();
+  DetWordCount program;
+  EXPECT_TRUE(program.Init(Options()).ok());
+  RunConfig config;
+  config.impl = "serial";
+  Status status = RunProgram(nullptr, &program, config);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  int64_t after =
+      obs::Registry::Instance().GetCounter("mrs.serial.tasks")->value();
+  return {after - before, EncodeTextRecords(program.result)};
+}
+
+TEST(Determinism, TwoSerialRunsExecuteIdenticalTaskCountsAndResults) {
+  auto [tasks_a, result_a] = RunSerialOnce();
+  auto [tasks_b, result_b] = RunSerialOnce();
+  // 6 map + 3 reduce tasks, exactly, both times.
+  EXPECT_EQ(tasks_a, 9);
+  EXPECT_EQ(tasks_b, tasks_a);
+  EXPECT_EQ(result_a, result_b);
+  EXPECT_FALSE(result_a.empty());
+}
+
+}  // namespace
+}  // namespace mrs

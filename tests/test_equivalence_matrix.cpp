@@ -1,0 +1,213 @@
+// Cross-runner equivalence matrix (paper §IV-A): the same program run
+// under all four implementations — bypass, serial, mockparallel, and
+// masterslave over real loopback TCP — must produce byte-identical
+// results.  Three workloads: WordCount, π estimation over the Halton
+// sequence, and one Apiary PSO round; WordCount and π additionally sweep
+// the reduce partition count (1, 2, and 7) since the partition function
+// must not change the answer, only its layout.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "halton/pi_program.h"
+#include "pso/apiary.h"
+#include "rt/equivalence.h"
+#include "ser/record.h"
+
+namespace mrs {
+namespace {
+
+const std::vector<std::string> kAllImpls = {"bypass", "serial", "mockparallel",
+                                            "masterslave"};
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// ---- Workload 1: WordCount ----------------------------------------------
+
+class MatrixWordCount : public MapReduce {
+ public:
+  int reduce_splits = 1;
+  std::vector<KeyValue> result;
+
+  void Map(const Value& key, const Value& value,
+           const Emitter& emit) override {
+    (void)key;
+    for (std::string_view word : SplitWhitespace(value.AsString())) {
+      emit(Value(word), Value(int64_t{1}));
+    }
+  }
+  void Reduce(const Value& key, const ValueList& values,
+              const ValueEmitter& emit) override {
+    (void)key;
+    int64_t sum = 0;
+    for (const Value& v : values) sum += v.AsInt();
+    emit(Value(sum));
+  }
+  Status Run(Job& job) override {
+    DataSetPtr input = job.LocalData(MakeLines(), /*num_splits=*/5);
+    DataSetPtr mapped = job.MapData(input);
+    DataSetOptions reduce_options;
+    reduce_options.num_splits = reduce_splits;
+    DataSetPtr reduced = job.ReduceData(mapped, reduce_options);
+    MRS_ASSIGN_OR_RETURN(result, job.Collect(reduced));
+    std::sort(result.begin(), result.end(), KeyValueLess);
+    return Status::Ok();
+  }
+  Status Bypass() override {
+    std::map<std::string, int64_t> counts;
+    for (const KeyValue& line : MakeLines()) {
+      for (std::string_view word : SplitWhitespace(line.value.AsString())) {
+        ++counts[std::string(word)];
+      }
+    }
+    for (const auto& [word, count] : counts) {
+      result.push_back({Value(word), Value(count)});
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static std::vector<KeyValue> MakeLines() {
+    // Deterministic synthetic corpus: 120 lines drawn from a small
+    // vocabulary so reduce keys collide across map tasks.
+    static const char* kWords[] = {"the",  "map",   "reduce", "halton",
+                                   "swarm", "mrs",  "python", "pi"};
+    std::vector<KeyValue> lines;
+    for (int64_t i = 0; i < 120; ++i) {
+      std::string line;
+      for (int64_t j = 0; j < 6; ++j) {
+        if (j) line += ' ';
+        line += kWords[(i * 7 + j * 3 + i * j) % 8];
+      }
+      lines.push_back({Value(i), Value(line)});
+    }
+    return lines;
+  }
+};
+
+std::string WordCountFingerprint(MapReduce& program) {
+  return EncodeTextRecords(static_cast<MatrixWordCount&>(program).result);
+}
+
+TEST(EquivalenceMatrix, WordCountAcrossRunnersAndPartitionCounts) {
+  for (int splits : {1, 2, 7}) {
+    auto report = CheckEquivalence(
+        [splits] {
+          auto p = std::make_unique<MatrixWordCount>();
+          p->reduce_splits = splits;
+          return std::unique_ptr<MapReduce>(std::move(p));
+        },
+        Options(), kAllImpls, WordCountFingerprint);
+    ASSERT_TRUE(report.ok())
+        << "splits=" << splits << ": " << report.status().ToString();
+    EXPECT_TRUE(report->identical)
+        << "splits=" << splits << ": " << report->details;
+    EXPECT_EQ(report->fingerprints.size(), kAllImpls.size());
+    // The fingerprint is non-trivial: all 8 vocabulary words counted.
+    EXPECT_EQ(static_cast<size_t>(
+                  std::count(report->fingerprints[0].second.begin(),
+                             report->fingerprints[0].second.end(), '\n')),
+              8u)
+        << report->fingerprints[0].second;
+  }
+}
+
+// ---- Workload 2: π estimation (Halton) ----------------------------------
+
+// PiEstimatorProgram hard-codes one reduce partition; this subclass sweeps
+// the partition count.  The reduce still has a single key (0), so every
+// partitioning yields exactly one output record — the sweep proves empty
+// partitions don't perturb the answer.
+class PartitionedPi : public PiEstimatorProgram {
+ public:
+  int reduce_splits = 1;
+
+  Status Run(Job& job) override {
+    DataSetPtr input;
+    MRS_RETURN_IF_ERROR(InputData(job, &input));
+    DataSetPtr mapped = job.MapData(input);
+    DataSetOptions reduce_options;
+    reduce_options.num_splits = reduce_splits;
+    DataSetPtr reduced = job.ReduceData(mapped, reduce_options);
+    MRS_ASSIGN_OR_RETURN(std::vector<KeyValue> out, job.Collect(reduced));
+    if (out.size() != 1) {
+      return InternalError("expected exactly one reduced record, got " +
+                           std::to_string(out.size()));
+    }
+    inside = out[0].value.AsList()[0].AsInt();
+    int64_t total = out[0].value.AsList()[1].AsInt();
+    estimate = EstimatePi(static_cast<uint64_t>(inside),
+                          static_cast<uint64_t>(total));
+    return Status::Ok();
+  }
+};
+
+std::string PiFingerprint(MapReduce& program) {
+  auto& pi = static_cast<PiEstimatorProgram&>(program);
+  return std::to_string(pi.inside) + ":" + FmtDouble(pi.estimate);
+}
+
+TEST(EquivalenceMatrix, PiEstimationAcrossRunnersAndPartitionCounts) {
+  for (int splits : {1, 2, 7}) {
+    auto report = CheckEquivalence(
+        [splits] {
+          auto p = std::make_unique<PartitionedPi>();
+          p->samples = 20000;
+          p->tasks = 5;
+          p->reduce_splits = splits;
+          return std::unique_ptr<MapReduce>(std::move(p));
+        },
+        Options(), kAllImpls, PiFingerprint);
+    ASSERT_TRUE(report.ok())
+        << "splits=" << splits << ": " << report.status().ToString();
+    EXPECT_TRUE(report->identical)
+        << "splits=" << splits << ": " << report->details;
+    // Sanity: the estimate actually approximates π.
+    auto& fp = report->fingerprints[0].second;
+    double estimate = std::stod(fp.substr(fp.find(':') + 1));
+    EXPECT_NEAR(estimate, 3.14159, 0.05);
+  }
+}
+
+// ---- Workload 3: one Apiary PSO round -----------------------------------
+
+std::string PsoFingerprint(MapReduce& program) {
+  auto& pso = static_cast<pso::ApiaryPso&>(program);
+  std::string fp = FmtDouble(pso.result.best) + "|" +
+                   std::to_string(pso.result.rounds) + "|" +
+                   std::to_string(pso.result.evaluations);
+  for (const auto& point : pso.result.history) {
+    fp += "|" + std::to_string(point.round) + ":" + FmtDouble(point.best);
+  }
+  return fp;
+}
+
+TEST(EquivalenceMatrix, PsoSingleRoundAcrossRunners) {
+  auto report = CheckEquivalence(
+      [] {
+        auto p = std::make_unique<pso::ApiaryPso>();
+        p->config.dims = 8;
+        p->config.num_subswarms = 4;
+        p->config.particles_per_subswarm = 3;
+        p->config.inner_iterations = 5;
+        p->config.max_rounds = 1;
+        p->config.target = 0.0;  // never converges early
+        return std::unique_ptr<MapReduce>(std::move(p));
+      },
+      Options(), kAllImpls, PsoFingerprint);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->identical) << report->details;
+  EXPECT_EQ(report->fingerprints.size(), kAllImpls.size());
+}
+
+}  // namespace
+}  // namespace mrs
