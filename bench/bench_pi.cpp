@@ -48,16 +48,19 @@ double CalibrateRate(PiEngine engine, uint64_t samples) {
   return watch.ElapsedSeconds() / static_cast<double>(samples);
 }
 
-/// One real Mrs masterslave run; returns wall seconds.
-double RunMrsPi(PiEngine engine, int64_t samples) {
+/// One real Mrs run (masterslave by default); returns wall seconds.
+double RunMrsPi(PiEngine engine, int64_t samples,
+                const std::string& impl = "masterslave",
+                int num_workers = 0) {
   PiEstimatorProgram program;
   program.samples = samples;
   program.tasks = kMapTasks;
   program.engine = engine;
   if (!program.Init(Options()).ok()) return -1;
   RunConfig config;
-  config.impl = "masterslave";
+  config.impl = impl;
   config.num_slaves = kNumSlaves;
+  config.num_workers = num_workers;
   Stopwatch watch;
   Status status = RunProgram(
       [&]() -> std::unique_ptr<MapReduce> {
@@ -173,13 +176,37 @@ int main(int argc, char** argv) {
       " C inner loop; in Fig 3b the C loop beats the Java model everywhere\n"
       " except the far right where both are compute-bound)\n");
 
-  bench::EmitBenchJson(
-      "bench_pi",
-      {{"max_exponent", static_cast<double>(max_exp)},
-       {"native_s_per_sample", native_rate},
-       {"vm_s_per_sample", vm_rate},
-       {"treewalk_s_per_sample", tw_rate},
-       {"java_model_s_per_sample", java_rate},
-       {"hadoop_sim_floor_s", SimulateHadoopPi(1, java_rate)}});
+  // Thread-runner scaling on the native inner loop: the shared-memory
+  // implementation has no cluster bring-up at all, so this curve isolates
+  // pure compute scaling across 1/2/4 pool workers.
+  std::vector<bench::BenchMetric> json_metrics = {
+      {"max_exponent", static_cast<double>(max_exp)},
+      {"native_s_per_sample", native_rate},
+      {"vm_s_per_sample", vm_rate},
+      {"treewalk_s_per_sample", tw_rate},
+      {"java_model_s_per_sample", java_rate},
+      {"hadoop_sim_floor_s", SimulateHadoopPi(1, java_rate)}};
+  {
+    int64_t samples = 1;
+    for (int i = 0; i < std::min(max_exp, 6); ++i) samples *= 10;
+    std::vector<std::vector<std::string>> scaling;
+    scaling.push_back({"workers", "seconds", "speedup vs 1 worker"});
+    double base = -1;
+    for (int workers : {1, 2, 4}) {
+      double t = RunMrsPi(PiEngine::kNative, samples, "thread", workers);
+      if (workers == 1) base = t;
+      double speedup = (t > 0 && base > 0) ? base / t : 0;
+      scaling.push_back({std::to_string(workers), bench::Fmt("%.3f", t),
+                         bench::Fmt("%.2fx", speedup)});
+      std::string w = std::to_string(workers);
+      json_metrics.push_back({"thread_w" + w + "_s", t});
+      json_metrics.push_back({"thread_speedup_w" + w, speedup});
+    }
+    bench::PrintTable("Thread runner scaling (native engine, " +
+                          std::to_string(samples) + " samples)",
+                      scaling);
+  }
+
+  bench::EmitBenchJson("bench_pi", json_metrics);
   return 0;
 }

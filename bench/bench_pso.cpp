@@ -39,15 +39,18 @@ struct SeriesResult {
   double startup_seconds = 0;
 };
 
-SeriesResult RunParallel(const pso::ApiaryConfig& config) {
+SeriesResult RunParallel(const pso::ApiaryConfig& config,
+                         const std::string& impl = "masterslave",
+                         int num_workers = 0) {
   pso::ApiaryPso program;
   program.config = config;
   SeriesResult out;
   if (!program.Init(Options()).ok()) return out;
   Stopwatch startup;
   RunConfig run_config;
-  run_config.impl = "masterslave";
+  run_config.impl = impl;
   run_config.num_slaves = 4;
+  run_config.num_workers = num_workers;
   // Startup (cluster bring-up) is measured by RunProgram being
   // responsible for it; program.result.seconds covers only Run.
   Status status = RunProgram(
@@ -184,15 +187,47 @@ int main(int argc, char** argv) {
   bench::PrintTable("Ablation: inter-hive topology (same seed and budget)",
                     topo_rows);
 
-  bench::EmitBenchJson(
-      "bench_pso",
-      {{"rounds", static_cast<double>(rounds)},
-       {"dims", static_cast<double>(dims)},
-       {"serial_total_s", serial->seconds},
-       {"serial_s_per_round", serial_per_round},
-       {"parallel_total_s", parallel.result.seconds},
-       {"parallel_s_per_round", parallel_per_round},
-       {"parallel_startup_s", parallel.startup_seconds},
-       {"best_value", serial->best}});
+  std::vector<bench::BenchMetric> json_metrics = {
+      {"rounds", static_cast<double>(rounds)},
+      {"dims", static_cast<double>(dims)},
+      {"serial_total_s", serial->seconds},
+      {"serial_s_per_round", serial_per_round},
+      {"parallel_total_s", parallel.result.seconds},
+      {"parallel_s_per_round", parallel_per_round},
+      {"parallel_startup_s", parallel.startup_seconds},
+      {"best_value", serial->best}};
+
+  // Thread-runner scaling: the same Fig-4 workload driven by the
+  // shared-memory implementation at 1/2/4 pool workers.  No cluster
+  // startup column — thread has none, which is exactly its point.
+  {
+    std::vector<std::vector<std::string>> scaling;
+    scaling.push_back({"workers", "total (s)", "s/round",
+                       "speedup vs 1 worker"});
+    double base = -1;
+    for (int workers : {1, 2, 4}) {
+      SeriesResult r = RunParallel(config, "thread", workers);
+      double t = r.result.seconds;
+      if (workers == 1) base = t;
+      double speedup = (t > 0 && base > 0) ? base / t : 0;
+      double per_round =
+          r.result.rounds > 0 ? t / static_cast<double>(r.result.rounds) : 0;
+      scaling.push_back({std::to_string(workers), bench::Fmt("%.3f", t),
+                         bench::Fmt("%.4f", per_round),
+                         bench::Fmt("%.2fx", speedup)});
+      std::string w = std::to_string(workers);
+      json_metrics.push_back({"thread_w" + w + "_s", t});
+      json_metrics.push_back({"thread_speedup_w" + w, speedup});
+      if (r.result.best != serial->best) {
+        std::fprintf(stderr,
+                     "WARNING: thread (%d workers) diverged from serial "
+                     "(%g vs %g)\n",
+                     workers, r.result.best, serial->best);
+      }
+    }
+    bench::PrintTable("Thread runner scaling (same workload)", scaling);
+  }
+
+  bench::EmitBenchJson("bench_pso", json_metrics);
   return 0;
 }

@@ -59,7 +59,8 @@ class WordCount : public MapReduce {
 };
 
 double RunMrs(const std::string& impl, const std::string& dir,
-              bool use_combiner, int num_slaves, size_t* distinct) {
+              bool use_combiner, int num_slaves, size_t* distinct,
+              int num_workers = 0) {
   WordCount program;
   program.input_dir = dir;
   program.use_combiner = use_combiner;
@@ -67,6 +68,7 @@ double RunMrs(const std::string& impl, const std::string& dir,
   RunConfig config;
   config.impl = impl;
   config.num_slaves = num_slaves;
+  config.num_workers = num_workers;
   Stopwatch watch;
   Status status = RunProgram(
       [&]() -> std::unique_ptr<MapReduce> {
@@ -221,6 +223,28 @@ int main(int argc, char** argv) {
                        {"without combiner", bench::Fmt("%.2f", without)}});
     json_metrics.push_back({"combiner_on_s", with_combiner});
     json_metrics.push_back({"combiner_off_s", without});
+  }
+
+  // Thread-runner scaling curve: same job, same answer, 1/2/4 workers.
+  // Speedup is hardware-bound (ideal on >=4 cores, ~1x on one core);
+  // the emitted curve is what CI archives per machine.
+  {
+    std::string dir = JoinPath(*tmp, "subset");
+    std::vector<std::vector<std::string>> scaling;
+    scaling.push_back({"workers", "seconds", "speedup vs 1 worker"});
+    double base = -1;
+    for (int workers : {1, 2, 4}) {
+      size_t distinct = 0;
+      double t = RunMrs("thread", dir, true, 4, &distinct, workers);
+      if (workers == 1) base = t;
+      double speedup = (t > 0 && base > 0) ? base / t : 0;
+      scaling.push_back({std::to_string(workers), bench::Fmt("%.2f", t),
+                         bench::Fmt("%.2fx", speedup)});
+      std::string w = std::to_string(workers);
+      json_metrics.push_back({"thread_w" + w + "_s", t});
+      json_metrics.push_back({"thread_speedup_w" + w, speedup});
+    }
+    bench::PrintTable("Thread runner scaling (subset corpus)", scaling);
   }
 
   RemoveTree(*tmp);

@@ -159,8 +159,8 @@ std::string OptionParser::Usage(std::string_view program) const {
 
 void AddStandardMrsOptions(OptionParser* parser) {
   parser->Add("mrs-impl", 'I', true,
-              "execution implementation: serial, mockparallel, masterslave, "
-              "master, slave, bypass",
+              "execution implementation: serial, mockparallel, thread, "
+              "masterslave, master, slave, bypass",
               "serial");
   parser->Add("mrs-master", 'M', true,
               "master address host:port (slave implementation only)");
@@ -172,6 +172,10 @@ void AddStandardMrsOptions(OptionParser* parser) {
               "2");
   parser->Add("mrs-tasks-per-slave", 0, true,
               "map task multiplier per slave", "2");
+  parser->Add("mrs-workers", 'W', true,
+              "worker threads for the thread implementation; 0 uses "
+              "hardware concurrency",
+              "0");
   parser->Add("mrs-tmpdir", 'T', true,
               "directory for intermediate data (mockparallel/masterslave)");
   parser->Add("mrs-seed", 'S', true,

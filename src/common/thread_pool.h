@@ -1,0 +1,88 @@
+// Work-stealing worker pool: the shared-memory data plane under
+// mrs::ThreadRunner.
+//
+// Unlike the fixed BlockingQueue pool in common/threadpool.h (one global
+// queue, used where FIFO fairness matters, e.g. the HTTP server), this
+// pool keeps one deque per worker: a worker pops its own deque from the
+// back (LIFO, cache-warm) and, when empty, steals from the front of a
+// sibling's deque (FIFO, oldest-first — the classic Blumofe/Leiserson
+// discipline).  External submitters distribute round-robin; submissions
+// from inside a worker go to that worker's own deque.  Stealing keeps
+// all workers busy under skewed task costs (one giant map split next to
+// many tiny ones) without any central dispatcher lock on the hot path.
+//
+// Observability: the pool maintains the "mrs.pool.queue_depth" gauge
+// (tasks queued, not yet claimed) and the "mrs.pool.steals" counter in
+// the process registry, plus per-instance accessors for tests.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mrs {
+
+class WorkStealingPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `num_threads` workers (0 is clamped to 1).
+  explicit WorkStealingPool(size_t num_threads);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// Enqueue a task; returns false after Shutdown().  Called from a worker
+  /// of this pool, the task lands on that worker's own deque; otherwise it
+  /// is distributed round-robin.  Tasks must not throw (wrap and convert
+  /// to Status at a higher layer — see ThreadRunner).
+  bool Submit(Task task);
+
+  /// Stop accepting work, run everything already queued, join all
+  /// workers.  Idempotent; safe to call from any non-worker thread.
+  void Shutdown();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Tasks queued but not yet claimed by a worker (approximate).
+  size_t QueueDepth() const {
+    return queued_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of times a worker claimed a task from a sibling's deque.
+  int64_t steal_count() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<Task> deque;
+    std::thread thread;
+  };
+
+  void WorkerLoop(size_t index);
+  bool TryPopOwn(size_t index, Task* out);
+  bool TrySteal(size_t index, Task* out);
+  /// Bookkeeping after a task leaves a deque; wakes exiting sleepers.
+  void NoteClaimed();
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex mu_;  // sleep/wake only; never held while running tasks
+  std::condition_variable cv_;
+
+  std::atomic<size_t> queued_{0};
+  std::atomic<size_t> next_{0};  // round-robin cursor for external submits
+  std::atomic<int64_t> steals_{0};
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace mrs

@@ -1,11 +1,38 @@
 #include "core/mock_runner.h"
 
+#include <numeric>
+#include <vector>
+
 #include "core/program.h"
 #include "fs/file_io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rng/mt19937_64.h"
 
 namespace mrs {
+
+namespace {
+
+// Distinguishes the task-order stream from any stream user code derives.
+constexpr uint64_t kMockOrderTag = 0x6d6f636b6f726472ull;  // "mockordr"
+
+/// The sources of `dataset` in a seeded-shuffled execution order
+/// (Fisher-Yates driven by the program's random-stream API, so the order
+/// is reproducible for a given seed and dataset but is *not* 0..n-1).
+std::vector<int> ShuffledTaskOrder(const MapReduce& program,
+                                   const DataSet& dataset) {
+  std::vector<int> order(static_cast<size_t>(dataset.num_sources()));
+  std::iota(order.begin(), order.end(), 0);
+  MT19937_64 rng = program.Random(
+      {kMockOrderTag, static_cast<uint64_t>(dataset.id())});
+  for (size_t i = order.size(); i > 1; --i) {
+    size_t j = static_cast<size_t>(rng.NextBounded(i));
+    std::swap(order[i - 1], order[j]);
+  }
+  return order;
+}
+
+}  // namespace
 
 Status MockParallelRunner::Wait(const DataSetPtr& dataset) {
   return Compute(dataset);
@@ -25,7 +52,11 @@ Status MockParallelRunner::Compute(const DataSetPtr& dataset) {
 
   static obs::Counter* tasks =
       obs::Registry::Instance().GetCounter("mrs.mock.tasks");
-  for (int source = 0; source < dataset->num_sources(); ++source) {
+  // Tasks run in a seeded shuffled order: a correct program must not
+  // depend on task execution order (in the master/slave and thread
+  // implementations it is nondeterministic), and running them shuffled —
+  // but reproducibly — flushes out such bugs during debugging.
+  for (int source : ShuffledTaskOrder(*program_, *dataset)) {
     if (!dataset->TryClaimTask(source)) continue;
     obs::ScopedSpan span(dataset->options().op_name,
                          dataset->kind() == DataSetKind::kMap ? "map"

@@ -7,6 +7,11 @@
 // from memory, so all downstream reads exercise the file path — exactly
 // the data movement a fault-tolerant distributed run performs, minus the
 // network.
+//
+// Tasks within a dataset execute in a seeded shuffled order (derived from
+// the program seed and dataset id), approximating the out-of-order
+// completion of a real cluster while staying fully reproducible.  For
+// actual concurrency, use ThreadRunner.
 #pragma once
 
 #include <string>

@@ -2,9 +2,17 @@
 //
 // Mrs "defines several different implementations which define the run-time
 // behavior of a program" (paper §IV-A): master/slave, serial, mock
-// parallel, and bypass.  Serial and mock parallel live in core; the
-// master/slave runner lives in rt (it needs the RPC stack); bypass skips
-// the Job machinery entirely.
+// parallel, and bypass.  Serial, mock parallel and thread live in core;
+// the master/slave runner lives in rt (it needs the RPC stack); bypass
+// skips the Job machinery entirely.
+//
+// Mock parallel vs thread: mock parallel keeps the master/slave task
+// decomposition and data movement (intermediate buckets go through files)
+// but runs one task at a time on one thread, in a seeded *shuffled* order
+// — it simulates out-of-order scheduling for debugging without any real
+// concurrency.  The thread runner is true shared-memory parallelism:
+// tasks genuinely race on a work-stealing pool, so it exercises the
+// thread-safety of program callbacks, which mock parallel cannot.
 #pragma once
 
 #include <memory>

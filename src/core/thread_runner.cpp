@@ -1,0 +1,258 @@
+#include "core/thread_runner.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <iterator>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/program.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mrs {
+
+namespace {
+
+/// Sharded, lock-striped shuffle staging area between two adjacent
+/// pipeline stages.  Upstream tasks Deposit their output bucket for a
+/// split as soon as they finish (possibly many at once, hence the stripe
+/// locks); the downstream task for that split Takes everything merged in
+/// source-index order — exactly the order GatherInputRecords produces for
+/// the serial runner, which is what keeps results byte-identical.
+class ShuffleBoard {
+ public:
+  explicit ShuffleBoard(int num_splits)
+      : pending_(static_cast<size_t>(num_splits)) {}
+
+  void Deposit(int source, int split, const std::vector<KeyValue>& records) {
+    Slot slot{source, records};
+    std::lock_guard<std::mutex> lock(stripes_[StripeOf(split)]);
+    pending_[static_cast<size_t>(split)].push_back(std::move(slot));
+  }
+
+  /// All staged records for `split`, concatenated in source order.
+  /// Destructive: each split is taken exactly once, by its consumer task.
+  std::vector<KeyValue> Take(int split) {
+    std::vector<Slot> slots;
+    {
+      std::lock_guard<std::mutex> lock(stripes_[StripeOf(split)]);
+      slots.swap(pending_[static_cast<size_t>(split)]);
+    }
+    std::sort(slots.begin(), slots.end(),
+              [](const Slot& a, const Slot& b) { return a.source < b.source; });
+    size_t total = 0;
+    for (const Slot& s : slots) total += s.records.size();
+    std::vector<KeyValue> out;
+    out.reserve(total);
+    for (Slot& s : slots) {
+      out.insert(out.end(), std::make_move_iterator(s.records.begin()),
+                 std::make_move_iterator(s.records.end()));
+    }
+    return out;
+  }
+
+ private:
+  struct Slot {
+    int source;
+    std::vector<KeyValue> records;
+  };
+
+  static constexpr size_t kStripes = 16;
+  size_t StripeOf(int split) const {
+    return static_cast<size_t>(split) % kStripes;
+  }
+
+  std::vector<std::vector<Slot>> pending_;  // per destination split
+  std::array<std::mutex, kStripes> stripes_;
+};
+
+}  // namespace
+
+/// One dataset of the chain under execution.
+struct ThreadRunner::Stage {
+  explicit Stage(DataSetPtr dataset) : ds(std::move(dataset)) {}
+
+  DataSetPtr ds;
+  Stage* downstream = nullptr;
+  /// Staged input deposited by the upstream stage; null for the first
+  /// stage, whose tasks read their (already complete) input directly.
+  std::unique_ptr<ShuffleBoard> board;
+  /// Sources still to execute (tasks already complete are excluded).
+  std::vector<int> pending;
+  /// Upstream tasks that must finish before this stage's tasks can start
+  /// (a reduce split needs every map task's bucket for it).
+  std::atomic<int> inputs_remaining{0};
+};
+
+/// Book-keeping shared by every task body of one Wait call.
+struct ThreadRunner::ChainContext {
+  std::mutex mu;
+  std::condition_variable cv;
+  Status error;                    // guarded by mu
+  std::atomic<bool> failed{false};
+  std::atomic<int> outstanding{0};
+  std::vector<std::unique_ptr<Stage>> stages;
+};
+
+ThreadRunner::ThreadRunner(MapReduce* program, int num_workers)
+    : program_(program) {
+  if (num_workers <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    num_workers = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  pool_ = std::make_unique<WorkStealingPool>(static_cast<size_t>(num_workers));
+}
+
+ThreadRunner::~ThreadRunner() { pool_->Shutdown(); }
+
+Status ThreadRunner::Wait(const DataSetPtr& dataset) {
+  if (!dataset) return InvalidArgumentError("null dataset");
+  if (dataset->IsSourceData() || dataset->Complete()) return Status::Ok();
+  return RunChain(dataset);
+}
+
+Status ThreadRunner::RunChain(const DataSetPtr& dataset) {
+  // Deepest incomplete dataset first; the first stage's input is complete
+  // (or source data) by construction.
+  std::vector<DataSetPtr> chain;
+  for (DataSetPtr ds = dataset; ds && !ds->IsSourceData() && !ds->Complete();
+       ds = ds->input()) {
+    chain.push_back(ds);
+  }
+  if (chain.empty()) return Status::Ok();
+  std::reverse(chain.begin(), chain.end());
+
+  auto ctx = std::make_shared<ChainContext>();
+  ctx->stages.reserve(chain.size());
+  for (DataSetPtr& ds : chain) {
+    ctx->stages.push_back(std::make_unique<Stage>(std::move(ds)));
+  }
+
+  int total = 0;
+  for (const std::unique_ptr<Stage>& stage : ctx->stages) {
+    DataSet& ds = *stage->ds;
+    for (int s = 0; s < ds.num_sources(); ++s) {
+      TaskState state = ds.task_state(s);
+      if (state == TaskState::kComplete) continue;
+      // Stale kRunning/kFailed states from an earlier failed run.
+      if (state != TaskState::kPending) ds.ResetTask(s);
+      stage->pending.push_back(s);
+    }
+    total += static_cast<int>(stage->pending.size());
+  }
+
+  for (size_t k = 1; k < ctx->stages.size(); ++k) {
+    Stage* stage = ctx->stages[k].get();
+    Stage* up = ctx->stages[k - 1].get();
+    up->downstream = stage;
+    DataSet& uds = *up->ds;
+    stage->board = std::make_unique<ShuffleBoard>(uds.num_splits());
+    stage->inputs_remaining.store(static_cast<int>(up->pending.size()),
+                                  std::memory_order_relaxed);
+    // Rows the upstream dataset already has (re-runs after a failure)
+    // are staged up front; live tasks deposit theirs as they complete.
+    for (int s = 0; s < uds.num_sources(); ++s) {
+      if (uds.task_state(s) != TaskState::kComplete) continue;
+      for (int p = 0; p < uds.num_splits(); ++p) {
+        stage->board->Deposit(s, p, uds.bucket(s, p).records());
+      }
+    }
+  }
+
+  if (total == 0) return Status::Ok();
+  ctx->outstanding.store(total, std::memory_order_relaxed);
+  ScheduleStage(ctx, ctx->stages.front().get());
+
+  std::unique_lock<std::mutex> lock(ctx->mu);
+  ctx->cv.wait(lock, [&] {
+    return ctx->outstanding.load(std::memory_order_acquire) == 0;
+  });
+  return ctx->failed.load(std::memory_order_acquire) ? ctx->error
+                                                     : Status::Ok();
+}
+
+void ThreadRunner::ScheduleStage(const std::shared_ptr<ChainContext>& ctx,
+                                 Stage* stage) {
+  for (int s : stage->pending) {
+    if (!pool_->Submit([this, ctx, stage, s] { RunTaskBody(ctx, stage, s); })) {
+      // Pool shut down under us (runner being destroyed): run inline so
+      // the chain's counters still drain and Wait cannot hang.
+      RunTaskBody(ctx, stage, s);
+    }
+  }
+}
+
+void ThreadRunner::RunTaskBody(const std::shared_ptr<ChainContext>& ctx,
+                               Stage* stage, int source) {
+  if (!ctx->failed.load(std::memory_order_acquire) &&
+      stage->ds->TryClaimTask(source)) {
+    Status status = ExecuteTask(stage, source);
+    if (!status.ok()) {
+      stage->ds->set_task_state(source, TaskState::kFailed);
+      std::lock_guard<std::mutex> lock(ctx->mu);
+      if (!ctx->failed.exchange(true, std::memory_order_acq_rel)) {
+        ctx->error = std::move(status);
+      }
+    }
+  }
+  // Downstream tasks become runnable once every upstream body finished
+  // (successful bodies have deposited their shuffle output by then).
+  if (stage->downstream &&
+      stage->downstream->inputs_remaining.fetch_sub(
+          1, std::memory_order_acq_rel) == 1) {
+    ScheduleStage(ctx, stage->downstream);
+  }
+  if (ctx->outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    ctx->cv.notify_all();
+  }
+}
+
+Status ThreadRunner::ExecuteTask(Stage* stage, int source) {
+  DataSet& ds = *stage->ds;
+  static obs::Counter* tasks =
+      obs::Registry::Instance().GetCounter("mrs.thread.tasks");
+  obs::ScopedSpan span(ds.options().op_name,
+                       ds.kind() == DataSetKind::kMap ? "map" : "reduce");
+  span.set_task(ds.id(), source);
+
+  std::vector<KeyValue> input;
+  if (stage->board) {
+    input = stage->board->Take(source);
+  } else {
+    MRS_ASSIGN_OR_RETURN(
+        input, GatherInputRecords(*ds.input(), source, LocalFetch));
+  }
+
+  // User map/reduce code runs on a pool worker: an escaped exception must
+  // surface as this task's Status, not terminate the process.
+  Result<std::vector<Bucket>> row = [&]() -> Result<std::vector<Bucket>> {
+    try {
+      return RunTask(*program_, ds.kind(), ds.options(), ds.num_splits(),
+                     std::move(input));
+    } catch (const std::exception& e) {
+      return InternalError(
+          std::string("uncaught exception in worker task: ") + e.what());
+    } catch (...) {
+      return InternalError("uncaught non-standard exception in worker task");
+    }
+  }();
+  if (!row.ok()) return row.status();
+
+  if (stage->downstream) {
+    for (int p = 0; p < ds.num_splits(); ++p) {
+      stage->downstream->board->Deposit(source, p,
+                                        (*row)[static_cast<size_t>(p)]
+                                            .records());
+    }
+  }
+  ds.SetRow(source, std::move(row).value());
+  tasks->Inc();
+  return Status::Ok();
+}
+
+}  // namespace mrs

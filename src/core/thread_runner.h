@@ -1,0 +1,71 @@
+// The thread implementation: a true shared-memory parallel runner.
+//
+// Same task decomposition as every other implementation — one task per
+// (dataset, source) — but map and reduce tasks execute concurrently on a
+// work-stealing pool of N threads.  Determinism (paper §IV-A: all
+// implementations "produce identical answers") is preserved structurally:
+//
+//  * the computation itself is the shared RunTask path, and the
+//    `random(...)` streams depend only on argument tuples, never on
+//    scheduling;
+//  * shuffle output is deposited into per-split buckets under striped
+//    locks and merged in *source-index order* before a downstream task
+//    reads it, so every reduce sees its input in exactly the order the
+//    serial runner would produce;
+//  * a dataset's bucket grid is only written via DataSet::SetRow (one row
+//    per task, internally locked).
+//
+// Pipelining: while map splits are still executing, each completed map
+// task's output is immediately staged ("fetched") into the downstream
+// stage's shuffle board, so when the last map finishes every reduce task
+// starts with its input already gathered instead of re-walking the grid.
+//
+// Map/Reduce/Combine/Partition functions run concurrently on one shared
+// program instance; like a Mrs slave's forked workers they must not
+// mutate shared program state (the stock workloads — WordCount, π, PSO,
+// k-means — are pure).
+#pragma once
+
+#include <memory>
+
+#include "common/thread_pool.h"
+#include "core/runner.h"
+
+namespace mrs {
+
+class MapReduce;
+
+class ThreadRunner final : public Runner {
+ public:
+  /// `num_workers` <= 0 selects std::thread::hardware_concurrency().
+  ThreadRunner(MapReduce* program, int num_workers = 0);
+  ~ThreadRunner() override;
+
+  void Submit(const DataSetPtr& dataset) override { (void)dataset; }
+  Status Wait(const DataSetPtr& dataset) override;
+  UrlFetcher fetcher() override { return LocalFetch; }
+  std::string name() const override { return "thread"; }
+
+  int num_workers() const {
+    return static_cast<int>(pool_->num_threads());
+  }
+  /// Work steals performed by this runner's pool so far (tests/benches).
+  int64_t steal_count() const { return pool_->steal_count(); }
+
+ private:
+  struct ChainContext;
+  struct Stage;
+
+  /// Execute the chain of incomplete computing datasets ending at
+  /// `dataset` (deepest first), pipelining shuffle staging across stages.
+  Status RunChain(const DataSetPtr& dataset);
+  void ScheduleStage(const std::shared_ptr<ChainContext>& ctx, Stage* stage);
+  void RunTaskBody(const std::shared_ptr<ChainContext>& ctx, Stage* stage,
+                   int source);
+  Status ExecuteTask(Stage* stage, int source);
+
+  MapReduce* program_;
+  std::unique_ptr<WorkStealingPool> pool_;
+};
+
+}  // namespace mrs

@@ -40,22 +40,32 @@ Status PiEstimatorProgram::InputData(Job& job, DataSetPtr* out) {
   return Status::Ok();
 }
 
+PiKernel* PiEstimatorProgram::ThreadLocalKernel() {
+  // One kernel per (thread, engine): map tasks may run concurrently on a
+  // shared program instance, and the VM/tree-walk kernels are stateful.
+  thread_local std::unique_ptr<PiKernel> kernels[3];
+  auto slot = static_cast<size_t>(engine);
+  if (kernels[slot] == nullptr) {
+    Result<std::unique_ptr<PiKernel>> kernel = PiKernel::Create(engine);
+    if (!kernel.ok()) {
+      MRS_LOG(kError, "pi") << "kernel creation failed: "
+                            << kernel.status().ToString();
+      return nullptr;
+    }
+    kernels[slot] = std::move(kernel).value();
+  }
+  return kernels[slot].get();
+}
+
 void PiEstimatorProgram::Map(const Value& key, const Value& value,
                              const Emitter& emit) {
   (void)key;
   const ValueList& range = value.AsList();
   uint64_t start = static_cast<uint64_t>(range[0].AsInt());
   uint64_t count = static_cast<uint64_t>(range[1].AsInt());
-  if (kernel_ == nullptr) {
-    Result<std::unique_ptr<PiKernel>> kernel = PiKernel::Create(engine);
-    if (!kernel.ok()) {
-      MRS_LOG(kError, "pi") << "kernel creation failed: "
-                            << kernel.status().ToString();
-      return;
-    }
-    kernel_ = std::move(kernel).value();
-  }
-  Result<uint64_t> counted = kernel_->CountInside(start, count);
+  PiKernel* kernel = ThreadLocalKernel();
+  if (kernel == nullptr) return;
+  Result<uint64_t> counted = kernel->CountInside(start, count);
   if (counted.ok()) {
     emit(Value(int64_t{0}),
          Value(ValueList{Value(static_cast<int64_t>(*counted)),

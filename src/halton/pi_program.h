@@ -36,7 +36,11 @@ class PiEstimatorProgram : public MapReduce {
   Status Bypass() override;
 
  private:
-  std::unique_ptr<PiKernel> kernel_;  // lazily created per instance
+  /// Kernel for `engine` cached per thread: the VM/tree-walk kernels hold
+  /// mutable interpreter state, so concurrent map tasks (thread
+  /// implementation) must not share one.  Returns null on creation
+  /// failure (already logged).
+  PiKernel* ThreadLocalKernel();
 };
 
 }  // namespace mrs

@@ -6,7 +6,7 @@ Result<EquivalenceReport> CheckEquivalence(
     const ProgramFactory& factory, const Options& opts,
     const std::vector<std::string>& impls,
     const std::function<std::string(MapReduce&)>& fingerprint,
-    int num_slaves) {
+    int num_slaves, int num_workers) {
   if (impls.empty()) {
     return InvalidArgumentError("no implementations to compare");
   }
@@ -20,6 +20,7 @@ Result<EquivalenceReport> CheckEquivalence(
       RunConfig config;
       config.impl = impl;
       config.num_slaves = num_slaves;
+      config.num_workers = num_workers;
       MRS_RETURN_IF_ERROR(RunProgram(factory, program.get(), config));
     }
     report.fingerprints.emplace_back(impl, fingerprint(*program));

@@ -28,13 +28,15 @@ struct EquivalenceReport {
 };
 
 /// Run the program under each implementation in `impls` (any of "bypass",
-/// "serial", "mockparallel", "masterslave") and compare fingerprints.
-/// `fingerprint` reads results off the program instance after its run.
+/// "serial", "mockparallel", "thread", "masterslave") and compare
+/// fingerprints.  `fingerprint` reads results off the program instance
+/// after its run.  `num_workers` sets the thread implementation's pool
+/// size (0 = hardware concurrency); it must not affect the fingerprint.
 /// Execution errors abort the check with that implementation's status.
 Result<EquivalenceReport> CheckEquivalence(
     const ProgramFactory& factory, const Options& opts,
     const std::vector<std::string>& impls,
     const std::function<std::string(MapReduce&)>& fingerprint,
-    int num_slaves = 2);
+    int num_slaves = 2, int num_workers = 0);
 
 }  // namespace mrs

@@ -7,6 +7,7 @@
 #include "core/job.h"
 #include "core/mock_runner.h"
 #include "core/serial_runner.h"
+#include "core/thread_runner.h"
 #include "fs/file_io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -18,6 +19,17 @@ namespace {
 
 Status RunSerial(MapReduce* program) {
   Job job(program, std::make_unique<SerialRunner>(program));
+  int parallel = static_cast<int>(program->opts().GetInt("mrs-num-slaves", 2) *
+                                  program->opts().GetInt("mrs-tasks-per-slave", 2));
+  job.set_default_parallelism(parallel);
+  return program->Run(job);
+}
+
+Status RunThread(MapReduce* program, int num_workers) {
+  Job job(program,
+          std::make_unique<ThreadRunner>(program, num_workers));
+  // Task decomposition must match the serial runner (same default split
+  // count) so output layout is identical regardless of worker count.
   int parallel = static_cast<int>(program->opts().GetInt("mrs-num-slaves", 2) *
                                   program->opts().GetInt("mrs-tasks-per-slave", 2));
   job.set_default_parallelism(parallel);
@@ -105,6 +117,12 @@ Status RunSlaveProcess(MapReduce* program) {
 Status RunProgram(const ProgramFactory& factory, MapReduce* program,
                   const RunConfig& config) {
   if (config.impl == "serial") return RunSerial(program);
+  if (config.impl == "thread") {
+    Job job(program,
+            std::make_unique<ThreadRunner>(program, config.num_workers));
+    job.set_default_parallelism(config.num_slaves * config.tasks_per_slave);
+    return program->Run(job);
+  }
   if (config.impl == "mockparallel") {
     std::string tmpdir = config.tmpdir;
     bool fresh = tmpdir.empty();
@@ -186,6 +204,9 @@ int RunMain(const ProgramFactory& factory, int argc,
   Status status;
   if (impl == "serial") {
     status = RunSerial(program.get());
+  } else if (impl == "thread") {
+    status = RunThread(program.get(),
+                       static_cast<int>(opts->GetInt("mrs-workers", 0)));
   } else if (impl == "mockparallel") {
     status = RunMockParallel(program.get());
   } else if (impl == "masterslave") {

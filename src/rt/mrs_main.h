@@ -6,7 +6,10 @@
 //
 // --mrs-impl selects the execution implementation (paper §IV-A):
 //   serial        run everything sequentially in memory (default)
-//   mockparallel  same task decomposition, one task at a time, data via files
+//   mockparallel  same task decomposition, one task at a time (seeded
+//                 shuffled order), data via files
+//   thread        true shared-memory parallelism: tasks run concurrently
+//                 on a work-stealing pool of --mrs-workers threads
 //   masterslave   in-process cluster: master + N slave threads over loopback
 //                 TCP + XML-RPC
 //   master        be a master: listen, write --mrs-port-file, wait for
@@ -39,9 +42,10 @@ int Main(int argc, const char* const* argv) {
 /// Library-friendly variants that run a single already-parsed program
 /// in-process and surface Status (used heavily by tests and benches).
 struct RunConfig {
-  std::string impl = "serial";   // serial | mockparallel | masterslave
+  std::string impl = "serial";   // serial | mockparallel | thread | masterslave
   int num_slaves = 2;
   int tasks_per_slave = 2;
+  int num_workers = 0;           // thread; 0 = hardware concurrency
   std::string tmpdir;            // mockparallel; empty = fresh temp dir
   bool shared_files = false;     // masterslave: file:// buckets
   int first_slave_faults = 0;    // masterslave fault injection

@@ -1,10 +1,12 @@
 // Cross-runner equivalence matrix (paper §IV-A): the same program run
-// under all four implementations — bypass, serial, mockparallel, and
-// masterslave over real loopback TCP — must produce byte-identical
-// results.  Three workloads: WordCount, π estimation over the Halton
-// sequence, and one Apiary PSO round; WordCount and π additionally sweep
-// the reduce partition count (1, 2, and 7) since the partition function
-// must not change the answer, only its layout.
+// under all five implementations — bypass, serial, mockparallel, thread
+// (true shared-memory parallelism), and masterslave over real loopback
+// TCP — must produce byte-identical results.  Three workloads: WordCount,
+// π estimation over the Halton sequence, and one Apiary PSO round;
+// WordCount and π additionally sweep the reduce partition count (1, 2,
+// and 7) since the partition function must not change the answer, only
+// its layout.  The thread runner gets an extra sweep over worker counts
+// (1 and 4): pool size affects scheduling only, never the answer.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -23,7 +25,11 @@ namespace mrs {
 namespace {
 
 const std::vector<std::string> kAllImpls = {"bypass", "serial", "mockparallel",
-                                            "masterslave"};
+                                            "thread", "masterslave"};
+
+// Thread-vs-serial pairing for the worker-count sweep.
+const std::vector<std::string> kThreadVsSerial = {"serial", "thread"};
+const int kWorkerSweep[] = {1, 4};
 
 std::string FmtDouble(double v) {
   char buf[64];
@@ -121,6 +127,26 @@ TEST(EquivalenceMatrix, WordCountAcrossRunnersAndPartitionCounts) {
   }
 }
 
+TEST(EquivalenceMatrix, WordCountThreadWorkerCountSweep) {
+  for (int splits : {1, 2, 7}) {
+    for (int workers : kWorkerSweep) {
+      auto report = CheckEquivalence(
+          [splits] {
+            auto p = std::make_unique<MatrixWordCount>();
+            p->reduce_splits = splits;
+            return std::unique_ptr<MapReduce>(std::move(p));
+          },
+          Options(), kThreadVsSerial, WordCountFingerprint,
+          /*num_slaves=*/2, workers);
+      ASSERT_TRUE(report.ok()) << "splits=" << splits << " workers=" << workers
+                               << ": " << report.status().ToString();
+      EXPECT_TRUE(report->identical) << "splits=" << splits
+                                     << " workers=" << workers << ": "
+                                     << report->details;
+    }
+  }
+}
+
 // ---- Workload 2: π estimation (Halton) ----------------------------------
 
 // PiEstimatorProgram hard-codes one reduce partition; this subclass sweeps
@@ -178,6 +204,28 @@ TEST(EquivalenceMatrix, PiEstimationAcrossRunnersAndPartitionCounts) {
   }
 }
 
+TEST(EquivalenceMatrix, PiEstimationThreadWorkerCountSweep) {
+  for (int splits : {1, 2, 7}) {
+    for (int workers : kWorkerSweep) {
+      auto report = CheckEquivalence(
+          [splits] {
+            auto p = std::make_unique<PartitionedPi>();
+            p->samples = 20000;
+            p->tasks = 5;
+            p->reduce_splits = splits;
+            return std::unique_ptr<MapReduce>(std::move(p));
+          },
+          Options(), kThreadVsSerial, PiFingerprint,
+          /*num_slaves=*/2, workers);
+      ASSERT_TRUE(report.ok()) << "splits=" << splits << " workers=" << workers
+                               << ": " << report.status().ToString();
+      EXPECT_TRUE(report->identical) << "splits=" << splits
+                                     << " workers=" << workers << ": "
+                                     << report->details;
+    }
+  }
+}
+
 // ---- Workload 3: one Apiary PSO round -----------------------------------
 
 std::string PsoFingerprint(MapReduce& program) {
@@ -207,6 +255,27 @@ TEST(EquivalenceMatrix, PsoSingleRoundAcrossRunners) {
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_TRUE(report->identical) << report->details;
   EXPECT_EQ(report->fingerprints.size(), kAllImpls.size());
+}
+
+TEST(EquivalenceMatrix, PsoThreadWorkerCountSweep) {
+  for (int workers : kWorkerSweep) {
+    auto report = CheckEquivalence(
+        [] {
+          auto p = std::make_unique<pso::ApiaryPso>();
+          p->config.dims = 8;
+          p->config.num_subswarms = 4;
+          p->config.particles_per_subswarm = 3;
+          p->config.inner_iterations = 5;
+          p->config.max_rounds = 1;
+          p->config.target = 0.0;
+          return std::unique_ptr<MapReduce>(std::move(p));
+        },
+        Options(), kThreadVsSerial, PsoFingerprint, /*num_slaves=*/2, workers);
+    ASSERT_TRUE(report.ok())
+        << "workers=" << workers << ": " << report.status().ToString();
+    EXPECT_TRUE(report->identical)
+        << "workers=" << workers << ": " << report->details;
+  }
 }
 
 }  // namespace
