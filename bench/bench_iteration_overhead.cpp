@@ -149,7 +149,23 @@ int main(int argc, char** argv) {
 
   double serial = RunLocalImpl("serial", rounds);
   double mock = RunLocalImpl("mockparallel", rounds);
+
+  // Data-plane accounting around the headline run: with per-peer
+  // connection pooling the number of TCP dials should be O(peers) for the
+  // whole job, not O(buckets fetched) — watch the process-wide dial
+  // counter to keep that claim honest.
+  obs::Registry& reg = obs::Registry::Instance();
+  int64_t connects_before = reg.GetCounter("mrs.http.client.connects")->value();
+  int64_t pool_hits_before = reg.GetCounter("mrs.http.pool.hits")->value();
+  int64_t batches_before = reg.GetCounter("mrs.slave.batch_fetches")->value();
   double ms_affinity = RunMasterSlave(rounds, true, false);
+  double connects =
+      static_cast<double>(reg.GetCounter("mrs.http.client.connects")->value() -
+                          connects_before);
+  double pool_hits = static_cast<double>(
+      reg.GetCounter("mrs.http.pool.hits")->value() - pool_hits_before);
+  double batches = static_cast<double>(
+      reg.GetCounter("mrs.slave.batch_fetches")->value() - batches_before);
   double ms_no_affinity = RunMasterSlave(rounds, false, false);
   double ms_shared = RunMasterSlave(rounds, true, true);
 
@@ -209,7 +225,11 @@ int main(int argc, char** argv) {
         bench::Fmt("overhead %.4f%% of a masterslave round",
                    metrics_overhead_pct)},
        {"hadoop (simulated)", bench::Fmt("%.1f", hadoop),
-        "control-plane floor"}});
+        "control-plane floor"},
+       {"tcp dials (masterslave run)", bench::Fmt("%.0f", connects),
+        bench::Fmt("%.2f/iter; ", rounds > 0 ? connects / rounds : 0) +
+            bench::Fmt("pool hits %.0f, ", pool_hits) +
+            bench::Fmt("batched fetches %.0f", batches)}});
 
   double ratio = ms_affinity > 0 ? hadoop / ms_affinity : 0;
   std::printf(
@@ -230,6 +250,10 @@ int main(int argc, char** argv) {
        {"metrics_ns_per_op_off", off_ns},
        {"metrics_overhead_pct", metrics_overhead_pct},
        {"hadoop_sim_s_per_iter", hadoop},
-       {"hadoop_over_mrs_ratio", ratio}});
+       {"hadoop_over_mrs_ratio", ratio},
+       {"masterslave_tcp_dials", connects},
+       {"masterslave_tcp_dials_per_iter", rounds > 0 ? connects / rounds : 0},
+       {"masterslave_pool_hits", pool_hits},
+       {"masterslave_batched_fetches", batches}});
   return 0;
 }

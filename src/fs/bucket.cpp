@@ -1,7 +1,9 @@
 #include "fs/bucket.h"
 
+#include "common/bytes.h"
 #include "common/strings.h"
 #include "fs/file_io.h"
+#include "http/message.h"
 
 namespace mrs {
 
@@ -48,6 +50,44 @@ Status Bucket::EnsureLoaded(
 std::string BucketFileName(std::string_view dataset_id, int source, int split) {
   return std::string(dataset_id) + "/source_" + std::to_string(source) +
          "_split_" + std::to_string(split) + ".mrsb";
+}
+
+std::string EncodeBucketFrames(const std::vector<BucketFrame>& frames) {
+  Bytes out;
+  ByteWriter w(&out);
+  w.PutRaw(kBucketFramesFormat.data(), kBucketFramesFormat.size());
+  w.PutVarint(frames.size());
+  for (const BucketFrame& f : frames) {
+    w.PutLengthPrefixed(f.id);
+    w.PutLengthPrefixed(f.checksum);
+    w.PutLengthPrefixed(f.data);
+  }
+  return std::string(reinterpret_cast<const char*>(out.data()), out.size());
+}
+
+Result<std::vector<BucketFrame>> DecodeBucketFrames(std::string_view body) {
+  if (!StartsWith(body, kBucketFramesFormat)) {
+    return DataLossError("bucket frame payload missing mrsk1 magic");
+  }
+  ByteReader r(body.substr(kBucketFramesFormat.size()));
+  MRS_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  std::vector<BucketFrame> frames;
+  frames.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    BucketFrame f;
+    MRS_ASSIGN_OR_RETURN(f.id, r.GetLengthPrefixed());
+    MRS_ASSIGN_OR_RETURN(f.checksum, r.GetLengthPrefixed());
+    MRS_ASSIGN_OR_RETURN(f.data, r.GetLengthPrefixed());
+    if (ContentChecksum(f.data) != f.checksum) {
+      return DataLossError("bucket frame " + f.id +
+                           " checksum mismatch in batched transfer");
+    }
+    frames.push_back(std::move(f));
+  }
+  if (!r.empty()) {
+    return DataLossError("trailing bytes after bucket frames");
+  }
+  return frames;
 }
 
 }  // namespace mrs

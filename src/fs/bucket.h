@@ -74,4 +74,34 @@ class Bucket {
 /// Deterministic relative path for a bucket within a dataset directory.
 std::string BucketFileName(std::string_view dataset_id, int source, int split);
 
+// ---- Batched binary bucket transfer ("mrsk1") -------------------------
+//
+// A reduce task pulling many splits from one peer fetches them in a single
+// round trip: GET /bucket?ids=<id>,<id>,... returns every requested bucket
+// body in one length-prefixed binary payload.  Negotiated via the
+// X-Mrs-Format header (see http/message.h); a peer that predates the
+// format 404s the bare "/bucket" path and the client falls back to one GET
+// per bucket.
+
+/// One bucket body in a batched transfer.  `checksum` is
+/// ContentChecksum(data), computed once when the bucket was published, so
+/// the integrity guard travels inside the frame (no whole-body re-hash).
+struct BucketFrame {
+  std::string id;        // "<dataset>/<source>/<split>"
+  std::string checksum;  // ContentChecksum(data)
+  std::string data;      // encoded binary records
+};
+
+/// X-Mrs-Format token for batched bucket frames.
+inline constexpr std::string_view kBucketFramesFormat = "mrsk1";
+
+/// Serialize frames: magic "mrsk1", varint count, then per frame the
+/// length-prefixed id, checksum, and data.
+std::string EncodeBucketFrames(const std::vector<BucketFrame>& frames);
+
+/// Parse and verify an encoded frame set.  Any truncation, bad magic, or
+/// per-frame checksum mismatch is kDataLoss (retryable — the caller
+/// refetches instead of decoding a corrupt body).
+Result<std::vector<BucketFrame>> DecodeBucketFrames(std::string_view body);
+
 }  // namespace mrs

@@ -14,7 +14,9 @@
 
 namespace mrs {
 
-/// Components of an "http://host:port/path?query" URL.
+/// Components of an "http://host:port/path?query" URL.  Bracketed IPv6
+/// authorities ("[::1]:8080") parse with the brackets stripped; a bare
+/// host containing ':' (ambiguous with the port separator) is rejected.
 struct HttpUrl {
   std::string host;
   uint16_t port = 80;
@@ -26,6 +28,13 @@ struct HttpUrl {
 
 /// A client bound to one host:port; reuses the connection across requests
 /// and transparently reconnects once when the server has closed it.
+///
+/// The reconnect resend is restricted to requests that are safe to repeat:
+/// idempotent methods (GET/HEAD), or any request whose response never
+/// started — once response bytes have arrived for a POST, the server may
+/// already have applied it, so the failure surfaces instead of being
+/// silently re-sent (the caller's retry layer + server-side idempotency
+/// own that decision).
 class HttpClient {
  public:
   explicit HttpClient(SocketAddr addr) : addr_(std::move(addr)) {}
@@ -39,15 +48,31 @@ class HttpClient {
 
   const SocketAddr& addr() const { return addr_; }
 
+  /// True while the keep-alive connection is open (pooling predicate).
+  bool connected() const { return conn_.valid(); }
+
  private:
-  Result<HttpResponse> DoOnce(const std::string& wire);
+  Result<HttpResponse> DoOnce(const std::string& wire,
+                              bool* response_started);
   Status EnsureConnected();
 
   SocketAddr addr_;
   TcpConn conn_;
 };
 
-/// One-shot convenience: GET a full URL.
+/// Map a data-plane GET's response code to a Status: 200 is OK, 404 is
+/// kNotFound (authoritative miss — lineage recovery territory, never
+/// retried), any 5xx is kUnavailable (server-side transient, retryable),
+/// anything else is kInternal.
+Status FetchStatusFromHttpCode(std::string_view url, int code);
+
+/// Verify the X-Mrs-Checksum integrity guard when the response carries it;
+/// mismatch is kDataLoss (retryable — refetch beats decoding a truncated
+/// payload).
+Status VerifyFetchChecksum(std::string_view url, const HttpResponse& resp);
+
+/// GET a full URL on a pooled keep-alive connection (ConnectionPool), with
+/// the status mapping and checksum guard above.  (Implemented in pool.cpp.)
 Result<std::string> HttpFetch(std::string_view url);
 
 }  // namespace mrs

@@ -87,6 +87,15 @@ std::string ContentChecksum(std::string_view body) {
   return std::string(buf);
 }
 
+bool FormatAccepted(const HttpHeaders& headers, std::string_view format) {
+  auto value = headers.Get(kMrsFormatHeader);
+  if (!value.has_value()) return false;
+  for (std::string_view token : SplitChar(*value, ',')) {
+    if (Trim(token) == format) return true;
+  }
+  return false;
+}
+
 std::pair<std::string_view, std::string_view> SplitTarget(
     std::string_view target) {
   size_t q = target.find('?');

@@ -85,4 +85,16 @@ inline constexpr std::string_view kMrsChecksumHeader = "X-Mrs-Checksum";
 /// Hex FNV-1a of the payload (cheap, deterministic; not cryptographic).
 std::string ContentChecksum(std::string_view body);
 
+/// Content negotiation for mrs's binary wire formats.  A request lists the
+/// formats it accepts as a comma-separated X-Mrs-Format header
+/// ("mrsk1, mrsx1"); the response names the one actually used in the same
+/// header, or omits it for the plain (XML / raw-body) encoding.  Peers
+/// that predate a format simply never emit the token — old servers ignore
+/// the request header, old clients never send it — so mixed clusters
+/// degrade to the plain encoding instead of failing.
+inline constexpr std::string_view kMrsFormatHeader = "X-Mrs-Format";
+
+/// True if `headers` carries an X-Mrs-Format token equal to `format`.
+bool FormatAccepted(const HttpHeaders& headers, std::string_view format);
+
 }  // namespace mrs

@@ -1,0 +1,127 @@
+// Per-peer keep-alive HTTP connection pool: the data plane's dial cache.
+//
+// Before the pool, every bucket fetch built a fresh HttpClient and paid a
+// TCP connect per bucket — O(buckets) dials per iteration.  The pool keys
+// idle keep-alive connections by peer ("host:port") and hands them out as
+// exclusive RAII leases, so steady-state traffic pays O(peers) dials per
+// process instead: slave bucket fetches (single and batched), Collect()'s
+// master-side fetches, and the XML-RPC control channel all draw from it.
+//
+// Semantics:
+//  - A lease owns its HttpClient exclusively; HttpClient is not
+//    thread-safe, the pool is (one mutex around the idle map).
+//  - Released connections go back to the idle set; per-peer and global
+//    caps are enforced by evicting the least-recently-used idle entry.
+//  - Idle entries older than `max_idle_seconds` are closed on acquire
+//    (reconnect-on-stale): the peer has likely dropped them, and dialing
+//    fresh beats inheriting a half-dead socket.
+//  - A connection the server closed mid-sequence still recovers: the
+//    leased HttpClient transparently reconnects once (see client.h).
+//
+// Metrics (mrs.http.pool.*): hits, misses, evictions, stale_closed,
+// discards, plus idle / peers gauges.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "http/client.h"
+#include "http/message.h"
+#include "net/socket.h"
+
+namespace mrs {
+
+class ConnectionPool {
+ public:
+  struct Config {
+    /// Max idle connections kept per peer.
+    size_t max_idle_per_peer = 4;
+    /// Max idle connections kept across all peers (LRU-evicted).
+    size_t max_idle_total = 64;
+    /// Idle connections older than this are closed instead of reused.
+    double max_idle_seconds = 30.0;
+  };
+
+  ConnectionPool() : ConnectionPool(Config{}) {}
+  explicit ConnectionPool(Config config) : config_(config) {}
+
+  ConnectionPool(const ConnectionPool&) = delete;
+  ConnectionPool& operator=(const ConnectionPool&) = delete;
+
+  /// The process-wide pool used by HttpFetch, the batched bucket fetcher,
+  /// and XmlRpcClient.
+  static ConnectionPool& Instance();
+
+  /// Exclusive handle on one pooled HttpClient.  Returns the connection to
+  /// the pool on destruction unless Discard()ed or no longer connected.
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), key_(std::move(other.key_)),
+          client_(std::move(other.client_)), discard_(other.discard_) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    HttpClient& client() { return *client_; }
+    HttpClient* operator->() { return client_.get(); }
+
+    /// Drop the connection instead of returning it (error paths).
+    void Discard() { discard_ = true; }
+
+   private:
+    friend class ConnectionPool;
+    Lease(ConnectionPool* pool, std::string key,
+          std::unique_ptr<HttpClient> client)
+        : pool_(pool), key_(std::move(key)), client_(std::move(client)) {}
+
+    ConnectionPool* pool_;
+    std::string key_;
+    std::unique_ptr<HttpClient> client_;
+    bool discard_ = false;
+  };
+
+  /// Get a connection to `addr`: a pooled idle one if fresh enough, else a
+  /// new lazily-connecting client.
+  Lease Acquire(const SocketAddr& addr);
+
+  /// One request on a pooled connection; a failed request's connection is
+  /// discarded rather than returned.
+  Result<HttpResponse> Do(const SocketAddr& addr, HttpRequest req);
+  Result<HttpResponse> Get(const SocketAddr& addr, std::string_view target);
+
+  /// Total idle connections currently pooled (tests).
+  size_t IdleCount() const;
+  /// Idle connections pooled for one peer (tests).
+  size_t IdleCount(const SocketAddr& addr) const;
+  /// Drop every idle connection.
+  void Clear();
+
+ private:
+  struct IdleEntry {
+    std::unique_ptr<HttpClient> client;
+    double released_at = 0;
+    uint64_t lru_seq = 0;
+  };
+
+  void Release(const std::string& key, std::unique_ptr<HttpClient> client);
+  /// Caller holds mutex_.  Evict the least-recently-used idle entry
+  /// (optionally restricted to `key`); false if nothing evictable.
+  bool EvictLruLocked(const std::string* key_only);
+  void UpdateGaugesLocked();
+
+  const Config config_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::deque<IdleEntry>> idle_;
+  size_t idle_total_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace mrs

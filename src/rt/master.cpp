@@ -670,15 +670,20 @@ Result<XmlRpcValue> Master::RpcTaskDone(const XmlRpcArray& params) {
 }
 
 Result<XmlRpcValue> Master::RpcTaskFailed(const XmlRpcArray& params) {
-  if (params.size() != 5) {
+  if (params.size() != 5 && params.size() != 6) {
     return InvalidArgumentError(
-        "task_failed(slave_id, dataset_id, source, message, bad_url)");
+        "task_failed(slave_id, dataset_id, source, message, bad_url"
+        "[, attempt])");
   }
   MRS_ASSIGN_OR_RETURN(int64_t slave_id, params[0].AsInt());
   MRS_ASSIGN_OR_RETURN(int64_t dataset_id, params[1].AsInt());
   MRS_ASSIGN_OR_RETURN(int64_t source, params[2].AsInt());
   MRS_ASSIGN_OR_RETURN(std::string message, params[3].AsString());
   MRS_ASSIGN_OR_RETURN(std::string bad_url, params[4].AsString());
+  int64_t reported_attempt = 0;  // 0: old slave without attempt numbering
+  if (params.size() == 6) {
+    MRS_ASSIGN_OR_RETURN(reported_attempt, params[5].AsInt());
+  }
 
   std::lock_guard<std::mutex> lock(mutex_);
   MRS_LOG(kWarning, "master") << "task (" << dataset_id << "," << source
@@ -701,7 +706,18 @@ Result<XmlRpcValue> Master::RpcTaskFailed(const XmlRpcArray& params) {
   if (!environmental) {
     int64_t key =
         TaskKey(static_cast<int>(dataset_id), static_cast<int>(source));
-    int attempts = ++attempts_[key];
+    // Idempotent charging: the transport may deliver the same report twice
+    // (client retry after a lost response), so an attempt-numbered report
+    // moves the counter to that attempt rather than incrementing per
+    // delivery — a duplicate is a no-op instead of a double charge.
+    int attempts;
+    if (reported_attempt > 0) {
+      int& charged = attempts_[key];
+      charged = std::max(charged, static_cast<int>(reported_attempt));
+      attempts = charged;
+    } else {
+      attempts = ++attempts_[key];
+    }
     if (attempts >= config_.max_task_attempts) {
       FailJobLocked(InternalError(
           "task (" + std::to_string(dataset_id) + "," +

@@ -10,8 +10,15 @@
 //   signin(host, data_port)                  -> {slave_id}
 //   get_task(slave_id)                       -> assignment | {kind:"wait"} | {kind:"quit"}
 //   task_done(slave_id, dataset_id, source, urls)   -> {}
-//   task_failed(slave_id, dataset_id, source, message, bad_url) -> {}
+//   task_failed(slave_id, dataset_id, source, message, bad_url[, attempt]) -> {}
 //   ping(slave_id)                           -> {}
+//
+// task_failed's optional trailing attempt number (the assignment's 1-based
+// attempt) makes failure charging idempotent: the transport may deliver a
+// report more than once (client-side retry after a lost response), and the
+// master charges each attempt at most once by taking the max rather than
+// incrementing per delivery.  Old slaves omit it and keep the old
+// increment-per-report behaviour.
 //
 // Fault-recovery semantics: the URLs reported via task_done double as the
 // job's lineage record — the master notes which slave's data server hosts

@@ -10,6 +10,7 @@
 #include "core/fetch_registry.h"
 #include "fs/file_io.h"
 #include "http/client.h"
+#include "http/pool.h"
 #include "obs/endpoints.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -128,7 +129,9 @@ void Slave::Crash() {
 
 HttpResponse Slave::ServeData(const HttpRequest& req) {
   auto [path, query] = SplitTarget(req.target);
-  (void)query;
+  if (path == "/bucket" && FormatAccepted(req.headers, kBucketFramesFormat)) {
+    return ServeBucketBatch(query);
+  }
   if (!StartsWith(path, "/bucket/")) return HttpResponse::NotFound();
   std::string key(path.substr(8));
   std::lock_guard<std::mutex> lock(store_mutex_);
@@ -137,6 +140,31 @@ HttpResponse Slave::ServeData(const HttpRequest& req) {
   HttpResponse resp =
       HttpResponse::Ok(it->second.data, "application/octet-stream");
   resp.headers.Set(std::string(kMrsChecksumHeader), it->second.checksum);
+  return resp;
+}
+
+HttpResponse Slave::ServeBucketBatch(std::string_view query) {
+  std::string_view ids;
+  for (std::string_view kv : SplitChar(query, '&')) {
+    if (StartsWith(kv, "ids=")) ids = kv.substr(4);
+  }
+  if (ids.empty()) return HttpResponse::BadRequest("missing ids= parameter");
+  std::vector<BucketFrame> frames;
+  {
+    std::lock_guard<std::mutex> lock(store_mutex_);
+    for (std::string_view id : SplitChar(ids, ',')) {
+      auto it = store_.find(std::string(id));
+      if (it == store_.end()) {
+        return HttpResponse::NotFound("no bucket " + std::string(id));
+      }
+      frames.push_back(BucketFrame{std::string(id), it->second.checksum,
+                                   it->second.data});
+    }
+  }
+  HttpResponse resp = HttpResponse::Ok(EncodeBucketFrames(frames),
+                                       "application/octet-stream");
+  resp.headers.Set(std::string(kMrsFormatHeader),
+                   std::string(kBucketFramesFormat));
   return resp;
 }
 
@@ -166,6 +194,65 @@ bool Slave::DrawFetchFault() {
   return u < p;
 }
 
+void Slave::BatchPrefetch(const TaskAssignment& assignment,
+                          std::map<std::string, std::string>* out) {
+  static obs::Counter* batch_fetches =
+      obs::Registry::Instance().GetCounter("mrs.slave.batch_fetches");
+  static obs::Counter* batch_fallbacks =
+      obs::Registry::Instance().GetCounter("mrs.slave.batch_fallbacks");
+  static obs::Counter* batch_buckets =
+      obs::Registry::Instance().GetCounter("mrs.slave.batch_buckets");
+
+  // Group "<base>/bucket/<id>" inputs by hosting peer.
+  std::map<std::string, std::vector<std::string>> by_peer;
+  for (const TaskInputPart& part : assignment.inputs) {
+    if (part.inline_records || !StartsWith(part.url, "http://")) continue;
+    size_t pos = part.url.find("/bucket/");
+    if (pos == std::string::npos) continue;
+    by_peer[part.url.substr(0, pos)].push_back(part.url.substr(pos + 8));
+  }
+  for (const auto& [base, bucket_ids] : by_peer) {
+    if (bucket_ids.size() < 2) continue;  // nothing to amortise
+    Result<HttpUrl> parsed = HttpUrl::Parse(base);
+    if (!parsed.ok()) continue;
+    batch_fetches->Inc();
+    // Single attempt, no retry: this is an opportunistic fast path.  Any
+    // failure — chaos fault, dead peer, an old peer 404ing the bare
+    // /bucket path — leaves the URLs to the per-URL fetcher, which owns
+    // retry/backoff and bad_url lineage reporting.
+    Result<HttpResponse> got = [&]() -> Result<HttpResponse> {
+      if (DrawFetchFault()) {
+        return UnavailableError("injected fetch fault (chaos): batch " + base);
+      }
+      HttpRequest req;
+      req.method = "GET";
+      req.target = "/bucket?ids=" + Join(bucket_ids, ",");
+      req.headers.Set(std::string(kMrsFormatHeader),
+                      std::string(kBucketFramesFormat));
+      return ConnectionPool::Instance().Do(
+          SocketAddr{parsed->host, parsed->port}, std::move(req));
+    }();
+    if (!got.ok() || got->status_code != 200) {
+      batch_fallbacks->Inc();
+      continue;
+    }
+    auto fmt = got->headers.Get(kMrsFormatHeader);
+    if (!fmt.has_value() || *fmt != kBucketFramesFormat) {
+      batch_fallbacks->Inc();  // peer answered but not in mrsk1
+      continue;
+    }
+    Result<std::vector<BucketFrame>> frames = DecodeBucketFrames(got->body);
+    if (!frames.ok()) {
+      batch_fallbacks->Inc();  // corrupt payload; per-URL path will retry
+      continue;
+    }
+    for (BucketFrame& f : *frames) {
+      (*out)[base + "/bucket/" + f.id] = std::move(f.data);
+    }
+    batch_buckets->Inc(static_cast<int64_t>(frames->size()));
+  }
+}
+
 Status Slave::ExecuteAssignment(const TaskAssignment& assignment) {
   // Fault injection hook: report failure without doing the work.
   if (faults_remaining_.load() > 0) {
@@ -182,22 +269,31 @@ Status Slave::ExecuteAssignment(const TaskAssignment& assignment) {
                                                             : "reduce");
   span.set_task(assignment.dataset_id, assignment.source, assignment.attempt);
 
+  // Batched pull first: one round trip per peer hosting several of this
+  // task's input buckets, instead of one per bucket.
+  std::map<std::string, std::string> prefetched;
+  BatchPrefetch(assignment, &prefetched);
+
   // Each fetch attempt may be chaos-failed; the retry wrapper absorbs
   // transient misses with backoff, so only a persistently unreachable
   // peer surfaces as a task failure (and a bad_url lineage report).
-  UrlFetcher fetch = [this, &span, &assignment](const std::string& url) {
+  UrlFetcher fetch = [this, &span, &assignment,
+                      &prefetched](const std::string& url) {
     obs::ScopedSpan fetch_span("fetch", "fetch");
     fetch_span.set_task(assignment.dataset_id, assignment.source,
                         assignment.attempt);
-    Result<std::string> got =
-        CallWithRetry(config_.fetch_retry, &CountFetchRetry,
-                      [&]() -> Result<std::string> {
-                        if (DrawFetchFault()) {
-                          return UnavailableError(
-                              "injected fetch fault (chaos): " + url);
-                        }
-                        return ResolveUrl(url);
-                      });
+    Result<std::string> got = [&]() -> Result<std::string> {
+      auto hit = prefetched.find(url);
+      if (hit != prefetched.end()) return hit->second;
+      return CallWithRetry(config_.fetch_retry, &CountFetchRetry,
+                           [&]() -> Result<std::string> {
+                             if (DrawFetchFault()) {
+                               return UnavailableError(
+                                   "injected fetch fault (chaos): " + url);
+                             }
+                             return ResolveUrl(url);
+                           });
+    }();
     if (got.ok()) {
       fetch_span.add_bytes_in(static_cast<int64_t>(got->size()));
       span.add_bytes_in(static_cast<int64_t>(got->size()));
@@ -331,13 +427,17 @@ Status Slave::Run() {
         break;
       }
     }
+    // The attempt number makes the report idempotent on the master: a
+    // duplicated delivery (retry after a lost response) charges the
+    // attempt budget once, not twice.
     Result<XmlRpcValue> r = rpc_->Call(
         "task_failed",
         XmlRpcArray{
             XmlRpcValue(static_cast<int64_t>(id_)),
             XmlRpcValue(static_cast<int64_t>(assignment->dataset_id)),
             XmlRpcValue(static_cast<int64_t>(assignment->source)),
-            XmlRpcValue(exec.ToString()), XmlRpcValue(bad_url)});
+            XmlRpcValue(exec.ToString()), XmlRpcValue(bad_url),
+            XmlRpcValue(static_cast<int64_t>(assignment->attempt))});
     if (!r.ok()) {
       MRS_LOG(kWarning, "slave") << "task_failed report failed: "
                                  << r.status().ToString();

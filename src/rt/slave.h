@@ -109,7 +109,19 @@ class Slave {
   Slave(MapReduce* program, Config config);
   Status Init();
   HttpResponse ServeData(const HttpRequest& req);
+  /// "GET /bucket?ids=a,b,c" — every requested bucket in one mrsk1 frame
+  /// set (negotiated via X-Mrs-Format).  Any missing id fails the whole
+  /// batch with 404; the fetching peer falls back to per-bucket GETs,
+  /// which pin down exactly which bucket is gone.
+  HttpResponse ServeBucketBatch(std::string_view query);
   Status ExecuteAssignment(const TaskAssignment& assignment);
+  /// Best-effort batched pull of this assignment's http inputs, one round
+  /// trip per peer that hosts two or more of them.  Successfully fetched
+  /// bodies land in `out` keyed by URL; on any failure (old peer, chaos,
+  /// transport) the affected URLs are simply left for the per-URL path,
+  /// which owns retries and bad_url reporting.
+  void BatchPrefetch(const TaskAssignment& assignment,
+                     std::map<std::string, std::string>* out);
   void HandleDiscards(const XmlRpcValue& response);
   bool DrawFetchFault();
   bool InPingDropWindow();

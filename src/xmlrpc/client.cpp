@@ -1,17 +1,36 @@
 #include "xmlrpc/client.h"
 
+#include "http/pool.h"
+
 namespace mrs {
 
 Result<XmlRpcValue> XmlRpcClient::CallOnce(const std::string& body,
                                            const std::string& method) {
-  MRS_ASSIGN_OR_RETURN(HttpResponse resp,
-                       http_.Post(endpoint_, body, "text/xml"));
-  if (resp.status_code != 200) {
+  ConnectionPool::Lease lease = ConnectionPool::Instance().Acquire(addr_);
+  HttpRequest req;
+  req.method = "POST";
+  req.target = endpoint_;
+  req.headers.Set("Content-Type", "text/xml");
+  // Accept binary-attachment responses; old masters ignore the header and
+  // answer plain XML.
+  req.headers.Set(std::string(kMrsFormatHeader),
+                  std::string(xmlrpc::kRpcBinaryFormat));
+  req.body = body;
+  Result<HttpResponse> got = lease->Do(std::move(req));
+  if (!got.ok()) {
+    lease.Discard();
+    return got.status();
+  }
+  if (got->status_code != 200) {
     return UnavailableError("XML-RPC HTTP status " +
-                            std::to_string(resp.status_code) + " calling " +
+                            std::to_string(got->status_code) + " calling " +
                             method);
   }
-  return xmlrpc::ParseResponse(resp.body);
+  if (auto fmt = got->headers.Get(kMrsFormatHeader);
+      fmt.has_value() && *fmt == xmlrpc::kRpcBinaryFormat) {
+    return xmlrpc::ParseBinaryResponse(got->body);
+  }
+  return xmlrpc::ParseResponse(got->body);
 }
 
 Result<XmlRpcValue> XmlRpcClient::Call(const std::string& method,

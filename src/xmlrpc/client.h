@@ -10,11 +10,16 @@
 
 namespace mrs {
 
+/// Calls run on pooled keep-alive connections (ConnectionPool): each
+/// attempt leases a connection to the master, and a transport failure
+/// discards the lease so the retry dials fresh.  Responses carrying binary
+/// payloads arrive in the negotiated mrsx1 attachment encoding when the
+/// server supports it (see xmlrpc/protocol.h).
 class XmlRpcClient {
  public:
   /// `endpoint` is the request path, "/RPC2" by convention.
   explicit XmlRpcClient(SocketAddr addr, std::string endpoint = "/RPC2")
-      : http_(std::move(addr)), endpoint_(std::move(endpoint)) {}
+      : addr_(std::move(addr)), endpoint_(std::move(endpoint)) {}
 
   /// Transient transport failures (connection refused/reset, truncated
   /// response) are retried with bounded exponential backoff + jitter;
@@ -27,13 +32,13 @@ class XmlRpcClient {
   /// faults, all surface as error Status.
   Result<XmlRpcValue> Call(const std::string& method, XmlRpcArray params);
 
-  const SocketAddr& addr() const { return http_.addr(); }
+  const SocketAddr& addr() const { return addr_; }
 
  private:
   Result<XmlRpcValue> CallOnce(const std::string& body,
                                const std::string& method);
 
-  HttpClient http_;
+  SocketAddr addr_;
   std::string endpoint_;
   RetryPolicy retry_;  // default: no retries
 };

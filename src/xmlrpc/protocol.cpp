@@ -1,5 +1,8 @@
 #include "xmlrpc/protocol.h"
 
+#include "common/bytes.h"
+#include "common/strings.h"
+
 namespace mrs {
 namespace xmlrpc {
 
@@ -70,6 +73,58 @@ std::string BuildFault(int code, std::string_view message) {
   fault_elem.children.push_back(XmlRpcValue(std::move(fault)).ToXml());
   root.children.push_back(std::move(fault_elem));
   return std::string(kDeclaration) + WriteXml(root);
+}
+
+std::string BuildBinaryResponse(const XmlRpcValue& result) {
+  std::vector<std::string> attachments;
+  XmlElement root;
+  root.name = "methodResponse";
+  XmlElement params_elem;
+  params_elem.name = "params";
+  XmlElement param;
+  param.name = "param";
+  param.children.push_back(result.ToXml(&attachments));
+  params_elem.children.push_back(std::move(param));
+  root.children.push_back(std::move(params_elem));
+  std::string xml = std::string(kDeclaration) + WriteXml(root);
+
+  Bytes out;
+  ByteWriter w(&out);
+  w.PutRaw(kRpcBinaryFormat.data(), kRpcBinaryFormat.size());
+  w.PutLengthPrefixed(xml);
+  w.PutVarint(attachments.size());
+  for (const std::string& a : attachments) w.PutLengthPrefixed(a);
+  return std::string(reinterpret_cast<const char*>(out.data()), out.size());
+}
+
+Result<XmlRpcValue> ParseBinaryResponse(std::string_view body) {
+  if (!StartsWith(body, kRpcBinaryFormat)) {
+    return DataLossError("binary XML-RPC response missing mrsx1 magic");
+  }
+  ByteReader r(body.substr(kRpcBinaryFormat.size()));
+  MRS_ASSIGN_OR_RETURN(std::string xml, r.GetLengthPrefixed());
+  MRS_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  std::vector<std::string> attachments;
+  attachments.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    MRS_ASSIGN_OR_RETURN(std::string a, r.GetLengthPrefixed());
+    attachments.push_back(std::move(a));
+  }
+  if (!r.empty()) {
+    return DataLossError("trailing bytes after XML-RPC attachments");
+  }
+
+  MRS_ASSIGN_OR_RETURN(XmlElement root, ParseXml(xml));
+  if (root.name != "methodResponse") {
+    return ProtocolError("expected <methodResponse>, got <" + root.name + ">");
+  }
+  const XmlElement* params = root.Child("params");
+  if (params == nullptr || params->children.empty()) {
+    return ProtocolError("<methodResponse> missing <params>");
+  }
+  const XmlElement* value = params->children.front().Child("value");
+  if (value == nullptr) return ProtocolError("response <param> missing <value>");
+  return XmlRpcValue::FromXml(*value, &attachments);
 }
 
 Result<XmlRpcValue> ParseResponse(std::string_view xml) {

@@ -31,5 +31,27 @@ std::string BuildFault(int code, std::string_view message);
 /// "fault <code>: <message>".
 Result<XmlRpcValue> ParseResponse(std::string_view xml);
 
+// ---- Binary-attachment responses ("mrsx1") ----------------------------
+//
+// A response whose value carries binary payloads (inline task records) can
+// skip base64: the XML document keeps the structure, each <base64> is
+// replaced by an <attachment>N</attachment> index, and the raw bytes ride
+// after the document as length-prefixed attachments.  Negotiated per
+// request via the X-Mrs-Format header (http/message.h): the client lists
+// "mrsx1" among accepted formats, the server answers with the header set
+// iff it used the encoding.  Calls (client -> server) stay plain XML —
+// only responses carry record payloads in mrs.
+
+/// X-Mrs-Format token for binary-attachment XML-RPC responses.
+inline constexpr std::string_view kRpcBinaryFormat = "mrsx1";
+
+/// Serialize: magic "mrsx1", length-prefixed XML document, varint
+/// attachment count, then each attachment length-prefixed.
+std::string BuildBinaryResponse(const XmlRpcValue& result);
+
+/// Parse a BuildBinaryResponse body.  Framing damage is kDataLoss
+/// (retryable); a malformed inner document is kProtocol as usual.
+Result<XmlRpcValue> ParseBinaryResponse(std::string_view body);
+
 }  // namespace xmlrpc
 }  // namespace mrs

@@ -29,6 +29,18 @@ HttpResponse XmlRpcDispatcher::HandleHttp(const HttpRequest& req) const {
   } else {
     Result<XmlRpcValue> result = Dispatch(*call);
     if (result.ok()) {
+      // Results carrying binary payloads (inline records) skip base64 when
+      // the caller negotiated mrsx1; everything else — including faults,
+      // which old clients must always be able to parse — stays plain XML.
+      if (result->HasBinary() &&
+          FormatAccepted(req.headers, xmlrpc::kRpcBinaryFormat)) {
+        HttpResponse resp =
+            HttpResponse::Ok(xmlrpc::BuildBinaryResponse(*result),
+                             "application/x-mrs-xmlrpc");
+        resp.headers.Set(std::string(kMrsFormatHeader),
+                         std::string(xmlrpc::kRpcBinaryFormat));
+        return resp;
+      }
       body = xmlrpc::BuildResponse(*result);
     } else {
       int code = result.status().code() == StatusCode::kNotFound ? 404 : 500;

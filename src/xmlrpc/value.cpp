@@ -72,7 +72,7 @@ Result<const XmlRpcValue*> XmlRpcValue::Field(std::string_view name) const {
   return &it->second;
 }
 
-XmlElement XmlRpcValue::ToXml() const {
+XmlElement XmlRpcValue::ToXml(std::vector<std::string>* attachments) const {
   XmlElement value;
   value.name = "value";
   XmlElement inner;
@@ -98,14 +98,22 @@ XmlElement XmlRpcValue::ToXml() const {
       inner.text = string_;
       break;
     case Type::kBinary:
-      inner.name = "base64";
-      inner.text = Base64Encode(string_);
+      if (attachments != nullptr) {
+        inner.name = "attachment";
+        inner.text = std::to_string(attachments->size());
+        attachments->push_back(string_);
+      } else {
+        inner.name = "base64";
+        inner.text = Base64Encode(string_);
+      }
       break;
     case Type::kArray: {
       inner.name = "array";
       XmlElement data;
       data.name = "data";
-      for (const XmlRpcValue& v : *array_) data.children.push_back(v.ToXml());
+      for (const XmlRpcValue& v : *array_) {
+        data.children.push_back(v.ToXml(attachments));
+      }
       inner.children.push_back(std::move(data));
       break;
     }
@@ -118,7 +126,7 @@ XmlElement XmlRpcValue::ToXml() const {
         name.name = "name";
         name.text = k;
         member.children.push_back(std::move(name));
-        member.children.push_back(v.ToXml());
+        member.children.push_back(v.ToXml(attachments));
         inner.children.push_back(std::move(member));
       }
       break;
@@ -128,7 +136,28 @@ XmlElement XmlRpcValue::ToXml() const {
   return value;
 }
 
-Result<XmlRpcValue> XmlRpcValue::FromXml(const XmlElement& value_elem) {
+bool XmlRpcValue::HasBinary() const {
+  switch (type_) {
+    case Type::kBinary:
+      return true;
+    case Type::kArray:
+      for (const XmlRpcValue& v : *array_) {
+        if (v.HasBinary()) return true;
+      }
+      return false;
+    case Type::kStruct:
+      for (const auto& [k, v] : *struct_) {
+        if (v.HasBinary()) return true;
+      }
+      return false;
+    default:
+      return false;
+  }
+}
+
+Result<XmlRpcValue> XmlRpcValue::FromXml(
+    const XmlElement& value_elem,
+    const std::vector<std::string>* attachments) {
   if (value_elem.name != "value") {
     return ProtocolError("expected <value>, got <" + value_elem.name + ">");
   }
@@ -159,12 +188,22 @@ Result<XmlRpcValue> XmlRpcValue::FromXml(const XmlElement& value_elem) {
     MRS_ASSIGN_OR_RETURN(std::string bytes, Base64Decode(t.TrimmedText()));
     return XmlRpcValue::Binary(std::move(bytes));
   }
+  if (t.name == "attachment") {
+    if (attachments == nullptr) {
+      return ProtocolError("<attachment> in a document without attachments");
+    }
+    auto index = ParseUint64(t.TrimmedText());
+    if (!index.has_value() || *index >= attachments->size()) {
+      return ProtocolError("bad <attachment> index: " + t.text);
+    }
+    return XmlRpcValue::Binary((*attachments)[*index]);
+  }
   if (t.name == "array") {
     const XmlElement* data = t.Child("data");
     if (data == nullptr) return ProtocolError("<array> missing <data>");
     XmlRpcArray arr;
     for (const XmlElement& child : data->children) {
-      MRS_ASSIGN_OR_RETURN(XmlRpcValue v, FromXml(child));
+      MRS_ASSIGN_OR_RETURN(XmlRpcValue v, FromXml(child, attachments));
       arr.push_back(std::move(v));
     }
     return XmlRpcValue(std::move(arr));
@@ -178,7 +217,7 @@ Result<XmlRpcValue> XmlRpcValue::FromXml(const XmlElement& value_elem) {
       if (name == nullptr || value == nullptr) {
         return ProtocolError("<member> missing <name> or <value>");
       }
-      MRS_ASSIGN_OR_RETURN(XmlRpcValue v, FromXml(*value));
+      MRS_ASSIGN_OR_RETURN(XmlRpcValue v, FromXml(*value, attachments));
       s[name->text] = std::move(v);
     }
     return XmlRpcValue(std::move(s));

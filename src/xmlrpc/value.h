@@ -60,10 +60,23 @@ class XmlRpcValue {
   /// Struct field lookup; missing field is a ProtocolError.
   Result<const XmlRpcValue*> Field(std::string_view name) const;
 
-  /// Serialize as a <value>...</value> element.
-  XmlElement ToXml() const;
-  /// Parse from a <value> element.
-  static Result<XmlRpcValue> FromXml(const XmlElement& value_elem);
+  /// Serialize as a <value>...</value> element.  With `attachments`
+  /// non-null, binary payloads are moved out-of-band: each kBinary value
+  /// serializes as <attachment>N</attachment> (an index into the vector)
+  /// instead of <base64>, letting the transport carry the raw bytes
+  /// without the 4/3 base64 blowup or XML escaping (see protocol.h,
+  /// BuildBinaryResponse).
+  XmlElement ToXml(std::vector<std::string>* attachments = nullptr) const;
+  /// Parse from a <value> element.  <attachment> indices resolve against
+  /// `attachments`; without one they are a ProtocolError (a plain-XML
+  /// document never legitimately contains them).
+  static Result<XmlRpcValue> FromXml(
+      const XmlElement& value_elem,
+      const std::vector<std::string>* attachments = nullptr);
+
+  /// True if this value (or any nested array/struct member) is kBinary —
+  /// the predicate for choosing the binary-attachment response encoding.
+  bool HasBinary() const;
 
   /// Debug rendering ("{a: 1, b: [2, 3]}").
   std::string DebugString() const;

@@ -308,7 +308,7 @@ TEST(Chaos, PingDropSlaveIsDeclaredLostAndMayRevive) {
   // observable stats state (cv-signalled) instead of sampling once.
   EXPECT_TRUE((*cluster)->master().WaitUntilStats(
       [](const Master::Stats& s) { return s.slaves_lost >= 1; },
-      /*timeout_seconds=*/5.0));
+      /*timeout_seconds=*/10.0));
   (*cluster)->Shutdown();
 }
 

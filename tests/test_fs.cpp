@@ -3,6 +3,7 @@
 
 #include "fs/bucket.h"
 #include "fs/file_io.h"
+#include "http/message.h"
 #include "ser/record.h"
 
 namespace mrs {
@@ -160,6 +161,57 @@ TEST_F(FsTest, BucketMemoryOnlyIsAuthoritative) {
 
 TEST(BucketNaming, DeterministicFileName) {
   EXPECT_EQ(BucketFileName("ds7", 2, 5), "ds7/source_2_split_5.mrsb");
+}
+
+// ---- mrsk1 bucket frames ----------------------------------------------------
+
+std::vector<BucketFrame> SampleFrames() {
+  std::string binary;
+  for (int i = 0; i < 256; ++i) binary += static_cast<char>(i);
+  std::vector<BucketFrame> frames;
+  frames.push_back({"ds1/0/0", ContentChecksum("payload one"), "payload one"});
+  frames.push_back({"ds1/0/1", ContentChecksum(binary), binary});
+  frames.push_back({"ds1/1/0", ContentChecksum(""), ""});
+  return frames;
+}
+
+TEST(BucketFrames, RoundTripPreservesIdsChecksumsAndBinaryData) {
+  std::vector<BucketFrame> frames = SampleFrames();
+  auto decoded = DecodeBucketFrames(EncodeBucketFrames(frames));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), frames.size());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].id, frames[i].id);
+    EXPECT_EQ((*decoded)[i].checksum, frames[i].checksum);
+    EXPECT_EQ((*decoded)[i].data, frames[i].data);
+  }
+}
+
+TEST(BucketFrames, EmptyFrameSetRoundTrips) {
+  auto decoded = DecodeBucketFrames(EncodeBucketFrames({}));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(BucketFrames, CorruptionIsDataLoss) {
+  std::string encoded = EncodeBucketFrames(SampleFrames());
+  // Wrong magic.
+  EXPECT_EQ(DecodeBucketFrames("xxxx" + encoded).status().code(),
+            StatusCode::kDataLoss);
+  // Truncation anywhere in the stream.
+  for (size_t cut : {encoded.size() - 1, encoded.size() / 2, size_t{6}}) {
+    EXPECT_EQ(DecodeBucketFrames(encoded.substr(0, cut)).status().code(),
+              StatusCode::kDataLoss)
+        << "cut at " << cut;
+  }
+  // Trailing junk after the last frame.
+  EXPECT_EQ(DecodeBucketFrames(encoded + "z").status().code(),
+            StatusCode::kDataLoss);
+  // A flipped payload byte no longer matches its embedded checksum.
+  std::string corrupt = encoded;
+  corrupt[corrupt.size() - 60] ^= 0x01;
+  EXPECT_EQ(DecodeBucketFrames(corrupt).status().code(),
+            StatusCode::kDataLoss);
 }
 
 }  // namespace

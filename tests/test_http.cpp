@@ -1,13 +1,22 @@
-// Tests for the HTTP message model, incremental parser, server and client.
+// Tests for the HTTP message model, incremental parser, server and client,
+// the connection pool, and the fetch-path status mapping.
 #include <gtest/gtest.h>
 
+#include <poll.h>
+
+#include <atomic>
+#include <memory>
 #include <thread>
 
 #include "common/clock.h"
+#include "common/retry.h"
 #include "http/client.h"
 #include "http/message.h"
 #include "http/parser.h"
+#include "http/pool.h"
 #include "http/server.h"
+#include "net/socket.h"
+#include "obs/metrics.h"
 
 namespace mrs {
 namespace {
@@ -164,6 +173,64 @@ TEST(HttpUrl, RejectsOtherSchemes) {
   EXPECT_FALSE(HttpUrl::Parse("http://:80/").ok());
 }
 
+TEST(HttpUrl, RejectsEmptyAndDanglingAuthority) {
+  EXPECT_FALSE(HttpUrl::Parse("http://").ok());         // empty host
+  EXPECT_FALSE(HttpUrl::Parse("http:///path").ok());    // empty host
+  EXPECT_FALSE(HttpUrl::Parse("http://host:").ok());    // separator, no port
+  EXPECT_FALSE(HttpUrl::Parse("http://host:/x").ok());  // ditto with path
+}
+
+TEST(HttpUrl, RejectsAmbiguousUnbracketedColons) {
+  // "a:b:c" could be host "a:b" port "c" or a mangled IPv6 literal; both
+  // readings are wrong often enough that the parse refuses.
+  EXPECT_FALSE(HttpUrl::Parse("http://a:b:c/x").ok());
+  EXPECT_FALSE(HttpUrl::Parse("http://::1:8080/x").ok());
+}
+
+TEST(HttpUrl, ParsesBracketedIpv6) {
+  auto with_port = HttpUrl::Parse("http://[::1]:8080/bucket/1");
+  ASSERT_TRUE(with_port.ok()) << with_port.status().ToString();
+  EXPECT_EQ(with_port->host, "::1");
+  EXPECT_EQ(with_port->port, 8080);
+  EXPECT_EQ(with_port->target, "/bucket/1");
+
+  auto no_port = HttpUrl::Parse("http://[fe80::2]/");
+  ASSERT_TRUE(no_port.ok());
+  EXPECT_EQ(no_port->host, "fe80::2");
+  EXPECT_EQ(no_port->port, 80);
+}
+
+TEST(HttpUrl, RejectsMalformedBrackets) {
+  EXPECT_FALSE(HttpUrl::Parse("http://[::1/x").ok());       // unterminated
+  EXPECT_FALSE(HttpUrl::Parse("http://[::1]junk/x").ok());  // junk after ]
+  EXPECT_FALSE(HttpUrl::Parse("http://[::1]:/x").ok());     // empty port
+}
+
+TEST(HttpUrl, RejectsBadPorts) {
+  EXPECT_FALSE(HttpUrl::Parse("http://h:0/").ok());
+  EXPECT_FALSE(HttpUrl::Parse("http://h:65536/").ok());
+  EXPECT_FALSE(HttpUrl::Parse("http://h:banana/").ok());
+  EXPECT_TRUE(HttpUrl::Parse("http://h:65535/").ok());
+}
+
+// ---- Fetch status mapping ---------------------------------------------------
+
+TEST(FetchStatus, MapsHttpCodesToRetryClasses) {
+  EXPECT_TRUE(FetchStatusFromHttpCode("u", 200).ok());
+  // 404 is an authoritative miss: lineage recovery, never a retry.
+  EXPECT_EQ(FetchStatusFromHttpCode("u", 404).code(), StatusCode::kNotFound);
+  // Every 5xx is a server-side transient — the retry layer's territory.
+  // (Regression: these used to map to kNotFound, so one mid-restart 500
+  // triggered lineage invalidation instead of a backoff-retry.)
+  EXPECT_EQ(FetchStatusFromHttpCode("u", 500).code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(FetchStatusFromHttpCode("u", 503).code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(FetchStatusFromHttpCode("u", 599).code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(FetchStatusFromHttpCode("u", 403).code(), StatusCode::kInternal);
+}
+
 // ---- Server + client integration ---------------------------------------------
 
 class HttpIntegration : public ::testing::Test {
@@ -172,7 +239,10 @@ class HttpIntegration : public ::testing::Test {
     auto server = HttpServer::Start(
         "127.0.0.1", 0,
         [this](const HttpRequest& req) { return Handle(req); },
-        /*num_workers=*/2);
+        // Enough workers that pool tests can hold several keep-alive
+        // connections open at once (each occupies a worker for its
+        // lifetime) without starving the next dial.
+        /*num_workers=*/6);
     ASSERT_TRUE(server.ok()) << server.status().ToString();
     server_ = std::move(server).value();
   }
@@ -186,10 +256,23 @@ class HttpIntegration : public ::testing::Test {
     if (path == "/big") {
       return HttpResponse::Ok(std::string(1 << 20, 'x'));
     }
+    if (path == "/flaky") {
+      // 500s until the budget runs out, then serves — a peer mid-restart.
+      if (flaky_failures_.fetch_sub(1) > 0) {
+        return HttpResponse::InternalError("warming up");
+      }
+      return HttpResponse::Ok("recovered");
+    }
+    if (path == "/badsum") {
+      HttpResponse resp = HttpResponse::Ok("payload");
+      resp.headers.Set(std::string(kMrsChecksumHeader), "0000000000000000");
+      return resp;
+    }
     return HttpResponse::NotFound();
   }
 
   std::unique_ptr<HttpServer> server_;
+  std::atomic<int> flaky_failures_{0};
 };
 
 TEST_F(HttpIntegration, GetAndPostRoundTrip) {
@@ -257,6 +340,223 @@ TEST_F(HttpIntegration, ShutdownIsIdempotentAndFast) {
   server_->Shutdown();
   server_->Shutdown();
   EXPECT_LT(watch.ElapsedSeconds(), 2.0);
+}
+
+TEST_F(HttpIntegration, TransientServerErrorIsRetryableNotNotFound) {
+  flaky_failures_.store(2);
+  std::string url = server_->url_base() + "/flaky";
+  // A bare fetch surfaces kUnavailable — the transient class — so the
+  // retry layer may absorb it.  It must NOT be kNotFound, which would
+  // trigger lineage invalidation on a mere hiccup.
+  auto first = HttpFetch(url);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kUnavailable);
+
+  flaky_failures_.store(2);
+  RetryPolicy policy{.max_attempts = 4,
+                     .initial_backoff_seconds = 0.001,
+                     .max_backoff_seconds = 0.01};
+  auto fetched = CallWithRetry(policy, &CountFetchRetry,
+                               [&] { return HttpFetch(url); });
+  ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+  EXPECT_EQ(*fetched, "recovered");
+}
+
+TEST_F(HttpIntegration, ChecksumMismatchIsDataLoss) {
+  auto fetched = HttpFetch(server_->url_base() + "/badsum");
+  ASSERT_FALSE(fetched.ok());
+  EXPECT_EQ(fetched.status().code(), StatusCode::kDataLoss);
+}
+
+// ---- Connection pool --------------------------------------------------------
+
+int64_t Connects() {
+  return obs::Registry::Instance()
+      .GetCounter("mrs.http.client.connects")
+      ->value();
+}
+
+TEST_F(HttpIntegration, PoolReusesConnectionAcrossRequests) {
+  ConnectionPool pool;
+  int64_t before = Connects();
+  for (int i = 0; i < 10; ++i) {
+    auto resp = pool.Get(server_->addr(), "/echo");
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_EQ(resp->body, "GET:");
+  }
+  // One dial for ten requests: the O(buckets) -> O(peers) claim.
+  EXPECT_EQ(Connects() - before, 1);
+  EXPECT_EQ(pool.IdleCount(), 1u);
+}
+
+TEST_F(HttpIntegration, PoolLeaseDiscardDropsConnection) {
+  ConnectionPool pool;
+  {
+    ConnectionPool::Lease lease = pool.Acquire(server_->addr());
+    ASSERT_TRUE(lease->Get("/echo").ok());
+    lease.Discard();
+  }
+  EXPECT_EQ(pool.IdleCount(), 0u);
+}
+
+TEST_F(HttpIntegration, PoolEnforcesPerPeerCap) {
+  ConnectionPool::Config config;
+  config.max_idle_per_peer = 2;
+  ConnectionPool pool(config);
+  {
+    // Four concurrent leases, all live; only two survive release.
+    std::vector<ConnectionPool::Lease> leases;
+    for (int i = 0; i < 4; ++i) leases.push_back(pool.Acquire(server_->addr()));
+    for (auto& lease : leases) ASSERT_TRUE(lease->Get("/echo").ok());
+  }
+  EXPECT_EQ(pool.IdleCount(server_->addr()), 2u);
+}
+
+TEST_F(HttpIntegration, PoolClosesStaleIdleConnections) {
+  ConnectionPool::Config config;
+  config.max_idle_seconds = 0.0;  // everything is stale immediately
+  ConnectionPool pool(config);
+  int64_t before = Connects();
+  ASSERT_TRUE(pool.Get(server_->addr(), "/echo").ok());
+  SleepForSeconds(0.01);
+  ASSERT_TRUE(pool.Get(server_->addr(), "/echo").ok());
+  // The idle entry aged out, so the second request dialed fresh.
+  EXPECT_EQ(Connects() - before, 2);
+}
+
+TEST_F(HttpIntegration, PooledHttpFetchDialsOncePerPeer) {
+  ConnectionPool::Instance().Clear();
+  int64_t before = Connects();
+  for (int i = 0; i < 20; ++i) {
+    auto body = HttpFetch(server_->url_base() + "/echo");
+    ASSERT_TRUE(body.ok()) << body.status().ToString();
+  }
+  EXPECT_EQ(Connects() - before, 1);
+  ConnectionPool::Instance().Clear();
+}
+
+// ---- Keep-alive reconnect race ---------------------------------------------
+
+// A raw-socket server that plays a fixed per-connection script, for
+// exercising exactly the races the real HttpServer can't produce on
+// demand (closing a pooled connection between requests, truncating a
+// response mid-body).
+class ScriptedServer {
+ public:
+  enum Action {
+    kServeOne,  // read one request, write a complete response, close
+    kCloseNow,  // accept, then close without reading anything
+    kPartial,   // read one request, write a truncated response, close
+  };
+
+  explicit ScriptedServer(std::vector<Action> script)
+      : script_(std::move(script)) {
+    auto listener = TcpListener::Listen("127.0.0.1", 0);
+    EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+    listener_ = std::make_unique<TcpListener>(std::move(listener).value());
+    EXPECT_TRUE(listener_->SetNonBlocking(true).ok());
+    thread_ = std::thread([this] { RunScript(); });
+  }
+
+  ~ScriptedServer() {
+    done_.store(true);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  SocketAddr addr() const { return listener_->local_addr(); }
+  int requests_read() const { return requests_read_.load(); }
+
+ private:
+  void RunScript() {
+    for (Action action : script_) {
+      Result<TcpConn> conn = AcceptWithDeadline();
+      if (!conn.ok()) return;  // test gave up before using the connection
+      if (action == kCloseNow) {
+        conn->Close();
+        continue;
+      }
+      std::string req;
+      char buf[4096];
+      while (req.find("\r\n\r\n") == std::string::npos) {
+        auto n = conn->Read(buf, sizeof(buf));
+        if (!n.ok() || *n == 0) break;
+        req.append(buf, *n);
+      }
+      requests_read_.fetch_add(1);
+      if (action == kPartial) {
+        // Content-Length promises more than the connection delivers.
+        (void)conn->WriteAll("HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nabc");
+      } else {
+        (void)conn->WriteAll("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok");
+      }
+      conn->Close();
+    }
+  }
+
+  Result<TcpConn> AcceptWithDeadline() {
+    Stopwatch watch;
+    while (watch.ElapsedSeconds() < 10.0 && !done_.load()) {
+      pollfd pfd{listener_->fd(), POLLIN, 0};
+      if (::poll(&pfd, 1, /*timeout_ms=*/50) > 0) return listener_->Accept();
+    }
+    return DeadlineExceededError("no connection arrived");
+  }
+
+  std::vector<Action> script_;
+  std::unique_ptr<TcpListener> listener_;
+  std::thread thread_;
+  std::atomic<int> requests_read_{0};
+  std::atomic<bool> done_{false};
+};
+
+TEST(ReconnectRace, PooledConnectionClosedBetweenRequestsRecoversOnce) {
+  // The peer serves one request per connection and closes.  The second GET
+  // drawn from the pool hits the dead socket and must transparently
+  // reconnect exactly once — both requests succeed, two connections total.
+  ScriptedServer server({ScriptedServer::kServeOne, ScriptedServer::kServeOne});
+  ConnectionPool pool;
+  auto first = pool.Get(server.addr(), "/a");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->body, "ok");
+  auto second = pool.Get(server.addr(), "/a");
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(second->body, "ok");
+  EXPECT_EQ(server.requests_read(), 2);
+}
+
+TEST(ReconnectRace, DoubleFailureSurfacesErrorInsteadOfHanging) {
+  // First request is served; the reconnect after the stale-socket failure
+  // lands on a connection the server closes unread.  The client must give
+  // up after its single transparent retry — an error, not a loop or hang.
+  ScriptedServer server({ScriptedServer::kServeOne, ScriptedServer::kCloseNow});
+  HttpClient client(server.addr());
+  ASSERT_TRUE(client.Get("/a").ok());
+  Stopwatch watch;
+  auto second = client.Get("/a");
+  EXPECT_FALSE(second.ok());
+  EXPECT_LT(watch.ElapsedSeconds(), 5.0);
+}
+
+TEST(ReconnectRace, NonIdempotentPostIsNotResentAfterResponseStarted) {
+  // The server truncates the POST's response mid-body.  The response
+  // started, so the RPC may already have been applied server-side: the
+  // client must surface the error rather than silently re-send.
+  ScriptedServer server({ScriptedServer::kPartial, ScriptedServer::kServeOne});
+  HttpClient client(server.addr());
+  auto resp = client.Post("/rpc", "payload");
+  EXPECT_FALSE(resp.ok());
+  EXPECT_EQ(server.requests_read(), 1);
+}
+
+TEST(ReconnectRace, IdempotentGetIsResentAfterTruncatedResponse) {
+  // Same truncation, but a GET is safe to repeat: one transparent resend,
+  // and the second (complete) response comes back.
+  ScriptedServer server({ScriptedServer::kPartial, ScriptedServer::kServeOne});
+  HttpClient client(server.addr());
+  auto resp = client.Get("/a");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->body, "ok");
+  EXPECT_EQ(server.requests_read(), 2);
 }
 
 }  // namespace

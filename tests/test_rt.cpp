@@ -8,9 +8,11 @@
 
 #include "common/strings.h"
 #include "fs/file_io.h"
+#include "obs/metrics.h"
 #include "rt/cluster.h"
 #include "rt/mrs_main.h"
 #include "rt/protocol.h"
+#include "xmlrpc/client.h"
 
 namespace mrs {
 namespace {
@@ -293,6 +295,105 @@ TEST(Master, WaitForSlavesTimesOut) {
   Status status = (*master)->WaitForSlaves(1, 0.2);
   EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
   (*master)->Shutdown();
+}
+
+// ---- Failure-report idempotency ---------------------------------------------
+
+// Report a task failure straight over the control channel, as a slave
+// whose task_failed response was lost in transit would on redelivery.
+Status ReportFailure(XmlRpcClient& rpc, int attempt) {
+  XmlRpcArray params = {XmlRpcValue(int64_t{1}), XmlRpcValue(int64_t{7}),
+                        XmlRpcValue(int64_t{0}), XmlRpcValue("boom"),
+                        XmlRpcValue("")};
+  if (attempt > 0) params.push_back(XmlRpcValue(int64_t{attempt}));
+  return rpc.Call("task_failed", params).status();
+}
+
+bool JobOk(Master& master) {
+  return master.StatusJson().find("\"ok\":true") != std::string::npos;
+}
+
+TEST(Master, DuplicateTaskFailedReportIsNotDoubleCharged) {
+  Master::Config config;
+  config.max_task_attempts = 3;
+  auto master = Master::Start(config);
+  ASSERT_TRUE(master.ok());
+  XmlRpcClient rpc((*master)->addr());
+
+  // Five deliveries, but only attempts 1 and 2 — redelivering an
+  // attempt-numbered report moves the charge counter to max(charged,
+  // attempt), so duplicates are no-ops and the job survives.  (Before
+  // attempt numbering, each delivery charged ++, so the third delivery
+  // here would already have killed the job.)
+  ASSERT_TRUE(ReportFailure(rpc, 1).ok());
+  ASSERT_TRUE(ReportFailure(rpc, 1).ok());  // duplicate
+  ASSERT_TRUE(ReportFailure(rpc, 2).ok());
+  ASSERT_TRUE(ReportFailure(rpc, 2).ok());  // duplicate
+  ASSERT_TRUE(ReportFailure(rpc, 2).ok());  // triplicate
+  EXPECT_TRUE(JobOk(**master));
+
+  // A genuinely new attempt still counts: the third exhausts the budget.
+  ASSERT_TRUE(ReportFailure(rpc, 3).ok());
+  EXPECT_FALSE(JobOk(**master));
+  (*master)->Shutdown();
+}
+
+TEST(Master, LegacyTaskFailedReportsChargePerDelivery) {
+  // Old slaves send no attempt number; the master keeps the historical
+  // charge-per-delivery behaviour for them.
+  Master::Config config;
+  config.max_task_attempts = 3;
+  auto master = Master::Start(config);
+  ASSERT_TRUE(master.ok());
+  XmlRpcClient rpc((*master)->addr());
+  ASSERT_TRUE(ReportFailure(rpc, 0).ok());
+  ASSERT_TRUE(ReportFailure(rpc, 0).ok());
+  EXPECT_TRUE(JobOk(**master));
+  ASSERT_TRUE(ReportFailure(rpc, 0).ok());
+  EXPECT_FALSE(JobOk(**master));
+  (*master)->Shutdown();
+}
+
+// ---- Batched bucket fetch ---------------------------------------------------
+
+TEST(MasterSlave, ReduceInputsArriveBatchedPerPeer) {
+  // One slave, 4-way parallelism: every reduce task pulls four map-output
+  // buckets, all hosted by the same peer, so the slave should fetch them
+  // with batched GET /bucket?ids=... round trips instead of four separate
+  // GETs — and the answer must not change.
+  obs::Registry& reg = obs::Registry::Instance();
+  int64_t fetches_before = reg.GetCounter("mrs.slave.batch_fetches")->value();
+  int64_t buckets_before = reg.GetCounter("mrs.slave.batch_buckets")->value();
+
+  IterativeProgram program;
+  program.rounds = 2;
+  ASSERT_TRUE(program.Init(Options()).ok());
+  ClusterLauncher::Config config;
+  config.num_slaves = 1;
+  auto cluster = ClusterLauncher::Start(
+      [] {
+        auto p = std::make_unique<IterativeProgram>();
+        p->rounds = 2;
+        return std::unique_ptr<MapReduce>(std::move(p));
+      },
+      Options(), config);
+  ASSERT_TRUE(cluster.ok());
+  Job job(&program, std::make_unique<MasterRunner>(&(*cluster)->master()));
+  job.set_default_parallelism(4);
+  ASSERT_TRUE(program.Run(job).ok());
+  ASSERT_EQ(program.result.size(), 8u);
+  for (const KeyValue& kv : program.result) {
+    EXPECT_EQ(kv.value.AsInt(), 2);
+  }
+  (*cluster)->Shutdown();
+
+  int64_t fetches = reg.GetCounter("mrs.slave.batch_fetches")->value() -
+                    fetches_before;
+  int64_t buckets = reg.GetCounter("mrs.slave.batch_buckets")->value() -
+                    buckets_before;
+  EXPECT_GT(fetches, 0);
+  // Each batched round trip carried more than one bucket.
+  EXPECT_GT(buckets, fetches);
 }
 
 }  // namespace

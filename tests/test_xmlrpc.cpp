@@ -2,6 +2,8 @@
 // end-to-end dispatcher over a real HTTP server.
 #include <gtest/gtest.h>
 
+#include "http/client.h"
+#include "http/message.h"
 #include "http/server.h"
 #include "xmlrpc/client.h"
 #include "xmlrpc/protocol.h"
@@ -187,6 +189,64 @@ TEST(XmlRpcProtocol, RejectsWrongDocumentKind) {
   EXPECT_FALSE(xmlrpc::ParseResponse("<methodCall/>").ok());
 }
 
+// ---- Binary responses (mrsx1) ----------------------------------------------
+
+std::string BinaryPayload() {
+  std::string raw;
+  for (int i = 0; i < 256; ++i) raw += static_cast<char>(i);
+  return raw;  // includes NULs and every byte value
+}
+
+TEST(XmlRpcBinary, HasBinaryFindsNestedBinaryValues) {
+  EXPECT_FALSE(XmlRpcValue("text").HasBinary());
+  EXPECT_TRUE(XmlRpcValue::Binary("x").HasBinary());
+  XmlRpcStruct s;
+  s["records"] = XmlRpcValue(XmlRpcArray{XmlRpcValue(int64_t{1}),
+                                         XmlRpcValue::Binary("x")});
+  EXPECT_TRUE(XmlRpcValue(std::move(s)).HasBinary());
+  XmlRpcStruct plain;
+  plain["k"] = XmlRpcValue(XmlRpcArray{XmlRpcValue("v")});
+  EXPECT_FALSE(XmlRpcValue(std::move(plain)).HasBinary());
+}
+
+TEST(XmlRpcBinary, BinaryResponseRoundTripsWithoutBase64) {
+  std::string raw = BinaryPayload();
+  XmlRpcStruct s;
+  s["data"] = XmlRpcValue::Binary(raw);
+  s["n"] = XmlRpcValue(int64_t{256});
+  std::string framed = xmlrpc::BuildBinaryResponse(XmlRpcValue(std::move(s)));
+  // The payload travels as raw attachment bytes, not base64 text.
+  EXPECT_EQ(framed.find(Base64Encode(raw)), std::string::npos);
+  auto parsed = xmlrpc::ParseBinaryResponse(framed);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ((*parsed->Field("data"))->AsString().value(), raw);
+  EXPECT_EQ((*parsed->Field("n"))->AsInt().value(), 256);
+}
+
+TEST(XmlRpcBinary, TamperedFramesAreDataLoss) {
+  std::string framed =
+      xmlrpc::BuildBinaryResponse(XmlRpcValue::Binary("payload"));
+  EXPECT_EQ(xmlrpc::ParseBinaryResponse("nope" + framed).status().code(),
+            StatusCode::kDataLoss);  // wrong magic
+  EXPECT_EQ(xmlrpc::ParseBinaryResponse(framed.substr(0, framed.size() - 3))
+                .status()
+                .code(),
+            StatusCode::kDataLoss);  // truncated
+  EXPECT_EQ(xmlrpc::ParseBinaryResponse(framed + "junk").status().code(),
+            StatusCode::kDataLoss);  // trailing bytes
+}
+
+TEST(XmlRpcBinary, AttachmentInPlainDocumentIsProtocolError) {
+  // An <attachment> placeholder is only meaningful inside an mrsx1 frame
+  // set; a plain XML document containing one must be rejected, not
+  // silently decoded as an empty string.
+  auto parsed = xmlrpc::ParseResponse(
+      "<methodResponse><params><param><value><attachment>0</attachment>"
+      "</value></param></params></methodResponse>");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kProtocolError);
+}
+
 // ---- Dispatcher over a live server ------------------------------------------
 
 TEST(XmlRpcIntegration, CallOverRealHttp) {
@@ -220,6 +280,68 @@ TEST(XmlRpcIntegration, CallOverRealHttp) {
 
   auto unknown = client.Call("nope", {});
   EXPECT_FALSE(unknown.ok());
+}
+
+TEST(XmlRpcIntegration, BinaryResponsesAreNegotiatedPerClient) {
+  std::string raw = BinaryPayload();
+  XmlRpcDispatcher dispatcher;
+  dispatcher.Register("blob",
+                      [&](const XmlRpcArray&) -> Result<XmlRpcValue> {
+                        return XmlRpcValue::Binary(raw);
+                      });
+  dispatcher.Register("text", [](const XmlRpcArray&) -> Result<XmlRpcValue> {
+    return XmlRpcValue("plain");
+  });
+  auto server = HttpServer::Start("127.0.0.1", 0,
+                                  dispatcher.MakeHttpHandler("/RPC2"), 2);
+  ASSERT_TRUE(server.ok());
+
+  // A new-style client gets the binary value back byte-for-byte.
+  XmlRpcClient client((*server)->addr());
+  auto blob = client.Call("blob", {});
+  ASSERT_TRUE(blob.ok()) << blob.status().ToString();
+  EXPECT_EQ(blob->AsString().value(), raw);
+
+  // On the wire: a caller that advertises mrsx1 gets a framed response ...
+  HttpClient http((*server)->addr());
+  xmlrpc::MethodCall call;
+  call.method = "blob";
+  HttpRequest req;
+  req.method = "POST";
+  req.target = "/RPC2";
+  req.headers.Set(std::string(kMrsFormatHeader),
+                  std::string(xmlrpc::kRpcBinaryFormat));
+  req.body = xmlrpc::BuildCall(call);
+  auto negotiated = http.Do(std::move(req));
+  ASSERT_TRUE(negotiated.ok());
+  EXPECT_EQ(negotiated->headers.Get(kMrsFormatHeader).value_or(""),
+            xmlrpc::kRpcBinaryFormat);
+
+  // ... while an old-style caller (no X-Mrs-Format) still gets plain XML
+  // with the payload base64-encoded, so old peers keep interoperating.
+  auto legacy = http.Post("/RPC2", xmlrpc::BuildCall(call), "text/xml");
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_FALSE(legacy->headers.Get(kMrsFormatHeader).has_value());
+  auto parsed = xmlrpc::ParseResponse(legacy->body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->AsString().value(), raw);
+
+  // Responses with no binary content stay plain XML even when the caller
+  // accepts mrsx1 (nothing to gain from framing them).
+  call.method = "text";
+  HttpRequest req2;
+  req2.method = "POST";
+  req2.target = "/RPC2";
+  req2.headers.Set(std::string(kMrsFormatHeader),
+                   std::string(xmlrpc::kRpcBinaryFormat));
+  req2.body = xmlrpc::BuildCall(call);
+  auto plain = http.Do(std::move(req2));
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->headers.Get(kMrsFormatHeader).has_value());
+
+  // Faults are always plain XML so every client can read the error.
+  auto fault = client.Call("nope", {});
+  EXPECT_FALSE(fault.ok());
 }
 
 TEST(XmlRpcIntegration, NonRpcPathUsesFallback) {
