@@ -1,0 +1,150 @@
+#include "analysis/analysis.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "analysis/semantic.h"
+#include "interp/compiler.h"
+#include "interp/parser.h"
+#include "interp/verifier.h"
+#include "obs/metrics.h"
+
+namespace mrs {
+namespace analysis {
+namespace {
+
+/// The parser/compiler report "line N: message"; recover the span so
+/// those failures surface with the same shape as native diagnostics.
+Diagnostic FromPrefixedMessage(const char* code, const std::string& message) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = Severity::kError;
+  d.message = message;
+  if (message.rfind("line ", 0) == 0) {
+    char* end = nullptr;
+    long line = std::strtol(message.c_str() + 5, &end, 10);
+    if (end != nullptr && *end == ':' && line > 0) {
+      d.span.line = static_cast<int>(line);
+      const char* rest = end + 1;
+      while (*rest == ' ') ++rest;
+      d.message = rest;
+    }
+  }
+  return d;
+}
+
+void SortBySpan(std::vector<Diagnostic>* diags) {
+  std::stable_sort(diags->begin(), diags->end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.span.line != b.span.line) {
+                       return a.span.line < b.span.line;
+                     }
+                     return a.span.col < b.span.col;
+                   });
+}
+
+}  // namespace
+
+AnalysisResult AnalyzeKernelSource(std::string_view source,
+                                   const AnalysisOptions& options) {
+  auto& registry = obs::Registry::Instance();
+  static obs::Counter* runs = registry.GetCounter("mrs.analysis.runs");
+  static obs::Counter* rejects = registry.GetCounter("mrs.analysis.rejects");
+  static obs::Counter* errors = registry.GetCounter("mrs.analysis.errors");
+  static obs::Counter* warnings = registry.GetCounter("mrs.analysis.warnings");
+  static obs::Histogram* seconds =
+      registry.GetHistogram("mrs.analysis.seconds");
+
+  const auto start = std::chrono::steady_clock::now();
+  runs->Inc();
+
+  AnalysisResult result;
+  auto finish = [&]() -> AnalysisResult& {
+    SortBySpan(&result.diagnostics);
+    int error_count = 0;
+    int warning_count = 0;
+    for (const Diagnostic& d : result.diagnostics) {
+      (d.severity == Severity::kError ? error_count : warning_count)++;
+    }
+    errors->Inc(error_count);
+    warnings->Inc(warning_count);
+    if (error_count > 0) {
+      rejects->Inc();
+      result.module = nullptr;
+    }
+    seconds->Observe(std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count());
+    return result;
+  };
+
+  Result<std::shared_ptr<minipy::Module>> parsed = minipy::Parse(source);
+  if (!parsed.ok()) {
+    result.diagnostics.push_back(
+        FromPrefixedMessage("MPY001", parsed.status().message()));
+    return finish();
+  }
+  const minipy::Module& module = *parsed.value();
+
+  std::set<std::string> hosts = options.extra_functions;
+  if (options.kernel_profile) hosts.insert("emit");
+
+  SemanticOptions sem_options;
+  sem_options.extra_functions = hosts;
+  sem_options.kernel_profile = options.kernel_profile;
+  result.diagnostics = CheckSemantics(module, sem_options);
+
+  if (options.determinism_lint) {
+    std::vector<Diagnostic> det = CheckDeterminism(module);
+    // `time()` is both an unknown function (MPY103) and a wall-clock read
+    // (MPY401); keep only the determinism finding — it names the actual
+    // problem and its fix.
+    for (Diagnostic& d : det) {
+      result.diagnostics.erase(
+          std::remove_if(result.diagnostics.begin(), result.diagnostics.end(),
+                         [&](const Diagnostic& s) {
+                           return s.code == "MPY103" &&
+                                  s.span.line == d.span.line &&
+                                  s.span.col == d.span.col;
+                         }),
+          result.diagnostics.end());
+      result.diagnostics.push_back(std::move(d));
+    }
+  }
+  if (HasErrors(result.diagnostics)) return finish();
+
+  minipy::CompileOptions compile_options;
+  compile_options.host_functions = hosts;
+  Result<std::shared_ptr<minipy::CompiledModule>> compiled =
+      minipy::CompileModule(module, compile_options);
+  if (!compiled.ok()) {
+    // Semantic analysis should catch everything the compiler rejects;
+    // MPY002 is the safety net for constructs it does not model.
+    result.diagnostics.push_back(
+        FromPrefixedMessage("MPY002", compiled.status().message()));
+    return finish();
+  }
+  result.module = std::move(compiled).value();
+
+  std::vector<minipy::VerifyIssue> issues =
+      minipy::VerifyCompiledModule(*result.module, hosts);
+  if (!issues.empty()) {
+    for (const minipy::VerifyIssue& issue : issues) {
+      result.diagnostics.push_back(
+          {issue.code, Severity::kError, {0, 0}, issue.ToString()});
+    }
+    return finish();
+  }
+  // Clean: mark verified and fill per-function max_stack so the VM takes
+  // the unboxed fast path without re-verifying at load.
+  Status marked = minipy::VerifyAndMark(*result.module, hosts);
+  if (!marked.ok()) {
+    result.diagnostics.push_back(
+        {"MBC507", Severity::kError, {0, 0}, marked.message()});
+  }
+  return finish();
+}
+
+}  // namespace analysis
+}  // namespace mrs

@@ -1,0 +1,58 @@
+// mrs::analysis — submit-time static analysis for MiniPy kernels.
+//
+// AnalyzeKernelSource is the one entry point everything shares: the
+// mrs_lint CLI, Job::Submit (via MiniPyProgram::ValidateOperation), and
+// the golden-file tests.  It runs the full pipeline
+//
+//   parse  →  semantic checks + determinism lint  →  compile  →
+//   bytecode verification (interp/verifier.h)
+//
+// and returns every finding as a spanned, stable-coded Diagnostic plus —
+// when nothing is an error — the compiled module with its `verified` bit
+// set, ready for Vm::LoadModule without re-verification.
+//
+// Counted in the process registry:
+//   mrs.analysis.runs      analyses performed
+//   mrs.analysis.rejects   analyses that found at least one error
+//   mrs.analysis.errors    total error diagnostics
+//   mrs.analysis.warnings  total warning diagnostics
+//   mrs.analysis.seconds   (histogram) wall time per analysis
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "interp/bytecode.h"
+
+namespace mrs {
+namespace analysis {
+
+struct AnalysisOptions {
+  /// Enforce the MapReduce kernel contract (map/reduce signatures, emit
+  /// shapes).  When set, "emit" is implicitly a host function.
+  bool kernel_profile = true;
+  /// Additional host-provided functions callable from the kernel.
+  std::set<std::string> extra_functions;
+  /// Run the determinism lint (MPY4xx).
+  bool determinism_lint = true;
+};
+
+struct AnalysisResult {
+  /// All findings, ordered by source position.
+  std::vector<Diagnostic> diagnostics;
+  /// Compiled + verified module; null whenever diagnostics contain an
+  /// error (a rejected kernel never produces executable code).
+  std::shared_ptr<minipy::CompiledModule> module;
+
+  bool ok() const { return !HasErrors(diagnostics); }
+};
+
+AnalysisResult AnalyzeKernelSource(std::string_view source,
+                                   const AnalysisOptions& options = {});
+
+}  // namespace analysis
+}  // namespace mrs

@@ -1,0 +1,64 @@
+#include "analysis/diagnostics.h"
+
+#include "obs/metrics.h"
+
+namespace mrs {
+namespace analysis {
+
+bool HasErrors(const std::vector<Diagnostic>& diags) {
+  return CountErrors(diags) > 0;
+}
+
+int CountErrors(const std::vector<Diagnostic>& diags) {
+  int n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+std::string FormatDiagnostic(const Diagnostic& d, const std::string& file) {
+  std::string out = file.empty() ? "<source>" : file;
+  out += ':';
+  out += std::to_string(d.span.line);
+  if (d.span.col > 0) {
+    out += ':';
+    out += std::to_string(d.span.col);
+  }
+  out += d.severity == Severity::kError ? ": error[" : ": warning[";
+  out += d.code;
+  out += "]: ";
+  out += d.message;
+  return out;
+}
+
+std::string DiagnosticJson(const Diagnostic& d, const std::string& file) {
+  std::string out = "{\"file\":\"" + obs::JsonEscape(file) + "\"";
+  out += ",\"line\":" + std::to_string(d.span.line);
+  out += ",\"col\":" + std::to_string(d.span.col);
+  out += std::string(",\"severity\":\"") +
+         (d.severity == Severity::kError ? "error" : "warning") + "\"";
+  out += ",\"code\":\"" + obs::JsonEscape(d.code) + "\"";
+  out += ",\"message\":\"" + obs::JsonEscape(d.message) + "\"}";
+  return out;
+}
+
+Status DiagnosticsToStatus(const std::vector<Diagnostic>& diags,
+                           const std::string& file) {
+  int errors = CountErrors(diags);
+  if (errors == 0) return Status::Ok();
+  std::string message =
+      "kernel rejected by static analysis (" + std::to_string(errors) +
+      (errors == 1 ? " error): " : " errors): ");
+  bool first = true;
+  for (const Diagnostic& d : diags) {
+    if (d.severity != Severity::kError) continue;
+    if (!first) message += "; ";
+    first = false;
+    message += FormatDiagnostic(d, file);
+  }
+  return InvalidArgumentError(message);
+}
+
+}  // namespace analysis
+}  // namespace mrs

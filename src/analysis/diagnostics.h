@@ -1,0 +1,57 @@
+// mrs::analysis diagnostics: spanned, stable-coded findings.
+//
+// Every checker in this library (semantic, determinism, bytecode verifier
+// bridge) reports through one Diagnostic shape so the mrs_lint CLI, the
+// Job::Submit rejection path, and the golden-file tests all consume the
+// same thing.  Codes are stable API: tests and downstream tooling match on
+// them, so a code is never renumbered or reused (see DESIGN.md for the
+// full table).
+//
+//   MPY0xx  parse / compile failures
+//   MPY1xx  name & call errors (undefined vars, arity, duplicates)
+//   MPY2xx  warnings (unreachable code, possibly-unassigned)
+//   MPY3xx  kernel-profile signature / emit-shape errors
+//   MPY4xx  determinism lint
+//   MBC5xx  bytecode verifier (interp/verifier.h)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mrs {
+namespace analysis {
+
+enum class Severity { kWarning, kError };
+
+struct SourceSpan {
+  int line = 0;  // 1-based; 0 = unknown
+  int col = 0;   // 1-based; 0 = unknown
+};
+
+struct Diagnostic {
+  std::string code;  // e.g. "MPY102"
+  Severity severity = Severity::kError;
+  SourceSpan span;
+  std::string message;
+};
+
+bool HasErrors(const std::vector<Diagnostic>& diags);
+int CountErrors(const std::vector<Diagnostic>& diags);
+
+/// "file:line:col: error[MPY101]: message" (omits :col when unknown).
+std::string FormatDiagnostic(const Diagnostic& d, const std::string& file);
+
+/// One JSON object per diagnostic:
+/// {"file":..,"line":..,"col":..,"severity":..,"code":..,"message":..}
+std::string DiagnosticJson(const Diagnostic& d, const std::string& file);
+
+/// The submit-time rejection Status: InvalidArgument whose message lists
+/// every error (and the error count), formatted as above.  Ok if no
+/// errors (warnings alone never reject).
+Status DiagnosticsToStatus(const std::vector<Diagnostic>& diags,
+                           const std::string& file);
+
+}  // namespace analysis
+}  // namespace mrs

@@ -1,0 +1,75 @@
+// MiniPyProgram: run a MiniPy kernel as a MapReduce program.
+//
+// The kernel is ordinary MiniPy source defining map(key, value) and
+// reduce(key, values) (plus an optional combine(key, values)), each
+// producing output through the host function `emit`:
+//
+//   def map(key, value):
+//       emit(value, 1)
+//   def reduce(key, values):
+//       total = 0
+//       for v in values:
+//           total = total + v
+//       emit(total)
+//
+// Construction runs the full static-analysis pipeline (analysis.h) once,
+// eagerly; ValidateOperation reports the result, so a broken kernel is
+// rejected at Job::MapData/ReduceData on every runner with zero tasks
+// dispatched.  Execution uses one bytecode VM per (thread, program) —
+// workers share nothing — loaded from the analysis's verified module, so
+// the VM's unboxed fast path runs without re-verification.
+//
+// MapFn/ReduceFn are void, so a kernel *runtime* error (static analysis
+// can't rule out e.g. index-out-of-range) cannot propagate as a Status;
+// it is logged and counted in mrs.analysis.kernel_runtime_errors, and the
+// failing call emits nothing.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "analysis/analysis.h"
+#include "core/program.h"
+
+namespace mrs {
+namespace analysis {
+
+class MiniPyProgram : public MapReduce {
+ public:
+  /// `name` labels diagnostics (usually the source path).
+  explicit MiniPyProgram(std::string source,
+                         std::string name = "<kernel>");
+
+  /// Loads and analyzes `path`; fails only on I/O errors — an
+  /// *invalid* kernel still constructs (and rejects at submit), so every
+  /// runner sees the identical diagnostic path.
+  static Result<std::unique_ptr<MiniPyProgram>> FromFile(
+      const std::string& path);
+
+  const AnalysisResult& analysis() const { return analysis_; }
+  const std::string& source_name() const { return name_; }
+  /// True when the kernel defines its own combine().
+  bool HasKernelCombine() const;
+
+  Status ValidateOperation(DataSetKind kind,
+                           const DataSetOptions& options) override;
+
+  void Map(const Value& key, const Value& value, const Emitter& emit) override;
+  void Reduce(const Value& key, const ValueList& values,
+              const ValueEmitter& emit) override;
+  void Combine(const Value& key, const ValueList& values,
+               const ValueEmitter& emit) override;
+
+ private:
+  struct KernelVm;
+  /// The calling thread's VM for this program (created on first use);
+  /// null when analysis failed (no module to run).
+  KernelVm* VmForThisThread() const;
+
+  std::string source_;
+  std::string name_;
+  AnalysisResult analysis_;
+};
+
+}  // namespace analysis
+}  // namespace mrs

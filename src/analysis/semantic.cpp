@@ -1,0 +1,591 @@
+#include "analysis/semantic.h"
+
+#include <algorithm>
+#include <climits>
+#include <map>
+#include <utility>
+
+#include "interp/pyvalue.h"
+
+namespace mrs {
+namespace analysis {
+namespace {
+
+using minipy::Expr;
+using minipy::ExprPtr;
+using minipy::Module;
+using minipy::Stmt;
+using minipy::StmtPtr;
+
+struct BuiltinArity {
+  int min;
+  int max;
+};
+
+// Must stay in sync with CallBuiltin in interp/pyvalue.cpp.
+const std::map<std::string, BuiltinArity>& BuiltinArities() {
+  static const std::map<std::string, BuiltinArity> table = {
+      {"len", {1, 1}},       {"abs", {1, 1}},      {"int", {1, 1}},
+      {"float", {1, 1}},     {"str", {1, 1}},      {"bool", {1, 1}},
+      {"min", {1, INT_MAX}}, {"max", {1, INT_MAX}}, {"range", {1, 3}},
+      {"append", {2, 2}},    {"print", {0, INT_MAX}},
+  };
+  return table;
+}
+
+std::string DescribeArity(const BuiltinArity& ar) {
+  if (ar.min == ar.max) return std::to_string(ar.min);
+  if (ar.max == INT_MAX) return "at least " + std::to_string(ar.min);
+  return std::to_string(ar.min) + " to " + std::to_string(ar.max);
+}
+
+/// Names assigned anywhere in `body`, not descending into nested defs.
+/// Matches the compiler's notion of a scope's local set: simple-name
+/// assignment, augmented assignment, and for-loop targets bind; subscript
+/// stores mutate an existing binding and do not.
+void CollectAssigned(const std::vector<StmtPtr>& body,
+                     std::set<std::string>* out) {
+  for (const StmtPtr& s : body) {
+    switch (s->kind) {
+      case Stmt::Kind::kAssign:
+        if (s->index_base == nullptr) out->insert(s->target);
+        break;
+      case Stmt::Kind::kAugAssign:
+        out->insert(s->target);
+        break;
+      case Stmt::Kind::kFor:
+        out->insert(s->target);
+        CollectAssigned(s->body, out);
+        break;
+      case Stmt::Kind::kWhile:
+        CollectAssigned(s->body, out);
+        break;
+      case Stmt::Kind::kIf:
+        for (const auto& arm : s->arm_bodies) CollectAssigned(arm, out);
+        CollectAssigned(s->else_body, out);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+class Checker {
+ public:
+  Checker(const Module& module, const SemanticOptions& opts)
+      : module_(module), opts_(opts) {}
+
+  std::vector<Diagnostic> Run() {
+    CollectFunctions();
+    CollectAssigned(module_.body, &module_globals_);
+    if (opts_.kernel_profile) CheckKernelProfile();
+    AnalyzeTopLevel();
+    for (const StmtPtr& s : module_.body) {
+      if (s->kind == Stmt::Kind::kDef) AnalyzeFunction(*s);
+    }
+    return std::move(diags_);
+  }
+
+ private:
+  /// Dataflow state at a program point.  `definite` holds names assigned
+  /// on every path reaching here, `possible` names assigned on at least
+  /// one path; `terminated` is set once return/break/continue makes the
+  /// rest of the block unreachable (`term_why` names the terminator for
+  /// the MPY201 message).
+  struct Flow {
+    std::set<std::string> definite;
+    std::set<std::string> possible;
+    bool terminated = false;
+    const char* term_why = "return";
+  };
+
+  enum class FnKind { kTopLevel, kMap, kReduceLike, kOther };
+
+  struct FnInfo {
+    int arity;
+    int line;
+    int col;
+  };
+
+  void Error(const char* code, int line, int col, std::string msg) {
+    diags_.push_back(
+        {code, Severity::kError, {line, col}, std::move(msg)});
+  }
+  void Warn(const char* code, int line, int col, std::string msg) {
+    diags_.push_back(
+        {code, Severity::kWarning, {line, col}, std::move(msg)});
+  }
+
+  static void Assign(const std::string& name, Flow& flow) {
+    flow.definite.insert(name);
+    flow.possible.insert(name);
+  }
+
+  void CollectFunctions() {
+    for (const StmtPtr& s : module_.body) {
+      if (s->kind != Stmt::Kind::kDef) continue;
+      auto [it, inserted] = functions_.emplace(
+          s->target,
+          FnInfo{static_cast<int>(s->params.size()), s->line, s->col});
+      if (!inserted) {
+        Error("MPY106", s->line, s->col,
+              "duplicate definition of " + s->target +
+                  "() (first defined at line " +
+                  std::to_string(it->second.line) + ")");
+      }
+    }
+  }
+
+  void CheckKernelProfile() {
+    auto check = [&](const std::string& name, bool required,
+                     const char* signature) {
+      auto it = functions_.find(name);
+      if (it == functions_.end()) {
+        if (required) {
+          Error("MPY301", 1, 0,
+                std::string("kernel must define ") + signature);
+        }
+        return;
+      }
+      if (it->second.arity != 2) {
+        Error("MPY302", it->second.line, it->second.col,
+              name + "() must take exactly 2 parameters as in " + signature +
+                  ", got " + std::to_string(it->second.arity));
+      }
+    };
+    check("map", true, "map(key, value)");
+    check("reduce", true, "reduce(key, values)");
+    check("combine", false, "combine(key, values)");
+  }
+
+  void AnalyzeTopLevel() {
+    top_level_ = true;
+    fn_kind_ = FnKind::kTopLevel;
+    current_fn_ = "<module>";
+    Flow flow;
+    // Defs don't execute code at module load; skip them in the flow walk
+    // (their bodies are analyzed separately with their own scope).
+    for (const StmtPtr& s : module_.body) {
+      if (s->kind == Stmt::Kind::kDef) continue;
+      AnalyzeStmt(*s, flow);
+    }
+  }
+
+  void AnalyzeFunction(const Stmt& def) {
+    top_level_ = false;
+    current_fn_ = def.target;
+    if (opts_.kernel_profile && def.target == "map") {
+      fn_kind_ = FnKind::kMap;
+    } else if (opts_.kernel_profile &&
+               (def.target == "reduce" || def.target == "combine")) {
+      fn_kind_ = FnKind::kReduceLike;
+    } else {
+      fn_kind_ = FnKind::kOther;
+    }
+
+    locals_.clear();
+    for (const std::string& p : def.params) {
+      if (!locals_.insert(p).second) {
+        Error("MPY105", def.line, def.col,
+              "duplicate parameter '" + p + "' in def " + def.target + "()");
+      }
+    }
+    CollectAssigned(def.body, &locals_);
+
+    Flow flow;
+    for (const std::string& p : def.params) Assign(p, flow);
+    AnalyzeBlock(def.body, flow);
+  }
+
+  void AnalyzeBlock(const std::vector<StmtPtr>& body, Flow& flow) {
+    bool reported = false;
+    for (const StmtPtr& s : body) {
+      if (flow.terminated && !reported) {
+        Warn("MPY201", s->line, s->col,
+             std::string("unreachable code after ") + flow.term_why);
+        reported = true;
+        // Clear so nested blocks of the dead code don't each re-report;
+        // restored below because the block's reachable part did terminate.
+        flow.terminated = false;
+      }
+      AnalyzeStmt(*s, flow);
+    }
+    if (reported) flow.terminated = true;
+  }
+
+  void AnalyzeStmt(const Stmt& s, Flow& flow) {
+    switch (s.kind) {
+      case Stmt::Kind::kExpr:
+        CheckExpr(*s.expr, flow);
+        break;
+      case Stmt::Kind::kAssign:
+        if (s.index_base != nullptr) {
+          CheckExpr(*s.index_base, flow);
+          CheckExpr(*s.index_expr, flow);
+          CheckExpr(*s.expr, flow);
+        } else {
+          CheckExpr(*s.expr, flow);
+          Assign(s.target, flow);
+        }
+        break;
+      case Stmt::Kind::kAugAssign:
+        // `x += e` reads x first.
+        CheckNameUse(s.target, s.line, s.col, flow);
+        CheckExpr(*s.expr, flow);
+        Assign(s.target, flow);
+        break;
+      case Stmt::Kind::kReturn:
+        if (top_level_) {
+          Error("MPY002", s.line, s.col, "return outside a function");
+        }
+        if (s.expr) CheckExpr(*s.expr, flow);
+        flow.terminated = true;
+        flow.term_why = "return";
+        break;
+      case Stmt::Kind::kIf:
+        AnalyzeIf(s, flow);
+        break;
+      case Stmt::Kind::kWhile: {
+        CheckExpr(*s.cond, flow);
+        // The body is analyzed against the pre-loop state: the first
+        // iteration is exactly what it sees, and names a later iteration
+        // would inherit are already in `possible` via the union below.
+        Flow body = flow;
+        body.terminated = false;
+        AnalyzeBlock(s.body, body);
+        // Zero iterations are possible, so nothing new becomes definite.
+        flow.possible.insert(body.possible.begin(), body.possible.end());
+        break;
+      }
+      case Stmt::Kind::kFor: {
+        if (top_level_) {
+          Error("MPY002", s.line, s.col,
+                "for loops at module level are not supported");
+        }
+        CheckExpr(*s.cond, flow);
+        Flow body = flow;
+        body.terminated = false;
+        Assign(s.target, body);
+        AnalyzeBlock(s.body, body);
+        flow.possible.insert(body.possible.begin(), body.possible.end());
+        flow.possible.insert(s.target);
+        break;
+      }
+      case Stmt::Kind::kBreak:
+        flow.terminated = true;
+        flow.term_why = "break";
+        break;
+      case Stmt::Kind::kContinue:
+        flow.terminated = true;
+        flow.term_why = "continue";
+        break;
+      case Stmt::Kind::kPass:
+        break;
+      case Stmt::Kind::kDef:
+        if (!top_level_) {
+          Error("MPY002", s.line, s.col, "nested def is not supported");
+        }
+        break;
+    }
+  }
+
+  void AnalyzeIf(const Stmt& s, Flow& flow) {
+    std::vector<Flow> outs;
+    for (size_t i = 0; i < s.arm_conds.size(); ++i) {
+      // All arm conditions evaluate against the pre-state: conditions are
+      // side-effect-free expressions in MiniPy (no assignment expressions).
+      CheckExpr(*s.arm_conds[i], flow);
+      Flow arm = flow;
+      arm.terminated = false;
+      AnalyzeBlock(s.arm_bodies[i], arm);
+      outs.push_back(std::move(arm));
+    }
+    if (!s.else_body.empty()) {
+      Flow els = flow;
+      els.terminated = false;
+      AnalyzeBlock(s.else_body, els);
+      outs.push_back(std::move(els));
+    } else {
+      Flow fall = flow;
+      fall.terminated = false;
+      outs.push_back(std::move(fall));  // condition-false fallthrough path
+    }
+
+    Flow joined;
+    joined.terminated = true;
+    joined.term_why = outs.back().term_why;
+    bool first_live = true;
+    for (const Flow& o : outs) {
+      joined.possible.insert(o.possible.begin(), o.possible.end());
+      if (o.terminated) {
+        joined.term_why = o.term_why;
+        continue;
+      }
+      joined.terminated = false;
+      if (first_live) {
+        joined.definite = o.definite;
+        first_live = false;
+      } else {
+        std::set<std::string> inter;
+        std::set_intersection(joined.definite.begin(), joined.definite.end(),
+                              o.definite.begin(), o.definite.end(),
+                              std::inserter(inter, inter.begin()));
+        joined.definite = std::move(inter);
+      }
+    }
+    if (joined.terminated) {
+      // Every path leaves the block; anything after is unreachable, so
+      // use the union as `definite` to avoid cascading MPY102s there.
+      joined.definite = joined.possible;
+    }
+    // Preserve the context of an already-dead enclosing block.
+    joined.terminated = joined.terminated || flow.terminated;
+    flow = std::move(joined);
+  }
+
+  void CheckExpr(const Expr& e, Flow& flow) {
+    switch (e.kind) {
+      case Expr::Kind::kName:
+        CheckNameUse(e.name, e.line, e.col, flow);
+        break;
+      case Expr::Kind::kCall:
+        CheckCall(e, flow);
+        break;
+      case Expr::Kind::kBinary:
+      case Expr::Kind::kIndex:
+        CheckExpr(*e.lhs, flow);
+        CheckExpr(*e.rhs, flow);
+        break;
+      case Expr::Kind::kUnary:
+        CheckExpr(*e.lhs, flow);
+        break;
+      case Expr::Kind::kListLit:
+        for (const ExprPtr& item : e.args) CheckExpr(*item, flow);
+        break;
+      default:
+        break;  // literals
+    }
+  }
+
+  void CheckNameUse(const std::string& name, int line, int col,
+                    const Flow& flow) {
+    const bool in_scope = top_level_ ? module_globals_.count(name) > 0
+                                     : locals_.count(name) > 0;
+    if (in_scope) {
+      if (flow.possible.count(name) > 0) {
+        if (flow.definite.count(name) == 0) {
+          Warn("MPY202", line, col,
+               "'" + name +
+                   "' may be unassigned here (assigned on some paths only)");
+        }
+        return;
+      }
+      Error("MPY102", line, col,
+            "'" + name + "' is used before assignment in " + current_fn_);
+      return;
+    }
+    if (!top_level_ && module_globals_.count(name) > 0) {
+      // A module global: initialized when the module loaded, before any
+      // kernel function runs.  Order within module init is not modeled.
+      return;
+    }
+    if (functions_.count(name) > 0 || minipy::IsBuiltin(name) ||
+        opts_.extra_functions.count(name) > 0) {
+      Error("MPY108", line, col,
+            "'" + name +
+                "' is a function; functions are not first-class values "
+                "in MiniPy");
+      return;
+    }
+    Error("MPY101", line, col, "undefined name '" + name + "'");
+  }
+
+  void CheckCall(const Expr& call, Flow& flow) {
+    for (const ExprPtr& a : call.args) CheckExpr(*a, flow);
+    const std::string& name = call.name;
+    const int argc = static_cast<int>(call.args.size());
+
+    // Resolution order mirrors the compiler: user functions first, then
+    // host functions / builtins.
+    auto fit = functions_.find(name);
+    if (fit != functions_.end()) {
+      if (argc != fit->second.arity) {
+        Error("MPY104", call.line, call.col,
+              name + "() takes " + std::to_string(fit->second.arity) +
+                  " argument(s), got " + std::to_string(argc));
+      }
+      return;
+    }
+    if (opts_.extra_functions.count(name) > 0) {
+      if (name == "emit" && opts_.kernel_profile) CheckEmit(call);
+      return;
+    }
+    auto bit = BuiltinArities().find(name);
+    if (bit != BuiltinArities().end()) {
+      const BuiltinArity& ar = bit->second;
+      if (argc < ar.min || argc > ar.max) {
+        Error("MPY107", call.line, call.col,
+              name + "() expects " + DescribeArity(ar) +
+                  " argument(s), got " + std::to_string(argc));
+      }
+      return;
+    }
+    Error("MPY103", call.line, call.col, "no function named '" + name + "'");
+  }
+
+  void CheckEmit(const Expr& call) {
+    const int argc = static_cast<int>(call.args.size());
+    switch (fn_kind_) {
+      case FnKind::kTopLevel:
+        Error("MPY304", call.line, call.col,
+              "emit() at module level: emit is only valid inside kernel "
+              "functions");
+        return;
+      case FnKind::kMap:
+        if (argc != 2) {
+          Error("MPY303", call.line, call.col,
+                "map() emits key-value pairs: emit(key, value), got " +
+                    std::to_string(argc) + " argument(s)");
+        }
+        return;
+      case FnKind::kReduceLike:
+        if (argc != 1) {
+          Error("MPY303", call.line, call.col,
+                current_fn_ + "() emits single values: emit(value), got " +
+                    std::to_string(argc) + " argument(s)");
+        }
+        return;
+      case FnKind::kOther:
+        // Helpers may emit on behalf of map (pairs) or reduce (values).
+        if (argc != 1 && argc != 2) {
+          Error("MPY303", call.line, call.col,
+                "emit() takes 1 argument in reduce/combine or 2 in map, "
+                "got " + std::to_string(argc));
+        }
+        return;
+    }
+  }
+
+  const Module& module_;
+  const SemanticOptions& opts_;
+  std::vector<Diagnostic> diags_;
+  std::map<std::string, FnInfo> functions_;
+  std::set<std::string> module_globals_;
+  bool top_level_ = true;
+  FnKind fn_kind_ = FnKind::kTopLevel;
+  std::string current_fn_;
+  std::set<std::string> locals_;
+};
+
+// --- Determinism lint -----------------------------------------------------
+
+const std::set<std::string>& WallClockNames() {
+  static const std::set<std::string> names = {
+      "time", "clock", "now", "gettime", "time_ns", "perf_counter",
+      "monotonic",
+  };
+  return names;
+}
+
+const std::set<std::string>& RngNames() {
+  static const std::set<std::string> names = {
+      "random",      "rand",    "randint", "randrange", "uniform",
+      "shuffle",     "seed",    "getrandbits", "urandom",
+  };
+  return names;
+}
+
+class DeterminismChecker {
+ public:
+  explicit DeterminismChecker(const Module& module) : module_(module) {}
+
+  std::vector<Diagnostic> Run() {
+    // A user-defined function shadows the denylist: `def random():` is the
+    // kernel author's own (checkable) code, not ambient nondeterminism.
+    for (const StmtPtr& s : module_.body) {
+      if (s->kind == Stmt::Kind::kDef) user_functions_.insert(s->target);
+    }
+    for (const StmtPtr& s : module_.body) {
+      WalkStmt(*s, /*in_def=*/false);
+    }
+    return std::move(diags_);
+  }
+
+ private:
+  void WalkStmt(const Stmt& s, bool in_def) {
+    if (s.kind == Stmt::Kind::kDef) {
+      for (const StmtPtr& b : s.body) WalkStmt(*b, /*in_def=*/true);
+      return;
+    }
+    if (s.expr) WalkExpr(*s.expr, in_def);
+    if (s.index_base) WalkExpr(*s.index_base, in_def);
+    if (s.index_expr) WalkExpr(*s.index_expr, in_def);
+    if (s.cond) WalkExpr(*s.cond, in_def);
+    for (const ExprPtr& c : s.arm_conds) WalkExpr(*c, in_def);
+    for (const auto& arm : s.arm_bodies) {
+      for (const StmtPtr& b : arm) WalkStmt(*b, in_def);
+    }
+    for (const StmtPtr& b : s.body) WalkStmt(*b, in_def);
+    for (const StmtPtr& b : s.else_body) WalkStmt(*b, in_def);
+  }
+
+  void WalkExpr(const Expr& e, bool in_def) {
+    if (e.kind == Expr::Kind::kCall) {
+      CheckCallName(e, in_def);
+      for (const ExprPtr& a : e.args) WalkExpr(*a, in_def);
+      return;
+    }
+    if (e.lhs) WalkExpr(*e.lhs, in_def);
+    if (e.rhs) WalkExpr(*e.rhs, in_def);
+    for (const ExprPtr& a : e.args) WalkExpr(*a, in_def);
+  }
+
+  void CheckCallName(const Expr& call, bool in_def) {
+    const std::string& name = call.name;
+    if (user_functions_.count(name) > 0) return;
+    if (WallClockNames().count(name) > 0) {
+      diags_.push_back(
+          {"MPY401",
+           Severity::kError,
+           {call.line, call.col},
+           name + "() reads the wall clock; kernels must be deterministic "
+                  "— derive values from the task input instead"});
+      return;
+    }
+    if (RngNames().count(name) > 0) {
+      diags_.push_back(
+          {"MPY402",
+           Severity::kError,
+           {call.line, call.col},
+           name + "() draws ambient randomness; use a stream seeded from "
+                  "the task key so every re-execution sees the same values"});
+      return;
+    }
+    if (name == "print" && in_def) {
+      diags_.push_back(
+          {"MPY403",
+           Severity::kWarning,
+           {call.line, call.col},
+           "print() in a kernel function: output interleaving depends on "
+           "task scheduling"});
+    }
+  }
+
+  const Module& module_;
+  std::set<std::string> user_functions_;
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> CheckSemantics(const Module& module,
+                                       const SemanticOptions& options) {
+  return Checker(module, options).Run();
+}
+
+std::vector<Diagnostic> CheckDeterminism(const Module& module) {
+  return DeterminismChecker(module).Run();
+}
+
+}  // namespace analysis
+}  // namespace mrs

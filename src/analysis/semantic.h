@@ -1,0 +1,53 @@
+// MiniPy semantic checker and determinism lint.
+//
+// CheckSemantics runs a def-use dataflow over the AST *before* compilation
+// so a broken kernel is rejected at job-submission time with a spanned
+// diagnostic instead of surfacing mid-job as a failed task attempt on some
+// slave.  It distinguishes definitely-assigned from possibly-assigned
+// names (intersection vs union over branches), so
+//
+//   if cond:
+//       x = 1
+//   use(x)
+//
+// is a warning (MPY202, possibly unassigned) while using a name no path
+// assigns is an error (MPY102) — mirroring how Python's UnboundLocalError
+// only fires on the bad path.
+//
+// CheckDeterminism flags constructs that would silently break the
+// cross-runner equivalence guarantee (identical output on serial /
+// mockparallel / thread / masterslave): wall-clock reads and ambient RNG
+// are errors (the framework provides seeded per-task streams instead);
+// print inside a kernel function is a warning (output interleaving is
+// scheduler-dependent).  MiniPy has no dict/set types, so iteration over
+// unordered containers — the third classic nondeterminism source — is
+// impossible by construction.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "interp/ast.h"
+
+namespace mrs {
+namespace analysis {
+
+struct SemanticOptions {
+  /// Host functions callable like builtins (e.g. "emit" for kernels).
+  std::set<std::string> extra_functions;
+  /// Validate the MapReduce kernel contract against core/program.h
+  /// expectations: `map(key, value)` and `reduce(key, values)` must exist
+  /// with those arities (optional `combine(key, values)`), map emits
+  /// pairs (emit(k, v)), reduce/combine emit single values (emit(v)).
+  bool kernel_profile = false;
+};
+
+std::vector<Diagnostic> CheckSemantics(const minipy::Module& module,
+                                       const SemanticOptions& options = {});
+
+std::vector<Diagnostic> CheckDeterminism(const minipy::Module& module);
+
+}  // namespace analysis
+}  // namespace mrs

@@ -1,0 +1,67 @@
+// Clang thread-safety-analysis attribute shim.
+//
+// The runtime's lock discipline (which mutex guards which field, which
+// helpers require the lock already held) is documented in code via these
+// macros and *checked by the compiler* under Clang's -Wthread-safety
+// (enabled by the MRS_THREAD_SAFETY CMake option; a dedicated CI leg
+// builds with -Werror=thread-safety).  Under GCC, or any compiler without
+// the capability attributes, every macro expands to nothing, so the
+// annotations are zero-cost documentation.
+//
+// This header is pure macros with no includes so it can sit below every
+// layer, including src/obs (which otherwise depends on nothing).
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define MRS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef MRS_THREAD_ANNOTATION
+#define MRS_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Class attribute: instances are lockable capabilities (e.g. a mutex).
+#define MRS_CAPABILITY(x) MRS_THREAD_ANNOTATION(capability(x))
+
+/// Class attribute: RAII object that acquires on construction and
+/// releases on destruction (e.g. MutexLock).
+#define MRS_SCOPED_CAPABILITY MRS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field attribute: reads/writes require holding `x`.
+#define MRS_GUARDED_BY(x) MRS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Field attribute: the pointed-to data is guarded by `x`.
+#define MRS_PT_GUARDED_BY(x) MRS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function attribute: callers must already hold the listed capabilities.
+#define MRS_REQUIRES(...) \
+  MRS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function attribute: callers must NOT hold the listed capabilities
+/// (guards against self-deadlock on non-recursive mutexes).
+#define MRS_EXCLUDES(...) MRS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function attribute: acquires/releases the listed capabilities.
+#define MRS_ACQUIRE(...) \
+  MRS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define MRS_RELEASE(...) \
+  MRS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define MRS_TRY_ACQUIRE(...) \
+  MRS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Lock-ordering declarations.
+#define MRS_ACQUIRED_BEFORE(...) \
+  MRS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define MRS_ACQUIRED_AFTER(...) \
+  MRS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function attribute: returns a reference to the named capability.
+#define MRS_RETURN_CAPABILITY(x) MRS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's locking cannot be expressed to the
+/// analysis.  Every use must carry a comment justifying why.
+#define MRS_NO_THREAD_SAFETY_ANALYSIS \
+  MRS_THREAD_ANNOTATION(no_thread_safety_analysis)

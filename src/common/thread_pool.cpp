@@ -47,7 +47,7 @@ bool WorkStealingPool::Submit(Task task) {
                            workers_.size();
   Worker& w = *workers_[index];
   {
-    std::lock_guard<std::mutex> lock(w.mu);
+    MutexLock lock(w.mu);
     // Re-check under the deque lock: Shutdown drains every deque's
     // remaining tasks, but only those pushed before workers observe
     // closed_ with an empty queue.  Rejecting here keeps "returns false
@@ -60,18 +60,18 @@ bool WorkStealingPool::Submit(Task task) {
   {
     // Empty critical section: pairs with the waiter's predicate check so
     // a worker deciding to sleep cannot miss this submission.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return true;
 }
 
 void WorkStealingPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_.store(true, std::memory_order_release);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (const std::unique_ptr<Worker>& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
@@ -79,7 +79,7 @@ void WorkStealingPool::Shutdown() {
 
 bool WorkStealingPool::TryPopOwn(size_t index, Task* out) {
   Worker& w = *workers_[index];
-  std::lock_guard<std::mutex> lock(w.mu);
+  MutexLock lock(w.mu);
   if (w.deque.empty()) return false;
   *out = std::move(w.deque.back());
   w.deque.pop_back();
@@ -90,7 +90,7 @@ bool WorkStealingPool::TrySteal(size_t index, Task* out) {
   size_t n = workers_.size();
   for (size_t step = 1; step < n; ++step) {
     Worker& victim = *workers_[(index + step) % n];
-    std::lock_guard<std::mutex> lock(victim.mu);
+    MutexLock lock(victim.mu);
     if (victim.deque.empty()) continue;
     *out = std::move(victim.deque.front());
     victim.deque.pop_front();
@@ -106,8 +106,8 @@ void WorkStealingPool::NoteClaimed() {
   QueueDepthGauge()->Set(static_cast<double>(left));
   if (left == 0 && closed_.load(std::memory_order_acquire)) {
     // Let sleeping siblings re-evaluate their exit condition.
-    { std::lock_guard<std::mutex> lock(mu_); }
-    cv_.notify_all();
+    { MutexLock lock(mu_); }
+    cv_.NotifyAll();
   }
 }
 
@@ -121,11 +121,11 @@ void WorkStealingPool::WorkerLoop(size_t index) {
       task();
       continue;
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] {
-      return queued_.load(std::memory_order_acquire) > 0 ||
-             closed_.load(std::memory_order_acquire);
-    });
+    MutexLock lock(mu_);
+    while (queued_.load(std::memory_order_acquire) == 0 &&
+           !closed_.load(std::memory_order_acquire)) {
+      cv_.Wait(mu_);
+    }
     if (closed_.load(std::memory_order_acquire) &&
         queued_.load(std::memory_order_acquire) == 0) {
       return;

@@ -17,14 +17,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mrs {
 
@@ -63,8 +64,8 @@ class WorkStealingPool {
 
  private:
   struct Worker {
-    std::mutex mu;
-    std::deque<Task> deque;
+    Mutex mu;
+    std::deque<Task> deque MRS_GUARDED_BY(mu);
     std::thread thread;
   };
 
@@ -76,8 +77,8 @@ class WorkStealingPool {
 
   std::vector<std::unique_ptr<Worker>> workers_;
 
-  std::mutex mu_;  // sleep/wake only; never held while running tasks
-  std::condition_variable cv_;
+  Mutex mu_;  // sleep/wake only; never held while running tasks
+  CondVar cv_;
 
   std::atomic<size_t> queued_{0};
   std::atomic<size_t> next_{0};  // round-robin cursor for external submits

@@ -26,21 +26,28 @@ DataSet::DataSet(int id, DataSetKind kind, int num_sources, int num_splits)
   task_states_.assign(num_sources, TaskState::kPending);
 }
 
+// The grid vector is sized in the constructor and never resized, so bucket
+// addresses are stable for the dataset's lifetime: the returned reference
+// stays valid after the lock is dropped.  Concurrent access to a bucket's
+// *contents* is serialized by task ownership (a row is written only by the
+// task that claimed it) — the lock here covers the container itself.
 Bucket& DataSet::bucket(int source, int split) {
   assert(source >= 0 && source < num_sources_);
   assert(split >= 0 && split < num_splits_);
+  MutexLock lock(mutex_);
   return grid_[GridIndex(source, split)];
 }
 
 const Bucket& DataSet::bucket(int source, int split) const {
   assert(source >= 0 && source < num_sources_);
   assert(split >= 0 && split < num_splits_);
+  MutexLock lock(mutex_);
   return grid_[GridIndex(source, split)];
 }
 
 void DataSet::SetRow(int source, std::vector<Bucket> row) {
   assert(static_cast<int>(row.size()) == num_splits_);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (int p = 0; p < num_splits_; ++p) {
     // Normalize addressing regardless of what the producer set.
     Bucket fixed(source, p);
@@ -53,29 +60,29 @@ void DataSet::SetRow(int source, std::vector<Bucket> row) {
 }
 
 TaskState DataSet::task_state(int source) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return task_states_[source];
 }
 
 void DataSet::set_task_state(int source, TaskState state) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   task_states_[source] = state;
 }
 
 bool DataSet::TryClaimTask(int source) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (task_states_[source] != TaskState::kPending) return false;
   task_states_[source] = TaskState::kRunning;
   return true;
 }
 
 void DataSet::ResetTask(int source) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   task_states_[source] = TaskState::kPending;
 }
 
 void DataSet::InvalidateTask(int source) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (int p = 0; p < num_splits_; ++p) {
     grid_[GridIndex(source, p)] = Bucket(source, p);
   }
@@ -83,7 +90,7 @@ void DataSet::InvalidateTask(int source) {
 }
 
 bool DataSet::Complete() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (TaskState s : task_states_) {
     if (s != TaskState::kComplete) return false;
   }
@@ -91,7 +98,7 @@ bool DataSet::Complete() const {
 }
 
 int DataSet::NumCompleteTasks() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   int n = 0;
   for (TaskState s : task_states_) {
     if (s == TaskState::kComplete) ++n;
@@ -99,8 +106,24 @@ int DataSet::NumCompleteTasks() const {
   return n;
 }
 
+void DataSet::MarkRejected(Status status) {
+  MutexLock lock(mutex_);
+  rejected_ = true;
+  rejected_status_ = std::move(status);
+}
+
+bool DataSet::rejected() const {
+  MutexLock lock(mutex_);
+  return rejected_;
+}
+
+Status DataSet::rejected_status() const {
+  MutexLock lock(mutex_);
+  return rejected_status_;
+}
+
 void DataSet::EvictAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (Bucket& b : grid_) b.Evict();
 }
 

@@ -11,11 +11,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "fs/bucket.h"
 #include "ser/value.h"
 
@@ -93,6 +94,17 @@ class DataSet {
   bool Complete() const;
   int NumCompleteTasks() const;
 
+  // ---- Submit-time rejection ------------------------------------------
+
+  /// Record a static-analysis / validation failure.  A rejected dataset
+  /// was never handed to a runner: it has no tasks to run, and Job::Wait
+  /// returns `status` instead of executing anything.  Rejection is
+  /// sticky — datasets derived from a rejected input inherit its status.
+  void MarkRejected(Status status);
+  bool rejected() const;
+  /// The rejection status (Ok when not rejected).
+  Status rejected_status() const;
+
   /// File-backed datasets: the path for each split (kFile only).
   const std::vector<std::string>& file_paths() const { return file_paths_; }
   void set_file_paths(std::vector<std::string> paths) {
@@ -116,9 +128,11 @@ class DataSet {
   DataSetPtr input_;
   std::vector<std::string> file_paths_;
 
-  mutable std::mutex mutex_;
-  std::vector<Bucket> grid_;                 // num_sources * num_splits
-  std::vector<TaskState> task_states_;       // per source
+  mutable Mutex mutex_;
+  std::vector<Bucket> grid_ MRS_GUARDED_BY(mutex_);  // num_sources * num_splits
+  std::vector<TaskState> task_states_ MRS_GUARDED_BY(mutex_);  // per source
+  bool rejected_ MRS_GUARDED_BY(mutex_) = false;
+  Status rejected_status_ MRS_GUARDED_BY(mutex_);
 };
 
 }  // namespace mrs

@@ -5,9 +5,33 @@
 
 #include "common/log.h"
 #include "fs/file_io.h"
+#include "obs/metrics.h"
 #include "ser/record.h"
 
 namespace mrs {
+namespace {
+
+/// Validate before any runner sees the dataset.  Rejection is sticky
+/// through the lineage: an operation over a rejected input is itself
+/// rejected without re-running validation, so an iterative program that
+/// queues a chain of operations fails as one unit with the root cause.
+void ValidateForSubmit(MapReduce* program, const DataSetPtr& input,
+                       DataSet* ds) {
+  Status valid = input->rejected()
+                     ? input->rejected_status()
+                     : program->ValidateOperation(ds->kind(), ds->options());
+  if (valid.ok()) return;
+  ds->MarkRejected(std::move(valid));
+  static obs::Counter* rejects =
+      obs::Registry::Instance().GetCounter("mrs.analysis.submit_rejects");
+  rejects->Inc();
+  MRS_LOG(kWarning, "job")
+      << "dataset " << ds->id() << " (" << DataSetKindName(ds->kind())
+      << " op=" << ds->options().op_name
+      << ") rejected at submit: " << ds->rejected_status().message();
+}
+
+}  // namespace
 
 Job::Job(MapReduce* program, std::unique_ptr<Runner> runner)
     : program_(program), runner_(std::move(runner)) {}
@@ -56,6 +80,8 @@ DataSetPtr Job::MapData(const DataSetPtr& input, DataSetOptions options) {
   options.num_splits = splits;
   *ds->mutable_options() = std::move(options);
   ds->set_input(input);
+  ValidateForSubmit(program_, input, ds.get());
+  if (ds->rejected()) return ds;
   runner_->Submit(ds);
   return ds;
 }
@@ -69,11 +95,19 @@ DataSetPtr Job::ReduceData(const DataSetPtr& input, DataSetOptions options) {
   options.num_splits = splits;
   *ds->mutable_options() = std::move(options);
   ds->set_input(input);
+  ValidateForSubmit(program_, input, ds.get());
+  if (ds->rejected()) return ds;
   runner_->Submit(ds);
   return ds;
 }
 
-Status Job::Wait(const DataSetPtr& dataset) { return runner_->Wait(dataset); }
+Status Job::Wait(const DataSetPtr& dataset) {
+  // Rejected datasets were never submitted; short-circuit before asking
+  // the runner (the serial runner computes lazily inside Wait, so this
+  // check is what guarantees zero tasks run for a rejected kernel).
+  if (dataset->rejected()) return dataset->rejected_status();
+  return runner_->Wait(dataset);
+}
 
 Result<std::vector<KeyValue>> Job::Collect(const DataSetPtr& dataset) {
   MRS_RETURN_IF_ERROR(Wait(dataset));

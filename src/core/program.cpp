@@ -1,6 +1,7 @@
 #include "core/program.h"
 
 #include "common/strings.h"
+#include "core/dataset.h"
 
 namespace mrs {
 
@@ -43,6 +44,23 @@ void MapReduce::Combine(const Value& key, const ValueList& values,
 int MapReduce::Partition(const Value& key, int num_splits) const {
   if (num_splits <= 1) return 0;
   return static_cast<int>(key.Hash() % static_cast<uint64_t>(num_splits));
+}
+
+Status MapReduce::ValidateOperation(DataSetKind kind,
+                                    const DataSetOptions& options) {
+  if (kind == DataSetKind::kMap) {
+    MRS_RETURN_IF_ERROR(FindMap(options.op_name).status());
+    if (options.use_combiner) {
+      const std::string& name =
+          options.combine_name.empty() ? "combine" : options.combine_name;
+      MRS_RETURN_IF_ERROR(FindReduce(name).status());
+    }
+    return Status::Ok();
+  }
+  if (kind == DataSetKind::kReduce) {
+    return FindReduce(options.op_name).status();
+  }
+  return Status::Ok();
 }
 
 Status MapReduce::Bypass() {

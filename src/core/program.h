@@ -39,6 +39,8 @@
 namespace mrs {
 
 class Job;
+enum class DataSetKind;
+struct DataSetOptions;
 
 /// Emit one (key, value) pair from a map function.
 using Emitter = std::function<void(Value, Value)>;
@@ -89,6 +91,16 @@ class MapReduce {
   /// Partition function: maps a key to one of num_splits output buckets.
   /// Default: deterministic hash partitioning.
   virtual int Partition(const Value& key, int num_splits) const;
+
+  /// Submit-time validation hook, called by Job::MapData / Job::ReduceData
+  /// before the operation reaches any runner.  A non-Ok status rejects the
+  /// dataset: no tasks are dispatched on any runner, and the status is
+  /// returned from Job::Wait / Job::Collect.  The default checks that
+  /// options.op_name (and the combiner, when enabled) resolves to a
+  /// registered operation; programs with analyzable kernels (e.g.
+  /// analysis::MiniPyProgram) override this to run full static analysis.
+  virtual Status ValidateOperation(DataSetKind kind,
+                                   const DataSetOptions& options);
 
   // ---- Program structure ---------------------------------------------
 

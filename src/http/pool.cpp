@@ -54,7 +54,7 @@ ConnectionPool::Lease ConnectionPool::Acquire(const SocketAddr& addr) {
   std::string key = addr.ToString();
   double now = RealClock::Instance().Now();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = idle_.find(key);
     if (it != idle_.end()) {
       std::deque<IdleEntry>& entries = it->second;
@@ -84,7 +84,7 @@ ConnectionPool::Lease ConnectionPool::Acquire(const SocketAddr& addr) {
 
 void ConnectionPool::Release(const std::string& key,
                              std::unique_ptr<HttpClient> client) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Evict before taking a reference into the map: EvictLruLocked erases
   // deques it empties.
   for (auto it = idle_.find(key);
@@ -144,18 +144,18 @@ Result<HttpResponse> ConnectionPool::Get(const SocketAddr& addr,
 }
 
 size_t ConnectionPool::IdleCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return idle_total_;
 }
 
 size_t ConnectionPool::IdleCount(const SocketAddr& addr) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = idle_.find(addr.ToString());
   return it == idle_.end() ? 0 : it->second.size();
 }
 
 void ConnectionPool::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   idle_.clear();
   idle_total_ = 0;
   UpdateGaugesLocked();

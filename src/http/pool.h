@@ -25,10 +25,11 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "http/client.h"
 #include "http/message.h"
 #include "net/socket.h"
@@ -112,16 +113,16 @@ class ConnectionPool {
   };
 
   void Release(const std::string& key, std::unique_ptr<HttpClient> client);
-  /// Caller holds mutex_.  Evict the least-recently-used idle entry
-  /// (optionally restricted to `key`); false if nothing evictable.
-  bool EvictLruLocked(const std::string* key_only);
-  void UpdateGaugesLocked();
+  /// Evict the least-recently-used idle entry (optionally restricted to
+  /// `key`); false if nothing evictable.
+  bool EvictLruLocked(const std::string* key_only) MRS_REQUIRES(mutex_);
+  void UpdateGaugesLocked() MRS_REQUIRES(mutex_);
 
   const Config config_;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::deque<IdleEntry>> idle_;
-  size_t idle_total_ = 0;
-  uint64_t next_seq_ = 0;
+  mutable Mutex mutex_;
+  std::map<std::string, std::deque<IdleEntry>> idle_ MRS_GUARDED_BY(mutex_);
+  size_t idle_total_ MRS_GUARDED_BY(mutex_) = 0;
+  uint64_t next_seq_ MRS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace mrs

@@ -30,6 +30,7 @@ struct Expr {
 
   Kind kind;
   int line = 0;
+  int col = 0;  // 1-based column of the node's first token (0 = unknown)
 
   // kIntLit / kFloatLit / kBoolLit
   int64_t int_value = 0;
@@ -63,6 +64,7 @@ struct Stmt {
 
   Kind kind;
   int line = 0;
+  int col = 0;  // 1-based column of the node's first token (0 = unknown)
 
   ExprPtr expr;          // kExpr / kReturn value / assign RHS
   std::string target;    // assign target name / for variable / def name

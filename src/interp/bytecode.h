@@ -50,12 +50,22 @@ struct CompiledFunction {
   int num_locals = 0;
   std::vector<Instruction> code;
   std::vector<PyValue> constants;
+  /// Maximum operand-stack depth, computed by the bytecode verifier
+  /// (interp/verifier.h).  0 until verified.
+  int max_stack = 0;
 };
 
 struct CompiledModule {
   std::vector<CompiledFunction> functions;   // user functions
   CompiledFunction top_level;                // module init code
   std::vector<std::string> global_names;     // slot -> name
+  /// Set by VerifyAndMark after the bytecode verifier proved every frame
+  /// well-formed (operands in bounds, jump targets valid, stack depths
+  /// consistent).  The VM's dispatch loop carries no per-instruction
+  /// bounds checks, so Vm::LoadModule refuses modules that do not pass
+  /// verification — the verified bit is what gates the unboxed numeric
+  /// fast path on trusted frames only.
+  bool verified = false;
   int FunctionIndex(const std::string& name) const {
     for (size_t i = 0; i < functions.size(); ++i) {
       if (functions[i].name == name) return static_cast<int>(i);

@@ -52,9 +52,11 @@ void CollectAssignedNames(const std::vector<StmtPtr>& body,
 class FunctionCompiler {
  public:
   FunctionCompiler(CompiledModule* module,
-                   std::map<std::string, int>* global_slots, bool is_top_level)
+                   std::map<std::string, int>* global_slots,
+                   const CompileOptions* options, bool is_top_level)
       : module_(module),
         global_slots_(global_slots),
+        options_(options),
         top_level_(is_top_level) {}
 
   Result<CompiledFunction> Compile(const std::string& name,
@@ -314,7 +316,8 @@ class FunctionCompiler {
         int fn_index = module_->FunctionIndex(expr.name);
         if (fn_index >= 0) {
           Emit(Op::kCallUser, fn_index, static_cast<int32_t>(expr.args.size()));
-        } else if (IsBuiltin(expr.name)) {
+        } else if (IsBuiltin(expr.name) ||
+                   options_->host_functions.count(expr.name) > 0) {
           Emit(Op::kCallBuiltin, AddConst(PyValue(expr.name)),
                static_cast<int32_t>(expr.args.size()));
         } else {
@@ -346,6 +349,7 @@ class FunctionCompiler {
 
   CompiledModule* module_;
   std::map<std::string, int>* global_slots_;
+  const CompileOptions* options_;
   bool top_level_;
   CompiledFunction fn_;
   std::map<std::string, int> locals_;
@@ -354,7 +358,8 @@ class FunctionCompiler {
 
 }  // namespace
 
-Result<std::shared_ptr<CompiledModule>> CompileModule(const Module& module) {
+Result<std::shared_ptr<CompiledModule>> CompileModule(
+    const Module& module, const CompileOptions& options) {
   auto compiled = std::make_shared<CompiledModule>();
   std::map<std::string, int> global_slots;
 
@@ -370,7 +375,8 @@ Result<std::shared_ptr<CompiledModule>> CompileModule(const Module& module) {
   }
 
   for (const Stmt* def : defs) {
-    FunctionCompiler fc(compiled.get(), &global_slots, /*is_top_level=*/false);
+    FunctionCompiler fc(compiled.get(), &global_slots, &options,
+                        /*is_top_level=*/false);
     std::vector<const Stmt*> body;
     body.reserve(def->body.size());
     for (const StmtPtr& s : def->body) body.push_back(s.get());
@@ -385,15 +391,16 @@ Result<std::shared_ptr<CompiledModule>> CompileModule(const Module& module) {
   for (const StmtPtr& stmt : module.body) {
     if (stmt->kind != Stmt::Kind::kDef) top.push_back(stmt.get());
   }
-  FunctionCompiler fc(compiled.get(), &global_slots, /*is_top_level=*/true);
+  FunctionCompiler fc(compiled.get(), &global_slots, &options,
+                      /*is_top_level=*/true);
   MRS_ASSIGN_OR_RETURN(compiled->top_level, fc.Compile("__main__", {}, top));
   return compiled;
 }
 
 Result<std::shared_ptr<CompiledModule>> CompileSource(
-    std::string_view source) {
+    std::string_view source, const CompileOptions& options) {
   MRS_ASSIGN_OR_RETURN(std::shared_ptr<Module> module, Parse(source));
-  return CompileModule(*module);
+  return CompileModule(*module, options);
 }
 
 }  // namespace minipy

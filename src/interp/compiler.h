@@ -2,6 +2,8 @@
 #pragma once
 
 #include <memory>
+#include <set>
+#include <string>
 #include <string_view>
 
 #include "common/status.h"
@@ -11,13 +13,22 @@
 namespace mrs {
 namespace minipy {
 
+struct CompileOptions {
+  /// Host-function names callable like builtins (compiled to kCallBuiltin;
+  /// resolved by the VM's host registry — see Vm::RegisterHost).  Used by
+  /// mrs::analysis kernels for `emit`.
+  std::set<std::string> host_functions;
+};
+
 /// Compile a parsed module.  Local-variable rules follow Python: a name
 /// assigned anywhere in a function body (or a parameter / for target) is a
 /// local; all other names resolve to globals (or builtins at call sites).
-Result<std::shared_ptr<CompiledModule>> CompileModule(const Module& module);
+Result<std::shared_ptr<CompiledModule>> CompileModule(
+    const Module& module, const CompileOptions& options = {});
 
 /// Convenience: parse + compile.
-Result<std::shared_ptr<CompiledModule>> CompileSource(std::string_view source);
+Result<std::shared_ptr<CompiledModule>> CompileSource(
+    std::string_view source, const CompileOptions& options = {});
 
 }  // namespace minipy
 }  // namespace mrs

@@ -107,6 +107,7 @@ class Parser {
     int line = Peek().line;
     auto stmt = std::make_unique<Stmt>();
     stmt->line = line;
+    stmt->col = Peek().column;
 
     if (Match(TokenType::kDef)) {
       stmt->kind = Stmt::Kind::kDef;
@@ -243,6 +244,7 @@ class Parser {
       auto node = std::make_unique<Expr>();
       node->kind = Expr::Kind::kBinary;
       node->line = lhs->line;
+      node->col = lhs->col;
       node->bin_op = ToBinOp(op);
       node->lhs = std::move(lhs);
       node->rhs = std::move(rhs);
@@ -253,11 +255,13 @@ class Parser {
 
   Result<ExprPtr> ParseUnary() {
     int line = Peek().line;
+    int col = Peek().column;
     if (Match(TokenType::kMinus)) {
       MRS_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
       auto node = std::make_unique<Expr>();
       node->kind = Expr::Kind::kUnary;
       node->line = line;
+      node->col = col;
       node->un_op = UnOp::kNeg;
       node->lhs = std::move(operand);
       return node;
@@ -267,6 +271,7 @@ class Parser {
       auto node = std::make_unique<Expr>();
       node->kind = Expr::Kind::kUnary;
       node->line = line;
+      node->col = col;
       node->un_op = UnOp::kNot;
       node->lhs = std::move(operand);
       return node;
@@ -281,6 +286,7 @@ class Parser {
         auto call = std::make_unique<Expr>();
         call->kind = Expr::Kind::kCall;
         call->line = expr->line;
+        call->col = expr->col;
         if (expr->kind != Expr::Kind::kName) {
           return ErrorHere("only named functions can be called");
         }
@@ -300,6 +306,7 @@ class Parser {
         auto index = std::make_unique<Expr>();
         index->kind = Expr::Kind::kIndex;
         index->line = expr->line;
+        index->col = expr->col;
         index->lhs = std::move(expr);
         MRS_ASSIGN_OR_RETURN(index->rhs, ParseExpression(0));
         MRS_RETURN_IF_ERROR(Expect(TokenType::kRBracket, "after index"));
@@ -314,6 +321,7 @@ class Parser {
   Result<ExprPtr> ParseAtom() {
     auto node = std::make_unique<Expr>();
     node->line = Peek().line;
+    node->col = Peek().column;
     const Token& t = Peek();
     switch (t.type) {
       case TokenType::kInt:

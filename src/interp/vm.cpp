@@ -1,15 +1,28 @@
 #include "interp/vm.h"
 
+#include "interp/verifier.h"
+
 namespace mrs {
 namespace minipy {
 
+void Vm::RegisterHost(std::string name, HostFn fn) {
+  host_[std::move(name)] = std::move(fn);
+}
+
 Status Vm::LoadSource(std::string_view source) {
+  CompileOptions options;
+  for (const auto& [name, fn] : host_) options.host_functions.insert(name);
   MRS_ASSIGN_OR_RETURN(std::shared_ptr<CompiledModule> module,
-                       CompileSource(source));
+                       CompileSource(source, options));
   return LoadModule(std::move(module));
 }
 
 Status Vm::LoadModule(std::shared_ptr<CompiledModule> module) {
+  if (!module->verified) {
+    std::set<std::string> hosts;
+    for (const auto& [name, fn] : host_) hosts.insert(name);
+    MRS_RETURN_IF_ERROR(VerifyAndMark(*module, hosts));
+  }
   module_ = std::move(module);
   globals_.assign(module_->global_names.size(), PyValue());
   Result<PyValue> init = RunFunction(module_->top_level, {});
@@ -43,7 +56,9 @@ Result<PyValue> Vm::RunFunction(const CompiledFunction& fn,
   std::vector<PyValue> locals(static_cast<size_t>(fn.num_locals));
   for (size_t i = 0; i < args.size(); ++i) locals[i] = std::move(args[i]);
   std::vector<PyValue> stack;
-  stack.reserve(16);
+  // The verifier computed the exact peak operand depth, so one reservation
+  // covers the whole frame (LoadModule guarantees max_stack is filled in).
+  stack.reserve(fn.max_stack > 0 ? static_cast<size_t>(fn.max_stack) : 16);
 
   const Instruction* code = fn.code.data();
   size_t pc = 0;
@@ -195,6 +210,18 @@ Result<PyValue> Vm::RunFunction(const CompiledFunction& fn,
             std::make_move_iterator(stack.end() - argc),
             std::make_move_iterator(stack.end()));
         stack.resize(stack.size() - static_cast<size_t>(argc));
+        // Host functions (kernel `emit`) shadow nothing: real builtin
+        // names always resolve first at compile time, and host_ is empty
+        // outside kernel VMs, so plain modules pay one branch here.
+        if (!host_.empty()) {
+          auto it = host_.find(name);
+          if (it != host_.end()) {
+            Result<PyValue> out = it->second(call_args);
+            if (!out.ok()) return runtime_error(out.status().message());
+            stack.push_back(std::move(out).value());
+            break;
+          }
+        }
         Result<PyValue> out = CallBuiltin(name, call_args);
         if (!out.ok()) return runtime_error(out.status().message());
         stack.push_back(std::move(out).value());

@@ -1,6 +1,14 @@
 // MiniPy bytecode VM — the "PyPy" stand-in.
+//
+// The dispatch loop carries no per-instruction bounds checks; instead,
+// LoadModule runs the bytecode verifier (interp/verifier.h) on any module
+// not already stamped `verified` and refuses malformed frames outright.
+// Only verified modules ever reach RunFunction, which is what keeps the
+// unboxed numeric fast path both fast and safe.
 #pragma once
 
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -15,7 +23,17 @@ namespace minipy {
 
 class Vm {
  public:
-  /// Install a compiled module and execute its top-level code.
+  /// A host-provided function callable from MiniPy like a builtin (e.g.
+  /// the kernel `emit`).  Receives the evaluated arguments.
+  using HostFn = std::function<Result<PyValue>(std::vector<PyValue>& args)>;
+
+  /// Make `name` callable from MiniPy code.  Must be registered before
+  /// LoadModule/LoadSource so the compiler and verifier accept the name.
+  void RegisterHost(std::string name, HostFn fn);
+
+  /// Install a compiled module and execute its top-level code.  Modules
+  /// not already verified are run through the bytecode verifier first;
+  /// malformed frames are rejected (InvalidArgument), never executed.
   Status LoadModule(std::shared_ptr<CompiledModule> module);
   Status LoadSource(std::string_view source);
 
@@ -30,6 +48,7 @@ class Vm {
 
   std::shared_ptr<CompiledModule> module_;
   std::vector<PyValue> globals_;
+  std::map<std::string, HostFn> host_;
 };
 
 }  // namespace minipy

@@ -56,28 +56,28 @@ Registry& Registry::Instance() {
 }
 
 Counter* Registry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* Registry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* Registry::GetHistogram(const std::string& name, double base) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(base);
   return slot.get();
 }
 
 std::string Registry::RenderPrometheus() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out;
   for (const auto& [name, c] : counters_) {
     std::string n = Sanitize(name);
@@ -107,7 +107,7 @@ std::string Registry::RenderPrometheus() const {
 }
 
 std::string Registry::RenderJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::string out = "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : counters_) {
@@ -135,7 +135,7 @@ std::string Registry::RenderJson() const {
 }
 
 std::map<std::string, int64_t> Registry::CounterValues() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::map<std::string, int64_t> out;
   for (const auto& [name, c] : counters_) out[name] = c->value();
   return out;

@@ -22,9 +22,14 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+// common/mutex.h and common/thread_annotations.h are standalone (macros +
+// stdlib only, nothing from common/ proper), so the no-dependencies rule
+// above still holds: there is no include or link cycle.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mrs {
 namespace obs {
@@ -140,10 +145,13 @@ class Registry {
  private:
   Registry() = default;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      MRS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      MRS_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      MRS_GUARDED_BY(mutex_);
 };
 
 /// JSON string escaping (shared by the status endpoints and trace export).

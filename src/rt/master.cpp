@@ -108,13 +108,13 @@ Master::~Master() { Shutdown(); }
 
 void Master::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (shutdown_) return;
     shutdown_ = true;
   }
-  sched_cv_.notify_all();
-  done_cv_.notify_all();
-  monitor_cv_.notify_all();
+  sched_cv_.NotifyAll();
+  done_cv_.NotifyAll();
+  monitor_cv_.NotifyAll();
   if (monitor_.joinable()) monitor_.join();
   // Give slaves a moment to pick up the quit response before the server
   // goes away; they also handle connection failures gracefully.
@@ -122,24 +122,26 @@ void Master::Shutdown() {
 }
 
 Status Master::WaitForSlaves(int n, double timeout_seconds) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  bool ok = sched_cv_.wait_for(
-      lock, std::chrono::duration<double>(timeout_seconds), [&] {
-        int alive = 0;
-        for (const auto& [id, s] : slaves_) {
-          if (s.alive) ++alive;
-        }
-        return alive >= n || shutdown_;
-      });
-  if (!ok) {
-    return DeadlineExceededError("timed out waiting for " + std::to_string(n) +
-                                 " slaves");
+  auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  MutexLock lock(mutex_);
+  while (true) {
+    int alive = 0;
+    for (const auto& [id, s] : slaves_) {
+      if (s.alive) ++alive;
+    }
+    if (alive >= n || shutdown_) return Status::Ok();
+    if (!sched_cv_.WaitUntil(mutex_, deadline)) {
+      return DeadlineExceededError("timed out waiting for " +
+                                   std::to_string(n) + " slaves");
+    }
   }
-  return Status::Ok();
 }
 
 int Master::num_slaves() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   int alive = 0;
   for (const auto& [id, s] : slaves_) {
     if (s.alive) ++alive;
@@ -148,7 +150,7 @@ int Master::num_slaves() const {
 }
 
 Master::Stats Master::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Stats out = stats_;
   out.rpc_retries = RpcRetryCount() - rpc_retries_base_;
   out.fetch_retries = FetchRetryCount() - fetch_retries_base_;
@@ -161,7 +163,7 @@ bool Master::WaitUntilStats(const std::function<bool(const Stats&)>& pred,
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(timeout_seconds));
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   while (true) {
     Stats snapshot = stats_;
     snapshot.rpc_retries = RpcRetryCount() - rpc_retries_base_;
@@ -173,7 +175,7 @@ bool Master::WaitUntilStats(const std::function<bool(const Stats&)>& pred,
     auto slice = std::chrono::steady_clock::now() +
                  std::chrono::milliseconds(25);
     auto until = slice < deadline ? slice : deadline;
-    if (done_cv_.wait_until(lock, until) == std::cv_status::timeout &&
+    if (!done_cv_.WaitUntil(mutex_, until) &&
         std::chrono::steady_clock::now() >= deadline) {
       Stats last = stats_;
       last.rpc_retries = RpcRetryCount() - rpc_retries_base_;
@@ -184,7 +186,7 @@ bool Master::WaitUntilStats(const std::function<bool(const Stats&)>& pred,
 }
 
 std::string Master::StatusJson() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   double now = NowSeconds();
   std::string out;
   out.reserve(1024);
@@ -255,19 +257,19 @@ std::string Master::StatusJson() const {
 
 void Master::Submit(const DataSetPtr& dataset) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     RegisterDataSetLocked(dataset);
     waiting_.push_back(dataset);
     PromoteRunnableLocked();
   }
-  sched_cv_.notify_all();
+  sched_cv_.NotifyAll();
 }
 
 Status Master::Wait(const DataSetPtr& dataset) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] {
-    return dataset->Complete() || !job_status_.ok() || shutdown_;
-  });
+  MutexLock lock(mutex_);
+  while (!(dataset->Complete() || !job_status_.ok() || shutdown_)) {
+    done_cv_.Wait(mutex_);
+  }
   if (!job_status_.ok()) return job_status_;
   if (!dataset->Complete()) {
     return CancelledError("master shut down before dataset completed");
@@ -276,7 +278,7 @@ Status Master::Wait(const DataSetPtr& dataset) {
 }
 
 void Master::Discard(const DataSetPtr& dataset) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   datasets_.erase(dataset->id());
   for (auto& [id, slave] : slaves_) {
     slave.pending_discards.push_back(dataset->id());
@@ -494,10 +496,9 @@ void Master::FailJobLocked(Status status) {
 }
 
 void Master::MonitorLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   while (!shutdown_) {
-    monitor_cv_.wait_for(
-        lock, std::chrono::duration<double>(config_.monitor_interval));
+    monitor_cv_.WaitFor(mutex_, config_.monitor_interval);
     if (shutdown_) return;
     double now = NowSeconds();
     bool lost = false;
@@ -515,8 +516,8 @@ void Master::MonitorLoop() {
     }
     // done_cv_ doubles as the stats-changed signal for WaitUntilStats.
     if (lost) {
-      sched_cv_.notify_all();
-      done_cv_.notify_all();
+      sched_cv_.NotifyAll();
+      done_cv_.NotifyAll();
     }
   }
 }
@@ -527,7 +528,7 @@ Result<XmlRpcValue> Master::RpcSignin(const XmlRpcArray& params) {
   if (params.size() != 2) return InvalidArgumentError("signin(host, port)");
   MRS_ASSIGN_OR_RETURN(std::string host, params[0].AsString());
   MRS_ASSIGN_OR_RETURN(int64_t port, params[1].AsInt());
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   int id = next_slave_id_++;
   SlaveInfo info;
   info.id = id;
@@ -536,7 +537,7 @@ Result<XmlRpcValue> Master::RpcSignin(const XmlRpcArray& params) {
   slaves_[id] = std::move(info);
   MRS_LOG(kInfo, "master") << "slave " << id << " signed in from "
                            << slaves_[id].data_url_base;
-  sched_cv_.notify_all();
+  sched_cv_.NotifyAll();
   XmlRpcStruct out;
   out["slave_id"] = XmlRpcValue(static_cast<int64_t>(id));
   return XmlRpcValue(std::move(out));
@@ -546,7 +547,7 @@ Result<XmlRpcValue> Master::RpcGetTask(const XmlRpcArray& params) {
   if (params.size() != 1) return InvalidArgumentError("get_task(slave_id)");
   MRS_ASSIGN_OR_RETURN(int64_t slave_id, params[0].AsInt());
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto sit = slaves_.find(static_cast<int>(slave_id));
   if (sit == slaves_.end()) return NotFoundError("unknown slave");
   sit->second.last_ping = NowSeconds();
@@ -572,7 +573,7 @@ Result<XmlRpcValue> Master::RpcGetTask(const XmlRpcArray& params) {
       if (!assignment.ok()) {
         dsit->second->ResetTask(ref.source);
         FailJobLocked(assignment.status());
-        done_cv_.notify_all();
+        done_cv_.NotifyAll();
         return assignment.status();
       }
       if (affinity_hit) {
@@ -594,7 +595,7 @@ Result<XmlRpcValue> Master::RpcGetTask(const XmlRpcArray& params) {
       out["discard"] = XmlRpcValue(std::move(discards));
       return XmlRpcValue(std::move(out));
     }
-    if (sched_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+    if (!sched_cv_.WaitUntil(mutex_, deadline)) {
       XmlRpcStruct out;
       out["kind"] = XmlRpcValue("wait");
       XmlRpcArray discards;
@@ -617,7 +618,7 @@ Result<XmlRpcValue> Master::RpcTaskDone(const XmlRpcArray& params) {
   MRS_ASSIGN_OR_RETURN(int64_t source, params[2].AsInt());
   MRS_ASSIGN_OR_RETURN(const XmlRpcArray* urls, params[3].AsArray());
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto sit = slaves_.find(static_cast<int>(slave_id));
   if (sit != slaves_.end()) {
     sit->second.last_ping = NowSeconds();
@@ -664,8 +665,8 @@ Result<XmlRpcValue> Master::RpcTaskDone(const XmlRpcArray& params) {
       static_cast<int>(slave_id);
 
   PromoteRunnableLocked();
-  sched_cv_.notify_all();
-  done_cv_.notify_all();
+  sched_cv_.NotifyAll();
+  done_cv_.NotifyAll();
   return XmlRpcValue(XmlRpcStruct{});
 }
 
@@ -685,7 +686,7 @@ Result<XmlRpcValue> Master::RpcTaskFailed(const XmlRpcArray& params) {
     MRS_ASSIGN_OR_RETURN(reported_attempt, params[5].AsInt());
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MRS_LOG(kWarning, "master") << "task (" << dataset_id << "," << source
                               << ") failed on slave " << slave_id << ": "
                               << message;
@@ -725,7 +726,7 @@ Result<XmlRpcValue> Master::RpcTaskFailed(const XmlRpcArray& params) {
           " times (max_task_attempts=" +
           std::to_string(config_.max_task_attempts) +
           "); last error: " + message));
-      done_cv_.notify_all();
+      done_cv_.NotifyAll();
       return XmlRpcValue(XmlRpcStruct{});
     }
   }
@@ -740,15 +741,15 @@ Result<XmlRpcValue> Master::RpcTaskFailed(const XmlRpcArray& params) {
         TaskRef{static_cast<int>(dataset_id), static_cast<int>(source)});
   }
 
-  sched_cv_.notify_all();
-  done_cv_.notify_all();  // stats changed — wake WaitUntilStats
+  sched_cv_.NotifyAll();
+  done_cv_.NotifyAll();  // stats changed — wake WaitUntilStats
   return XmlRpcValue(XmlRpcStruct{});
 }
 
 Result<XmlRpcValue> Master::RpcPing(const XmlRpcArray& params) {
   if (params.size() != 1) return InvalidArgumentError("ping(slave_id)");
   MRS_ASSIGN_OR_RETURN(int64_t slave_id, params[0].AsInt());
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto sit = slaves_.find(static_cast<int>(slave_id));
   if (sit == slaves_.end()) return NotFoundError("unknown slave");
   sit->second.last_ping = NowSeconds();

@@ -21,18 +21,18 @@
 // complete, so a recovering sub-DAG re-executes in dependency order.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/dataset.h"
 #include "core/program.h"
 #include "core/runner.h"
@@ -142,49 +142,55 @@ class Master {
   Result<XmlRpcValue> RpcTaskFailed(const XmlRpcArray& params);
   Result<XmlRpcValue> RpcPing(const XmlRpcArray& params);
 
-  // Scheduling internals (callers hold mutex_ unless noted).
-  void RegisterDataSetLocked(const DataSetPtr& dataset);
-  void PromoteRunnableLocked();
-  bool DataSetReadyLocked(const DataSet& dataset) const;
-  Result<TaskAssignment> BuildAssignmentLocked(const TaskRef& ref);
+  // Scheduling internals.  The *Locked suffix is enforced by the
+  // compiler: each declares MRS_REQUIRES(mutex_), so a call site that
+  // does not hold the scheduler lock fails the -Wthread-safety build.
+  void RegisterDataSetLocked(const DataSetPtr& dataset) MRS_REQUIRES(mutex_);
+  void PromoteRunnableLocked() MRS_REQUIRES(mutex_);
+  bool DataSetReadyLocked(const DataSet& dataset) const MRS_REQUIRES(mutex_);
+  Result<TaskAssignment> BuildAssignmentLocked(const TaskRef& ref)
+      MRS_REQUIRES(mutex_);
   /// Pick the next runnable task this slave may execute (inputs complete,
   /// still pending), preferring its affinity matches.  Prunes stale refs.
   /// Returns false if nothing is currently assignable.
-  bool PickRunnableLocked(int slave_id, TaskRef* out, bool* affinity_hit);
-  void RequeueTasksOfSlaveLocked(SlaveInfo& slave);
+  bool PickRunnableLocked(int slave_id, TaskRef* out, bool* affinity_hit)
+      MRS_REQUIRES(mutex_);
+  void RequeueTasksOfSlaveLocked(SlaveInfo& slave) MRS_REQUIRES(mutex_);
   /// Full reaction to a dead slave: requeue its running tasks, invalidate
   /// every completed task it hosted, and drop its affinity entries.
-  void HandleSlaveLossLocked(SlaveInfo& slave);
+  void HandleSlaveLossLocked(SlaveInfo& slave) MRS_REQUIRES(mutex_);
   /// Lineage core: reset + requeue each completed task whose output lived
   /// on `slave`.  Returns the number of tasks invalidated.
-  int InvalidateSlaveOutputsLocked(SlaveInfo& slave);
+  int InvalidateSlaveOutputsLocked(SlaveInfo& slave) MRS_REQUIRES(mutex_);
   /// React to an unreachable bucket URL reported by a fetching slave.
   /// Returns true if the failure was environmental (lineage repaired or
   /// already repaired) — such failures are not charged against the
   /// reporting task's attempt budget.
-  bool RecoverLostUrlLocked(const std::string& bad_url);
-  void FailJobLocked(Status status);
+  bool RecoverLostUrlLocked(const std::string& bad_url) MRS_REQUIRES(mutex_);
+  void FailJobLocked(Status status) MRS_REQUIRES(mutex_);
   void MonitorLoop();
 
   Config config_;
   std::unique_ptr<HttpServer> server_;
   XmlRpcDispatcher dispatcher_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable sched_cv_;    // wakes long-polling get_task
-  std::condition_variable done_cv_;     // wakes Wait
-  std::condition_variable monitor_cv_;  // wakes MonitorLoop (shutdown)
-  bool shutdown_ = false;
-  Status job_status_;  // first unrecoverable failure
+  mutable Mutex mutex_;
+  CondVar sched_cv_;    // wakes long-polling get_task
+  CondVar done_cv_;     // wakes Wait
+  CondVar monitor_cv_;  // wakes MonitorLoop (shutdown)
+  bool shutdown_ MRS_GUARDED_BY(mutex_) = false;
+  Status job_status_ MRS_GUARDED_BY(mutex_);  // first unrecoverable failure
 
-  std::map<int, DataSetPtr> datasets_;
-  std::vector<DataSetPtr> waiting_;   // submitted, inputs not ready yet
-  std::deque<TaskRef> runnable_;
-  std::map<int64_t, int> attempts_;
-  std::map<int, SlaveInfo> slaves_;
-  int next_slave_id_ = 1;
-  std::map<std::string, int> affinity_;  // "op:source" -> slave id
-  Stats stats_;
+  std::map<int, DataSetPtr> datasets_ MRS_GUARDED_BY(mutex_);
+  // Submitted, inputs not ready yet.
+  std::vector<DataSetPtr> waiting_ MRS_GUARDED_BY(mutex_);
+  std::deque<TaskRef> runnable_ MRS_GUARDED_BY(mutex_);
+  std::map<int64_t, int> attempts_ MRS_GUARDED_BY(mutex_);
+  std::map<int, SlaveInfo> slaves_ MRS_GUARDED_BY(mutex_);
+  int next_slave_id_ MRS_GUARDED_BY(mutex_) = 1;
+  // "op:source" -> slave id.
+  std::map<std::string, int> affinity_ MRS_GUARDED_BY(mutex_);
+  Stats stats_ MRS_GUARDED_BY(mutex_);
   int64_t rpc_retries_base_ = 0;    // process counters at Init
   int64_t fetch_retries_base_ = 0;
 

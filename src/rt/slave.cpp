@@ -134,7 +134,7 @@ HttpResponse Slave::ServeData(const HttpRequest& req) {
   }
   if (!StartsWith(path, "/bucket/")) return HttpResponse::NotFound();
   std::string key(path.substr(8));
-  std::lock_guard<std::mutex> lock(store_mutex_);
+  MutexLock lock(store_mutex_);
   auto it = store_.find(key);
   if (it == store_.end()) return HttpResponse::NotFound("no bucket " + key);
   HttpResponse resp =
@@ -151,7 +151,7 @@ HttpResponse Slave::ServeBucketBatch(std::string_view query) {
   if (ids.empty()) return HttpResponse::BadRequest("missing ids= parameter");
   std::vector<BucketFrame> frames;
   {
-    std::lock_guard<std::mutex> lock(store_mutex_);
+    MutexLock lock(store_mutex_);
     for (std::string_view id : SplitChar(ids, ',')) {
       auto it = store_.find(std::string(id));
       if (it == store_.end()) {
@@ -173,7 +173,7 @@ void Slave::HandleDiscards(const XmlRpcValue& response) {
   if (!discard.ok()) return;
   auto arr = (*discard)->AsArray();
   if (!arr.ok()) return;
-  std::lock_guard<std::mutex> lock(store_mutex_);
+  MutexLock lock(store_mutex_);
   for (const XmlRpcValue& v : **arr) {
     auto id = v.AsInt();
     if (!id.ok()) continue;
@@ -320,7 +320,7 @@ Status Slave::ExecuteAssignment(const TaskAssignment& assignment) {
     if (config_.shared_dir.empty()) {
       // Direct communication: keep in memory, serve over HTTP.
       {
-        std::lock_guard<std::mutex> lock(store_mutex_);
+        MutexLock lock(store_mutex_);
         StoredBucket& stored = store_[rel];
         stored.checksum = ContentChecksum(encoded);
         stored.data = std::move(encoded);
@@ -361,7 +361,7 @@ std::string Slave::StatusJson() {
   size_t buckets = 0;
   size_t bytes = 0;
   {
-    std::lock_guard<std::mutex> lock(store_mutex_);
+    MutexLock lock(store_mutex_);
     buckets = store_.size();
     for (const auto& [key, stored] : store_) bytes += stored.data.size();
   }

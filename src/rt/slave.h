@@ -17,11 +17,12 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 
+#include "common/mutex.h"
 #include "common/retry.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "core/program.h"
 #include "http/server.h"
@@ -152,8 +153,8 @@ class Slave {
     std::string data;
     std::string checksum;
   };
-  std::mutex store_mutex_;
-  std::map<std::string, StoredBucket> store_;
+  Mutex store_mutex_;
+  std::map<std::string, StoredBucket> store_ MRS_GUARDED_BY(store_mutex_);
 };
 
 }  // namespace mrs

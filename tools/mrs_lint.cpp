@@ -1,0 +1,97 @@
+// mrs_lint: run the mrs::analysis pipeline over MiniPy kernel files.
+//
+//   mrs_lint [--json] [--no-kernel-profile] [--no-determinism] file.mpy...
+//
+// Prints one diagnostic per line ("file:line:col: error[MPY101]: ...") or,
+// with --json, one JSON object per diagnostic plus a summary line.  Exit
+// status: 0 = no errors anywhere (warnings allowed), 1 = at least one file
+// had errors, 2 = usage or I/O failure.  CI runs this over every
+// checked-in kernel (examples/kernels/*.mpy), so a kernel that would be
+// rejected at Job::Submit can't land.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "fs/file_io.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: mrs_lint [--json] [--no-kernel-profile] "
+               "[--no-determinism] file.mpy...\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  mrs::analysis::AnalysisOptions options;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--no-kernel-profile") {
+      options.kernel_profile = false;
+    } else if (arg == "--no-determinism") {
+      options.determinism_lint = false;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "mrs_lint: unknown option %s\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    } else {
+      files.push_back(std::move(arg));
+    }
+  }
+  if (files.empty()) {
+    PrintUsage();
+    return 2;
+  }
+
+  int files_with_errors = 0;
+  int total_errors = 0;
+  int total_warnings = 0;
+  bool first_json = true;
+  if (json) std::printf("[");
+  for (const std::string& file : files) {
+    mrs::Result<std::string> source = mrs::ReadFileToString(file);
+    if (!source.ok()) {
+      std::fprintf(stderr, "mrs_lint: %s: %s\n", file.c_str(),
+                   std::string(source.status().message()).c_str());
+      return 2;
+    }
+    mrs::analysis::AnalysisResult result =
+        mrs::analysis::AnalyzeKernelSource(source.value(), options);
+    int errors = mrs::analysis::CountErrors(result.diagnostics);
+    total_errors += errors;
+    total_warnings +=
+        static_cast<int>(result.diagnostics.size()) - errors;
+    if (errors > 0) ++files_with_errors;
+    for (const mrs::analysis::Diagnostic& d : result.diagnostics) {
+      if (json) {
+        std::printf("%s%s", first_json ? "" : ",\n ",
+                    mrs::analysis::DiagnosticJson(d, file).c_str());
+        first_json = false;
+      } else {
+        std::printf("%s\n",
+                    mrs::analysis::FormatDiagnostic(d, file).c_str());
+      }
+    }
+    if (!json && result.diagnostics.empty()) {
+      std::printf("%s: OK\n", file.c_str());
+    }
+  }
+  if (json) {
+    std::printf("]\n");
+  } else if (total_errors > 0 || total_warnings > 0) {
+    std::printf("%d error(s), %d warning(s) in %d of %zu file(s)\n",
+                total_errors, total_warnings, files_with_errors,
+                files.size());
+  }
+  return files_with_errors > 0 ? 1 : 0;
+}
