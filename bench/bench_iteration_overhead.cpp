@@ -61,7 +61,8 @@ class NoopIterative : public MapReduce {
 
 /// Run under an in-process cluster with configurable scheduler knobs;
 /// returns seconds per round.
-double RunMasterSlave(int rounds, bool affinity, bool shared_files) {
+double RunMasterSlave(int rounds, bool affinity, bool shared_files,
+                      bool speculation = true) {
   NoopIterative program;
   program.rounds = rounds;
   if (!program.Init(Options()).ok()) return -1;
@@ -69,6 +70,7 @@ double RunMasterSlave(int rounds, bool affinity, bool shared_files) {
   ClusterLauncher::Config config;
   config.num_slaves = 4;
   config.master.enable_affinity = affinity;
+  config.master.enable_speculation = speculation;
   std::string shared_dir;
   if (shared_files) {
     auto dir = MakeTempDir("mrs_bench_iter_");
@@ -220,6 +222,10 @@ int main(int argc, char** argv) {
       reg.GetCounter("mrs.slave.batch_fetches")->value() - batches_before);
   double ms_no_affinity = RunMasterSlave(rounds, false, false);
   double ms_shared = RunMasterSlave(rounds, true, true);
+  // Speculation ablation: with no stragglers every task finishes under the
+  // threshold, so the straggler scan should cost ~nothing — any gap
+  // between these two columns is pure scheduler overhead.
+  double ms_spec_off = RunMasterSlave(rounds, true, false, false);
 
   // Observability kill switch (acceptance bar: <= 2% on this bench).  The
   // instrument cost is nanoseconds per task; end-to-end runs jitter by
@@ -280,6 +286,8 @@ int main(int argc, char** argv) {
         "ablation"},
        {"mrs masterslave (shared files)", bench::Fmt("%.4f", ms_shared),
         "fault-tolerant bucket path"},
+       {"mrs masterslave (speculation off)", bench::Fmt("%.4f", ms_spec_off),
+        "ablation: no straggler backups"},
        {"mrs masterslave (metrics off)", bench::Fmt("%.4f", ms_no_metrics),
         "obs kill switch"},
        {"metrics hot path", bench::Fmt("%.4f ns/op", delta_ns),
@@ -311,6 +319,8 @@ int main(int argc, char** argv) {
        {"masterslave_s_per_iter", ms_affinity},
        {"masterslave_no_affinity_s_per_iter", ms_no_affinity},
        {"masterslave_shared_files_s_per_iter", ms_shared},
+       {"masterslave_speculation_on_s_per_iter", ms_affinity},
+       {"masterslave_speculation_off_s_per_iter", ms_spec_off},
        {"masterslave_metrics_off_s_per_iter", ms_no_metrics},
        {"metrics_ns_per_op_on", on_ns},
        {"metrics_ns_per_op_off", off_ns},

@@ -188,6 +188,34 @@ void AddStandardMrsOptions(OptionParser* parser) {
   parser->Add("mrs-shared-dir", 0, true,
               "slaves publish buckets as files in this shared directory "
               "instead of serving them over HTTP (fault-tolerant mode)");
+  parser->Add("mrs-ping-interval", 0, true,
+              "slave heartbeat interval in seconds (reported to the master "
+              "at signin, which scales its death threshold accordingly)",
+              "2");
+  parser->Add("mrs-missed-ping-limit", 0, true,
+              "master: declare a slave lost after this many missed "
+              "heartbeats (scaled by the slave's reported ping interval)",
+              "5");
+  parser->Add("mrs-slave-timeout", 0, true,
+              "master: floor in seconds of silence before a slave is "
+              "declared lost",
+              "15");
+  parser->Add("mrs-drain-timeout", 0, true,
+              "master: seconds a draining slave may await release before "
+              "it is declared gone",
+              "10");
+  parser->Add("mrs-speculation-quantile", 0, true,
+              "master: runtime quantile past which a running task gets a "
+              "speculative backup attempt; 0 disables speculation",
+              "0.9");
+  parser->Add("mrs-quarantine-failures", 0, true,
+              "master: quarantine a slave after this many consecutive task "
+              "failures; 0 disables quarantine",
+              "3");
+  parser->Add("mrs-probation-seconds", 0, true,
+              "master: how long a quarantined slave waits before being "
+              "re-admitted to the healthy pool",
+              "5");
   parser->Add("mrs-timing", 0, false,
               "print wall-time for the Run method to stderr");
   parser->Add("trace-out", 0, true,

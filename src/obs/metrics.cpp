@@ -50,6 +50,21 @@ double Histogram::BucketBound(int i) const {
   return bound;
 }
 
+double Histogram::Quantile(double q) const {
+  int64_t n = count();
+  if (n <= 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  auto target = static_cast<int64_t>(q * static_cast<double>(n) + 0.999999);
+  if (target < 1) target = 1;
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += bucket_count(i);
+    if (seen >= target) return BucketBound(i);
+  }
+  return BucketBound(kNumBuckets - 1);
+}
+
 Registry& Registry::Instance() {
   static Registry* instance = new Registry();  // never destroyed
   return *instance;

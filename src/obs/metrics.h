@@ -102,6 +102,12 @@ class Histogram {
   /// Upper bound of bucket i (the last bucket is unbounded).
   double BucketBound(int i) const;
 
+  /// Approximate q-quantile (q in [0,1]): the upper bound of the bucket
+  /// holding the rank-ceil(q*count) observation.  Returns 0 with no
+  /// observations.  Bucket-resolution (power-of-two bounds), which is
+  /// plenty for straggler thresholds.
+  double Quantile(double q) const;
+
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   int64_t bucket_count(int i) const {

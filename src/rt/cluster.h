@@ -67,6 +67,17 @@ class ClusterLauncher {
   /// Direct handle to slave `i` (chaos tests: Crash(), crashed(), ...).
   Slave& slave(int i) { return *slaves_[static_cast<size_t>(i)]; }
 
+  /// Elastic join: start one more slave (same program factory/options as
+  /// Start), optionally with its own chaos plan — may be called while a
+  /// job is running.  Returns the new slave's index.  Like the other
+  /// mutating methods, callable only from the single controlling thread
+  /// (the test body), never concurrently with Shutdown().
+  Result<int> AddSlave(const Slave::FaultPlan* faults = nullptr);
+
+  /// Elastic retirement: ask slave `i` to drain.  The master re-homes its
+  /// work and releases it; its thread exits once it receives "quit".
+  void DrainSlave(int i) { slaves_[static_cast<size_t>(i)]->RequestDrain(); }
+
   /// Stop slaves and master; join threads.  Idempotent.
   void Shutdown();
 
@@ -74,6 +85,14 @@ class ClusterLauncher {
 
  private:
   ClusterLauncher() = default;
+
+  /// Start slave `i` from the stored factory/options/template.
+  Status StartSlave(int i, const Slave::FaultPlan* faults);
+
+  // Kept for AddSlave: a late joiner is built exactly like the originals.
+  ProgramFactory factory_;
+  Options opts_;
+  Config config_;
 
   std::unique_ptr<Master> master_;
   std::vector<std::unique_ptr<MapReduce>> slave_programs_;

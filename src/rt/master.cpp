@@ -27,6 +27,13 @@ struct MasterCounters {
   obs::Counter* slaves_lost;
   obs::Counter* tasks_invalidated;
   obs::Counter* lineage_recoveries;
+  obs::Counter* slaves_joined;
+  obs::Counter* mid_job_joins;
+  obs::Counter* slaves_drained;
+  obs::Counter* slaves_quarantined;
+  obs::Counter* probation_returns;
+  obs::Counter* tasks_speculated;
+  obs::Counter* speculative_wins;
 
   static MasterCounters& Get() {
     static MasterCounters c = [] {
@@ -37,7 +44,14 @@ struct MasterCounters {
                             reg.GetCounter("mrs.master.affinity_hits"),
                             reg.GetCounter("mrs.master.slaves_lost"),
                             reg.GetCounter("mrs.master.tasks_invalidated"),
-                            reg.GetCounter("mrs.master.lineage_recoveries")};
+                            reg.GetCounter("mrs.master.lineage_recoveries"),
+                            reg.GetCounter("mrs.master.slaves_joined"),
+                            reg.GetCounter("mrs.master.mid_job_joins"),
+                            reg.GetCounter("mrs.master.slaves_drained"),
+                            reg.GetCounter("mrs.master.slaves_quarantined"),
+                            reg.GetCounter("mrs.master.probation_returns"),
+                            reg.GetCounter("mrs.master.tasks_speculated"),
+                            reg.GetCounter("mrs.master.speculative_wins")};
     }();
     return c;
   }
@@ -62,6 +76,22 @@ bool ParseBucketUrl(const std::string& url, int* dataset_id, int* source,
 }
 }  // namespace
 
+const char* SlaveStateName(SlaveState state) {
+  switch (state) {
+    case SlaveState::kRegistering:
+      return "registering";
+    case SlaveState::kHealthy:
+      return "healthy";
+    case SlaveState::kDraining:
+      return "draining";
+    case SlaveState::kQuarantined:
+      return "quarantined";
+    case SlaveState::kGone:
+      return "gone";
+  }
+  return "unknown";
+}
+
 Master::Master(Config config) : config_(std::move(config)) {}
 
 Result<std::unique_ptr<Master>> Master::Start(Config config) {
@@ -85,6 +115,9 @@ Status Master::Init() {
   });
   dispatcher_.Register("ping", [this](const XmlRpcArray& p) {
     return RpcPing(p);
+  });
+  dispatcher_.Register("drain", [this](const XmlRpcArray& p) {
+    return RpcDrain(p);
   });
 
   // Non-RPC paths fall through to the observability endpoints: /metrics,
@@ -128,11 +161,11 @@ Status Master::WaitForSlaves(int n, double timeout_seconds) {
           std::chrono::duration<double>(timeout_seconds));
   MutexLock lock(mutex_);
   while (true) {
-    int alive = 0;
+    int present = 0;
     for (const auto& [id, s] : slaves_) {
-      if (s.alive) ++alive;
+      if (s.state != SlaveState::kGone) ++present;
     }
-    if (alive >= n || shutdown_) return Status::Ok();
+    if (present >= n || shutdown_) return Status::Ok();
     if (!sched_cv_.WaitUntil(mutex_, deadline)) {
       return DeadlineExceededError("timed out waiting for " +
                                    std::to_string(n) + " slaves");
@@ -142,11 +175,11 @@ Status Master::WaitForSlaves(int n, double timeout_seconds) {
 
 int Master::num_slaves() const {
   MutexLock lock(mutex_);
-  int alive = 0;
+  int present = 0;
   for (const auto& [id, s] : slaves_) {
-    if (s.alive) ++alive;
+    if (s.state != SlaveState::kGone) ++present;
   }
-  return alive;
+  return present;
 }
 
 Master::Stats Master::stats() const {
@@ -189,7 +222,7 @@ std::string Master::StatusJson() const {
   MutexLock lock(mutex_);
   double now = NowSeconds();
   std::string out;
-  out.reserve(1024);
+  out.reserve(2048);
   out += "{\"role\":\"master\",";
   out += "\"job\":{\"ok\":";
   out += job_status_.ok() ? "true" : "false";
@@ -219,19 +252,85 @@ std::string Master::StatusJson() const {
   out += "\"queue\":{\"runnable\":" + std::to_string(runnable_.size());
   out += ",\"waiting\":" + std::to_string(waiting_.size()) + "},";
 
+  int healthy = 0, draining = 0, quarantined = 0, gone = 0;
   out += "\"slaves\":[";
   first = true;
   for (const auto& [id, slave] : slaves_) {
+    switch (slave.state) {
+      case SlaveState::kHealthy:
+        ++healthy;
+        break;
+      case SlaveState::kDraining:
+        ++draining;
+        break;
+      case SlaveState::kQuarantined:
+        ++quarantined;
+        break;
+      case SlaveState::kGone:
+        ++gone;
+        break;
+      case SlaveState::kRegistering:
+        break;
+    }
     if (!first) out += ",";
     first = false;
     out += "{\"id\":" + std::to_string(id);
-    out += ",\"alive\":";
-    out += slave.alive ? "true" : "false";
+    out += ",\"state\":\"";
+    out += SlaveStateName(slave.state);
+    out += "\",\"alive\":";
+    out += slave.state != SlaveState::kGone ? "true" : "false";
     out += ",\"data_url\":\"" + obs::JsonEscape(slave.data_url_base) + "\"";
     out += ",\"last_ping_age_seconds\":" +
            std::to_string(now - slave.last_ping);
+    out += ",\"ping_interval\":" + std::to_string(slave.ping_interval);
     out += ",\"running_tasks\":" + std::to_string(slave.running.size());
     out += ",\"hosted_rows\":" + std::to_string(slave.hosted.size());
+    // Health ledger: the inputs to quarantine and speculation decisions.
+    out += ",\"health\":{\"consecutive_failures\":" +
+           std::to_string(slave.consecutive_failures);
+    out += ",\"task_failures\":" + std::to_string(slave.task_failures);
+    out += ",\"task_successes\":" + std::to_string(slave.task_successes);
+    out += ",\"latency_ewma_seconds\":" + std::to_string(slave.latency_ewma);
+    out += "}}";
+  }
+  out += "],";
+
+  out += "\"membership\":{\"healthy\":" + std::to_string(healthy);
+  out += ",\"draining\":" + std::to_string(draining);
+  out += ",\"quarantined\":" + std::to_string(quarantined);
+  out += ",\"gone\":" + std::to_string(gone) + "},";
+
+  // Live values of the elasticity knobs, so an operator reading /status
+  // sees the thresholds actually in force (not the defaults in a README).
+  out += "\"health_config\":{";
+  out += "\"slave_timeout\":" + std::to_string(config_.slave_timeout);
+  out += ",\"missed_ping_limit\":" + std::to_string(config_.missed_ping_limit);
+  out += ",\"drain_timeout\":" + std::to_string(config_.drain_timeout);
+  out += ",\"speculation_quantile\":" +
+         std::to_string(config_.enable_speculation ? config_.speculation_quantile
+                                                   : 0.0);
+  out += ",\"speculation_multiplier\":" +
+         std::to_string(config_.speculation_multiplier);
+  out += ",\"speculation_min_samples\":" +
+         std::to_string(config_.speculation_min_samples);
+  out += ",\"speculation_min_seconds\":" +
+         std::to_string(config_.speculation_min_seconds);
+  out += ",\"quarantine_failure_threshold\":" +
+         std::to_string(config_.quarantine_failure_threshold);
+  out += ",\"probation_seconds\":" + std::to_string(config_.probation_seconds);
+  out += "},";
+
+  // Observed per-operation runtime quantiles driving the straggler
+  // threshold (bucketed upper bounds, not exact).
+  out += "\"op_runtimes\":[";
+  first = true;
+  for (const auto& [op, hist] : op_hist_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"op\":\"" + obs::JsonEscape(op) + "\"";
+    out += ",\"count\":" + std::to_string(hist->count());
+    out += ",\"p50_seconds\":" + std::to_string(hist->Quantile(0.5));
+    out += ",\"p90_seconds\":" + std::to_string(hist->Quantile(0.9));
     out += "}";
   }
   out += "],";
@@ -245,6 +344,14 @@ std::string Master::StatusJson() const {
   out += ",\"tasks_invalidated\":" + std::to_string(stats_.tasks_invalidated);
   out += ",\"lineage_recoveries\":" +
          std::to_string(stats_.lineage_recoveries);
+  out += ",\"slaves_joined\":" + std::to_string(stats_.slaves_joined);
+  out += ",\"mid_job_joins\":" + std::to_string(stats_.mid_job_joins);
+  out += ",\"slaves_drained\":" + std::to_string(stats_.slaves_drained);
+  out += ",\"slaves_quarantined\":" +
+         std::to_string(stats_.slaves_quarantined);
+  out += ",\"probation_returns\":" + std::to_string(stats_.probation_returns);
+  out += ",\"tasks_speculated\":" + std::to_string(stats_.tasks_speculated);
+  out += ",\"speculative_wins\":" + std::to_string(stats_.speculative_wins);
   out += ",\"rpc_retries\":" +
          std::to_string(RpcRetryCount() - rpc_retries_base_);
   out += ",\"fetch_retries\":" +
@@ -331,7 +438,9 @@ Result<TaskAssignment> Master::BuildAssignmentLocked(const TaskRef& ref) {
   assignment.kind = ds.kind();
   assignment.source = ref.source;
   assignment.num_splits = ds.num_splits();
-  // 1-based attempt number: prior failures + 1 (for slave-side spans).
+  // 1-based attempt number: prior failures + 1 (for slave-side spans).  A
+  // speculative backup shares the original's attempt number — they race
+  // toward the same completion, and failure charging dedups on max().
   auto ait = attempts_.find(TaskKey(ref.dataset_id, ref.source));
   assignment.attempt = (ait == attempts_.end() ? 0 : ait->second) + 1;
   assignment.options = ds.options();
@@ -345,10 +454,15 @@ bool Master::PickRunnableLocked(int slave_id, TaskRef* out,
   // One pass: prune refs that are stale (dataset discarded, or the task
   // already claimed/recomputed elsewhere), skip refs whose inputs are not
   // complete (they become assignable again once lineage repair finishes),
-  // and among the eligible prefer this slave's affinity match.
+  // and among the eligible prefer this slave's affinity match.  Normal
+  // refs are preferred over speculative backups; a backup is valid only
+  // while the original attempt is still running, and never goes to the
+  // slave already running the original.
+  auto requester = slaves_.find(slave_id);
   bool found = false;
   size_t pick = 0;
   bool affinity_pick = false;
+  bool pick_is_speculative = false;
   for (size_t i = 0; i < runnable_.size();) {
     const TaskRef& ref = runnable_[i];
     auto dsit = datasets_.find(ref.dataset_id);
@@ -357,6 +471,27 @@ bool Master::PickRunnableLocked(int slave_id, TaskRef* out,
       continue;
     }
     DataSet& ds = *dsit->second;
+    int64_t key = TaskKey(ref.dataset_id, ref.source);
+    if (ref.speculative) {
+      if (ds.task_state(ref.source) != TaskState::kRunning) {
+        // Original finished or was requeued: the backup is moot.
+        speculated_.erase(key);
+        runnable_.erase(runnable_.begin() + static_cast<long>(i));
+        continue;
+      }
+      if (requester != slaves_.end() &&
+          requester->second.running.count(key) > 0) {
+        ++i;  // this slave already runs the original attempt
+        continue;
+      }
+      if (!found) {
+        found = true;
+        pick = i;
+        pick_is_speculative = true;
+      }
+      ++i;
+      continue;
+    }
     if (ds.task_state(ref.source) != TaskState::kPending) {
       // Duplicate ref (requeued by several recovery paths) — drop it.
       runnable_.erase(runnable_.begin() + static_cast<long>(i));
@@ -366,14 +501,15 @@ bool Master::PickRunnableLocked(int slave_id, TaskRef* out,
       ++i;  // inputs lost to a dead slave; wait for the upstream re-run
       continue;
     }
-    if (!found) {
+    if (!found || pick_is_speculative) {
       found = true;
       pick = i;
+      pick_is_speculative = false;
     }
     if (config_.enable_affinity) {
-      std::string key =
+      std::string akey =
           ds.options().op_name + ":" + std::to_string(ref.source);
-      auto ait = affinity_.find(key);
+      auto ait = affinity_.find(akey);
       if (ait != affinity_.end() && ait->second == slave_id) {
         pick = i;
         affinity_pick = true;
@@ -389,12 +525,44 @@ bool Master::PickRunnableLocked(int slave_id, TaskRef* out,
   return true;
 }
 
+bool Master::AnotherHealthySlaveLocked(int except_id) const {
+  for (const auto& [id, s] : slaves_) {
+    if (id != except_id && s.state == SlaveState::kHealthy) return true;
+  }
+  return false;
+}
+
+bool Master::AnotherSlaveRunsLocked(int64_t key, int except_id) const {
+  for (const auto& [id, s] : slaves_) {
+    if (id == except_id || s.state == SlaveState::kGone) continue;
+    if (s.running.count(key) > 0) return true;
+  }
+  return false;
+}
+
+double Master::DeathTimeoutLocked(const SlaveInfo& slave) const {
+  double timeout = config_.slave_timeout;
+  if (slave.ping_interval > 0 && config_.missed_ping_limit > 0) {
+    timeout = std::max(timeout, config_.missed_ping_limit *
+                                    slave.ping_interval);
+  }
+  return timeout;
+}
+
 void Master::RequeueTasksOfSlaveLocked(SlaveInfo& slave) {
-  for (int64_t key : slave.running) {
+  for (const auto& [key, run] : slave.running) {
     int dataset_id = static_cast<int>(key / 1000000);
     int source = static_cast<int>(key % 1000000);
     auto it = datasets_.find(dataset_id);
     if (it == datasets_.end()) continue;
+    if (AnotherSlaveRunsLocked(key, slave.id)) {
+      // A twin attempt (speculation) survives on another slave: the task
+      // stays running there and that attempt's completion will land.  If
+      // the dying attempt was the backup, allow re-speculation.
+      if (run.speculative) speculated_.erase(key);
+      continue;
+    }
+    speculated_.erase(key);
     if (it->second->task_state(source) == TaskState::kRunning) {
       it->second->ResetTask(source);
       runnable_.push_back(TaskRef{dataset_id, source});
@@ -433,8 +601,8 @@ int Master::InvalidateSlaveOutputsLocked(SlaveInfo& slave) {
 void Master::HandleSlaveLossLocked(SlaveInfo& slave) {
   RequeueTasksOfSlaveLocked(slave);
   InvalidateSlaveOutputsLocked(slave);
-  // Corresponding tasks must stop chasing the dead slave, or every future
-  // iteration wastes its long poll preferring an unreachable host.
+  // Corresponding tasks must stop chasing the departed slave, or every
+  // future iteration wastes its long poll preferring an unreachable host.
   for (auto it = affinity_.begin(); it != affinity_.end();) {
     if (it->second == slave.id) {
       it = affinity_.erase(it);
@@ -442,6 +610,20 @@ void Master::HandleSlaveLossLocked(SlaveInfo& slave) {
       ++it;
     }
   }
+}
+
+void Master::QuarantineSlaveLocked(SlaveInfo& slave, double now) {
+  slave.state = SlaveState::kQuarantined;
+  slave.quarantine_until = now + config_.probation_seconds;
+  ++stats_.slaves_quarantined;
+  MasterCounters::Get().slaves_quarantined->Inc();
+  MRS_LOG(kWarning, "master")
+      << "slave " << slave.id << " quarantined after "
+      << slave.consecutive_failures
+      << " consecutive failures; probation ends in "
+      << config_.probation_seconds << "s";
+  HandleSlaveLossLocked(slave);
+  UpdateMembershipGaugesLocked();
 }
 
 bool Master::RecoverLostUrlLocked(const std::string& bad_url) {
@@ -465,13 +647,14 @@ bool Master::RecoverLostUrlLocked(const std::string& bad_url) {
   // every other bucket behind that data server is equally unreachable.
   for (auto& [id, slave] : slaves_) {
     if (!StartsWith(bad_url, slave.data_url_base + "/")) continue;
-    if (slave.alive) {
+    if (slave.state != SlaveState::kGone) {
       MRS_LOG(kWarning, "master")
           << "slave " << id << " presumed lost (unreachable bucket "
           << bad_url << ")";
-      slave.alive = false;
+      slave.state = SlaveState::kGone;
       ++stats_.slaves_lost;
       MasterCounters::Get().slaves_lost->Inc();
+      UpdateMembershipGaugesLocked();
     }
     HandleSlaveLossLocked(slave);
     return true;
@@ -495,27 +678,114 @@ void Master::FailJobLocked(Status status) {
   if (job_status_.ok()) job_status_ = std::move(status);
 }
 
+obs::Histogram* Master::OpHistogramLocked(const std::string& op_name) {
+  auto& slot = op_hist_[op_name];
+  if (slot == nullptr) slot = std::make_unique<obs::Histogram>();
+  return slot.get();
+}
+
+void Master::UpdateMembershipGaugesLocked() {
+  static obs::Gauge* healthy =
+      obs::Registry::Instance().GetGauge("mrs.master.slaves_healthy");
+  static obs::Gauge* draining =
+      obs::Registry::Instance().GetGauge("mrs.master.slaves_draining");
+  static obs::Gauge* quarantined =
+      obs::Registry::Instance().GetGauge("mrs.master.slaves_quarantined");
+  int h = 0, d = 0, q = 0;
+  for (const auto& [id, s] : slaves_) {
+    if (s.state == SlaveState::kHealthy) ++h;
+    if (s.state == SlaveState::kDraining) ++d;
+    if (s.state == SlaveState::kQuarantined) ++q;
+  }
+  healthy->Set(h);
+  draining->Set(d);
+  quarantined->Set(q);
+}
+
+bool Master::ScanForStragglersLocked(double now) {
+  bool queued = false;
+  for (auto& [id, slave] : slaves_) {
+    if (slave.state == SlaveState::kGone) continue;
+    for (const auto& [key, run] : slave.running) {
+      if (run.speculative) continue;        // never back up a backup
+      if (speculated_.count(key) > 0) continue;  // one backup per task
+      int dataset_id = static_cast<int>(key / 1000000);
+      int source = static_cast<int>(key % 1000000);
+      auto dsit = datasets_.find(dataset_id);
+      if (dsit == datasets_.end()) continue;
+      DataSet& ds = *dsit->second;
+      if (ds.task_state(source) != TaskState::kRunning) continue;
+      obs::Histogram* hist = OpHistogramLocked(ds.options().op_name);
+      if (hist->count() < config_.speculation_min_samples) continue;
+      double threshold =
+          std::max(config_.speculation_min_seconds,
+                   config_.speculation_multiplier *
+                       hist->Quantile(config_.speculation_quantile));
+      if (now - run.started <= threshold) continue;
+      if (!AnotherHealthySlaveLocked(id)) continue;  // nowhere to back up
+      runnable_.push_back(TaskRef{dataset_id, source, /*speculative=*/true});
+      speculated_.insert(key);
+      ++stats_.tasks_speculated;
+      MasterCounters::Get().tasks_speculated->Inc();
+      MRS_LOG(kWarning, "master")
+          << "straggler: task (" << dataset_id << "," << source
+          << ") has run " << now - run.started << "s on slave " << id
+          << " (threshold " << threshold
+          << "s); launching speculative backup";
+      queued = true;
+    }
+  }
+  return queued;
+}
+
 void Master::MonitorLoop() {
   MutexLock lock(mutex_);
   while (!shutdown_) {
     monitor_cv_.WaitFor(mutex_, config_.monitor_interval);
     if (shutdown_) return;
     double now = NowSeconds();
-    bool lost = false;
+    bool changed = false;
     for (auto& [id, slave] : slaves_) {
-      if (slave.alive && now - slave.last_ping > config_.slave_timeout) {
+      if (slave.state == SlaveState::kGone) continue;
+      if (now - slave.last_ping > DeathTimeoutLocked(slave)) {
         MRS_LOG(kWarning, "master")
             << "slave " << id << " lost (no contact for "
-            << config_.slave_timeout << "s)";
-        slave.alive = false;
+            << DeathTimeoutLocked(slave) << "s)";
+        slave.state = SlaveState::kGone;
         ++stats_.slaves_lost;
         MasterCounters::Get().slaves_lost->Inc();
         HandleSlaveLossLocked(slave);
-        lost = true;
+        changed = true;
+        continue;
+      }
+      if (slave.state == SlaveState::kDraining &&
+          now >= slave.drain_deadline) {
+        // The drained slave never came back for its release — it crashed
+        // mid-drain, or its loop wedged.  Force the transition.
+        MRS_LOG(kWarning, "master")
+            << "slave " << id << " missed its drain deadline; declaring gone";
+        slave.state = SlaveState::kGone;
+        HandleSlaveLossLocked(slave);  // idempotent: drain already cleaned up
+        changed = true;
+        continue;
+      }
+      if (slave.state == SlaveState::kQuarantined &&
+          now >= slave.quarantine_until) {
+        slave.state = SlaveState::kHealthy;
+        slave.consecutive_failures = 0;
+        ++stats_.probation_returns;
+        MasterCounters::Get().probation_returns->Inc();
+        MRS_LOG(kInfo, "master")
+            << "slave " << id << " completed probation; re-admitted";
+        changed = true;
       }
     }
+    if (config_.enable_speculation && config_.speculation_quantile > 0) {
+      changed = ScanForStragglersLocked(now) || changed;
+    }
     // done_cv_ doubles as the stats-changed signal for WaitUntilStats.
-    if (lost) {
+    if (changed) {
+      UpdateMembershipGaugesLocked();
       sched_cv_.NotifyAll();
       done_cv_.NotifyAll();
     }
@@ -525,21 +795,87 @@ void Master::MonitorLoop() {
 // ---- RPC handlers -------------------------------------------------------
 
 Result<XmlRpcValue> Master::RpcSignin(const XmlRpcArray& params) {
-  if (params.size() != 2) return InvalidArgumentError("signin(host, port)");
+  if (params.size() != 2 && params.size() != 3) {
+    return InvalidArgumentError("signin(host, data_port[, ping_interval])");
+  }
   MRS_ASSIGN_OR_RETURN(std::string host, params[0].AsString());
   MRS_ASSIGN_OR_RETURN(int64_t port, params[1].AsInt());
+  double ping_interval = 0;  // old slave without a reported cadence
+  if (params.size() == 3) {
+    MRS_ASSIGN_OR_RETURN(ping_interval, params[2].AsDouble());
+  }
+  std::string data_url_base =
+      "http://" + host + ":" + std::to_string(port);
+
+  // Health-check the joiner's data plane before admitting it: one GET
+  // /status round trip against the address it advertised.  A slave whose
+  // data server is unreachable would poison lineage with dead URLs the
+  // moment it completed a task — reject it at the door instead.  This is
+  // a network call, so it runs without the scheduler lock.
+  if (config_.health_check_on_signin) {
+    HttpClient probe(SocketAddr{host, static_cast<uint16_t>(port)});
+    Result<HttpResponse> resp = probe.Get("/status");
+    if (!resp.ok()) {
+      MRS_LOG(kWarning, "master")
+          << "signin rejected: data server probe of " << data_url_base
+          << " failed: " << resp.status().ToString();
+      return UnavailableError("signin rejected: data server " +
+                              data_url_base + " failed its health probe: " +
+                              resp.status().ToString());
+    }
+    if (resp->status_code != 200) {
+      return UnavailableError("signin rejected: data server " +
+                              data_url_base + " health probe returned " +
+                              std::to_string(resp->status_code));
+    }
+  }
+
   MutexLock lock(mutex_);
   int id = next_slave_id_++;
   SlaveInfo info;
   info.id = id;
-  info.data_url_base = "http://" + host + ":" + std::to_string(port);
+  info.data_url_base = std::move(data_url_base);
   info.last_ping = NowSeconds();
+  info.state = SlaveState::kHealthy;
+  info.ping_interval = ping_interval;
+  bool mid_job = false;
+  for (const auto& [did, ds] : datasets_) {
+    if (!ds->Complete()) {
+      mid_job = true;
+      break;
+    }
+  }
+  ++stats_.slaves_joined;
+  MasterCounters::Get().slaves_joined->Inc();
+  if (mid_job) {
+    ++stats_.mid_job_joins;
+    MasterCounters::Get().mid_job_joins->Inc();
+  }
+  // The dataset/operation manifest: a late joiner learns the shape of the
+  // job it is entering.  Its bucket store is empty, which lineage makes
+  // safe — it simply hosts nothing until it completes its first task.
+  XmlRpcArray manifest;
+  for (const auto& [did, ds] : datasets_) {
+    XmlRpcStruct entry;
+    entry["dataset_id"] = XmlRpcValue(static_cast<int64_t>(did));
+    entry["op"] = XmlRpcValue(ds->options().op_name);
+    entry["kind"] =
+        XmlRpcValue(ds->kind() == DataSetKind::kMap ? "map" : "reduce");
+    entry["sources"] = XmlRpcValue(static_cast<int64_t>(ds->num_sources()));
+    entry["splits"] = XmlRpcValue(static_cast<int64_t>(ds->num_splits()));
+    entry["complete"] = XmlRpcValue(ds->Complete());
+    manifest.push_back(XmlRpcValue(std::move(entry)));
+  }
   slaves_[id] = std::move(info);
+  UpdateMembershipGaugesLocked();
   MRS_LOG(kInfo, "master") << "slave " << id << " signed in from "
-                           << slaves_[id].data_url_base;
+                           << slaves_[id].data_url_base
+                           << (mid_job ? " (mid-job join)" : "");
+  done_cv_.NotifyAll();  // stats changed — wake WaitUntilStats
   sched_cv_.NotifyAll();
   XmlRpcStruct out;
   out["slave_id"] = XmlRpcValue(static_cast<int64_t>(id));
+  out["manifest"] = XmlRpcValue(std::move(manifest));
   return XmlRpcValue(std::move(out));
 }
 
@@ -551,7 +887,14 @@ Result<XmlRpcValue> Master::RpcGetTask(const XmlRpcArray& params) {
   auto sit = slaves_.find(static_cast<int>(slave_id));
   if (sit == slaves_.end()) return NotFoundError("unknown slave");
   sit->second.last_ping = NowSeconds();
-  sit->second.alive = true;  // a presumed-lost slave may revive
+  if (sit->second.state == SlaveState::kGone) {
+    // A presumed-lost slave that polls again revives.
+    sit->second.state = SlaveState::kHealthy;
+    sit->second.consecutive_failures = 0;
+    UpdateMembershipGaugesLocked();
+    MRS_LOG(kInfo, "master") << "slave " << slave_id
+                             << " revived (polled after being declared gone)";
+  }
 
   auto deadline = std::chrono::steady_clock::now() +
                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -562,16 +905,33 @@ Result<XmlRpcValue> Master::RpcGetTask(const XmlRpcArray& params) {
       out["kind"] = XmlRpcValue("quit");
       return XmlRpcValue(std::move(out));
     }
+    if (sit->second.state == SlaveState::kDraining) {
+      // Release: its buckets were re-homed when the drain started, so the
+      // slave may exit the moment it reads this.
+      sit->second.state = SlaveState::kGone;
+      UpdateMembershipGaugesLocked();
+      MRS_LOG(kInfo, "master") << "slave " << slave_id
+                               << " drained; released with quit";
+      done_cv_.NotifyAll();
+      XmlRpcStruct out;
+      out["kind"] = XmlRpcValue("quit");
+      return XmlRpcValue(std::move(out));
+    }
     TaskRef ref;
     bool affinity_hit = false;
-    if (PickRunnableLocked(static_cast<int>(slave_id), &ref, &affinity_hit)) {
+    // Quarantined slaves keep long-polling (it doubles as their liveness
+    // signal) but are never assigned work until probation ends.
+    if (sit->second.state == SlaveState::kHealthy &&
+        PickRunnableLocked(static_cast<int>(slave_id), &ref, &affinity_hit)) {
       auto dsit = datasets_.find(ref.dataset_id);
       if (dsit == datasets_.end()) continue;           // discarded (raced)
-      if (!dsit->second->TryClaimTask(ref.source)) continue;  // raced
+      if (!ref.speculative) {
+        if (!dsit->second->TryClaimTask(ref.source)) continue;  // raced
+      }
 
       Result<TaskAssignment> assignment = BuildAssignmentLocked(ref);
       if (!assignment.ok()) {
-        dsit->second->ResetTask(ref.source);
+        if (!ref.speculative) dsit->second->ResetTask(ref.source);
         FailJobLocked(assignment.status());
         done_cv_.NotifyAll();
         return assignment.status();
@@ -580,7 +940,8 @@ Result<XmlRpcValue> Master::RpcGetTask(const XmlRpcArray& params) {
         ++stats_.affinity_hits;
         MasterCounters::Get().affinity_hits->Inc();
       }
-      sit->second.running.insert(TaskKey(ref.dataset_id, ref.source));
+      sit->second.running[TaskKey(ref.dataset_id, ref.source)] =
+          RunningTask{NowSeconds(), ref.speculative};
       ++stats_.tasks_assigned;
       MasterCounters::Get().tasks_assigned->Inc();
 
@@ -610,20 +971,37 @@ Result<XmlRpcValue> Master::RpcGetTask(const XmlRpcArray& params) {
 }
 
 Result<XmlRpcValue> Master::RpcTaskDone(const XmlRpcArray& params) {
-  if (params.size() != 4) {
-    return InvalidArgumentError("task_done(slave_id, dataset_id, source, urls)");
+  if (params.size() != 4 && params.size() != 5) {
+    return InvalidArgumentError(
+        "task_done(slave_id, dataset_id, source, urls[, attempt])");
   }
   MRS_ASSIGN_OR_RETURN(int64_t slave_id, params[0].AsInt());
   MRS_ASSIGN_OR_RETURN(int64_t dataset_id, params[1].AsInt());
   MRS_ASSIGN_OR_RETURN(int64_t source, params[2].AsInt());
   MRS_ASSIGN_OR_RETURN(const XmlRpcArray* urls, params[3].AsArray());
+  if (params.size() == 5) {
+    // Attempt number: carried for the same idempotency contract as
+    // task_failed — duplicate deliveries and losing speculative attempts
+    // are both dropped by the completed-state guard below, so the value
+    // only matters for logs.
+    MRS_RETURN_IF_ERROR(params[4].AsInt().status());
+  }
 
   MutexLock lock(mutex_);
+  double now = NowSeconds();
+  int64_t key =
+      TaskKey(static_cast<int>(dataset_id), static_cast<int>(source));
   auto sit = slaves_.find(static_cast<int>(slave_id));
+  bool was_speculative = false;
+  double started = 0;
   if (sit != slaves_.end()) {
-    sit->second.last_ping = NowSeconds();
-    sit->second.running.erase(TaskKey(static_cast<int>(dataset_id),
-                                      static_cast<int>(source)));
+    sit->second.last_ping = now;
+    auto rit = sit->second.running.find(key);
+    if (rit != sit->second.running.end()) {
+      was_speculative = rit->second.speculative;
+      started = rit->second.started;
+      sit->second.running.erase(rit);
+    }
   }
   auto dsit = datasets_.find(static_cast<int>(dataset_id));
   if (dsit == datasets_.end()) {
@@ -634,7 +1012,10 @@ Result<XmlRpcValue> Master::RpcTaskDone(const XmlRpcArray& params) {
     return ProtocolError("task_done url count mismatch");
   }
   if (ds.task_state(static_cast<int>(source)) == TaskState::kComplete) {
-    return XmlRpcValue(XmlRpcStruct{});  // duplicate completion
+    // Duplicate completion: a transport retry, or the losing attempt of a
+    // speculative race.  Both attempts are lineage-deterministic, so the
+    // first row to land is authoritative and this one is dropped.
+    return XmlRpcValue(XmlRpcStruct{});
   }
   std::vector<Bucket> row;
   row.reserve(urls->size());
@@ -649,20 +1030,55 @@ Result<XmlRpcValue> Master::RpcTaskDone(const XmlRpcArray& params) {
     b.set_url(std::move(url));
     row.push_back(std::move(b));
   }
+  if (hosted_here && sit != slaves_.end() &&
+      sit->second.state != SlaveState::kHealthy) {
+    // The reporting slave is draining, quarantined, or already declared
+    // gone, and the row points at its own (retiring) data server.
+    // Accepting it would re-poison lineage with URLs about to vanish —
+    // drop it; the task was already requeued when the slave left the
+    // healthy pool.  (file:// rows survive the slave and are accepted.)
+    MRS_LOG(kInfo, "master")
+        << "dropping completion of task (" << dataset_id << "," << source
+        << ") from " << SlaveStateName(sit->second.state) << " slave "
+        << slave_id << " (self-hosted buckets)";
+    return XmlRpcValue(XmlRpcStruct{});
+  }
   ds.SetRow(static_cast<int>(source), std::move(row));
   ++stats_.tasks_completed;
   MasterCounters::Get().tasks_completed->Inc();
-
-  // Lineage record: this slave's data server now hosts the row.  Shared-
-  // filesystem (file://) outputs survive slave death and need no entry.
-  if (hosted_here) {
-    sit->second.hosted.insert(
-        TaskKey(static_cast<int>(dataset_id), static_cast<int>(source)));
+  speculated_.erase(key);
+  if (was_speculative) {
+    ++stats_.speculative_wins;
+    MasterCounters::Get().speculative_wins->Inc();
+    MRS_LOG(kInfo, "master")
+        << "speculative backup of task (" << dataset_id << "," << source
+        << ") finished first on slave " << slave_id;
   }
 
-  // Record affinity for the corresponding task of the next iteration.
-  affinity_[ds.options().op_name + ":" + std::to_string(source)] =
-      static_cast<int>(slave_id);
+  if (sit != slaves_.end()) {
+    // Health ledger + runtime sample for the straggler threshold.
+    sit->second.consecutive_failures = 0;
+    ++sit->second.task_successes;
+    if (started > 0) {
+      double duration = now - started;
+      sit->second.latency_ewma =
+          sit->second.task_successes <= 1
+              ? duration
+              : 0.8 * sit->second.latency_ewma + 0.2 * duration;
+      OpHistogramLocked(ds.options().op_name)->Observe(duration);
+    }
+    // Lineage record: this slave's data server now hosts the row.  Shared-
+    // filesystem (file://) outputs survive slave death and need no entry.
+    if (hosted_here) {
+      sit->second.hosted.insert(key);
+    }
+    // Record affinity for the corresponding task of the next iteration —
+    // only toward a slave still in the healthy pool.
+    if (sit->second.state == SlaveState::kHealthy) {
+      affinity_[ds.options().op_name + ":" + std::to_string(source)] =
+          static_cast<int>(slave_id);
+    }
+  }
 
   PromoteRunnableLocked();
   sched_cv_.NotifyAll();
@@ -687,16 +1103,18 @@ Result<XmlRpcValue> Master::RpcTaskFailed(const XmlRpcArray& params) {
   }
 
   MutexLock lock(mutex_);
+  double now = NowSeconds();
   MRS_LOG(kWarning, "master") << "task (" << dataset_id << "," << source
                               << ") failed on slave " << slave_id << ": "
                               << message;
   ++stats_.tasks_failed;
   MasterCounters::Get().tasks_failed->Inc();
+  int64_t key =
+      TaskKey(static_cast<int>(dataset_id), static_cast<int>(source));
   auto sit = slaves_.find(static_cast<int>(slave_id));
   if (sit != slaves_.end()) {
-    sit->second.last_ping = NowSeconds();
-    sit->second.running.erase(TaskKey(static_cast<int>(dataset_id),
-                                      static_cast<int>(source)));
+    sit->second.last_ping = now;
+    sit->second.running.erase(key);
   }
 
   // Lineage recovery: if the slave could not fetch an input bucket, the
@@ -705,8 +1123,22 @@ Result<XmlRpcValue> Master::RpcTaskFailed(const XmlRpcArray& params) {
   bool environmental = !bad_url.empty() && RecoverLostUrlLocked(bad_url);
 
   if (!environmental) {
-    int64_t key =
-        TaskKey(static_cast<int>(dataset_id), static_cast<int>(source));
+    // Health ledger: only failures of the task itself count against the
+    // slave; environmental failures indict the departed peer, not the
+    // reporter.
+    if (sit != slaves_.end()) {
+      ++sit->second.task_failures;
+      ++sit->second.consecutive_failures;
+      if (config_.quarantine_failure_threshold > 0 &&
+          sit->second.state == SlaveState::kHealthy &&
+          sit->second.consecutive_failures >=
+              config_.quarantine_failure_threshold &&
+          AnotherHealthySlaveLocked(sit->first)) {
+        // Never quarantine the last healthy slave: a degraded worker still
+        // beats an empty pool (and the attempt budget bounds the damage).
+        QuarantineSlaveLocked(sit->second, now);
+      }
+    }
     // Idempotent charging: the transport may deliver the same report twice
     // (client retry after a lost response), so an attempt-numbered report
     // moves the counter to that attempt rather than incrementing per
@@ -733,12 +1165,18 @@ Result<XmlRpcValue> Master::RpcTaskFailed(const XmlRpcArray& params) {
 
   auto dsit = datasets_.find(static_cast<int>(dataset_id));
   if (dsit != datasets_.end()) {
-    if (dsit->second->task_state(static_cast<int>(source)) ==
-        TaskState::kRunning) {
-      dsit->second->ResetTask(static_cast<int>(source));
+    if (AnotherSlaveRunsLocked(key, static_cast<int>(slave_id))) {
+      // A twin attempt (speculative backup or original) is still running
+      // elsewhere; let it finish instead of queueing a third copy.
+    } else {
+      speculated_.erase(key);
+      if (dsit->second->task_state(static_cast<int>(source)) ==
+          TaskState::kRunning) {
+        dsit->second->ResetTask(static_cast<int>(source));
+      }
+      runnable_.push_back(
+          TaskRef{static_cast<int>(dataset_id), static_cast<int>(source)});
     }
-    runnable_.push_back(
-        TaskRef{static_cast<int>(dataset_id), static_cast<int>(source)});
   }
 
   sched_cv_.NotifyAll();
@@ -753,6 +1191,36 @@ Result<XmlRpcValue> Master::RpcPing(const XmlRpcArray& params) {
   auto sit = slaves_.find(static_cast<int>(slave_id));
   if (sit == slaves_.end()) return NotFoundError("unknown slave");
   sit->second.last_ping = NowSeconds();
+  return XmlRpcValue(XmlRpcStruct{});
+}
+
+Result<XmlRpcValue> Master::RpcDrain(const XmlRpcArray& params) {
+  if (params.size() != 1) return InvalidArgumentError("drain(slave_id)");
+  MRS_ASSIGN_OR_RETURN(int64_t slave_id, params[0].AsInt());
+  MutexLock lock(mutex_);
+  auto sit = slaves_.find(static_cast<int>(slave_id));
+  if (sit == slaves_.end()) return NotFoundError("unknown slave");
+  SlaveInfo& slave = sit->second;
+  slave.last_ping = NowSeconds();
+  if (slave.state == SlaveState::kHealthy ||
+      slave.state == SlaveState::kQuarantined) {
+    slave.state = SlaveState::kDraining;
+    slave.drain_deadline = NowSeconds() + config_.drain_timeout;
+    ++stats_.slaves_drained;
+    MasterCounters::Get().slaves_drained->Inc();
+    MRS_LOG(kInfo, "master")
+        << "slave " << slave_id << " draining: re-homing "
+        << slave.hosted.size() << " hosted rows, requeueing "
+        << slave.running.size() << " running tasks";
+    // Re-home through lineage: its hosted rows re-execute on the
+    // survivors, its running tasks requeue, its affinity entries drop.
+    // The slave stays registered (and its data server up) until it polls
+    // get_task and receives its release.
+    HandleSlaveLossLocked(slave);
+    UpdateMembershipGaugesLocked();
+    sched_cv_.NotifyAll();
+    done_cv_.NotifyAll();
+  }
   return XmlRpcValue(XmlRpcStruct{});
 }
 

@@ -19,6 +19,25 @@
 // on the survivors, and the job completes with results identical to the
 // serial runner.  Tasks are only handed out while their inputs are
 // complete, so a recovering sub-DAG re-executes in dependency order.
+//
+// Membership is elastic, not a fixed roster.  Each slave moves through a
+// small state machine (see DESIGN.md "Slave lifecycle"):
+//
+//   registering -> healthy -> draining  -> gone
+//                     |     \-> quarantined -> healthy (probation)
+//                     \--------------------> gone (ping timeout / crash)
+//
+// A slave may sign in mid-job (it is health-checked, handed the current
+// dataset manifest, and immediately schedulable — lineage makes its empty
+// bucket store safe); a slave may drain gracefully (the `drain` RPC: the
+// master stops assigning it work, re-executes its hosted buckets through
+// the lineage machinery, then releases it with "quit"); a slave whose
+// failure ledger crosses a threshold is quarantined — no new work, its
+// buckets invalidated — and re-admitted after a probation period.  The
+// master also runs speculative execution: per-operation runtime histograms
+// (mrs::obs) identify stragglers past a configurable quantile and a backup
+// attempt is launched on another healthy slave; the first finisher wins
+// and the duplicate completion is dropped idempotently.
 #pragma once
 
 #include <deque>
@@ -37,10 +56,23 @@
 #include "core/program.h"
 #include "core/runner.h"
 #include "http/server.h"
+#include "obs/metrics.h"
 #include "rt/protocol.h"
 #include "xmlrpc/server.h"
 
 namespace mrs {
+
+/// Membership state of a registered slave (DESIGN.md "Slave lifecycle").
+enum class SlaveState {
+  kRegistering,  // signin received, health probe in flight
+  kHealthy,      // schedulable
+  kDraining,     // drain requested: no new work, awaiting release
+  kQuarantined,  // failure threshold crossed: no new work until probation
+  kGone,         // released, timed out, or crashed; may revive by polling
+};
+
+/// Lower-case state name ("healthy", ...) for /status and logs.
+const char* SlaveStateName(SlaveState state);
 
 class Master {
  public:
@@ -48,6 +80,11 @@ class Master {
     std::string host = "127.0.0.1";
     uint16_t port = 0;           // 0 = ephemeral
     double slave_timeout = 15.0;  // seconds without ping before a slave is lost
+    /// A slave reporting its ping interval at signin is declared gone
+    /// after max(slave_timeout, missed_ping_limit * ping_interval) of
+    /// silence — the roster adapts to per-slave heartbeat cadence instead
+    /// of one global constant.
+    int missed_ping_limit = 5;
     /// How often the monitor thread checks for lost slaves.  The monitor
     /// sleeps on a condition variable, so Shutdown() is prompt regardless.
     double monitor_interval = 0.2;
@@ -55,6 +92,31 @@ class Master {
     double long_poll_seconds = 0.25;
     size_t rpc_workers = 16;
     bool enable_affinity = true;
+    /// Probe a signing-in slave's data server (GET /status) before
+    /// admitting it to the roster; a slave whose data plane is unreachable
+    /// is rejected at the door instead of poisoning lineage later.
+    bool health_check_on_signin = true;
+    /// Seconds a draining slave may linger awaiting release before the
+    /// monitor declares it gone (covers a slave that crashes mid-drain).
+    double drain_timeout = 10.0;
+    /// Speculative execution: launch a backup attempt for a running task
+    /// once its elapsed time exceeds
+    ///   max(speculation_min_seconds,
+    ///       speculation_multiplier * Quantile(speculation_quantile))
+    /// of the per-operation runtime histogram, provided the histogram has
+    /// at least speculation_min_samples completions and another healthy
+    /// slave exists to run the backup.  quantile <= 0 disables.
+    bool enable_speculation = true;
+    double speculation_quantile = 0.9;
+    double speculation_multiplier = 2.0;
+    int speculation_min_samples = 3;
+    double speculation_min_seconds = 0.25;
+    /// Quarantine: a slave reaching this many consecutive non-environmental
+    /// task failures is quarantined (no new work, hosted buckets
+    /// invalidated) unless it is the last healthy slave.  0 disables.
+    int quarantine_failure_threshold = 3;
+    /// Quarantined slaves re-enter the healthy pool after this long.
+    double probation_seconds = 5.0;
   };
 
   /// Bind the RPC server and start the scheduler.
@@ -96,6 +158,14 @@ class Master {
     /// channel / bucket fetches) — meaningful for in-process clusters.
     int64_t rpc_retries = 0;
     int64_t fetch_retries = 0;
+    // ---- Elastic membership ------------------------------------------
+    int64_t slaves_joined = 0;     // total successful signins
+    int64_t mid_job_joins = 0;     // signins while a dataset was incomplete
+    int64_t slaves_drained = 0;    // drain RPCs honoured
+    int64_t slaves_quarantined = 0;
+    int64_t probation_returns = 0;  // quarantine -> healthy transitions
+    int64_t tasks_speculated = 0;   // backup attempts launched
+    int64_t speculative_wins = 0;   // backups that finished first
   };
   Stats stats() const;
 
@@ -105,7 +175,8 @@ class Master {
   bool WaitUntilStats(const std::function<bool(const Stats&)>& pred,
                       double timeout_seconds);
 
-  /// The /status document: job progress, per-slave liveness, and lineage
+  /// The /status document: job progress, per-slave liveness + health
+  /// ledger, membership counts, live health-config values, and lineage
   /// counters as JSON.  Served by the master's HTTP server and callable
   /// directly (thread-safe).
   std::string StatusJson() const;
@@ -114,12 +185,29 @@ class Master {
   explicit Master(Config config);
   Status Init();
 
+  /// One running attempt of a task on a particular slave.
+  struct RunningTask {
+    double started = 0;        // NowSeconds() at assignment
+    bool speculative = false;  // backup attempt of a straggler
+  };
+
   struct SlaveInfo {
     int id = 0;
     std::string data_url_base;  // "http://host:port"
     double last_ping = 0;
-    bool alive = true;
-    std::set<int64_t> running;  // task keys
+    SlaveState state = SlaveState::kRegistering;
+    /// Heartbeat cadence the slave reported at signin (0 = unknown); feeds
+    /// the adaptive death threshold.
+    double ping_interval = 0;
+    double drain_deadline = 0;     // kDraining: forced release time
+    double quarantine_until = 0;   // kQuarantined: probation end
+    // Health ledger.
+    int consecutive_failures = 0;
+    int64_t task_failures = 0;
+    int64_t task_successes = 0;
+    double latency_ewma = 0;  // seconds; exponentially weighted task latency
+    /// Task keys currently assigned to this slave.
+    std::map<int64_t, RunningTask> running;
     /// Completed task keys whose output URLs point at this slave's data
     /// server — the lineage record consulted when the slave dies.
     std::set<int64_t> hosted;
@@ -129,6 +217,10 @@ class Master {
   struct TaskRef {
     int dataset_id = 0;
     int source = 0;
+    /// Backup attempt for a straggler: does not claim the task (the
+    /// original attempt keeps running); valid only while the task state
+    /// is still kRunning.
+    bool speculative = false;
   };
 
   static int64_t TaskKey(int dataset_id, int source) {
@@ -141,6 +233,7 @@ class Master {
   Result<XmlRpcValue> RpcTaskDone(const XmlRpcArray& params);
   Result<XmlRpcValue> RpcTaskFailed(const XmlRpcArray& params);
   Result<XmlRpcValue> RpcPing(const XmlRpcArray& params);
+  Result<XmlRpcValue> RpcDrain(const XmlRpcArray& params);
 
   // Scheduling internals.  The *Locked suffix is enforced by the
   // compiler: each declares MRS_REQUIRES(mutex_), so a call site that
@@ -151,13 +244,15 @@ class Master {
   Result<TaskAssignment> BuildAssignmentLocked(const TaskRef& ref)
       MRS_REQUIRES(mutex_);
   /// Pick the next runnable task this slave may execute (inputs complete,
-  /// still pending), preferring its affinity matches.  Prunes stale refs.
+  /// still pending — or a speculative backup of a task still running
+  /// elsewhere), preferring its affinity matches.  Prunes stale refs.
   /// Returns false if nothing is currently assignable.
   bool PickRunnableLocked(int slave_id, TaskRef* out, bool* affinity_hit)
       MRS_REQUIRES(mutex_);
   void RequeueTasksOfSlaveLocked(SlaveInfo& slave) MRS_REQUIRES(mutex_);
-  /// Full reaction to a dead slave: requeue its running tasks, invalidate
-  /// every completed task it hosted, and drop its affinity entries.
+  /// Full reaction to a departed slave: requeue its running tasks (unless
+  /// a twin attempt survives elsewhere), invalidate every completed task
+  /// it hosted, and drop its affinity entries.
   void HandleSlaveLossLocked(SlaveInfo& slave) MRS_REQUIRES(mutex_);
   /// Lineage core: reset + requeue each completed task whose output lived
   /// on `slave`.  Returns the number of tasks invalidated.
@@ -168,6 +263,29 @@ class Master {
   /// reporting task's attempt budget.
   bool RecoverLostUrlLocked(const std::string& bad_url) MRS_REQUIRES(mutex_);
   void FailJobLocked(Status status) MRS_REQUIRES(mutex_);
+  /// True if a healthy slave other than `except_id` exists (quarantine
+  /// and speculation both need somewhere else to run work).
+  bool AnotherHealthySlaveLocked(int except_id) const MRS_REQUIRES(mutex_);
+  /// True if a non-gone slave other than `except_id` currently runs `key`
+  /// (its attempt survives, so the task need not be requeued).
+  bool AnotherSlaveRunsLocked(int64_t key, int except_id) const
+      MRS_REQUIRES(mutex_);
+  /// Silence threshold for this slave: max(slave_timeout,
+  /// missed_ping_limit * reported ping interval).
+  double DeathTimeoutLocked(const SlaveInfo& slave) const
+      MRS_REQUIRES(mutex_);
+  /// Move a slave into quarantine: no new work, hosted buckets
+  /// invalidated, probation timer armed.
+  void QuarantineSlaveLocked(SlaveInfo& slave, double now)
+      MRS_REQUIRES(mutex_);
+  /// Launch backup attempts for running tasks past the straggler
+  /// threshold.  Returns true if any backup was queued.
+  bool ScanForStragglersLocked(double now) MRS_REQUIRES(mutex_);
+  /// Refresh the mrs.master.slaves_{healthy,draining,quarantined} gauges.
+  void UpdateMembershipGaugesLocked() MRS_REQUIRES(mutex_);
+  /// Per-operation runtime histogram (created on first use).
+  obs::Histogram* OpHistogramLocked(const std::string& op_name)
+      MRS_REQUIRES(mutex_);
   void MonitorLoop();
 
   Config config_;
@@ -190,6 +308,15 @@ class Master {
   int next_slave_id_ MRS_GUARDED_BY(mutex_) = 1;
   // "op:source" -> slave id.
   std::map<std::string, int> affinity_ MRS_GUARDED_BY(mutex_);
+  /// Task keys with a backup attempt outstanding (queued or running) —
+  /// caps speculation at one backup per task.
+  std::set<int64_t> speculated_ MRS_GUARDED_BY(mutex_);
+  /// Per-operation task runtime distributions feeding the straggler
+  /// threshold.  Owned by this master (not the process-wide registry) so
+  /// concurrent masters in one process — the test norm — never mix
+  /// samples; /status surfaces the derived quantiles.
+  std::map<std::string, std::unique_ptr<obs::Histogram>> op_hist_
+      MRS_GUARDED_BY(mutex_);
   Stats stats_ MRS_GUARDED_BY(mutex_);
   int64_t rpc_retries_base_ = 0;    // process counters at Init
   int64_t fetch_retries_base_ = 0;

@@ -1,5 +1,6 @@
 #include "rt/mrs_main.h"
 
+#include <csignal>
 #include <cstdio>
 
 #include "common/clock.h"
@@ -57,11 +58,31 @@ Status RunMockParallel(MapReduce* program) {
   return status;
 }
 
+/// Elasticity/health flags -> Master::Config.
+void ApplyMasterOptions(const Options& opts, Master::Config* config) {
+  config->slave_timeout = opts.GetDouble("mrs-slave-timeout", 15.0);
+  config->missed_ping_limit =
+      static_cast<int>(opts.GetInt("mrs-missed-ping-limit", 5));
+  config->drain_timeout = opts.GetDouble("mrs-drain-timeout", 10.0);
+  double quantile = opts.GetDouble("mrs-speculation-quantile", 0.9);
+  config->enable_speculation = quantile > 0;
+  if (quantile > 0) config->speculation_quantile = quantile;
+  config->quarantine_failure_threshold =
+      static_cast<int>(opts.GetInt("mrs-quarantine-failures", 3));
+  config->probation_seconds = opts.GetDouble("mrs-probation-seconds", 5.0);
+}
+
+void ApplySlaveOptions(const Options& opts, Slave::Config* config) {
+  config->ping_interval = opts.GetDouble("mrs-ping-interval", 2.0);
+  config->shared_dir = opts.GetString("mrs-shared-dir");
+}
+
 Status RunMasterSlave(const ProgramFactory& factory, MapReduce* program) {
   ClusterLauncher::Config config;
   config.num_slaves =
       static_cast<int>(program->opts().GetInt("mrs-num-slaves", 2));
-  config.slave.shared_dir = program->opts().GetString("mrs-shared-dir");
+  ApplyMasterOptions(program->opts(), &config.master);
+  ApplySlaveOptions(program->opts(), &config.slave);
   MRS_ASSIGN_OR_RETURN(
       std::unique_ptr<ClusterLauncher> cluster,
       ClusterLauncher::Start(factory, program->opts(), config));
@@ -77,6 +98,7 @@ Status RunMasterSlave(const ProgramFactory& factory, MapReduce* program) {
 Status RunMasterProcess(MapReduce* program) {
   Master::Config config;
   config.port = static_cast<uint16_t>(program->opts().GetInt("mrs-port", 0));
+  ApplyMasterOptions(program->opts(), &config);
   MRS_ASSIGN_OR_RETURN(std::unique_ptr<Master> master, Master::Start(config));
 
   // The run-script handshake (paper Program 3): write host:port to the
@@ -106,7 +128,13 @@ Status RunSlaveProcess(MapReduce* program) {
   }
   Slave::Config config;
   MRS_ASSIGN_OR_RETURN(config.master, SocketAddr::Parse(master_addr));
-  config.shared_dir = program->opts().GetString("mrs-shared-dir");
+  ApplySlaveOptions(program->opts(), &config);
+  // SIGTERM means "retire gracefully" (a preempting scheduler's warning
+  // shot): drain instead of dying, so hosted buckets are re-homed and the
+  // exit is clean.  The handler is one atomic store — signal-safe.
+  struct sigaction action = {};
+  action.sa_handler = [](int) { RequestProcessDrain(); };
+  sigaction(SIGTERM, &action, nullptr);
   MRS_ASSIGN_OR_RETURN(std::unique_ptr<Slave> slave,
                        Slave::Start(program, config));
   return slave->Run();

@@ -7,18 +7,36 @@
 // HTTP server (paper §IV-B).
 //
 // Methods served by the master at /RPC2:
-//   signin(host, data_port)                  -> {slave_id}
+//   signin(host, data_port[, ping_interval]) -> {slave_id, manifest}
 //   get_task(slave_id)                       -> assignment | {kind:"wait"} | {kind:"quit"}
-//   task_done(slave_id, dataset_id, source, urls)   -> {}
+//   task_done(slave_id, dataset_id, source, urls[, attempt])   -> {}
 //   task_failed(slave_id, dataset_id, source, message, bad_url[, attempt]) -> {}
 //   ping(slave_id)                           -> {}
+//   drain(slave_id)                          -> {}
+//
+// signin admits a slave at any time, including mid-job (elastic
+// membership): the master health-checks the advertised data server with a
+// GET /status probe before admission, and the reply's `manifest` array
+// describes every registered dataset ({dataset_id, op, kind, sources,
+// splits, complete}) so a late joiner knows the job it entered.  The
+// optional ping_interval (seconds) lets the master scale that slave's
+// death threshold to max(slave_timeout, missed_ping_limit * interval).
+//
+// drain asks the master to retire the calling slave gracefully: no new
+// work is assigned, its hosted buckets are re-executed elsewhere through
+// lineage, and its next get_task poll answers "quit" (the release).  A
+// draining slave that never polls again is reaped at the drain deadline.
 //
 // task_failed's optional trailing attempt number (the assignment's 1-based
 // attempt) makes failure charging idempotent: the transport may deliver a
 // report more than once (client-side retry after a lost response), and the
 // master charges each attempt at most once by taking the max rather than
 // incrementing per delivery.  Old slaves omit it and keep the old
-// increment-per-report behaviour.
+// increment-per-report behaviour.  task_done carries the same attempt
+// number; completion dedup needs no arithmetic (the first row to land wins
+// and the completed-state guard drops the rest — whether a transport
+// retry or the losing twin of a speculative race), so the value is
+// informational.
 //
 // Fault-recovery semantics: the URLs reported via task_done double as the
 // job's lineage record — the master notes which slave's data server hosts

@@ -18,6 +18,18 @@
 
 namespace mrs {
 
+namespace {
+std::atomic<bool> g_process_drain{false};
+}  // namespace
+
+void RequestProcessDrain() {
+  g_process_drain.store(true, std::memory_order_relaxed);
+}
+
+bool ProcessDrainRequested() {
+  return g_process_drain.load(std::memory_order_relaxed);
+}
+
 Slave::Slave(MapReduce* program, Config config)
     : program_(program), config_(std::move(config)) {
   faults_remaining_.store(config_.faults.fail_first_n_tasks);
@@ -47,17 +59,31 @@ Status Slave::Init() {
   rpc_ = std::make_unique<XmlRpcClient>(config_.master);
   rpc_->set_retry_policy(config_.rpc_retry);
 
+  // The reported ping interval lets the master size this slave's death
+  // threshold (missed_ping_limit * interval) instead of assuming one
+  // global heartbeat cadence.
   MRS_ASSIGN_OR_RETURN(
       XmlRpcValue reply,
       rpc_->Call("signin",
                  XmlRpcArray{XmlRpcValue(data_server_->addr().host),
                              XmlRpcValue(static_cast<int64_t>(
-                                 data_server_->addr().port))}));
+                                 data_server_->addr().port)),
+                             XmlRpcValue(config_.ping_interval)}));
   MRS_ASSIGN_OR_RETURN(const XmlRpcValue* id, reply.Field("slave_id"));
   MRS_ASSIGN_OR_RETURN(int64_t slave_id, id->AsInt());
   id_ = static_cast<int>(slave_id);
+  // Mid-job joiners get the current dataset/operation manifest: nothing to
+  // act on eagerly (tasks arrive via get_task), but it tells the operator
+  // what the slave walked into.
+  size_t manifest_size = 0;
+  if (auto manifest = reply.Field("manifest"); manifest.ok()) {
+    if (auto arr = (*manifest)->AsArray(); arr.ok()) {
+      manifest_size = (*arr)->size();
+    }
+  }
   MRS_LOG(kInfo, "slave") << "slave " << id_ << " signed in; data server on "
-                          << data_server_->addr().ToString();
+                          << data_server_->addr().ToString() << "; "
+                          << manifest_size << " datasets in flight";
   // Pings are deliberately unretried: a missed beat is fine (the next one
   // is a fresh liveness sample) and backoff lives in PingLoop itself.
   ping_rpc_ = std::make_unique<XmlRpcClient>(config_.master);
@@ -262,6 +288,7 @@ Status Slave::ExecuteAssignment(const TaskAssignment& assignment) {
   if (config_.faults.slow_task_seconds > 0) {
     SleepForSeconds(config_.faults.slow_task_seconds);  // straggler
   }
+  const double exec_start = RealClock::Instance().Now();
 
   // One span per task attempt, labelled with the phase it executes.
   obs::ScopedSpan span(assignment.options.op_name,
@@ -340,6 +367,17 @@ Status Slave::ExecuteAssignment(const TaskAssignment& assignment) {
     }
   }
 
+  // Limping-node chaos: stretch this task's wall time by the configured
+  // multiplier before reporting — exercises straggler detection with a
+  // latency profile proportional to real work, unlike slow_task_seconds.
+  if (config_.faults.slow_everything > 1.0) {
+    double elapsed = RealClock::Instance().Now() - exec_start;
+    SleepForSeconds(elapsed * (config_.faults.slow_everything - 1.0));
+  }
+
+  // The attempt number rides along for the same idempotency contract as
+  // task_failed: a duplicated delivery (or a losing speculative twin) is
+  // dropped by the master's completed-state guard, not double-counted.
   MRS_ASSIGN_OR_RETURN(
       XmlRpcValue reply,
       rpc_->Call("task_done",
@@ -348,7 +386,9 @@ Status Slave::ExecuteAssignment(const TaskAssignment& assignment) {
                                  assignment.dataset_id)),
                              XmlRpcValue(static_cast<int64_t>(
                                  assignment.source)),
-                             XmlRpcValue(std::move(urls))}));
+                             XmlRpcValue(std::move(urls)),
+                             XmlRpcValue(static_cast<int64_t>(
+                                 assignment.attempt))}));
   (void)reply;
   tasks_executed_.fetch_add(1);
   static obs::Counter* executed =
@@ -376,7 +416,32 @@ std::string Slave::StatusJson() {
 
 Status Slave::Run() {
   int idle_streak = 0;
+  bool drain_sent = false;
   while (!stop_.load()) {
+    // Graceful retirement: tell the master once, then keep polling (and
+    // serving buckets) until it answers a get_task with "quit".  The
+    // master re-homes our hosted rows through lineage before releasing us.
+    if (!drain_sent &&
+        (drain_requested_.load() || ProcessDrainRequested())) {
+      drain_sent = true;
+      MRS_LOG(kInfo, "slave") << "slave " << id_
+                              << " draining; awaiting release from master";
+      Result<XmlRpcValue> r = rpc_->Call(
+          "drain", XmlRpcArray{XmlRpcValue(static_cast<int64_t>(id_))});
+      if (!r.ok()) {
+        MRS_LOG(kWarning, "slave")
+            << "drain request failed (master will time the drain out): "
+            << r.status().ToString();
+      }
+      if (config_.faults.drain_then_crash) {
+        // Chaos: the grace period is cut short — die without collecting
+        // the release.  The master's drain deadline reaps us.
+        MRS_LOG(kWarning, "slave")
+            << "slave " << id_ << " hard-crashing mid-drain (chaos)";
+        Crash();
+        return UnavailableError("slave crashed mid-drain (chaos injection)");
+      }
+    }
     Result<XmlRpcValue> reply = rpc_->Call(
         "get_task", XmlRpcArray{XmlRpcValue(static_cast<int64_t>(id_))});
     if (stop_.load()) break;

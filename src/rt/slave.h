@@ -49,6 +49,13 @@ class Slave {
     double fail_fetch_probability = 0;
     /// Straggler: sleep this long before executing each task.
     double slow_task_seconds = 0;
+    /// Global latency multiplier (> 1 slows the slave down): after each
+    /// task executes, sleep (multiplier - 1) x its elapsed time before
+    /// reporting completion — a limping node rather than a fixed delay.
+    double slow_everything = 0;
+    /// After the drain RPC is sent, hard-crash instead of polling for the
+    /// release — a SIGTERM'd slave whose grace period was cut short.
+    bool drain_then_crash = false;
     /// Chaos RNG stream (fetch-fault draws).
     uint64_t seed = 0x9e3779b97f4a7c15ull;
   };
@@ -92,6 +99,11 @@ class Slave {
 
   /// Ask the loop to exit (safe from other threads).
   void Stop() { stop_.store(true); }
+
+  /// Graceful retirement (safe from other threads): the main loop sends
+  /// the `drain` RPC once, keeps serving its buckets, and exits when the
+  /// master releases it with "quit".
+  void RequestDrain() { drain_requested_.store(true); }
 
   /// Hard-kill for chaos tests: the data server goes down immediately,
   /// pings stop, and the main loop exits without signing off — exactly
@@ -141,6 +153,7 @@ class Slave {
   std::thread ping_thread_;
   std::atomic<bool> stop_{false};
   std::atomic<bool> crashed_{false};
+  std::atomic<bool> drain_requested_{false};
   std::atomic<int64_t> tasks_executed_{0};
   std::atomic<int> faults_remaining_{0};
   std::atomic<uint64_t> chaos_rng_{0};
@@ -156,5 +169,12 @@ class Slave {
   Mutex store_mutex_;
   std::map<std::string, StoredBucket> store_ MRS_GUARDED_BY(store_mutex_);
 };
+
+/// Process-wide drain flag for the quickstart binary's SIGTERM handler:
+/// a lone atomic store, so it is safe to call from a signal context.  The
+/// slave's Run() loop polls ProcessDrainRequested() alongside its own
+/// RequestDrain() flag.
+void RequestProcessDrain();
+bool ProcessDrainRequested();
 
 }  // namespace mrs

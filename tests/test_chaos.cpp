@@ -11,8 +11,11 @@
 #include <algorithm>
 #include <map>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/retry.h"
 #include "halton/pi_program.h"
 #include "http/client.h"
@@ -286,6 +289,12 @@ TEST(Chaos, PiEstimationSurvivesSlaveCrash) {
 TEST(Chaos, PingDropSlaveIsDeclaredLostAndMayRevive) {
   ClusterLauncher::Config config = FastFailoverConfig(2);
   config.master.slave_timeout = 0.4;
+  // Pin the adaptive death threshold at 0.4s (2 * the 0.2s ping interval)
+  // and disable speculation: a backup attempt would let the fast slave
+  // absorb the straggler's work, finishing the job before the silent
+  // slave accrues enough quiet time to be declared lost.
+  config.master.missed_ping_limit = 2;
+  config.master.enable_speculation = false;
   config.fault_plans.resize(2);
   config.fault_plans[0].drop_pings_after_n_tasks = 1;
   config.fault_plans[0].drop_pings_for_seconds = 2.0;
@@ -355,6 +364,231 @@ TEST(Chaos, FlakyFetchesAreAbsorbedByRetries) {
   // retry (P[no fault] < 1e-4 even before collect-side fetches).
   EXPECT_GE((*cluster)->master().stats().fetch_retries, 1);
   (*cluster)->Shutdown();
+}
+
+// ---- Elastic membership -------------------------------------------------
+
+// Mid-job join: the cluster starts with a single slow slave; a second,
+// fast slave signs in while the map phase is underway and must be
+// health-checked, admitted, and actually scheduled.
+TEST(Chaos, SlaveJoinsMidMapAndIsScheduled) {
+  ClusterLauncher::Config config = FastFailoverConfig(1);
+  config.fault_plans.resize(1);
+  config.fault_plans[0].slow_task_seconds = 0.15;  // keeps the job alive
+  auto cluster = ClusterLauncher::Start(
+      [] { return std::unique_ptr<MapReduce>(new ChaosWordCount()); },
+      Options(), config);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+
+  ChaosWordCount program;
+  ASSERT_TRUE(program.Init(Options()).ok());
+  Job job(&program, std::make_unique<MasterRunner>(&(*cluster)->master()));
+  Status run_status;
+  std::thread runner([&] { run_status = program.Run(job); });
+
+  // Wait until the job has demonstrably started, then bring up the joiner.
+  ASSERT_TRUE((*cluster)->master().WaitUntilStats(
+      [](const Master::Stats& s) { return s.tasks_assigned >= 1; },
+      /*timeout_seconds=*/10.0));
+  Result<int> joined = (*cluster)->AddSlave();
+  ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+
+  runner.join();
+  ASSERT_TRUE(run_status.ok()) << run_status.ToString();
+  EXPECT_EQ(EncodeTextRecords(program.result),
+            EncodeTextRecords(SerialWordCount()));
+  Master::Stats stats = (*cluster)->master().stats();
+  EXPECT_GE(stats.mid_job_joins, 1);
+  // The joiner really participated: with ~0.15s per task on the original
+  // slave and ~10 tasks outstanding at join time, the fast joiner wins
+  // the pull race for at least one of them.
+  EXPECT_GE((*cluster)->slave(*joined).tasks_executed(), 1);
+  (*cluster)->Shutdown();
+}
+
+// Graceful drain mid-job: once the reduce phase is reachable, slave 0 is
+// asked to retire.  The master re-executes its hosted map buckets through
+// lineage on the survivor and the answer is unchanged.
+TEST(Chaos, GracefulDrainDuringReduceReExecutesHostedBuckets) {
+  ClusterLauncher::Config config = FastFailoverConfig(2);
+  config.fault_plans.resize(2);
+  config.fault_plans[0].slow_task_seconds = 0.15;
+  config.fault_plans[1].slow_task_seconds = 0.15;
+  auto cluster = ClusterLauncher::Start(
+      [] { return std::unique_ptr<MapReduce>(new ChaosWordCount()); },
+      Options(), config);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+
+  ChaosWordCount program;
+  ASSERT_TRUE(program.Init(Options()).ok());
+  Job job(&program, std::make_unique<MasterRunner>(&(*cluster)->master()));
+  Status run_status;
+  std::thread runner([&] { run_status = program.Run(job); });
+
+  // All 8 maps done: slave 0 hosts roughly half the map buckets the
+  // reduces are about to consume.  Drain it now.
+  ASSERT_TRUE((*cluster)->master().WaitUntilStats(
+      [](const Master::Stats& s) { return s.tasks_completed >= 8; },
+      /*timeout_seconds=*/20.0));
+  (*cluster)->DrainSlave(0);
+
+  runner.join();
+  ASSERT_TRUE(run_status.ok()) << run_status.ToString();
+  EXPECT_EQ(EncodeTextRecords(program.result),
+            EncodeTextRecords(SerialWordCount()));
+  Master::Stats stats = (*cluster)->master().stats();
+  EXPECT_GE(stats.slaves_drained, 1);
+  EXPECT_GE(stats.tasks_invalidated, 1);
+  EXPECT_EQ(stats.slaves_lost, 0);  // a drain is not a death
+  (*cluster)->Shutdown();
+}
+
+// A slave that crashes right after requesting its drain (SIGTERM grace
+// period cut short) is reaped by the drain deadline; the job still ends
+// with the serial answer.
+TEST(Chaos, DrainThenCrashIsSurvived) {
+  ClusterLauncher::Config config = FastFailoverConfig(2);
+  config.master.drain_timeout = 0.5;
+  config.fault_plans.resize(2);
+  config.fault_plans[0].slow_task_seconds = 0.15;
+  config.fault_plans[0].drain_then_crash = true;
+  config.fault_plans[1].slow_task_seconds = 0.15;
+  auto cluster = ClusterLauncher::Start(
+      [] { return std::unique_ptr<MapReduce>(new ChaosWordCount()); },
+      Options(), config);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+
+  ChaosWordCount program;
+  ASSERT_TRUE(program.Init(Options()).ok());
+  Job job(&program, std::make_unique<MasterRunner>(&(*cluster)->master()));
+  Status run_status;
+  std::thread runner([&] { run_status = program.Run(job); });
+
+  ASSERT_TRUE((*cluster)->master().WaitUntilStats(
+      [](const Master::Stats& s) { return s.tasks_completed >= 4; },
+      /*timeout_seconds=*/20.0));
+  (*cluster)->DrainSlave(0);
+
+  runner.join();
+  ASSERT_TRUE(run_status.ok()) << run_status.ToString();
+  EXPECT_EQ(EncodeTextRecords(program.result),
+            EncodeTextRecords(SerialWordCount()));
+  EXPECT_TRUE((*cluster)->slave(0).crashed());
+  EXPECT_GE((*cluster)->master().stats().slaves_drained, 1);
+  (*cluster)->Shutdown();
+}
+
+// Quarantine + probation: a slave that fails its first three tasks is
+// quarantined (the ledger's consecutive-failure threshold), re-admitted
+// after probation, and participates again in a second job on the same
+// cluster.
+TEST(Chaos, QuarantineThenProbationRecovery) {
+  ClusterLauncher::Config config = FastFailoverConfig(3);
+  config.master.quarantine_failure_threshold = 3;
+  config.master.probation_seconds = 0.5;
+  // Affinity off so the re-admitted slave competes for job 2's tasks on
+  // equal footing instead of losing every task to job 1's placements.
+  config.master.enable_affinity = false;
+  config.fault_plans.resize(3);
+  config.fault_plans[0].fail_first_n_tasks = 3;
+  config.fault_plans[1].slow_task_seconds = 0.05;
+  config.fault_plans[2].slow_task_seconds = 0.05;
+  auto cluster = ClusterLauncher::Start(
+      [] { return std::unique_ptr<MapReduce>(new ChaosWordCount()); },
+      Options(), config);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+
+  ChaosWordCount program;
+  ASSERT_TRUE(program.Init(Options()).ok());
+  Job job(&program, std::make_unique<MasterRunner>(&(*cluster)->master()));
+  ASSERT_TRUE(program.Run(job).ok());
+  EXPECT_EQ(EncodeTextRecords(program.result),
+            EncodeTextRecords(SerialWordCount()));
+
+  ASSERT_TRUE((*cluster)->master().WaitUntilStats(
+      [](const Master::Stats& s) { return s.slaves_quarantined >= 1; },
+      /*timeout_seconds=*/10.0));
+  ASSERT_TRUE((*cluster)->master().WaitUntilStats(
+      [](const Master::Stats& s) { return s.probation_returns >= 1; },
+      /*timeout_seconds=*/10.0));
+
+  // Second job on the same cluster: the recovered slave (its injected
+  // faults spent, and now the only fast one) must take part.
+  int64_t executed_before = (*cluster)->slave(0).tasks_executed();
+  ChaosWordCount second;
+  ASSERT_TRUE(second.Init(Options()).ok());
+  Job job2(&second, std::make_unique<MasterRunner>(&(*cluster)->master()));
+  ASSERT_TRUE(second.Run(job2).ok());
+  EXPECT_EQ(EncodeTextRecords(second.result),
+            EncodeTextRecords(SerialWordCount()));
+  EXPECT_GT((*cluster)->slave(0).tasks_executed(), executed_before);
+  (*cluster)->Shutdown();
+}
+
+// slow_everything is a latency multiplier, not a correctness hazard: a
+// limping slave changes nothing about the answer.
+TEST(Chaos, SlowEverythingKeepsAnswerIdentical) {
+  ClusterLauncher::Config config = FastFailoverConfig(2);
+  config.fault_plans.resize(2);
+  config.fault_plans[1].slow_task_seconds = 0.02;  // give the tasks mass
+  config.fault_plans[1].slow_everything = 5.0;
+  auto cluster = ClusterLauncher::Start(
+      [] { return std::unique_ptr<MapReduce>(new ChaosWordCount()); },
+      Options(), config);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+
+  ChaosWordCount program;
+  ASSERT_TRUE(program.Init(Options()).ok());
+  Job job(&program, std::make_unique<MasterRunner>(&(*cluster)->master()));
+  ASSERT_TRUE(program.Run(job).ok());
+  EXPECT_EQ(EncodeTextRecords(program.result),
+            EncodeTextRecords(SerialWordCount()));
+  (*cluster)->Shutdown();
+}
+
+// The ISSUE's speculation acceptance bound: with a severe straggler on one
+// slave, speculative backups keep end-to-end time within max(2x the
+// no-straggler baseline, 2s) — previously unbounded (the job waited the
+// full straggler delay per held task).
+TEST(Chaos, SpeculationBoundsStragglerDelay) {
+  auto run_once = [](double straggler_seconds, bool speculate) {
+    ClusterLauncher::Config config = FastFailoverConfig(2);
+    config.master.enable_speculation = speculate;
+    config.master.speculation_quantile = 0.5;
+    config.master.speculation_min_samples = 3;
+    config.master.speculation_min_seconds = 0.05;
+    config.fault_plans.resize(2);
+    config.fault_plans[0].slow_task_seconds = straggler_seconds;
+    auto cluster = ClusterLauncher::Start(
+        [] { return std::unique_ptr<MapReduce>(new ChaosWordCount()); },
+        Options(), config);
+    EXPECT_TRUE(cluster.ok()) << cluster.status().ToString();
+
+    ChaosWordCount program;
+    EXPECT_TRUE(program.Init(Options()).ok());
+    Job job(&program, std::make_unique<MasterRunner>(&(*cluster)->master()));
+    Stopwatch watch;
+    Status status = program.Run(job);
+    double elapsed = watch.ElapsedSeconds();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    EXPECT_EQ(EncodeTextRecords(program.result),
+              EncodeTextRecords(SerialWordCount()));
+    Master::Stats stats = (*cluster)->master().stats();
+    (*cluster)->Shutdown();
+    return std::make_pair(elapsed, stats);
+  };
+
+  // Baseline: no straggler, speculation off.
+  auto [baseline, baseline_stats] = run_once(0.0, false);
+  EXPECT_EQ(baseline_stats.tasks_speculated, 0);
+
+  // 1.5s per task held by slave 0 (~10x a generous per-task baseline):
+  // each held task must be rescued by a backup on the fast slave, or the
+  // job serializes behind the straggler (~10+ seconds).
+  auto [with_straggler, stats] = run_once(1.5, true);
+  EXPECT_GE(stats.tasks_speculated, 1);
+  EXPECT_GE(stats.speculative_wins, 1);
+  EXPECT_LT(with_straggler, std::max(2 * baseline, 2.0));
 }
 
 }  // namespace

@@ -113,5 +113,93 @@ TEST(MultiProcess, MasterAndSlaveProcessesMatchSerial) {
   RemoveTree(*dir);
 }
 
+// Elastic membership across real process boundaries: one slave process is
+// SIGKILLed mid-job (the scheduler's preemption) and a replacement is
+// spawned against the same master address.  The master must survive the
+// loss (lineage re-runs the corpse's buckets), admit the mid-job joiner,
+// and still produce output identical to the serial run.
+TEST(MultiProcess, SlaveSigkillWithReplacementMatchesSerial) {
+  std::string binary = MRS_QUICKSTART_BINARY;
+  ASSERT_FALSE(binary.empty());
+  ASSERT_TRUE(FileExists(binary)) << binary;
+
+  auto dir = MakeTempDir("mrs_multiproc_kill_");
+  ASSERT_TRUE(dir.ok());
+  ASSERT_TRUE(EnsureDir(JoinPath(*dir, "in")).ok());
+  // Enough input (200 files x 40 lines) and map tasks (2 slaves x 50) that
+  // the job comfortably outlives the kill window: measured ~330ms clean
+  // and ~850ms with the kill + recovery, versus a kill at 150ms.
+  for (int i = 0; i < 200; ++i) {
+    std::string line = "hello world hello file" + std::to_string(i) +
+                       " alpha beta gamma delta epsilon zeta\n";
+    std::string content;
+    for (int k = 0; k < 40; ++k) content += line;
+    ASSERT_TRUE(WriteFileAtomic(
+                    JoinPath(*dir, "in/f" + std::to_string(i) + ".txt"),
+                    content)
+                    .ok());
+  }
+
+  std::string port_file = JoinPath(*dir, "master.port");
+  std::string serial_out = JoinPath(*dir, "serial.txt");
+  std::string distributed_out = JoinPath(*dir, "distributed.txt");
+
+  {
+    auto pid = Spawn({binary, "-o", serial_out, JoinPath(*dir, "in")});
+    ASSERT_TRUE(pid.ok());
+    EXPECT_EQ(WaitFor(*pid, 20.0), 0);
+  }
+
+  // Fast-failover thresholds so the SIGKILLed slave is declared lost in
+  // seconds, not the 15s production default.
+  auto master = Spawn({binary, "-I", "master", "--mrs-port-file", port_file,
+                       "-N", "2", "--mrs-tasks-per-slave", "50",
+                       "--mrs-slave-timeout", "1.5",
+                       "--mrs-missed-ping-limit", "3", "-o", distributed_out,
+                       JoinPath(*dir, "in")});
+  ASSERT_TRUE(master.ok());
+
+  std::string address;
+  for (int i = 0; i < 200 && address.empty(); ++i) {
+    if (FileExists(port_file)) {
+      auto content = ReadFileToString(port_file);
+      if (content.ok()) address = std::string(Trim(*content));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  ASSERT_FALSE(address.empty()) << "master never wrote its port file";
+
+  auto slave1 = Spawn({binary, "-I", "slave", "-M", address,
+                       "--mrs-ping-interval", "0.2"});
+  auto slave2 = Spawn({binary, "-I", "slave", "-M", address,
+                       "--mrs-ping-interval", "0.2"});
+  ASSERT_TRUE(slave1.ok() && slave2.ok());
+
+  // Let the job get underway, then preempt slave 2 and bring up its
+  // replacement, which signs in mid-job.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ::kill(*slave2, SIGKILL);
+  auto slave3 = Spawn({binary, "-I", "slave", "-M", address,
+                       "--mrs-ping-interval", "0.2"});
+  ASSERT_TRUE(slave3.ok());
+
+  EXPECT_EQ(WaitFor(*master, 90.0), 0);
+  EXPECT_EQ(WaitFor(*slave1, 20.0), 0);
+  EXPECT_EQ(WaitFor(*slave3, 20.0), 0);
+  // The SIGKILLed slave died by signal (-2) — or, if the job somehow beat
+  // the kill, exited cleanly.  Reap it either way.
+  int slave2_exit = WaitFor(*slave2, 10.0);
+  EXPECT_TRUE(slave2_exit == -2 || slave2_exit == 0)
+      << "unexpected slave2 exit: " << slave2_exit;
+
+  auto serial = ReadFileToString(serial_out);
+  auto distributed = ReadFileToString(distributed_out);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(distributed.ok());
+  EXPECT_EQ(*serial, *distributed);
+  EXPECT_NE(serial->find("'hello'\t16000"), std::string::npos);
+  RemoveTree(*dir);
+}
+
 }  // namespace
 }  // namespace mrs
