@@ -188,6 +188,11 @@ void AddStandardMrsOptions(OptionParser* parser) {
   parser->Add("mrs-shared-dir", 0, true,
               "slaves publish buckets as files in this shared directory "
               "instead of serving them over HTTP (fault-tolerant mode)");
+  parser->Add("mrs-memory-budget", 0, true,
+              "per-process cap on in-memory bucket bytes (e.g. 64M, 1G); "
+              "buckets over budget spill to disk as sorted runs. 0 = "
+              "unlimited",
+              "0");
   parser->Add("mrs-ping-interval", 0, true,
               "slave heartbeat interval in seconds (reported to the master "
               "at signin, which scales its death threshold accordingly)",

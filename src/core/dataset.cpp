@@ -1,6 +1,10 @@
 #include "core/dataset.h"
 
 #include <cassert>
+#include <string>
+
+#include "fs/file_io.h"
+#include "fs/spill.h"
 
 namespace mrs {
 
@@ -24,6 +28,14 @@ DataSet::DataSet(int id, DataSetKind kind, int num_sources, int num_splits)
     }
   }
   task_states_.assign(num_sources, TaskState::kPending);
+  row_charged_.assign(num_sources, 0);
+}
+
+DataSet::~DataSet() {
+  MutexLock lock(mutex_);
+  for (int64_t charged : row_charged_) {
+    MemoryBudget::Process().Release(charged);
+  }
 }
 
 // The grid vector is sized in the constructor and never resized, so bucket
@@ -48,14 +60,49 @@ const Bucket& DataSet::bucket(int source, int split) const {
 void DataSet::SetRow(int source, std::vector<Bucket> row) {
   assert(static_cast<int>(row.size()) == num_splits_);
   MutexLock lock(mutex_);
+  MemoryBudget& budget = MemoryBudget::Process();
+  int64_t bytes = 0;
   for (int p = 0; p < num_splits_; ++p) {
     // Normalize addressing regardless of what the producer set.
     Bucket fixed(source, p);
     fixed.set_url(row[p].url());
     *fixed.mutable_records() = std::move(*row[p].mutable_records());
+    for (const SpillRun& run : row[p].spill_runs()) {
+      fixed.AddSpillRun(run);
+    }
     if (row[p].loaded()) fixed.MarkLoaded();
+    bytes += static_cast<int64_t>(fixed.ApproxMemoryBytes());
     grid_[GridIndex(source, p)] = std::move(fixed);
   }
+  // Budget the retained row.  A re-executed task's old charge is dropped
+  // first; if storing this row pushes the process over its limit, the
+  // row's in-memory buckets move to disk (sorted runs for map output —
+  // multiset semantics — FIFO for anything whose order is observable).
+  budget.Release(row_charged_[source]);
+  row_charged_[source] = 0;
+  budget.Charge(bytes);
+  if (budget.ShouldSpill()) {
+    Result<std::string> dir = NewSpillDir(
+        "ds" + std::to_string(id_) + "_row" + std::to_string(source));
+    if (dir.ok()) {
+      bool sorted = kind_ == DataSetKind::kMap;
+      int64_t still_held = 0;
+      for (int p = 0; p < num_splits_; ++p) {
+        Bucket& b = grid_[GridIndex(source, p)];
+        if (b.records().empty()) continue;
+        std::string id = std::to_string(id_) + "/" + std::to_string(source) +
+                         "/" + std::to_string(p);
+        Status st = b.SpillToRun(
+            JoinPath(*dir, "row_p" + std::to_string(p) + ".mrsk"), id, sorted);
+        // On spill failure (disk full, ...) the records simply stay in
+        // memory: over-budget but correct.
+        if (!st.ok()) still_held += static_cast<int64_t>(b.ApproxMemoryBytes());
+      }
+      budget.Release(bytes - still_held);
+      bytes = still_held;
+    }
+  }
+  row_charged_[source] = bytes;
   task_states_[source] = TaskState::kComplete;
 }
 
@@ -86,6 +133,8 @@ void DataSet::InvalidateTask(int source) {
   for (int p = 0; p < num_splits_; ++p) {
     grid_[GridIndex(source, p)] = Bucket(source, p);
   }
+  MemoryBudget::Process().Release(row_charged_[source]);
+  row_charged_[source] = 0;
   task_states_[source] = TaskState::kPending;
 }
 
@@ -125,6 +174,10 @@ Status DataSet::rejected_status() const {
 void DataSet::EvictAll() {
   MutexLock lock(mutex_);
   for (Bucket& b : grid_) b.Evict();
+  for (int s = 0; s < num_sources_; ++s) {
+    MemoryBudget::Process().Release(row_charged_[s]);
+    row_charged_[s] = 0;
+  }
 }
 
 }  // namespace mrs

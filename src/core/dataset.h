@@ -52,6 +52,7 @@ enum class TaskState : uint8_t { kPending, kRunning, kComplete, kFailed };
 class DataSet {
  public:
   DataSet(int id, DataSetKind kind, int num_sources, int num_splits);
+  ~DataSet();
 
   int id() const { return id_; }
   DataSetKind kind() const { return kind_; }
@@ -76,6 +77,10 @@ class DataSet {
 
   /// Replace row `source` with freshly computed buckets (one per split).
   /// Marks the task complete.  Thread-safe across distinct sources.
+  /// Consults the process MemoryBudget: retained in-memory bytes are
+  /// charged per row, and when the charge pushes usage over the limit the
+  /// incoming row is spilled to disk (sorted runs for map output, FIFO
+  /// otherwise) before it is stored.
   void SetRow(int source, std::vector<Bucket> row);
 
   // ---- Task/completion state ------------------------------------------
@@ -131,6 +136,9 @@ class DataSet {
   mutable Mutex mutex_;
   std::vector<Bucket> grid_ MRS_GUARDED_BY(mutex_);  // num_sources * num_splits
   std::vector<TaskState> task_states_ MRS_GUARDED_BY(mutex_);  // per source
+  // Bytes charged to the process MemoryBudget per stored row; released on
+  // invalidation, eviction, and destruction.
+  std::vector<int64_t> row_charged_ MRS_GUARDED_BY(mutex_);
   bool rejected_ MRS_GUARDED_BY(mutex_) = false;
   Status rejected_status_ MRS_GUARDED_BY(mutex_);
 };

@@ -62,20 +62,33 @@ Status MockParallelRunner::Compute(const DataSetPtr& dataset) {
                          dataset->kind() == DataSetKind::kMap ? "map"
                                                               : "reduce");
     span.set_task(dataset->id(), source);
-    MRS_ASSIGN_OR_RETURN(
-        std::vector<KeyValue> input,
-        GatherInputRecords(*dataset->input(), source, LocalFetch));
+    TaskSpillContext spill;
+    const TaskSpillContext* spill_ptr = nullptr;
+    if (MemoryBudget::Process().active()) {
+      std::string dir =
+          JoinPath(ds_dir, "spill_t" + std::to_string(source) + "_a" +
+                               std::to_string(++spill_attempt_));
+      if (EnsureDir(dir).ok()) {
+        spill.dir = std::move(dir);
+        spill.id_prefix = std::to_string(dataset->id()) + "/" +
+                          std::to_string(source);
+        spill.budget = &MemoryBudget::Process();
+        spill_ptr = &spill;
+      }
+    }
     Result<std::vector<Bucket>> row =
-        RunTask(*program_, dataset->kind(), dataset->options(),
-                dataset->num_splits(), std::move(input));
+        RunTaskOnDataSet(*program_, *dataset, source, LocalFetch, spill_ptr);
     if (!row.ok()) {
       dataset->set_task_state(source, TaskState::kFailed);
       return row.status();
     }
     // Persist each bucket, then drop its records: downstream tasks must
-    // read the files, as a distributed fault-tolerant run would.
+    // read the files, as a distributed fault-tolerant run would.  A
+    // spilled bucket is already disk-backed by its runs — persisting it
+    // again would defeat the memory bound it exists to honor.
     for (int p = 0; p < dataset->num_splits(); ++p) {
       Bucket& b = (*row)[static_cast<size_t>(p)];
+      if (b.spilled()) continue;
       std::string path = JoinPath(
           ds_dir, "source_" + std::to_string(source) + "_split_" +
                       std::to_string(p) + ".mrsb");

@@ -14,6 +14,7 @@
 // actual concurrency, use ThreadRunner.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "core/runner.h"
@@ -42,6 +43,9 @@ class MockParallelRunner final : public Runner {
 
   MapReduce* program_;
   std::string tmpdir_;
+  // Distinguishes spill directories across task re-executions so a rerun
+  // never overwrites run files a stale bucket still references.
+  uint64_t spill_attempt_ = 0;
 };
 
 }  // namespace mrs

@@ -23,12 +23,22 @@ Status SerialRunner::Compute(const DataSetPtr& dataset) {
                          dataset->kind() == DataSetKind::kMap ? "map"
                                                               : "reduce");
     span.set_task(dataset->id(), source);
-    MRS_ASSIGN_OR_RETURN(
-        std::vector<KeyValue> input,
-        GatherInputRecords(*dataset->input(), source, LocalFetch));
+    TaskSpillContext spill;
+    const TaskSpillContext* spill_ptr = nullptr;
+    if (MemoryBudget::Process().active()) {
+      Result<std::string> dir = NewSpillDir(
+          "serial_ds" + std::to_string(dataset->id()) + "_t" +
+          std::to_string(source));
+      if (dir.ok()) {
+        spill.dir = *std::move(dir);
+        spill.id_prefix = std::to_string(dataset->id()) + "/" +
+                          std::to_string(source);
+        spill.budget = &MemoryBudget::Process();
+        spill_ptr = &spill;
+      }
+    }
     Result<std::vector<Bucket>> row =
-        RunTask(*program_, dataset->kind(), dataset->options(),
-                dataset->num_splits(), std::move(input));
+        RunTaskOnDataSet(*program_, *dataset, source, LocalFetch, spill_ptr);
     if (!row.ok()) {
       dataset->set_task_state(source, TaskState::kFailed);
       return row.status();

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,8 +16,23 @@
 #include "core/dataset.h"
 #include "core/program.h"
 #include "fs/bucket.h"
+#include "fs/merge.h"
+#include "fs/spill.h"
 
 namespace mrs {
+
+/// Where and whether a task may spill its output buckets (fs/spill.h).
+/// Runners construct one per task when the process MemoryBudget is active;
+/// a null/inactive context reproduces the pre-spill behavior exactly.
+struct TaskSpillContext {
+  std::string dir;        // existing directory for run files
+  std::string id_prefix;  // frame-id prefix, e.g. "<dataset>/<source>"
+  MemoryBudget* budget = nullptr;
+
+  bool enabled() const {
+    return budget != nullptr && budget->active() && !dir.empty();
+  }
+};
 
 /// Resolves a URL to raw content ("http://..." across slaves; "file://..."
 /// from disk).  Injected so tests can fake remote fetches and inject
@@ -67,24 +83,63 @@ Result<std::vector<TaskInputPart>> BuildTaskInputParts(DataSet& input_ds,
 /// Run one map task: calls the named map function on every input record,
 /// partitions emitted pairs into `num_splits` buckets, and optionally
 /// applies the combiner per bucket.  Returns the completed bucket row.
+/// With an enabled spill context, partitions that grow past the memory
+/// budget are flushed to disk as sorted runs (combined first when a
+/// combiner is configured — the classic combine-before-spill policy) and
+/// the returned buckets carry runs instead of records.
 Result<std::vector<Bucket>> RunMapTask(MapReduce& program,
                                        const DataSetOptions& options,
                                        int num_splits,
-                                       const std::vector<KeyValue>& input);
+                                       const std::vector<KeyValue>& input,
+                                       const TaskSpillContext* spill = nullptr);
 
 /// Run one reduce task: sorts input by key (ties by value), groups, calls
 /// the named reduce function per key, and partitions emitted values by key
 /// into `num_splits` buckets.
-Result<std::vector<Bucket>> RunReduceTask(MapReduce& program,
-                                          const DataSetOptions& options,
-                                          int num_splits,
-                                          std::vector<KeyValue> input);
+Result<std::vector<Bucket>> RunReduceTask(
+    MapReduce& program, const DataSetOptions& options, int num_splits,
+    std::vector<KeyValue> input, const TaskSpillContext* spill = nullptr);
+
+/// The out-of-core reduce: consumes a (key, value)-sorted merged stream —
+/// never materializing the full input — groups consecutive equal keys,
+/// applies the reduce function, and partitions output into buckets,
+/// spilling them as FIFO runs under budget pressure.  Produces exactly the
+/// rows RunReduceTask would for the same input multiset.
+Result<std::vector<Bucket>> ReduceMergedSources(
+    MapReduce& program, const DataSetOptions& options, int num_splits,
+    std::vector<std::unique_ptr<MergeSource>> sources,
+    const TaskSpillContext* spill);
+
+/// Build one sorted MergeSource per input bucket (in the order given):
+/// spilled buckets stream their sorted runs from disk; in-memory buckets
+/// contribute a sorted copy.  FIFO runs (never reduce input in practice)
+/// are materialized and sorted.
+Result<std::vector<std::unique_ptr<MergeSource>>> BuildColumnMergeSources(
+    const std::vector<Bucket*>& column, const UrlFetcher& fetch);
 
 /// Dispatch on dataset kind (kMap/kReduce).
 Result<std::vector<Bucket>> RunTask(MapReduce& program, DataSetKind kind,
                                     const DataSetOptions& options,
-                                    int num_splits,
-                                    std::vector<KeyValue> input);
+                                    int num_splits, std::vector<KeyValue> input,
+                                    const TaskSpillContext* spill = nullptr);
+
+/// Run task `split` against its input dataset — the local runners' whole
+/// task body.  Reduce tasks whose input column spilled (or that may spill
+/// themselves) take the streamed path: per-bucket merge sources feed
+/// ReduceMergedSources and the full input is never materialized.
+Result<std::vector<Bucket>> RunTaskOnDataSet(MapReduce& program, DataSet& ds,
+                                             int split, const UrlFetcher& fetch,
+                                             const TaskSpillContext* spill);
+
+/// Same, for a column of buckets already gathered (thread runner's shuffle
+/// board, slave-fetched parts staged as buckets).
+Result<std::vector<Bucket>> RunTaskOnBuckets(MapReduce& program,
+                                             DataSetKind kind,
+                                             const DataSetOptions& options,
+                                             int num_splits,
+                                             std::vector<Bucket> column,
+                                             const UrlFetcher& fetch,
+                                             const TaskSpillContext* spill);
 
 /// Sort records and collapse runs of equal keys via `fn` (shared by the
 /// reduce path and the map-side combiner).

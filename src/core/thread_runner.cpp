@@ -28,15 +28,18 @@ class ShuffleBoard {
   explicit ShuffleBoard(int num_splits)
       : pending_(static_cast<size_t>(num_splits)) {}
 
-  void Deposit(int source, int split, const std::vector<KeyValue>& records) {
-    Slot slot{source, records};
+  /// Stage a copy of an upstream output bucket.  Spilled buckets carry
+  /// their run metadata instead of records, so staging one costs no
+  /// memory — the consumer streams the runs from disk.
+  void Deposit(int source, int split, Bucket bucket) {
+    Slot slot{source, std::move(bucket)};
     std::lock_guard<std::mutex> lock(stripes_[StripeOf(split)]);
     pending_[static_cast<size_t>(split)].push_back(std::move(slot));
   }
 
-  /// All staged records for `split`, concatenated in source order.
-  /// Destructive: each split is taken exactly once, by its consumer task.
-  std::vector<KeyValue> Take(int split) {
+  /// All staged buckets for `split`, in source order.  Destructive: each
+  /// split is taken exactly once, by its consumer task.
+  std::vector<Bucket> Take(int split) {
     std::vector<Slot> slots;
     {
       std::lock_guard<std::mutex> lock(stripes_[StripeOf(split)]);
@@ -44,21 +47,16 @@ class ShuffleBoard {
     }
     std::sort(slots.begin(), slots.end(),
               [](const Slot& a, const Slot& b) { return a.source < b.source; });
-    size_t total = 0;
-    for (const Slot& s : slots) total += s.records.size();
-    std::vector<KeyValue> out;
-    out.reserve(total);
-    for (Slot& s : slots) {
-      out.insert(out.end(), std::make_move_iterator(s.records.begin()),
-                 std::make_move_iterator(s.records.end()));
-    }
+    std::vector<Bucket> out;
+    out.reserve(slots.size());
+    for (Slot& s : slots) out.push_back(std::move(s.bucket));
     return out;
   }
 
  private:
   struct Slot {
     int source;
-    std::vector<KeyValue> records;
+    Bucket bucket;
   };
 
   static constexpr size_t kStripes = 16;
@@ -158,7 +156,7 @@ Status ThreadRunner::RunChain(const DataSetPtr& dataset) {
     for (int s = 0; s < uds.num_sources(); ++s) {
       if (uds.task_state(s) != TaskState::kComplete) continue;
       for (int p = 0; p < uds.num_splits(); ++p) {
-        stage->board->Deposit(s, p, uds.bucket(s, p).records());
+        stage->board->Deposit(s, p, uds.bucket(s, p));
       }
     }
   }
@@ -220,20 +218,30 @@ Status ThreadRunner::ExecuteTask(Stage* stage, int source) {
                        ds.kind() == DataSetKind::kMap ? "map" : "reduce");
   span.set_task(ds.id(), source);
 
-  std::vector<KeyValue> input;
-  if (stage->board) {
-    input = stage->board->Take(source);
-  } else {
-    MRS_ASSIGN_OR_RETURN(
-        input, GatherInputRecords(*ds.input(), source, LocalFetch));
+  TaskSpillContext spill;
+  const TaskSpillContext* spill_ptr = nullptr;
+  if (MemoryBudget::Process().active()) {
+    Result<std::string> dir = NewSpillDir(
+        "thread_ds" + std::to_string(ds.id()) + "_t" + std::to_string(source));
+    if (dir.ok()) {
+      spill.dir = *std::move(dir);
+      spill.id_prefix =
+          std::to_string(ds.id()) + "/" + std::to_string(source);
+      spill.budget = &MemoryBudget::Process();
+      spill_ptr = &spill;
+    }
   }
 
   // User map/reduce code runs on a pool worker: an escaped exception must
   // surface as this task's Status, not terminate the process.
   Result<std::vector<Bucket>> row = [&]() -> Result<std::vector<Bucket>> {
     try {
-      return RunTask(*program_, ds.kind(), ds.options(), ds.num_splits(),
-                     std::move(input));
+      if (stage->board) {
+        return RunTaskOnBuckets(*program_, ds.kind(), ds.options(),
+                                ds.num_splits(), stage->board->Take(source),
+                                LocalFetch, spill_ptr);
+      }
+      return RunTaskOnDataSet(*program_, ds, source, LocalFetch, spill_ptr);
     } catch (const std::exception& e) {
       return InternalError(
           std::string("uncaught exception in worker task: ") + e.what());
@@ -246,8 +254,7 @@ Status ThreadRunner::ExecuteTask(Stage* stage, int source) {
   if (stage->downstream) {
     for (int p = 0; p < ds.num_splits(); ++p) {
       stage->downstream->board->Deposit(source, p,
-                                        (*row)[static_cast<size_t>(p)]
-                                            .records());
+                                        (*row)[static_cast<size_t>(p)]);
     }
   }
   ds.SetRow(source, std::move(row).value());

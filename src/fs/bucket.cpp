@@ -1,8 +1,13 @@
 #include "fs/bucket.h"
 
+#include <algorithm>
+#include <iterator>
+#include <memory>
+
 #include "common/bytes.h"
 #include "common/strings.h"
 #include "fs/file_io.h"
+#include "fs/merge.h"
 #include "http/message.h"
 
 namespace mrs {
@@ -13,9 +18,61 @@ Status Bucket::PersistToFile(const std::string& path) {
   return Status::Ok();
 }
 
+Status Bucket::SpillToRun(const std::string& path, const std::string& id,
+                          bool sorted) {
+  if (sorted) {
+    std::stable_sort(records_.begin(), records_.end(), KeyValueLess);
+  }
+  MRS_ASSIGN_OR_RETURN(SpillRun run, WriteSpillRun(path, id, records_, sorted));
+  spill_runs_.push_back(std::move(run));
+  records_.clear();
+  records_.shrink_to_fit();
+  loaded_ = false;
+  return Status::Ok();
+}
+
+size_t Bucket::ApproxMemoryBytes() const {
+  size_t bytes = 0;
+  for (const KeyValue& kv : records_) bytes += mrs::ApproxMemoryBytes(kv);
+  return bytes;
+}
+
+Status Bucket::LoadFromRuns() {
+  // All runs in one bucket share an ordering mode (callers never mix):
+  // sorted runs merge by (key, value); FIFO runs concatenate in write
+  // order.  A not-yet-flushed in-memory tail joins as the last source.
+  std::vector<KeyValue> tail = std::move(records_);
+  records_.clear();
+  bool all_sorted = true;
+  for (const SpillRun& run : spill_runs_) all_sorted &= run.sorted;
+  if (all_sorted) {
+    std::vector<std::unique_ptr<MergeSource>> sources;
+    sources.reserve(spill_runs_.size() + 1);
+    for (const SpillRun& run : spill_runs_) {
+      sources.push_back(std::make_unique<SpillRunSource>(run));
+    }
+    if (!tail.empty()) {
+      std::stable_sort(tail.begin(), tail.end(), KeyValueLess);
+      sources.push_back(std::make_unique<VectorSource>(std::move(tail)));
+    }
+    MRS_ASSIGN_OR_RETURN(records_, MergeToVector(std::move(sources)));
+  } else {
+    for (const SpillRun& run : spill_runs_) {
+      MRS_ASSIGN_OR_RETURN(std::vector<KeyValue> recs, ReadSpillRun(run));
+      records_.insert(records_.end(), std::make_move_iterator(recs.begin()),
+                      std::make_move_iterator(recs.end()));
+    }
+    records_.insert(records_.end(), std::make_move_iterator(tail.begin()),
+                    std::make_move_iterator(tail.end()));
+  }
+  loaded_ = true;
+  return Status::Ok();
+}
+
 Status Bucket::EnsureLoaded(
     const std::function<Result<std::string>(const std::string&)>& http_fetch) {
   if (loaded_) return Status::Ok();
+  if (!spill_runs_.empty()) return LoadFromRuns();
   if (url_.empty()) {
     // Never persisted and not marked loaded: treat in-memory contents
     // (possibly empty) as authoritative.
@@ -36,7 +93,7 @@ Status Bucket::EnsureLoaded(
   // Truncation guard: a payload that does not decode cleanly is data loss
   // (short read, dead peer mid-transfer), surfaced as retryable kDataLoss
   // — never silently parsed as a shorter record stream.
-  Result<std::vector<KeyValue>> decoded = DecodeRecords(raw);
+  Result<std::vector<KeyValue>> decoded = DecodeBucketBody(raw);
   if (!decoded.ok()) {
     return DataLossError("bucket " + url_ + " payload corrupt after " +
                          std::to_string(raw.size()) +
@@ -88,6 +145,22 @@ Result<std::vector<BucketFrame>> DecodeBucketFrames(std::string_view body) {
     return DataLossError("trailing bytes after bucket frames");
   }
   return frames;
+}
+
+Result<std::vector<KeyValue>> DecodeBucketBody(std::string_view body) {
+  if (StartsWith(body, kBucketFramesFormat)) {
+    MRS_ASSIGN_OR_RETURN(std::vector<BucketFrame> frames,
+                         DecodeBucketFrames(body));
+    std::vector<KeyValue> out;
+    for (const BucketFrame& f : frames) {
+      MRS_ASSIGN_OR_RETURN(std::vector<KeyValue> recs,
+                           DecodeBinaryRecords(f.data));
+      out.insert(out.end(), std::make_move_iterator(recs.begin()),
+                 std::make_move_iterator(recs.end()));
+    }
+    return out;
+  }
+  return DecodeRecords(body);
 }
 
 }  // namespace mrs

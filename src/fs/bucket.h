@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "fs/spill.h"
 #include "ser/record.h"
 #include "ser/value.h"
 
@@ -45,7 +46,8 @@ class Bucket {
   /// Mark in-memory contents as authoritative (constructors of source data).
   void MarkLoaded() { loaded_ = true; }
 
-  /// Drop in-memory records (keeps url) to bound memory on large runs.
+  /// Drop in-memory records (keeps url and spill runs) to bound memory on
+  /// large runs.
   void Evict() {
     records_.clear();
     records_.shrink_to_fit();
@@ -54,6 +56,28 @@ class Bucket {
 
   /// Persist records to `path` in binary format and set a file:// url.
   Status PersistToFile(const std::string& path);
+
+  // ---- Out-of-core state (fs/spill.h) ---------------------------------
+  //
+  // Under memory pressure a bucket's records move to disk as spill runs.
+  // Invariant after a task completes: a spilled bucket holds runs only
+  // (records_ empty, loaded_ false) — the tail is always flushed.  While a
+  // task is still producing, records_ may hold a not-yet-spilled tail;
+  // EnsureLoaded handles both.
+
+  bool spilled() const { return !spill_runs_.empty(); }
+  const std::vector<SpillRun>& spill_runs() const { return spill_runs_; }
+  void AddSpillRun(SpillRun run) { spill_runs_.push_back(std::move(run)); }
+
+  /// Move current in-memory records to disk as one spill run.  `sorted`
+  /// orders the run by (key, value) before writing (shuffle data: multiset
+  /// semantics, merge-readable); otherwise the run preserves emit order
+  /// (final output: FIFO).  Records are cleared on success.
+  Status SpillToRun(const std::string& path, const std::string& id,
+                    bool sorted);
+
+  /// Estimated in-memory footprint of records_ (budget accounting).
+  size_t ApproxMemoryBytes() const;
 
   /// Ensure records are in memory, fetching by url if needed.
   /// `http_fetch` resolves http:// urls (injected to avoid a dependency
@@ -64,11 +88,14 @@ class Bucket {
       const std::function<Result<std::string>(const std::string&)>& http_fetch);
 
  private:
+  Status LoadFromRuns();
+
   int source_ = 0;
   int split_ = 0;
   std::string url_;
   bool loaded_ = false;
   std::vector<KeyValue> records_;
+  std::vector<SpillRun> spill_runs_;
 };
 
 /// Deterministic relative path for a bucket within a dataset directory.
@@ -103,5 +130,11 @@ std::string EncodeBucketFrames(const std::vector<BucketFrame>& frames);
 /// per-frame checksum mismatch is kDataLoss (retryable — the caller
 /// refetches instead of decoding a corrupt body).
 Result<std::vector<BucketFrame>> DecodeBucketFrames(std::string_view body);
+
+/// Decode a bucket body that is either a plain record stream or — when the
+/// producer served a spilled bucket — an mrsk1 frame set whose frames
+/// concatenate in order (auto-detected by magic).  Decode failures are
+/// kDataLoss.
+Result<std::vector<KeyValue>> DecodeBucketBody(std::string_view body);
 
 }  // namespace mrs

@@ -10,6 +10,7 @@
 #include "core/serial_runner.h"
 #include "core/thread_runner.h"
 #include "fs/file_io.h"
+#include "fs/spill.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rt/cluster.h"
@@ -219,6 +220,18 @@ int RunMain(const ProgramFactory& factory, int argc,
   std::string trace_out = opts->GetString("trace-out");
   if (!trace_out.empty()) {
     obs::SetTracingEnabled(true);
+  }
+  // The process budget defaults from $MRS_MEMORY_BUDGET; an explicit flag
+  // wins.
+  std::string budget_text = opts->GetString("mrs-memory-budget");
+  if (!budget_text.empty() && budget_text != "0") {
+    Result<int64_t> budget = ParseByteSize(budget_text);
+    if (!budget.ok()) {
+      std::fprintf(stderr, "error: --mrs-memory-budget: %s\n",
+                   budget.status().ToString().c_str());
+      return 2;
+    }
+    MemoryBudget::Process().set_limit(*budget);
   }
 
   Status init = program->Init(*opts);

@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/bytes.h"
 #include "common/clock.h"
 #include "common/hash.h"
 #include "common/log.h"
 #include "common/strings.h"
 #include "core/fetch_registry.h"
+#include "core/task.h"
+#include "fs/bucket.h"
 #include "fs/file_io.h"
+#include "fs/merge.h"
+#include "fs/spill.h"
 #include "http/client.h"
 #include "http/pool.h"
 #include "obs/endpoints.h"
@@ -20,6 +25,46 @@ namespace mrs {
 
 namespace {
 std::atomic<bool> g_process_drain{false};
+
+/// Parse a spill run file into its single frame WITHOUT verifying the
+/// payload checksum.  Serving is a pass-through: the fetching peer's
+/// DecodeBucketFrames is the integrity check, so a run corrupted on disk
+/// surfaces client-side as kDataLoss (retry, then bad_url lineage
+/// recovery) exactly like a truncated network transfer — not as an
+/// unattributable serve-time error.
+Result<BucketFrame> ReadRunFrameRaw(const std::string& path) {
+  MRS_ASSIGN_OR_RETURN(std::string raw, ReadFileToString(path));
+  if (!StartsWith(raw, kBucketFramesFormat)) {
+    return DataLossError("spill run " + path + " missing mrsk1 magic");
+  }
+  ByteReader r(std::string_view(raw).substr(kBucketFramesFormat.size()));
+  MRS_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  if (count != 1) {
+    return DataLossError("spill run " + path + " holds " +
+                         std::to_string(count) + " frames, want 1");
+  }
+  BucketFrame f;
+  MRS_ASSIGN_OR_RETURN(f.id, r.GetLengthPrefixed());
+  MRS_ASSIGN_OR_RETURN(f.checksum, r.GetLengthPrefixed());
+  MRS_ASSIGN_OR_RETURN(f.data, r.GetLengthPrefixed());
+  return f;
+}
+
+/// Assemble the served frames for a run-backed bucket: one frame per run,
+/// relabelled "<key>#run<i>" so batched fetchers can regroup frames per
+/// bucket.  Relabelling is safe because the per-frame checksum covers only
+/// the data, never the id.
+Result<std::vector<BucketFrame>> RunBackedFrames(
+    const std::string& key, const std::vector<SpillRun>& runs) {
+  std::vector<BucketFrame> frames;
+  frames.reserve(runs.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    MRS_ASSIGN_OR_RETURN(BucketFrame f, ReadRunFrameRaw(runs[i].path));
+    f.id = key + "#run" + std::to_string(i);
+    frames.push_back(std::move(f));
+  }
+  return frames;
+}
 }  // namespace
 
 void RequestProcessDrain() {
@@ -33,6 +78,7 @@ bool ProcessDrainRequested() {
 Slave::Slave(MapReduce* program, Config config)
     : program_(program), config_(std::move(config)) {
   faults_remaining_.store(config_.faults.fail_first_n_tasks);
+  spill_corrupt_remaining_.store(config_.faults.spill_corrupt);
   chaos_rng_.store(config_.faults.seed);
 }
 
@@ -160,12 +206,37 @@ HttpResponse Slave::ServeData(const HttpRequest& req) {
   }
   if (!StartsWith(path, "/bucket/")) return HttpResponse::NotFound();
   std::string key(path.substr(8));
-  MutexLock lock(store_mutex_);
-  auto it = store_.find(key);
-  if (it == store_.end()) return HttpResponse::NotFound("no bucket " + key);
-  HttpResponse resp =
-      HttpResponse::Ok(it->second.data, "application/octet-stream");
-  resp.headers.Set(std::string(kMrsChecksumHeader), it->second.checksum);
+  StoredBucket stored;
+  {
+    MutexLock lock(store_mutex_);
+    auto it = store_.find(key);
+    if (it == store_.end()) return HttpResponse::NotFound("no bucket " + key);
+    stored = it->second;
+  }
+  if (stored.runs.empty()) {
+    HttpResponse resp =
+        HttpResponse::Ok(std::move(stored.data), "application/octet-stream");
+    resp.headers.Set(std::string(kMrsChecksumHeader), stored.checksum);
+    return resp;
+  }
+  // Run-backed: stream the spill runs into an mrsk1 frame set (file IO
+  // happens outside the store lock).  The whole-body checksum is computed
+  // over the assembled bytes, so transport integrity and on-disk integrity
+  // are guarded independently — the latter by the per-frame checksums the
+  // client verifies.
+  static obs::Counter* served =
+      obs::Registry::Instance().GetCounter("mrs.spill.buckets_served");
+  Result<std::vector<BucketFrame>> frames = RunBackedFrames(key, stored.runs);
+  if (!frames.ok()) {
+    return HttpResponse::NotFound("bucket " + key + " spill data unreadable: " +
+                                  frames.status().ToString());
+  }
+  served->Inc();
+  std::string body = EncodeBucketFrames(*frames);
+  HttpResponse resp = HttpResponse::Ok(std::move(body),
+                                       "application/octet-stream");
+  resp.headers.Set(std::string(kMrsChecksumHeader),
+                   ContentChecksum(resp.body));
   return resp;
 }
 
@@ -175,7 +246,12 @@ HttpResponse Slave::ServeBucketBatch(std::string_view query) {
     if (StartsWith(kv, "ids=")) ids = kv.substr(4);
   }
   if (ids.empty()) return HttpResponse::BadRequest("missing ids= parameter");
-  std::vector<BucketFrame> frames;
+  // Copy store entries under the lock; run files are read outside it.
+  struct Entry {
+    std::string id;
+    StoredBucket stored;
+  };
+  std::vector<Entry> entries;
   {
     MutexLock lock(store_mutex_);
     for (std::string_view id : SplitChar(ids, ',')) {
@@ -183,9 +259,27 @@ HttpResponse Slave::ServeBucketBatch(std::string_view query) {
       if (it == store_.end()) {
         return HttpResponse::NotFound("no bucket " + std::string(id));
       }
-      frames.push_back(BucketFrame{std::string(id), it->second.checksum,
-                                   it->second.data});
+      entries.push_back(Entry{std::string(id), it->second});
     }
+  }
+  std::vector<BucketFrame> frames;
+  for (Entry& e : entries) {
+    if (e.stored.runs.empty()) {
+      frames.push_back(BucketFrame{std::move(e.id),
+                                   std::move(e.stored.checksum),
+                                   std::move(e.stored.data)});
+      continue;
+    }
+    // Run-backed bucket: one "<id>#run<i>" frame per spill run.  An
+    // unreadable run fails the whole batch, and the per-bucket fallback
+    // pins down which bucket is gone.
+    Result<std::vector<BucketFrame>> run_frames =
+        RunBackedFrames(e.id, e.stored.runs);
+    if (!run_frames.ok()) {
+      return HttpResponse::NotFound("no bucket " + e.id +
+                                    " (spill data unreadable)");
+    }
+    for (BucketFrame& f : *run_frames) frames.push_back(std::move(f));
   }
   HttpResponse resp = HttpResponse::Ok(EncodeBucketFrames(frames),
                                        "application/octet-stream");
@@ -199,16 +293,26 @@ void Slave::HandleDiscards(const XmlRpcValue& response) {
   if (!discard.ok()) return;
   auto arr = (*discard)->AsArray();
   if (!arr.ok()) return;
-  MutexLock lock(store_mutex_);
-  for (const XmlRpcValue& v : **arr) {
-    auto id = v.AsInt();
-    if (!id.ok()) continue;
-    std::string prefix = std::to_string(*id) + "/";
-    for (auto it = store_.lower_bound(prefix); it != store_.end();) {
-      if (!StartsWith(it->first, prefix)) break;
-      it = store_.erase(it);
+  // Run files of discarded run-backed buckets are deleted after the store
+  // erase (outside the lock): once the entry is gone nothing can serve
+  // them, and reclaiming the disk keeps long jobs bounded.
+  std::vector<SpillRun> dead_runs;
+  {
+    MutexLock lock(store_mutex_);
+    for (const XmlRpcValue& v : **arr) {
+      auto id = v.AsInt();
+      if (!id.ok()) continue;
+      std::string prefix = std::to_string(*id) + "/";
+      for (auto it = store_.lower_bound(prefix); it != store_.end();) {
+        if (!StartsWith(it->first, prefix)) break;
+        for (SpillRun& run : it->second.runs) {
+          dead_runs.push_back(std::move(run));
+        }
+        it = store_.erase(it);
+      }
     }
   }
+  for (const SpillRun& run : dead_runs) RemoveSpillRun(run);
 }
 
 bool Slave::DrawFetchFault() {
@@ -272,10 +376,26 @@ void Slave::BatchPrefetch(const TaskAssignment& assignment,
       batch_fallbacks->Inc();  // corrupt payload; per-URL path will retry
       continue;
     }
+    // Plain buckets arrive one frame each; a run-backed bucket arrives as
+    // several "<id>#run<i>" frames, re-encoded here into one frame-set
+    // body per bucket (run order preserved) that the fetch side's
+    // DecodeBucketBody reassembles.
+    size_t fetched_buckets = 0;
+    std::map<std::string, std::vector<BucketFrame>> run_backed;
     for (BucketFrame& f : *frames) {
-      (*out)[base + "/bucket/" + f.id] = std::move(f.data);
+      size_t mark = f.id.rfind("#run");
+      if (mark == std::string::npos) {
+        (*out)[base + "/bucket/" + f.id] = std::move(f.data);
+        ++fetched_buckets;
+      } else {
+        run_backed[f.id.substr(0, mark)].push_back(std::move(f));
+      }
     }
-    batch_buckets->Inc(static_cast<int64_t>(frames->size()));
+    for (auto& [bucket_id, bucket_frames] : run_backed) {
+      (*out)[base + "/bucket/" + bucket_id] = EncodeBucketFrames(bucket_frames);
+      ++fetched_buckets;
+    }
+    batch_buckets->Inc(static_cast<int64_t>(fetched_buckets));
   }
 }
 
@@ -328,27 +448,109 @@ Status Slave::ExecuteAssignment(const TaskAssignment& assignment) {
     return got;
   };
 
-  MRS_ASSIGN_OR_RETURN(std::vector<KeyValue> input,
-                       LoadTaskInput(assignment.inputs, fetch));
-  MRS_ASSIGN_OR_RETURN(
-      std::vector<Bucket> row,
-      RunTask(*program_, assignment.kind, assignment.options,
-              assignment.num_splits, std::move(input)));
+  // Out-of-core execution: when the process memory budget is active,
+  // every task attempt gets its own spill directory (a rerun never
+  // overwrites run files a published bucket still references).
+  TaskSpillContext spill;
+  const TaskSpillContext* spill_ptr = nullptr;
+  if (MemoryBudget::Process().active()) {
+    Result<std::string> dir = NewSpillDir(
+        "slave" + std::to_string(id_) + "_ds" +
+        std::to_string(assignment.dataset_id) + "_t" +
+        std::to_string(assignment.source) + "_a" +
+        std::to_string(assignment.attempt));
+    if (dir.ok()) {
+      spill.dir = *std::move(dir);
+      spill.id_prefix = std::to_string(assignment.dataset_id) + "/" +
+                        std::to_string(assignment.source);
+      spill.budget = &MemoryBudget::Process();
+      spill_ptr = &spill;
+    }
+  }
 
-  // Publish each bucket and collect URLs.
+  Result<std::vector<Bucket>> row_result =
+      [&]() -> Result<std::vector<Bucket>> {
+    if (assignment.kind == DataSetKind::kReduce && spill_ptr != nullptr) {
+      // Budgeted reduce: stage each input part on disk as a sorted run
+      // (one part resident at a time) and stream the k-way merge, so the
+      // full reduce input is never materialized in memory.
+      std::vector<std::unique_ptr<MergeSource>> sources;
+      size_t seq = 0;
+      for (const TaskInputPart& part : assignment.inputs) {
+        MRS_ASSIGN_OR_RETURN(std::vector<KeyValue> recs,
+                             LoadTaskInput({part}, fetch));
+        std::stable_sort(recs.begin(), recs.end(), KeyValueLess);
+        std::string path =
+            JoinPath(spill.dir, "input_run" + std::to_string(seq) + ".mrsk");
+        MRS_ASSIGN_OR_RETURN(
+            SpillRun run,
+            WriteSpillRun(path,
+                          spill.id_prefix + "/in" + std::to_string(seq),
+                          recs, /*sorted=*/true));
+        ++seq;
+        sources.push_back(std::make_unique<SpillRunSource>(std::move(run)));
+      }
+      return ReduceMergedSources(*program_, assignment.options,
+                                 assignment.num_splits, std::move(sources),
+                                 spill_ptr);
+    }
+    MRS_ASSIGN_OR_RETURN(std::vector<KeyValue> input,
+                         LoadTaskInput(assignment.inputs, fetch));
+    return RunTask(*program_, assignment.kind, assignment.options,
+                   assignment.num_splits, std::move(input), spill_ptr);
+  }();
+  MRS_ASSIGN_OR_RETURN(std::vector<Bucket> row, std::move(row_result));
+
+  // Publish each bucket and collect URLs.  A spilled bucket is published
+  // run-backed: hosting it costs no memory, and the data plane streams the
+  // runs at serve time.
   XmlRpcArray urls;
+  std::vector<std::string> published_run_files;
   for (int p = 0; p < assignment.num_splits; ++p) {
     Bucket& b = row[static_cast<size_t>(p)];
-    std::string encoded = EncodeBinaryRecords(b.records());
-    span.add_bytes_out(static_cast<int64_t>(encoded.size()));
     std::string rel = std::to_string(assignment.dataset_id) + "/" +
                       std::to_string(assignment.source) + "/" +
                       std::to_string(p);
+    if (b.spilled()) {
+      for (const SpillRun& run : b.spill_runs()) {
+        span.add_bytes_out(static_cast<int64_t>(run.bytes));
+        published_run_files.push_back(run.path);
+      }
+      if (config_.shared_dir.empty()) {
+        {
+          MutexLock lock(store_mutex_);
+          StoredBucket& stored = store_[rel];
+          stored.data.clear();
+          stored.checksum.clear();
+          stored.runs = b.spill_runs();
+        }
+        urls.push_back(XmlRpcValue("http://" +
+                                   data_server_->addr().ToString() +
+                                   "/bucket/" + rel));
+      } else {
+        // Shared filesystem: assemble the runs into one mrsk1 frame-set
+        // file (DecodeBucketBody on the read side reassembles it).
+        MRS_ASSIGN_OR_RETURN(std::vector<BucketFrame> frames,
+                             RunBackedFrames(rel, b.spill_runs()));
+        std::string dir = JoinPath(config_.shared_dir,
+                                   std::to_string(assignment.dataset_id));
+        MRS_RETURN_IF_ERROR(EnsureDir(dir));
+        std::string file = JoinPath(
+            dir, "source_" + std::to_string(assignment.source) + "_split_" +
+                     std::to_string(p) + ".mrsb");
+        MRS_RETURN_IF_ERROR(WriteFileAtomic(file, EncodeBucketFrames(frames)));
+        urls.push_back(XmlRpcValue("file://" + file));
+      }
+      continue;
+    }
+    std::string encoded = EncodeBinaryRecords(b.records());
+    span.add_bytes_out(static_cast<int64_t>(encoded.size()));
     if (config_.shared_dir.empty()) {
       // Direct communication: keep in memory, serve over HTTP.
       {
         MutexLock lock(store_mutex_);
         StoredBucket& stored = store_[rel];
+        stored.runs.clear();
         stored.checksum = ContentChecksum(encoded);
         stored.data = std::move(encoded);
       }
@@ -364,6 +566,22 @@ Status Slave::ExecuteAssignment(const TaskAssignment& assignment) {
                    std::to_string(p) + ".mrsb");
       MRS_RETURN_IF_ERROR(WriteFileAtomic(file, encoded));
       urls.push_back(XmlRpcValue("file://" + file));
+    }
+  }
+
+  // Chaos: flip one byte inside a just-published run file.  The fetching
+  // peer's frame checksum catches it (kDataLoss), retries exhaust, and the
+  // master's lineage machinery re-executes this task.
+  if (!published_run_files.empty() && spill_corrupt_remaining_.load() > 0 &&
+      spill_corrupt_remaining_.fetch_sub(1) > 0) {
+    const std::string& victim = published_run_files.front();
+    Result<std::string> raw = ReadFileToString(victim);
+    if (raw.ok() && !raw->empty()) {
+      (*raw)[raw->size() / 2] = static_cast<char>((*raw)[raw->size() / 2] ^ 0x40);
+      Status s = WriteFileAtomic(victim, *raw);
+      MRS_LOG(kWarning, "slave")
+          << "slave " << id_ << " corrupted spill run " << victim
+          << " (chaos): " << s.ToString();
     }
   }
 
@@ -400,17 +618,34 @@ Status Slave::ExecuteAssignment(const TaskAssignment& assignment) {
 std::string Slave::StatusJson() {
   size_t buckets = 0;
   size_t bytes = 0;
+  size_t spilled_buckets = 0;
+  size_t spill_runs = 0;
+  uint64_t spill_bytes = 0;
   {
     MutexLock lock(store_mutex_);
     buckets = store_.size();
-    for (const auto& [key, stored] : store_) bytes += stored.data.size();
+    for (const auto& [key, stored] : store_) {
+      bytes += stored.data.size();
+      if (stored.runs.empty()) continue;
+      ++spilled_buckets;
+      spill_runs += stored.runs.size();
+      for (const SpillRun& run : stored.runs) spill_bytes += run.bytes;
+    }
   }
+  const MemoryBudget& budget = MemoryBudget::Process();
   std::string out = "{\"role\":\"slave\",\"id\":" + std::to_string(id_);
   out += ",\"crashed\":";
   out += crashed_.load() ? "true" : "false";
   out += ",\"tasks_executed\":" + std::to_string(tasks_executed_.load());
   out += ",\"store\":{\"buckets\":" + std::to_string(buckets);
-  out += ",\"bytes\":" + std::to_string(bytes) + "}}";
+  out += ",\"bytes\":" + std::to_string(bytes) + "}";
+  out += ",\"spill\":{\"buckets\":" + std::to_string(spilled_buckets);
+  out += ",\"runs\":" + std::to_string(spill_runs);
+  out += ",\"run_bytes\":" + std::to_string(spill_bytes);
+  out += ",\"budget_limit\":" + std::to_string(budget.limit());
+  out += ",\"budget_usage\":" + std::to_string(budget.usage());
+  out += ",\"budget_high_water\":" + std::to_string(budget.high_water());
+  out += "}}";
   return out;
 }
 

@@ -19,12 +19,14 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/mutex.h"
 #include "common/retry.h"
 #include "common/thread_annotations.h"
 #include "common/status.h"
 #include "core/program.h"
+#include "fs/spill.h"
 #include "http/server.h"
 #include "rt/protocol.h"
 #include "xmlrpc/client.h"
@@ -56,6 +58,12 @@ class Slave {
     /// After the drain RPC is sent, hard-crash instead of polling for the
     /// release — a SIGTERM'd slave whose grace period was cut short.
     bool drain_then_crash = false;
+    /// Corrupt this many published spill-run-backed buckets (flip one byte
+    /// in the first run file after task_done).  The fetching peer sees a
+    /// frame checksum mismatch (kDataLoss), exhausts its retries, and the
+    /// failed task's bad_url report drives lineage re-execution — the
+    /// out-of-core analogue of a truncated transfer.
+    int spill_corrupt = 0;
     /// Chaos RNG stream (fetch-fault draws).
     uint64_t seed = 0x9e3779b97f4a7c15ull;
   };
@@ -156,15 +164,21 @@ class Slave {
   std::atomic<bool> drain_requested_{false};
   std::atomic<int64_t> tasks_executed_{0};
   std::atomic<int> faults_remaining_{0};
+  std::atomic<int> spill_corrupt_remaining_{0};
   std::atomic<uint64_t> chaos_rng_{0};
   double ping_drop_until_ = 0;  // ping thread only; 0 = window not started
 
   // In-memory bucket store: "<dataset>/<source>/<split>" -> payload with
   // its checksum, computed once at publish time and attached to every
-  // response so fetchers can detect truncation.
+  // response so fetchers can detect truncation.  A bucket that spilled
+  // under the memory budget is stored run-backed instead: `runs` names its
+  // on-disk spill runs and `data` stays empty — the runs are streamed into
+  // an mrsk1 frame set at serve time, so hosting the bucket costs no
+  // memory.
   struct StoredBucket {
     std::string data;
     std::string checksum;
+    std::vector<SpillRun> runs;
   };
   Mutex store_mutex_;
   std::map<std::string, StoredBucket> store_ MRS_GUARDED_BY(store_mutex_);

@@ -201,4 +201,13 @@ std::string Value::Repr() const {
   return "?";
 }
 
+size_t Value::ApproxMemoryBytes() const {
+  size_t bytes = sizeof(Value) + str_.size();
+  if (list_) {
+    bytes += sizeof(ValueList);
+    for (const Value& v : *list_) bytes += v.ApproxMemoryBytes();
+  }
+  return bytes;
+}
+
 }  // namespace mrs

@@ -87,6 +87,11 @@ class Value {
   /// Python-repr-like rendering: None, 42, 3.5, 'text', b'...', [1, 'a'].
   std::string Repr() const;
 
+  /// Rough in-memory footprint (for MemoryBudget accounting): the object
+  /// itself plus heap payloads.  An estimate, not an exact allocator
+  /// measurement — budget checks tolerate slack.
+  size_t ApproxMemoryBytes() const;
+
  private:
   Type type_;
   int64_t int_ = 0;
@@ -104,6 +109,10 @@ struct KeyValue {
     return key == other.key && value == other.value;
   }
 };
+
+inline size_t ApproxMemoryBytes(const KeyValue& kv) {
+  return kv.key.ApproxMemoryBytes() + kv.value.ApproxMemoryBytes();
+}
 
 /// Sort comparator for the group-by-key step: by key, ties by value so
 /// output order is fully deterministic.

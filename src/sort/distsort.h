@@ -1,0 +1,85 @@
+// DistSort: a TeraSort-class distributed sort on sample-based range
+// partitioning — the canonical out-of-core shuffle workload.
+//
+// Map tasks *generate* their share of uniform random records (fixed-width
+// keys, opaque payloads) from the program's seeded random streams, so the
+// dataset can be arbitrarily larger than memory without a materialized
+// input.  The identity reduce then sorts: the framework's sort-group step
+// orders each partition, and the range Partition function makes partition
+// boundaries respect key order, so concatenating partitions in index order
+// (exactly what Job::Collect does) yields the globally sorted dataset.
+//
+// Splitters come from a key sample.  Every program instance — including a
+// slave process constructing its own copy — draws the identical sample
+// from the same seeded streams at Init, so the partition function agrees
+// everywhere without any splitter broadcast.  The quantile-ladder form
+// (rank in the sorted sample scaled to the split count) keeps Partition
+// monotone in the key for *any* split count, which is what makes both the
+// shuffle partitioning and the output partitioning range-ordered.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/job.h"
+#include "core/program.h"
+
+namespace mrs {
+namespace sort {
+
+struct DistSortConfig {
+  /// Generator (map) tasks; each produces `records_per_task` records.
+  int tasks = 8;
+  int64_t records_per_task = 1000;
+  /// Fixed key width; keys are uniform over an alphanumeric alphabet.
+  int key_bytes = 10;
+  /// Opaque payload width (TeraSort uses 10-byte keys, 90-byte payloads).
+  int value_bytes = 90;
+  /// Keys sampled per task for the splitter ladder (the first records of
+  /// each task's stream — an unbiased sample of the uniform keyspace).
+  int sample_per_task = 64;
+  /// Output partitions of the sort (reduce dataset splits).
+  int reduce_splits = 4;
+};
+
+class DistSortProgram : public MapReduce {
+ public:
+  DistSortConfig config;
+  /// After Run: every generated record, globally sorted by (key, value).
+  std::vector<KeyValue> result;
+
+  void AddOptions(OptionParser* parser) override;
+  Status Init(const Options& opts) override;
+  Status InputData(Job& job, DataSetPtr* out) override;
+  void Map(const Value& key, const Value& value, const Emitter& emit) override;
+  /// Identity reduce: the sort happens in the framework's group step.
+  void Reduce(const Value& key, const ValueList& values,
+              const ValueEmitter& emit) override;
+  /// Range partition over the sampled splitter ladder; monotone in the
+  /// key for any num_splits.  Non-string keys (the generator seed records)
+  /// fall back to hash partitioning.
+  int Partition(const Value& key, int num_splits) const override;
+  Status Run(Job& job) override;
+  /// Ground truth: generate + std::sort, no framework.
+  Status Bypass() override;
+
+  /// The records map task `task` generates, in generation order.
+  std::vector<KeyValue> TaskRecords(int task) const;
+  /// All records of all tasks, sorted by (key, value) — what `result`
+  /// must be byte-identical to.
+  std::vector<KeyValue> ExpectedOutput() const;
+  /// Approximate payload size of the full dataset (keys + values).
+  int64_t ApproxDatasetBytes() const {
+    return static_cast<int64_t>(config.tasks) * config.records_per_task *
+           (config.key_bytes + config.value_bytes);
+  }
+
+ private:
+  void BuildSplitterSample();
+
+  std::vector<std::string> sample_;  // sorted sampled keys
+};
+
+}  // namespace sort
+}  // namespace mrs

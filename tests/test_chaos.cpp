@@ -17,6 +17,8 @@
 
 #include "common/clock.h"
 #include "common/retry.h"
+#include "common/strings.h"
+#include "fs/spill.h"
 #include "halton/pi_program.h"
 #include "http/client.h"
 #include "http/server.h"
@@ -589,6 +591,157 @@ TEST(Chaos, SpeculationBoundsStragglerDelay) {
   EXPECT_GE(stats.tasks_speculated, 1);
   EXPECT_GE(stats.speculative_wins, 1);
   EXPECT_LT(with_straggler, std::max(2 * baseline, 2.0));
+}
+
+// ---- Out-of-core spill faults -------------------------------------------
+//
+// With a process memory budget active, every bucket a slave publishes is
+// backed by spill-run files on its local disk.  These tests corrupt and
+// destroy that state mid-job: the damage must surface through the same
+// kDataLoss -> retry-exhaust -> bad_url -> lineage-re-execution path a
+// truncated network transfer takes, and the answer must stay
+// byte-identical to the serial runner.
+
+/// Pins the process budget for one scope; restores on the way out and
+/// zeroes any accounting a crashed slave leaked (its datasets never get
+/// to release their charges).
+class ScopedBudget {
+ public:
+  explicit ScopedBudget(int64_t bytes)
+      : prev_(MemoryBudget::Process().limit()) {
+    MemoryBudget::Process().set_limit(bytes);
+  }
+  ~ScopedBudget() {
+    MemoryBudget::Process().set_limit(prev_);
+    MemoryBudget::Process().ResetForTest();
+  }
+
+ private:
+  int64_t prev_;
+};
+
+// ChaosWordCount's map tasks emit ~20 records each — below the budget
+// checker's 32-record charge interval, so they never spill.  The spill
+// chaos tests need map tasks heavy enough that every one of them pushes
+// multiple sorted runs to disk under a 1-byte budget.
+class SpillChaosWordCount : public MapReduce {
+ public:
+  void Map(const Value& key, const Value& value,
+           const Emitter& emit) override {
+    (void)key;
+    for (std::string_view word : SplitWhitespace(value.AsString())) {
+      emit(Value(word), Value(int64_t{1}));
+    }
+  }
+  void Reduce(const Value& key, const ValueList& values,
+              const ValueEmitter& emit) override {
+    (void)key;
+    int64_t sum = 0;
+    for (const Value& v : values) sum += v.AsInt();
+    emit(Value(sum));
+  }
+  Status Run(Job& job) override {
+    static const char* kWords[] = {"spill",  "merge", "run", "budget",
+                                   "bucket", "disk",  "mrs", "sort"};
+    std::vector<KeyValue> lines;
+    for (int64_t i = 0; i < 240; ++i) {
+      std::string line;
+      for (int64_t j = 0; j < 6; ++j) {
+        if (j) line += ' ';
+        line += kWords[(i * 7 + j * 3 + i * j) % 8];
+      }
+      lines.push_back({Value(i), Value(line)});
+    }
+    // 8 map tasks x 30 lines x 6 words = 180 emits per task: several
+    // charge intervals, several spill flushes.
+    DataSetPtr data = job.LocalData(std::move(lines), /*num_splits=*/8);
+    DataSetOptions options;
+    options.num_splits = 4;
+    DataSetPtr mapped = job.MapData(data, options);
+    DataSetPtr reduced = job.ReduceData(mapped, options);
+    MRS_ASSIGN_OR_RETURN(result, job.Collect(reduced));
+    std::sort(result.begin(), result.end(), KeyValueLess);
+    return Status::Ok();
+  }
+
+  std::vector<KeyValue> result;
+};
+
+std::vector<KeyValue> SerialSpillWordCount() {
+  SpillChaosWordCount program;
+  EXPECT_TRUE(program.Init(Options()).ok());
+  RunConfig config;
+  config.impl = "serial";
+  Status status = RunProgram(
+      [] { return std::unique_ptr<MapReduce>(new SpillChaosWordCount()); },
+      &program, config);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return program.result;
+}
+
+// A slave silently corrupts run files under its published buckets.  The
+// server deliberately does NOT verify checksums when serving (a re-read
+// would only move the detection point); the fetching peer's frame-checksum
+// check catches it, and after retries exhaust, the master re-executes the
+// producing task — whose fresh attempt writes new run files in a new spill
+// directory, never reusing the corrupt ones.
+TEST(Chaos, SpillCorruptionIsCaughtAndRecoveredByLineage) {
+  ScopedBudget tiny(1);  // every charge interval spills: buckets run-backed
+  ClusterLauncher::Config config = FastFailoverConfig(3);
+  config.fault_plans.resize(1);
+  config.fault_plans[0].spill_corrupt = 2;
+  auto cluster = ClusterLauncher::Start(
+      [] { return std::unique_ptr<MapReduce>(new SpillChaosWordCount()); },
+      Options(), config);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+
+  SpillChaosWordCount program;
+  ASSERT_TRUE(program.Init(Options()).ok());
+  Job job(&program, std::make_unique<MasterRunner>(&(*cluster)->master()));
+  Status status = program.Run(job);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  // The serial reference runs under the same budget — the answer must not
+  // depend on spilling, and the comparison must not depend on the mode.
+  EXPECT_EQ(EncodeTextRecords(program.result),
+            EncodeTextRecords(SerialSpillWordCount()));
+
+  Master::Stats stats = (*cluster)->master().stats();
+  EXPECT_GE(stats.lineage_recoveries, 1)
+      << "corrupt run files never drove a re-execution";
+  EXPECT_GE(stats.tasks_invalidated, 1);
+  (*cluster)->Shutdown();
+}
+
+// A slave hard-crashes mid-job while the budget forces all buckets to
+// disk: its spill files die with it (they are slave-local state), and the
+// master must re-derive every lost bucket from lineage on the survivors.
+TEST(Chaos, SlaveCrashWithSpilledBucketsRecovers) {
+  ScopedBudget tiny(1);
+  ClusterLauncher::Config config = FastFailoverConfig(4);
+  config.fault_plans.resize(4);
+  config.fault_plans[0].crash_after_n_tasks = 1;
+  for (int i = 1; i < 4; ++i) {
+    config.fault_plans[static_cast<size_t>(i)].fail_fetch_probability = 0.05;
+  }
+  auto cluster = ClusterLauncher::Start(
+      [] { return std::unique_ptr<MapReduce>(new SpillChaosWordCount()); },
+      Options(), config);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+
+  SpillChaosWordCount program;
+  ASSERT_TRUE(program.Init(Options()).ok());
+  Job job(&program, std::make_unique<MasterRunner>(&(*cluster)->master()));
+  Status status = program.Run(job);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  EXPECT_EQ(EncodeTextRecords(program.result),
+            EncodeTextRecords(SerialSpillWordCount()));
+  EXPECT_TRUE((*cluster)->slave(0).crashed());
+  Master::Stats stats = (*cluster)->master().stats();
+  EXPECT_GE(stats.slaves_lost, 1);
+  EXPECT_GE(stats.lineage_recoveries, 1);
+  (*cluster)->Shutdown();
 }
 
 }  // namespace

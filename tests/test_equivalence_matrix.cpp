@@ -16,10 +16,13 @@
 #include <vector>
 
 #include "common/strings.h"
+#include "fs/spill.h"
 #include "halton/pi_program.h"
+#include "obs/metrics.h"
 #include "pso/apiary.h"
 #include "rt/equivalence.h"
 #include "ser/record.h"
+#include "sort/distsort.h"
 
 namespace mrs {
 namespace {
@@ -276,6 +279,161 @@ TEST(EquivalenceMatrix, PsoThreadWorkerCountSweep) {
     EXPECT_TRUE(report->identical)
         << "workers=" << workers << ": " << report->details;
   }
+}
+
+// ---- Out-of-core spill sweep ---------------------------------------------
+//
+// The same three workloads re-run under a process memory budget small
+// enough that every intermediate bucket spills to disk as sorted runs —
+// and the answers must stay byte-identical across every runner AND
+// identical to the unbudgeted serial run.  This is the tentpole invariant
+// of the out-of-core tier: spilling is a memory-management decision, never
+// an observable one.
+
+/// Pins the process budget for one scope; restores the previous limit (and
+/// zeroes any accounting a failed run may have leaked) on the way out.
+/// The explicit limit also shields the test from an ambient
+/// $MRS_MEMORY_BUDGET in the CI environment.
+class ScopedBudget {
+ public:
+  explicit ScopedBudget(int64_t bytes)
+      : prev_(MemoryBudget::Process().limit()) {
+    MemoryBudget::Process().set_limit(bytes);
+  }
+  ~ScopedBudget() {
+    MemoryBudget::Process().set_limit(prev_);
+    MemoryBudget::Process().ResetForTest();
+  }
+
+ private:
+  int64_t prev_;
+};
+
+int64_t BytesSpilledCounter() {
+  return obs::Registry::Instance()
+      .GetCounter("mrs.spill.bytes_spilled")
+      ->value();
+}
+
+// Runs `factory` unbudgeted under the serial runner, then under every
+// implementation with `budget`, asserting (a) all budgeted fingerprints
+// are identical, (b) they match the unbudgeted serial fingerprint, and
+// (c) the budgeted sweep actually spilled.
+void CheckSpillSweep(
+    const ProgramFactory& factory,
+    const std::function<std::string(MapReduce&)>& fingerprint,
+    int64_t budget, const std::string& what) {
+  std::string reference;
+  {
+    ScopedBudget unlimited(0);
+    auto report =
+        CheckEquivalence(factory, Options(), {"serial"}, fingerprint);
+    ASSERT_TRUE(report.ok()) << what << ": " << report.status().ToString();
+    reference = report->fingerprints[0].second;
+  }
+  ScopedBudget tiny(budget);
+  int64_t spilled_before = BytesSpilledCounter();
+  auto report = CheckEquivalence(factory, Options(), kAllImpls, fingerprint);
+  ASSERT_TRUE(report.ok()) << what << ": " << report.status().ToString();
+  EXPECT_TRUE(report->identical) << what << ": " << report->details;
+  for (const auto& [impl, fp] : report->fingerprints) {
+    EXPECT_EQ(fp, reference)
+        << what << ": budgeted " << impl
+        << " diverged from the unbudgeted serial run";
+  }
+  EXPECT_GT(BytesSpilledCounter() - spilled_before, 0)
+      << what << ": budget=" << budget
+      << " was expected to force spilling but nothing hit disk";
+}
+
+TEST(SpillSweep, WordCountAllRunnersUnderAllSpillBudget) {
+  // A 1-byte budget spills every record: maximal run counts, merge fan-in
+  // stress, and the reduce path streams everything from disk.
+  for (int splits : {1, 3}) {
+    CheckSpillSweep(
+        [splits] {
+          auto p = std::make_unique<MatrixWordCount>();
+          p->reduce_splits = splits;
+          return std::unique_ptr<MapReduce>(std::move(p));
+        },
+        WordCountFingerprint, /*budget=*/1,
+        "wordcount splits=" + std::to_string(splits));
+  }
+}
+
+TEST(SpillSweep, WordCountAllRunnersUnderMixedBudget) {
+  // A middling budget: some buckets spill, some stay resident — the mixed
+  // merge (disk runs + in-memory tail) path.
+  CheckSpillSweep(
+      [] {
+        auto p = std::make_unique<MatrixWordCount>();
+        p->reduce_splits = 2;
+        return std::unique_ptr<MapReduce>(std::move(p));
+      },
+      WordCountFingerprint, /*budget=*/4096, "wordcount mixed-budget");
+}
+
+TEST(SpillSweep, PiEstimationAllRunnersUnderAllSpillBudget) {
+  CheckSpillSweep(
+      [] {
+        auto p = std::make_unique<PartitionedPi>();
+        p->samples = 20000;
+        p->tasks = 5;
+        p->reduce_splits = 2;
+        return std::unique_ptr<MapReduce>(std::move(p));
+      },
+      PiFingerprint, /*budget=*/1, "pi");
+}
+
+TEST(SpillSweep, PsoSingleRoundAllRunnersUnderAllSpillBudget) {
+  CheckSpillSweep(
+      [] {
+        auto p = std::make_unique<pso::ApiaryPso>();
+        p->config.dims = 8;
+        p->config.num_subswarms = 4;
+        p->config.particles_per_subswarm = 3;
+        p->config.inner_iterations = 5;
+        p->config.max_rounds = 1;
+        p->config.target = 0.0;
+        return std::unique_ptr<MapReduce>(std::move(p));
+      },
+      PsoFingerprint, /*budget=*/1, "pso");
+}
+
+// ---- Workload 4: the DistSort range-partitioned sort ---------------------
+//
+// The out-of-core flagship joins the matrix: a sample-range-partitioned
+// sort whose correctness depends on the shuffle (partition boundaries ARE
+// the answer's layout), swept across all runners with a budget that forces
+// the shuffle through disk.
+
+std::string DistSortFingerprint(MapReduce& program) {
+  return EncodeTextRecords(
+      static_cast<sort::DistSortProgram&>(program).result);
+}
+
+TEST(SpillSweep, DistSortAllRunnersUnderAllSpillBudget) {
+  sort::DistSortConfig cfg;
+  cfg.tasks = 4;
+  cfg.records_per_task = 120;
+  cfg.reduce_splits = 3;
+  auto factory = [cfg] {
+    auto p = std::make_unique<sort::DistSortProgram>();
+    p->config = cfg;
+    return std::unique_ptr<MapReduce>(std::move(p));
+  };
+  CheckSpillSweep(factory, DistSortFingerprint, /*budget=*/1, "distsort");
+
+  // And against the no-framework ground truth: generate + std::sort.
+  sort::DistSortProgram reference;
+  reference.config = cfg;
+  ASSERT_TRUE(reference.Init(Options()).ok());
+  ScopedBudget tiny(1);
+  auto report = CheckEquivalence(factory, Options(), {"serial"},
+                                 DistSortFingerprint);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->fingerprints[0].second,
+            EncodeTextRecords(reference.ExpectedOutput()));
 }
 
 }  // namespace
