@@ -201,11 +201,15 @@ int main(int argc, char** argv) {
   // shared-memory implementation at 1/2/4 pool workers.  No cluster
   // startup column — thread has none, which is exactly its point.
   {
+    json_metrics.push_back(
+        {"thread_hw_concurrency",
+         static_cast<double>(std::thread::hardware_concurrency())});
     std::vector<std::vector<std::string>> scaling;
     scaling.push_back({"workers", "total (s)", "s/round",
                        "speedup vs 1 worker"});
     double base = -1;
-    for (int workers : {1, 2, 4}) {
+    for (int workers : bench::ScalingWorkerCounts()) {
+      std::vector<int64_t> before = bench::SnapshotThreadCounters();
       SeriesResult r = RunParallel(config, "thread", workers);
       double t = r.result.seconds;
       if (workers == 1) base = t;
@@ -218,6 +222,7 @@ int main(int argc, char** argv) {
       std::string w = std::to_string(workers);
       json_metrics.push_back({"thread_w" + w + "_s", t});
       json_metrics.push_back({"thread_speedup_w" + w, speedup});
+      bench::AppendCounterDeltas("thread_w" + w, before, &json_metrics);
       if (r.result.best != serial->best) {
         std::fprintf(stderr,
                      "WARNING: thread (%d workers) diverged from serial "

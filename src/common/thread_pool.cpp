@@ -55,7 +55,11 @@ bool WorkStealingPool::Submit(Task task) {
     if (closed_.load(std::memory_order_acquire)) return false;
     w.deque.push_back(std::move(task));
   }
-  size_t depth = queued_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  queued_.fetch_add(1, std::memory_order_acq_rel);
+  // The gauge tracks true outstanding work (queued + executing), not raw
+  // deque occupancy: a claimed-but-running task — including one stolen
+  // and in flight — must still register as load.
+  size_t depth = outstanding_.fetch_add(1, std::memory_order_acq_rel) + 1;
   QueueDepthGauge()->Set(static_cast<double>(depth));
   {
     // Empty critical section: pairs with the waiter's predicate check so
@@ -101,9 +105,12 @@ bool WorkStealingPool::TrySteal(size_t index, Task* out) {
   return false;
 }
 
+int WorkStealingPool::CurrentWorkerIndex() const {
+  return tls_pool == this ? static_cast<int>(tls_index) : -1;
+}
+
 void WorkStealingPool::NoteClaimed() {
   size_t left = queued_.fetch_sub(1, std::memory_order_acq_rel) - 1;
-  QueueDepthGauge()->Set(static_cast<double>(left));
   if (left == 0 && closed_.load(std::memory_order_acquire)) {
     // Let sleeping siblings re-evaluate their exit condition.
     { MutexLock lock(mu_); }
@@ -119,6 +126,8 @@ void WorkStealingPool::WorkerLoop(size_t index) {
     if (TryPopOwn(index, &task) || TrySteal(index, &task)) {
       NoteClaimed();
       task();
+      size_t left = outstanding_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+      QueueDepthGauge()->Set(static_cast<double>(left));
       continue;
     }
     MutexLock lock(mu_);

@@ -12,8 +12,10 @@
 // many tiny ones) without any central dispatcher lock on the hot path.
 //
 // Observability: the pool maintains the "mrs.pool.queue_depth" gauge
-// (tasks queued, not yet claimed) and the "mrs.pool.steals" counter in
-// the process registry, plus per-instance accessors for tests.
+// (true outstanding tasks: submitted but not yet finished, so a task a
+// worker is executing — or one stolen and in flight — still counts) and
+// the "mrs.pool.steals" counter in the process registry, plus
+// per-instance accessors for tests.
 #pragma once
 
 #include <atomic>
@@ -57,6 +59,17 @@ class WorkStealingPool {
     return queued_.load(std::memory_order_relaxed);
   }
 
+  /// Tasks submitted but not yet finished (queued + executing).  This is
+  /// what the "mrs.pool.queue_depth" gauge reports: claiming a task (own
+  /// pop or steal) must not make it disappear from the depth signal.
+  size_t OutstandingTasks() const {
+    return outstanding_.load(std::memory_order_relaxed);
+  }
+
+  /// Worker slot of the calling thread in this pool, or -1 when the
+  /// caller is not one of this pool's workers.
+  int CurrentWorkerIndex() const;
+
   /// Number of times a worker claimed a task from a sibling's deque.
   int64_t steal_count() const {
     return steals_.load(std::memory_order_relaxed);
@@ -81,6 +94,7 @@ class WorkStealingPool {
   CondVar cv_;
 
   std::atomic<size_t> queued_{0};
+  std::atomic<size_t> outstanding_{0};  // submitted, not yet finished
   std::atomic<size_t> next_{0};  // round-robin cursor for external submits
   std::atomic<int64_t> steals_{0};
   std::atomic<bool> closed_{false};

@@ -138,6 +138,13 @@ Result<std::vector<KeyValue>> SortGroupApply(std::vector<KeyValue> records,
   return out;
 }
 
+Result<ReduceFn> FindCombiner(MapReduce& program,
+                              const DataSetOptions& options) {
+  std::string combine_op =
+      options.combine_name.empty() ? "combine" : options.combine_name;
+  return program.FindReduce(combine_op);
+}
+
 Result<std::vector<Bucket>> RunMapTask(MapReduce& program,
                                        const DataSetOptions& options,
                                        int num_splits,
@@ -147,9 +154,7 @@ Result<std::vector<Bucket>> RunMapTask(MapReduce& program,
   MRS_ASSIGN_OR_RETURN(MapFn fn, program.FindMap(op));
   ReduceFn combiner;
   if (options.use_combiner) {
-    std::string combine_op =
-        options.combine_name.empty() ? "combine" : options.combine_name;
-    MRS_ASSIGN_OR_RETURN(combiner, program.FindReduce(combine_op));
+    MRS_ASSIGN_OR_RETURN(combiner, FindCombiner(program, options));
   }
 
   const bool spilling = spill != nullptr && spill->enabled();

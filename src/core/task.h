@@ -146,4 +146,11 @@ Result<std::vector<Bucket>> RunTaskOnBuckets(MapReduce& program,
 Result<std::vector<KeyValue>> SortGroupApply(std::vector<KeyValue> records,
                                              const ReduceFn& fn);
 
+/// Resolve the combiner configured on a map dataset ("combine" when
+/// `options.combine_name` is empty).  Shared by the in-task combine path,
+/// combine-before-spill, and the thread runner's per-worker combiners —
+/// one lookup rule, so every layer aggregates with the same function.
+Result<ReduceFn> FindCombiner(MapReduce& program,
+                              const DataSetOptions& options);
+
 }  // namespace mrs

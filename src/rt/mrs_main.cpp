@@ -29,7 +29,8 @@ Status RunSerial(MapReduce* program) {
 
 Status RunThread(MapReduce* program, int num_workers) {
   Job job(program,
-          std::make_unique<ThreadRunner>(program, num_workers));
+          std::make_unique<ThreadRunner>(program, num_workers,
+                                         /*morsel_records=*/-1));
   // Task decomposition must match the serial runner (same default split
   // count) so output layout is identical regardless of worker count.
   int parallel = static_cast<int>(program->opts().GetInt("mrs-num-slaves", 2) *
@@ -148,7 +149,8 @@ Status RunProgram(const ProgramFactory& factory, MapReduce* program,
   if (config.impl == "serial") return RunSerial(program);
   if (config.impl == "thread") {
     Job job(program,
-            std::make_unique<ThreadRunner>(program, config.num_workers));
+            std::make_unique<ThreadRunner>(program, config.num_workers,
+                                           config.morsel_records));
     job.set_default_parallelism(config.num_slaves * config.tasks_per_slave);
     return program->Run(job);
   }

@@ -45,6 +45,7 @@ std::string FmtDouble(double v) {
 class MatrixWordCount : public MapReduce {
  public:
   int reduce_splits = 1;
+  bool use_combiner = false;
   std::vector<KeyValue> result;
 
   void Map(const Value& key, const Value& value,
@@ -63,7 +64,9 @@ class MatrixWordCount : public MapReduce {
   }
   Status Run(Job& job) override {
     DataSetPtr input = job.LocalData(MakeLines(), /*num_splits=*/5);
-    DataSetPtr mapped = job.MapData(input);
+    DataSetOptions map_options;
+    map_options.use_combiner = use_combiner;
+    DataSetPtr mapped = job.MapData(input, map_options);
     DataSetOptions reduce_options;
     reduce_options.num_splits = reduce_splits;
     DataSetPtr reduced = job.ReduceData(mapped, reduce_options);
@@ -344,6 +347,54 @@ void CheckSpillSweep(
   EXPECT_GT(BytesSpilledCounter() - spilled_before, 0)
       << what << ": budget=" << budget
       << " was expected to force spilling but nothing hit disk";
+}
+
+// ---- Combine-enabled thread scaling sweep --------------------------------
+//
+// The thread runner's worker-side combiners (and morsel fan-out) only
+// fire on a combine-enabled map→reduce edge; sweep worker counts with
+// and without a memory budget and demand the serial answer byte-for-byte.
+// Under an active budget both optimizations must disable themselves and
+// take the plain spill path.
+TEST(EquivalenceMatrix, CombineEnabledWordCountWorkerAndBudgetSweep) {
+  auto factory = [] {
+    auto p = std::make_unique<MatrixWordCount>();
+    p->reduce_splits = 3;
+    p->use_combiner = true;
+    return std::unique_ptr<MapReduce>(std::move(p));
+  };
+  // Morsel splitting stays on for the whole sweep: the thread runner
+  // reads --mrs-morsel-records, every other implementation ignores it.
+  Options opts;
+  opts.Set("mrs-morsel-records", "40");
+
+  std::string reference;
+  {
+    ScopedBudget unlimited(0);
+    auto report =
+        CheckEquivalence(factory, opts, {"serial"}, WordCountFingerprint);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    reference = report->fingerprints[0].second;
+  }
+  for (int64_t budget : {int64_t{0}, int64_t{1}}) {
+    ScopedBudget scoped(budget);
+    for (int workers : {1, 2, 4, 7}) {
+      auto report =
+          CheckEquivalence(factory, opts, kThreadVsSerial,
+                           WordCountFingerprint, /*num_slaves=*/2, workers);
+      ASSERT_TRUE(report.ok()) << "budget=" << budget
+                               << " workers=" << workers << ": "
+                               << report.status().ToString();
+      EXPECT_TRUE(report->identical)
+          << "budget=" << budget << " workers=" << workers << ": "
+          << report->details;
+      for (const auto& [impl, fp] : report->fingerprints) {
+        EXPECT_EQ(fp, reference)
+            << "budget=" << budget << " workers=" << workers << " " << impl
+            << " diverged from the unbudgeted serial run";
+      }
+    }
+  }
 }
 
 TEST(SpillSweep, WordCountAllRunnersUnderAllSpillBudget) {

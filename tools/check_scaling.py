@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Blocking thread-runner scaling gate.
+
+Reads the JSON lines a bench_thread_snapshot run appends (one object per
+bench, see bench/bench_util.h EmitBenchJson) and fails when the thread
+runner's measured speedup falls below the floor on hardware that can
+support it.  The floors live HERE and only here — CI and local runs call
+this same script:
+
+    python3 tools/check_scaling.py build/BENCH_thread.json
+
+When a file holds several records for the same bench (CI runs each bench
+three times), per-metric medians are gated, not single samples.
+
+Machines without enough cores soft-pass: every bench emits the
+thread_hw_concurrency it measured, and a 2-core runner cannot demonstrate
+a 4-worker speedup no matter how good the runner is.  The gate prints
+what it skipped so a soft pass is visible in the step summary.
+"""
+
+import json
+import statistics
+import sys
+
+# The floors (ISSUE: >=2.5x at 4 workers for WordCount and pi; >=5x at 8
+# workers where the hardware allows).
+FLOOR_SPEEDUP_W4 = 2.5
+FLOOR_SPEEDUP_W8 = 5.0
+MIN_CORES_W4 = 4
+MIN_CORES_W8 = 8
+
+# Benches the floor applies to.  bench_pso is reported but not enforced:
+# its per-round serial section (swarm bookkeeping between rounds) caps
+# parallel speedup well below the embarrassingly-parallel workloads.
+ENFORCED_BENCHES = ("bench_wordcount", "bench_pi")
+
+
+def load(paths):
+    """bench -> metric -> median across all records in all files."""
+    samples = {}
+    for path in paths:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                row = json.loads(line)
+                bench = samples.setdefault(row["bench"], {})
+                for key, value in row["metrics"].items():
+                    bench.setdefault(key, []).append(value)
+    return {
+        bench: {key: statistics.median(values) for key, values in metrics.items()}
+        for bench, metrics in samples.items()
+    }
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(f"usage: {argv[0]} BENCH_thread.json [more.json...]",
+              file=sys.stderr)
+        return 2
+
+    benches = load(argv[1:])
+    failures = []
+    print("### thread scaling gate\n")
+    print("| bench | cores | speedup w4 | floor | speedup w8 | floor | verdict |")
+    print("|---|---|---|---|---|---|---|")
+
+    for name in ENFORCED_BENCHES:
+        metrics = benches.get(name)
+        if metrics is None:
+            failures.append(f"{name}: no record in the bench JSON")
+            print(f"| {name} | - | - | - | - | - | MISSING |")
+            continue
+        cores = metrics.get("thread_hw_concurrency", 0)
+        w4 = metrics.get("thread_speedup_w4")
+        w8 = metrics.get("thread_speedup_w8")
+        verdict = "pass"
+
+        if w4 is None:
+            failures.append(f"{name}: thread_speedup_w4 missing")
+            verdict = "FAIL (no w4 metric)"
+        elif cores < MIN_CORES_W4:
+            verdict = f"skipped ({cores:.0f} cores < {MIN_CORES_W4})"
+        elif w4 < FLOOR_SPEEDUP_W4:
+            failures.append(
+                f"{name}: w4 speedup {w4:.2f}x < {FLOOR_SPEEDUP_W4}x floor")
+            verdict = "FAIL (w4)"
+
+        if w8 is not None and cores >= MIN_CORES_W8 and w8 < FLOOR_SPEEDUP_W8:
+            failures.append(
+                f"{name}: w8 speedup {w8:.2f}x < {FLOOR_SPEEDUP_W8}x floor")
+            verdict = "FAIL (w8)" if verdict == "pass" else verdict + "+w8"
+
+        print(f"| {name} | {cores:.0f} "
+              f"| {'-' if w4 is None else f'{w4:.2f}x'} | {FLOOR_SPEEDUP_W4}x "
+              f"| {'-' if w8 is None else f'{w8:.2f}x'} | {FLOOR_SPEEDUP_W8}x "
+              f"| {verdict} |")
+
+    for name in sorted(set(benches) - set(ENFORCED_BENCHES)):
+        w4 = benches[name].get("thread_speedup_w4")
+        if w4 is not None:
+            cores = benches[name].get("thread_hw_concurrency", 0)
+            print(f"| {name} | {cores:.0f} | {w4:.2f}x | (not enforced) "
+                  f"| - | - | informational |")
+
+    if failures:
+        print("\n**scaling gate failed:**\n")
+        for failure in failures:
+            print(f"- {failure}")
+        return 1
+    print("\nscaling gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

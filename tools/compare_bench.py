@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Blocking bench-regression gate against the latest main artifact.
+
+    python3 tools/compare_bench.py --current build/BENCH_gate.json \
+        --baseline prev-bench [--threshold 0.15] [--allow-regression]
+
+`--current` files hold the JSON lines of this run's benches (run each
+bench three times into the same file: per-metric MEDIANS are compared, so
+one noisy run cannot fail — or hide — a regression).  `--baseline` is the
+directory the latest successful main run's bench-json artifact was
+downloaded into; when it is missing or empty the script prints the
+current numbers and exits 0 (report-only: the first run on a fresh repo
+has nothing to regress against).
+
+Gated metrics — everything else is carried in the table for context:
+  * bench_iteration_overhead timing metrics (keys ending in "_s"), where
+    higher is worse;
+  * thread-scaling times thread_w<N>_s from any bench (higher is worse);
+  * thread-scaling speedups thread_speedup_w<N> (lower is worse).
+Timing metrics under MIN_GATED_SECONDS in both runs are exempt: a
+sub-5ms wall time on a shared CI machine is scheduler noise, not signal.
+
+A regression beyond --threshold fails the job unless --allow-regression
+is passed (CI sets it for PRs labelled perf-regress-ok or whose head
+commit message carries a perf-regress-ok trailer).
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import statistics
+import sys
+
+MIN_GATED_SECONDS = 0.005
+THREAD_TIME_RE = re.compile(r"^thread_w\d+_s$")
+THREAD_SPEEDUP_RE = re.compile(r"^thread_speedup_w\d+$")
+
+
+def load(paths):
+    """bench -> metric -> median across all records in all files."""
+    samples = {}
+    for path in paths:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                row = json.loads(line)
+                bench = samples.setdefault(row["bench"], {})
+                for key, value in row["metrics"].items():
+                    bench.setdefault(key, []).append(value)
+    return {
+        bench: {key: statistics.median(values) for key, values in metrics.items()}
+        for bench, metrics in samples.items()
+    }
+
+
+def gate_kind(bench, metric):
+    """'time' (higher = worse), 'speedup' (lower = worse), or None."""
+    if THREAD_SPEEDUP_RE.match(metric):
+        return "speedup"
+    if THREAD_TIME_RE.match(metric):
+        return "time"
+    if bench == "bench_iteration_overhead" and metric.endswith("_s"):
+        return "time"
+    return None
+
+
+def main(argv):
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--current", nargs="+", required=True)
+    parser.add_argument("--baseline", default="prev-bench",
+                        help="directory holding the baseline BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.15)
+    parser.add_argument("--allow-regression", action="store_true")
+    args = parser.parse_args(argv[1:])
+
+    current = load(args.current)
+    baseline_files = sorted(glob.glob(os.path.join(args.baseline,
+                                                   "BENCH_*.json")))
+    print("### bench regression gate vs latest main artifact\n")
+    if not baseline_files:
+        print("no baseline bench-json artifact found; report-only baseline:\n")
+        for bench in sorted(current):
+            for key, value in sorted(current[bench].items()):
+                if gate_kind(bench, key):
+                    print(f"- {bench}.{key}: {value:.6g}")
+        return 0
+
+    baseline = load(baseline_files)
+    regressions = []
+    print(f"threshold: {args.threshold:.0%}, medians of "
+          f"{len(args.current)} current file(s) vs {len(baseline_files)} "
+          "baseline file(s)\n")
+    print("| bench | metric | baseline | current | delta | gate |")
+    print("|---|---|---|---|---|---|")
+    for bench in sorted(current):
+        base_metrics = baseline.get(bench, {})
+        for key, value in sorted(current[bench].items()):
+            kind = gate_kind(bench, key)
+            if kind is None:
+                continue
+            base = base_metrics.get(key)
+            if base is None or base == 0:
+                print(f"| {bench} | {key} | - | {value:.6g} | new | - |")
+                continue
+            delta = (value - base) / abs(base)
+            if kind == "time":
+                regressed = delta > args.threshold
+                if max(value, base) < MIN_GATED_SECONDS:
+                    regressed = False
+                    verdict = "exempt (<5ms)"
+                else:
+                    verdict = "REGRESSED" if regressed else "ok"
+            else:  # speedup: lower is worse
+                regressed = delta < -args.threshold
+                verdict = "REGRESSED" if regressed else "ok"
+            if regressed:
+                regressions.append(
+                    f"{bench}.{key}: {base:.6g} -> {value:.6g} ({delta:+.1%})")
+            print(f"| {bench} | {key} | {base:.6g} | {value:.6g} "
+                  f"| {delta:+.1%} | {verdict} |")
+
+    if regressions:
+        print(f"\n**{len(regressions)} metric(s) regressed beyond "
+              f"{args.threshold:.0%}:**\n")
+        for regression in regressions:
+            print(f"- {regression}")
+        if args.allow_regression:
+            print("\nperf-regress-ok escape hatch active: reporting only.")
+            return 0
+        print("\nLabel the PR `perf-regress-ok` (or add a perf-regress-ok "
+              "commit trailer) if this regression is intended.")
+        return 1
+    print("\nno gated metric regressed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
