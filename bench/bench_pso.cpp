@@ -187,6 +187,33 @@ int main(int argc, char** argv) {
   bench::PrintTable("Ablation: inter-hive topology (same seed and budget)",
                     topo_rows);
 
+  // Iterative/BSP ablation: the same masterslave workload with the hive
+  // dataset pinned resident and only best positions broadcast between
+  // supersteps — the best-exchange reduce phase disappears.  The
+  // trajectory must not move: only the clock may.
+  pso::ApiaryConfig iter_config = config;
+  iter_config.iterative = true;
+  SeriesResult iterative = RunParallel(iter_config);
+  double iterative_per_round =
+      iterative.result.rounds > 0
+          ? iterative.result.seconds /
+                static_cast<double>(iterative.result.rounds)
+          : 0;
+  if (iterative.result.best != parallel.result.best) {
+    std::fprintf(stderr,
+                 "WARNING: iterative mode diverged from replan (%g vs %g)\n",
+                 iterative.result.best, parallel.result.best);
+  }
+  bench::PrintTable(
+      "Ablation: iterative/BSP (pinned hives + best broadcast) vs replan",
+      {{"mode", "rounds", "total (s)", "s/round"},
+       {"replan", std::to_string(parallel.result.rounds),
+        bench::Fmt("%.3f", parallel.result.seconds),
+        bench::Fmt("%.4f", parallel_per_round)},
+       {"iterative", std::to_string(iterative.result.rounds),
+        bench::Fmt("%.3f", iterative.result.seconds),
+        bench::Fmt("%.4f", iterative_per_round)}});
+
   std::vector<bench::BenchMetric> json_metrics = {
       {"rounds", static_cast<double>(rounds)},
       {"dims", static_cast<double>(dims)},
@@ -195,6 +222,8 @@ int main(int argc, char** argv) {
       {"parallel_total_s", parallel.result.seconds},
       {"parallel_s_per_round", parallel_per_round},
       {"parallel_startup_s", parallel.startup_seconds},
+      {"iterative_total_s", iterative.result.seconds},
+      {"iterative_s_per_round", iterative_per_round},
       {"best_value", serial->best}};
 
   // Thread-runner scaling: the same Fig-4 workload driven by the

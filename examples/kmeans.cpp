@@ -1,395 +1,21 @@
-// K-means clustering as iterative MapReduce — the algorithm class the
-// paper's introduction leads with (ref [2], "Parallel k-means clustering
-// based on MapReduce").
+// K-means clustering example (see src/kmeans/kmeans.h for the dataflow).
 //
 //   build/examples/kmeans [--km-points 20000 --km-clusters 8 --km-dims 8]
-//       [--km-rounds 30] [-I masterslave -N 4]
+//       [--km-rounds 30] [--km-mode iterative|replan] [-I masterslave -N 4]
 //
-// Dataflow (single-input MapReduce, same carry-state pattern as Apiary
-// PSO): the working records are point *chunks* that also carry the current
-// centroids.  Each round:
-//   map "assign":   for its chunk, accumulate per-centroid partial sums and
-//                   broadcast them to every chunk key; re-emit own points.
-//   reduce "recenter": each chunk receives all partial sums, recomputes the
-//                   identical new centroids deterministically, and packs
-//                   (points + new centroids) for the next round.
-// All implementations (bypass / serial / mockparallel / masterslave)
-// produce bit-identical centroid trajectories.
-#include <algorithm>
-#include <cmath>
-#include <limits>
-#include <cstdio>
-
+// The default iterative mode pins the point chunks resident on their
+// executing runner/slaves and broadcasts only the centroids between
+// supersteps; --km-mode replan re-ships the full carry-state every round.
+#include "kmeans/kmeans.h"
 #include "rt/mrs_main.h"
 
 namespace {
 
-using mrs::Emitter;
-using mrs::KeyValue;
-using mrs::Value;
-using mrs::ValueEmitter;
-using mrs::ValueList;
-
-Value PackVec(const std::vector<double>& v) {
-  ValueList list;
-  list.reserve(v.size());
-  for (double x : v) list.push_back(Value(x));
-  return Value(std::move(list));
-}
-
-std::vector<double> UnpackVec(const Value& v) {
-  std::vector<double> out;
-  out.reserve(v.AsList().size());
-  for (const Value& x : v.AsList()) out.push_back(x.AsDouble());
-  return out;
-}
-
-/// Chunk payload: ["chunk", [centroid...], [point...]].
-/// Sums message:  ["sums", [sum-vector...], [count...]].
-Value PackChunk(const std::vector<std::vector<double>>& centroids,
-                const std::vector<std::vector<double>>& points) {
-  ValueList list;
-  list.push_back(Value("chunk"));
-  ValueList cents;
-  for (const auto& c : centroids) cents.push_back(PackVec(c));
-  list.push_back(Value(std::move(cents)));
-  ValueList pts;
-  for (const auto& p : points) pts.push_back(PackVec(p));
-  list.push_back(Value(std::move(pts)));
-  return Value(std::move(list));
-}
-
-class KMeans : public mrs::MapReduce {
+class KMeansMain : public mrs::kmeans::KMeansProgram {
  public:
-  int num_points = 20000;
-  int clusters = 8;
-  int dims = 8;
-  int chunks = 8;
-  int max_rounds = 30;
-  double tolerance = 1e-6;
-
-  // Results.
-  std::vector<std::vector<double>> centroids;
-  int rounds_run = 0;
-
-  KMeans() {
-    RegisterMap("assign",
-                [this](const Value& k, const Value& v, const Emitter& e) {
-                  AssignOp(k, v, e);
-                });
-    RegisterReduce("recenter", [this](const Value& k, const ValueList& vs,
-                                      const ValueEmitter& e) {
-      RecenterOp(k, vs, e);
-    });
-  }
-
-  void AddOptions(mrs::OptionParser* parser) override {
-    parser->Add("km-points", 0, true, "number of points", "20000");
-    parser->Add("km-clusters", 0, true, "number of clusters", "8");
-    parser->Add("km-dims", 0, true, "point dimensionality", "8");
-    parser->Add("km-chunks", 0, true, "point chunks (map tasks)", "8");
-    parser->Add("km-rounds", 0, true, "maximum iterations", "30");
-  }
-
-  mrs::Status Init(const mrs::Options& opts) override {
-    MRS_RETURN_IF_ERROR(mrs::MapReduce::Init(opts));
-    if (opts.Has("km-points")) {
-      num_points = static_cast<int>(opts.GetInt("km-points", num_points));
-      clusters = static_cast<int>(opts.GetInt("km-clusters", clusters));
-      dims = static_cast<int>(opts.GetInt("km-dims", dims));
-      chunks = static_cast<int>(opts.GetInt("km-chunks", chunks));
-      max_rounds = static_cast<int>(opts.GetInt("km-rounds", max_rounds));
-    }
-    return mrs::Status::Ok();
-  }
-
-  // ---- Data generation: Gaussian blobs around hidden true centers ------
-
-  std::vector<std::vector<double>> TrueCenters() const {
-    std::vector<std::vector<double>> centers;
-    for (int c = 0; c < clusters; ++c) {
-      mrs::MT19937_64 rng = Random({0xC0, static_cast<uint64_t>(c)});
-      std::vector<double> center(static_cast<size_t>(dims));
-      for (double& x : center) x = rng.NextUniform(-50, 50);
-      centers.push_back(std::move(center));
-    }
-    return centers;
-  }
-
-  std::vector<std::vector<double>> ChunkPoints(int chunk) const {
-    auto centers = TrueCenters();
-    mrs::MT19937_64 rng = Random({0xC1, static_cast<uint64_t>(chunk)});
-    int per_chunk = num_points / chunks + (chunk < num_points % chunks);
-    std::vector<std::vector<double>> points;
-    points.reserve(static_cast<size_t>(per_chunk));
-    for (int i = 0; i < per_chunk; ++i) {
-      const auto& center = centers[rng.NextBounded(
-          static_cast<uint64_t>(clusters))];
-      std::vector<double> p(static_cast<size_t>(dims));
-      for (int d = 0; d < dims; ++d) {
-        p[static_cast<size_t>(d)] = center[static_cast<size_t>(d)] +
-                                    rng.NextGaussian() * 2.0;
-      }
-      points.push_back(std::move(p));
-    }
-    return points;
-  }
-
-  std::vector<std::vector<double>> InitialCentroids() const {
-    // Perturbed copies of the first points (deterministic seeding).
-    std::vector<std::vector<double>> cents;
-    mrs::MT19937_64 rng = Random({0xC2});
-    for (int c = 0; c < clusters; ++c) {
-      std::vector<double> x(static_cast<size_t>(dims));
-      for (double& v : x) v = rng.NextUniform(-60, 60);
-      cents.push_back(std::move(x));
-    }
-    return cents;
-  }
-
-  // ---- The operations ----------------------------------------------------
-
-  static int Nearest(const std::vector<double>& p,
-                     const std::vector<std::vector<double>>& cents) {
-    int best = 0;
-    double best_d = std::numeric_limits<double>::infinity();
-    for (size_t c = 0; c < cents.size(); ++c) {
-      double d = 0;
-      for (size_t i = 0; i < p.size(); ++i) {
-        double diff = p[i] - cents[c][i];
-        d += diff * diff;
-      }
-      if (d < best_d) {
-        best_d = d;
-        best = static_cast<int>(c);
-      }
-    }
-    return best;
-  }
-
-  void AssignOp(const Value& key, const Value& value, const Emitter& emit) {
-    const ValueList& chunk = value.AsList();
-    if (!chunk[0].is_string() || chunk[0].AsString() != "chunk") return;
-    std::vector<std::vector<double>> cents;
-    for (const Value& c : chunk[1].AsList()) cents.push_back(UnpackVec(c));
-
-    std::vector<std::vector<double>> sums(
-        cents.size(), std::vector<double>(static_cast<size_t>(dims), 0.0));
-    std::vector<int64_t> counts(cents.size(), 0);
-    for (const Value& pv : chunk[2].AsList()) {
-      std::vector<double> p = UnpackVec(pv);
-      int c = Nearest(p, cents);
-      for (int d = 0; d < dims; ++d) {
-        sums[static_cast<size_t>(c)][static_cast<size_t>(d)] +=
-            p[static_cast<size_t>(d)];
-      }
-      ++counts[static_cast<size_t>(c)];
-    }
-
-    // Broadcast partial sums to every chunk (allreduce over MapReduce).
-    // The message carries the producing chunk's id so the reduce can
-    // accumulate in chunk order — floating-point addition is not
-    // associative, and bit-identical results across implementations
-    // require a canonical order.
-    ValueList msg;
-    msg.push_back(Value("sums"));
-    msg.push_back(Value(key.AsInt()));
-    ValueList sum_vectors;
-    for (const auto& s : sums) sum_vectors.push_back(PackVec(s));
-    msg.push_back(Value(std::move(sum_vectors)));
-    ValueList count_list;
-    for (int64_t n : counts) count_list.push_back(Value(n));
-    msg.push_back(Value(std::move(count_list)));
-    Value packed_msg(std::move(msg));
-    for (int other = 0; other < chunks; ++other) {
-      emit(Value(static_cast<int64_t>(other)), packed_msg);
-    }
-    // Carry the points forward unchanged (centroids get replaced in reduce).
-    emit(key, value);
-  }
-
-  void RecenterOp(const Value& key, const ValueList& values,
-                  const ValueEmitter& emit) {
-    (void)key;
-    std::vector<std::vector<double>> total_sums(
-        static_cast<size_t>(clusters),
-        std::vector<double>(static_cast<size_t>(dims), 0.0));
-    std::vector<int64_t> total_counts(static_cast<size_t>(clusters), 0);
-    const Value* chunk = nullptr;
-    std::vector<std::pair<int64_t, const Value*>> messages;
-    for (const Value& v : values) {
-      const ValueList& list = v.AsList();
-      if (list[0].AsString() == "chunk") {
-        chunk = &v;
-        continue;
-      }
-      messages.emplace_back(list[1].AsInt(), &v);
-    }
-    // Accumulate in producing-chunk order (canonical FP summation order).
-    std::sort(messages.begin(), messages.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (const auto& [chunk_id, mv] : messages) {
-      (void)chunk_id;
-      const ValueList& list = mv->AsList();
-      const ValueList& sum_vectors = list[2].AsList();
-      const ValueList& counts = list[3].AsList();
-      for (int c = 0; c < clusters; ++c) {
-        std::vector<double> s = UnpackVec(sum_vectors[static_cast<size_t>(c)]);
-        for (int d = 0; d < dims; ++d) {
-          total_sums[static_cast<size_t>(c)][static_cast<size_t>(d)] +=
-              s[static_cast<size_t>(d)];
-        }
-        total_counts[static_cast<size_t>(c)] +=
-            counts[static_cast<size_t>(c)].AsInt();
-      }
-    }
-    if (chunk == nullptr) return;
-
-    const ValueList& old = chunk->AsList();
-    std::vector<std::vector<double>> new_cents;
-    for (int c = 0; c < clusters; ++c) {
-      if (total_counts[static_cast<size_t>(c)] > 0) {
-        std::vector<double> mean = total_sums[static_cast<size_t>(c)];
-        for (double& x : mean) {
-          x /= static_cast<double>(total_counts[static_cast<size_t>(c)]);
-        }
-        new_cents.push_back(std::move(mean));
-      } else {
-        new_cents.push_back(UnpackVec(old[1].AsList()[static_cast<size_t>(c)]));
-      }
-    }
-    std::vector<std::vector<double>> points;
-    for (const Value& pv : old[2].AsList()) points.push_back(UnpackVec(pv));
-    emit(PackChunk(new_cents, points));
-  }
-
-  // ---- Drivers -------------------------------------------------------------
-
-  mrs::Status Run(mrs::Job& job) override {
-    std::vector<KeyValue> initial;
-    auto cents = InitialCentroids();
-    for (int chunk = 0; chunk < chunks; ++chunk) {
-      initial.push_back(KeyValue{Value(static_cast<int64_t>(chunk)),
-                                 PackChunk(cents, ChunkPoints(chunk))});
-    }
-    mrs::DataSetPtr data = job.LocalData(std::move(initial), chunks);
-    mrs::DataSetOptions assign_options;
-    assign_options.op_name = "assign";
-    assign_options.num_splits = chunks;
-    mrs::DataSetOptions recenter_options;
-    recenter_options.op_name = "recenter";
-    recenter_options.num_splits = chunks;
-
-    std::vector<std::vector<double>> previous = cents;
-    for (int round = 1; round <= max_rounds; ++round) {
-      mrs::DataSetPtr assigned = job.MapData(data, assign_options);
-      mrs::DataSetPtr next = job.ReduceData(assigned, recenter_options);
-      rounds_run = round;
-
-      MRS_ASSIGN_OR_RETURN(std::vector<KeyValue> out, job.Collect(next));
-      // Only now is it safe to free the consumed datasets: a lazy runner
-      // computes `next` at Collect time from `data` and `assigned`.
-      job.Discard(assigned);
-      job.Discard(data);
-      data = next;
-      if (out.empty()) return mrs::InternalError("empty kmeans state");
-      centroids.clear();
-      for (const Value& c : out[0].value.AsList()[1].AsList()) {
-        centroids.push_back(UnpackVec(c));
-      }
-      double shift = 0;
-      for (int c = 0; c < clusters; ++c) {
-        for (int d = 0; d < dims; ++d) {
-          double diff = centroids[static_cast<size_t>(c)][static_cast<size_t>(d)] -
-                        previous[static_cast<size_t>(c)][static_cast<size_t>(d)];
-          shift += diff * diff;
-        }
-      }
-      previous = centroids;
-      if (shift < tolerance) break;
-    }
-    Report();
-    return mrs::Status::Ok();
-  }
-
-  mrs::Status Bypass() override {
-    // Plain serial k-means over the same data; must match Run exactly.
-    auto cents = InitialCentroids();
-    std::vector<std::vector<std::vector<double>>> all_chunks;
-    for (int chunk = 0; chunk < chunks; ++chunk) {
-      all_chunks.push_back(ChunkPoints(chunk));
-    }
-    std::vector<std::vector<double>> previous = cents;
-    for (int round = 1; round <= max_rounds; ++round) {
-      std::vector<std::vector<double>> sums(
-          static_cast<size_t>(clusters),
-          std::vector<double>(static_cast<size_t>(dims), 0.0));
-      std::vector<int64_t> counts(static_cast<size_t>(clusters), 0);
-      // Accumulate per chunk, then combine in chunk order — matching the
-      // reduce's deterministic message order is unnecessary because
-      // addition here happens in the same per-chunk grouping.
-      for (const auto& chunk_points : all_chunks) {
-        std::vector<std::vector<double>> chunk_sums(
-            static_cast<size_t>(clusters),
-            std::vector<double>(static_cast<size_t>(dims), 0.0));
-        std::vector<int64_t> chunk_counts(static_cast<size_t>(clusters), 0);
-        for (const auto& p : chunk_points) {
-          int c = Nearest(p, cents);
-          for (int d = 0; d < dims; ++d) {
-            chunk_sums[static_cast<size_t>(c)][static_cast<size_t>(d)] +=
-                p[static_cast<size_t>(d)];
-          }
-          ++chunk_counts[static_cast<size_t>(c)];
-        }
-        for (int c = 0; c < clusters; ++c) {
-          for (int d = 0; d < dims; ++d) {
-            sums[static_cast<size_t>(c)][static_cast<size_t>(d)] +=
-                chunk_sums[static_cast<size_t>(c)][static_cast<size_t>(d)];
-          }
-          counts[static_cast<size_t>(c)] += chunk_counts[static_cast<size_t>(c)];
-        }
-      }
-      for (int c = 0; c < clusters; ++c) {
-        if (counts[static_cast<size_t>(c)] > 0) {
-          for (int d = 0; d < dims; ++d) {
-            sums[static_cast<size_t>(c)][static_cast<size_t>(d)] /=
-                static_cast<double>(counts[static_cast<size_t>(c)]);
-          }
-          cents[static_cast<size_t>(c)] = sums[static_cast<size_t>(c)];
-        }
-      }
-      rounds_run = round;
-      double shift = 0;
-      for (int c = 0; c < clusters; ++c) {
-        for (int d = 0; d < dims; ++d) {
-          double diff = cents[static_cast<size_t>(c)][static_cast<size_t>(d)] -
-                        previous[static_cast<size_t>(c)][static_cast<size_t>(d)];
-          shift += diff * diff;
-        }
-      }
-      previous = cents;
-      if (shift < tolerance) break;
-    }
-    centroids = cents;
-    Report();
-    return mrs::Status::Ok();
-  }
-
- private:
-  void Report() const {
-    std::printf("# k-means: %d points, %d clusters, %d dims, %d chunks\n",
-                num_points, clusters, dims, chunks);
-    std::printf("# converged after %d rounds\n", rounds_run);
-    for (size_t c = 0; c < centroids.size(); ++c) {
-      std::printf("centroid %zu: [", c);
-      for (size_t d = 0; d < centroids[c].size(); ++d) {
-        std::printf("%s%.4f", d ? ", " : "", centroids[c][d]);
-      }
-      std::printf("]\n");
-    }
-  }
+  KMeansMain() { print_report = true; }
 };
 
 }  // namespace
 
-int main(int argc, char** argv) { return mrs::Main<KMeans>(argc, argv); }
+int main(int argc, char** argv) { return mrs::Main<KMeansMain>(argc, argv); }

@@ -1,8 +1,26 @@
 #include "common/options.h"
 
+#include "common/log.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace mrs {
+namespace {
+
+/// A malformed numeric option value ("--mrs-workers=4x") must not silently
+/// run with the default: warn with the offending text and count it so the
+/// regression is visible in metrics even when logs are discarded.
+void ReportOptionParseError(std::string_view name, const std::string& value,
+                            const char* expected) {
+  static obs::Counter* parse_errors =
+      obs::Registry::Instance().GetCounter("mrs.options.parse_errors");
+  parse_errors->Inc();
+  MRS_LOG(kWarning, "options")
+      << "option --" << name << " has malformed " << expected << " value '"
+      << value << "'; using the default";
+}
+
+}  // namespace
 
 bool Options::Has(std::string_view name) const {
   return values_.find(name) != values_.end();
@@ -17,13 +35,23 @@ std::string Options::GetString(std::string_view name,
 int64_t Options::GetInt(std::string_view name, int64_t dflt) const {
   auto it = values_.find(name);
   if (it == values_.end()) return dflt;
-  return ParseInt64(it->second).value_or(dflt);
+  std::optional<int64_t> parsed = ParseInt64(it->second);
+  if (!parsed.has_value()) {
+    ReportOptionParseError(name, it->second, "integer");
+    return dflt;
+  }
+  return *parsed;
 }
 
 double Options::GetDouble(std::string_view name, double dflt) const {
   auto it = values_.find(name);
   if (it == values_.end()) return dflt;
-  return ParseDouble(it->second).value_or(dflt);
+  std::optional<double> parsed = ParseDouble(it->second);
+  if (!parsed.has_value()) {
+    ReportOptionParseError(name, it->second, "number");
+    return dflt;
+  }
+  return *parsed;
 }
 
 bool Options::GetBool(std::string_view name, bool dflt) const {

@@ -45,6 +45,12 @@ struct DataSetOptions {
   bool use_combiner = false;
   /// Named combiner operation; empty uses "combine".
   std::string combine_name;
+  /// Iterative/BSP mode: a small per-round delta (e.g. k-means centroids,
+  /// PSO best positions) made visible to every task of this operation via
+  /// MapReduce::Broadcast().  Shipped with the task assignment on the data
+  /// plane instead of being baked into the input, so a pinned resident
+  /// input never has to be re-shipped between supersteps.
+  std::shared_ptr<const Value> broadcast;
 };
 
 enum class TaskState : uint8_t { kPending, kRunning, kComplete, kFailed };
@@ -68,6 +74,19 @@ class DataSet {
   /// True for kLocal/kFile datasets whose contents exist a priori.
   bool IsSourceData() const {
     return kind_ == DataSetKind::kLocal || kind_ == DataSetKind::kFile;
+  }
+
+  // ---- Residency (iterative/BSP mode) ---------------------------------
+
+  /// A resident dataset is pinned on its executing runner across
+  /// supersteps: Job::Discard is a no-op while pinned, and the masterslave
+  /// runner caches its decoded splits on slaves so subsequent rounds send
+  /// only a cache key instead of re-shipping the records.  Lineage is
+  /// unaffected: a pinned dataset lost with a slave is re-derived from its
+  /// producing sub-DAG exactly like any other dataset.
+  bool resident() const { return resident_.load(std::memory_order_acquire); }
+  void set_resident(bool resident) {
+    resident_.store(resident, std::memory_order_release);
   }
 
   // ---- Bucket grid ----------------------------------------------------
@@ -132,6 +151,7 @@ class DataSet {
   DataSetOptions options_;
   DataSetPtr input_;
   std::vector<std::string> file_paths_;
+  std::atomic<bool> resident_{false};
 
   mutable Mutex mutex_;
   std::vector<Bucket> grid_ MRS_GUARDED_BY(mutex_);  // num_sources * num_splits

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/log.h"
+#include "core/task.h"
 #include "fs/file_io.h"
 #include "obs/metrics.h"
 #include "ser/record.h"
@@ -41,8 +42,7 @@ DataSetPtr Job::LocalData(std::vector<KeyValue> records, int num_splits) {
   auto ds = std::make_shared<DataSet>(NextId(), DataSetKind::kLocal,
                                       /*num_sources=*/1, splits);
   for (KeyValue& kv : records) {
-    int p = program_->Partition(kv.key, splits);
-    if (p < 0 || p >= splits) p = 0;
+    int p = ResolvePartition(*program_, kv.key, splits, "Job::LocalData");
     ds->bucket(0, p).Append(std::move(kv));
   }
   for (int p = 0; p < splits; ++p) ds->bucket(0, p).MarkLoaded();
@@ -132,7 +132,22 @@ Result<std::vector<KeyValue>> Job::Collect(const DataSetPtr& dataset) {
   return out;
 }
 
-void Job::Discard(const DataSetPtr& dataset) { runner_->Discard(dataset); }
+void Job::Discard(const DataSetPtr& dataset) {
+  if (dataset->resident()) {
+    // Pinned datasets survive Discard on every runner — this single gate
+    // is what "residency honored by all four runners" means for memory
+    // reclamation; the masterslave runner additionally keeps slave-side
+    // caches until the dataset is unpinned and discarded.
+    MRS_LOG(kDebug, "job") << "discard of pinned dataset " << dataset->id()
+                           << " ignored (call Unpin first)";
+    return;
+  }
+  runner_->Discard(dataset);
+}
+
+void Job::Pin(const DataSetPtr& dataset) { dataset->set_resident(true); }
+
+void Job::Unpin(const DataSetPtr& dataset) { dataset->set_resident(false); }
 
 // ---- MapReduce defaults that need Job --------------------------------
 

@@ -61,7 +61,21 @@ class Job {
   Result<std::vector<KeyValue>> Collect(const DataSetPtr& dataset);
 
   /// Declare the program done with a dataset; its buckets may be freed.
+  /// A no-op while the dataset is pinned resident (see Pin).
   void Discard(const DataSetPtr& dataset);
+
+  // ---- Iterative/BSP residency ----------------------------------------
+
+  /// Pin `dataset` resident on its executing runner across supersteps:
+  /// Discard becomes a no-op until Unpin, and the masterslave runner
+  /// caches the dataset's decoded splits on slaves so later rounds ship
+  /// only a cache key (plus the per-round broadcast delta) instead of the
+  /// records.  Lineage recovery is unaffected — a pinned dataset lost with
+  /// a slave is re-derived from its producing sub-DAG.
+  void Pin(const DataSetPtr& dataset);
+
+  /// Release residency; the next Discard frees the dataset normally.
+  void Unpin(const DataSetPtr& dataset);
 
  private:
   int NextId() { return next_id_++; }

@@ -5,6 +5,28 @@
 
 namespace mrs {
 
+namespace {
+// The broadcast value for the operation executing on this thread, installed
+// by BroadcastScope around each task invocation.  Thread-local rather than
+// program state: the thread runner executes many tasks of different
+// datasets concurrently on one program instance.
+thread_local const Value* g_current_broadcast = nullptr;
+}  // namespace
+
+BroadcastScope::BroadcastScope(const Value* broadcast)
+    : prev_(g_current_broadcast) {
+  g_current_broadcast = broadcast;
+}
+
+BroadcastScope::~BroadcastScope() { g_current_broadcast = prev_; }
+
+bool MapReduce::HasBroadcast() { return g_current_broadcast != nullptr; }
+
+const Value& MapReduce::Broadcast() {
+  static const Value kNone;
+  return g_current_broadcast != nullptr ? *g_current_broadcast : kNone;
+}
+
 MapReduce::MapReduce() {
   // The virtual operations are reachable by name so datasets can reference
   // them uniformly.

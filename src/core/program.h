@@ -118,6 +118,20 @@ class MapReduce {
   /// unimplemented.
   virtual Status Bypass();
 
+  // ---- Iterative/BSP broadcast (paper §IV-A, iterative programs) ------
+
+  /// True while the currently executing operation carries a broadcast
+  /// delta (DataSetOptions::broadcast).  Valid only inside map / reduce /
+  /// combine functions.
+  static bool HasBroadcast();
+
+  /// The broadcast value for the currently executing operation.  Returns
+  /// a None value when no broadcast is attached.  The value is installed
+  /// per-thread around each task invocation, so it is correct on every
+  /// runner — including out-of-process slaves, which receive the value
+  /// with the task assignment over the binary data plane.
+  static const Value& Broadcast();
+
   // ---- Independent random streams (paper §IV-A) ----------------------
 
   /// Returns a generator unique to the argument tuple (plus the program
@@ -153,5 +167,20 @@ class MapReduce {
 /// Factory signature used by Main<Program> and by slave processes to build
 /// their own program instance.
 using ProgramFactory = std::function<std::unique_ptr<MapReduce>()>;
+
+/// RAII guard installing the per-thread broadcast value read by
+/// MapReduce::Broadcast().  Task execution (RunMapTask / RunReduceTask /
+/// ReduceMergedSources) wraps each operation invocation in one of these;
+/// user code never constructs it directly.
+class BroadcastScope {
+ public:
+  explicit BroadcastScope(const Value* broadcast);
+  ~BroadcastScope();
+  BroadcastScope(const BroadcastScope&) = delete;
+  BroadcastScope& operator=(const BroadcastScope&) = delete;
+
+ private:
+  const Value* prev_;
+};
 
 }  // namespace mrs

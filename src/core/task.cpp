@@ -1,12 +1,33 @@
 #include "core/task.h"
 
 #include <algorithm>
+#include <atomic>
 
+#include "common/log.h"
 #include "common/strings.h"
 #include "fs/file_io.h"
+#include "obs/metrics.h"
 #include "ser/record.h"
 
 namespace mrs {
+
+int ResolvePartition(const MapReduce& program, const Value& key,
+                     int num_splits, const char* site) {
+  int p = program.Partition(key, num_splits);
+  if (p >= 0 && p < num_splits) return p;
+  static obs::Counter* out_of_range =
+      obs::Registry::Instance().GetCounter("mrs.partition.out_of_range");
+  out_of_range->Inc();
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    MRS_LOG(kWarning, "task")
+        << "Partition() returned " << p << " for num_splits=" << num_splits
+        << " at " << site
+        << "; remapping to split 0 (counted in mrs.partition.out_of_range; "
+           "further occurrences are not logged)";
+  }
+  return 0;
+}
 
 Result<std::string> LocalFetch(const std::string& url) {
   if (StartsWith(url, "file://")) {
@@ -152,6 +173,9 @@ Result<std::vector<Bucket>> RunMapTask(MapReduce& program,
                                        const TaskSpillContext* spill) {
   std::string op = options.op_name.empty() ? "map" : options.op_name;
   MRS_ASSIGN_OR_RETURN(MapFn fn, program.FindMap(op));
+  // Make the operation's broadcast delta (iterative mode) visible to the
+  // map function and any combiner invocation inside this task.
+  BroadcastScope broadcast_scope(options.broadcast.get());
   ReduceFn combiner;
   if (options.use_combiner) {
     MRS_ASSIGN_OR_RETURN(combiner, FindCombiner(program, options));
@@ -196,8 +220,7 @@ Result<std::vector<Bucket>> RunMapTask(MapReduce& program,
 
   Emitter emit = [&](Value k, Value v) {
     if (!spill_status.ok()) return;
-    int p = program.Partition(k, num_splits);
-    if (p < 0 || p >= num_splits) p = 0;
+    int p = ResolvePartition(program, k, num_splits, "RunMapTask");
     KeyValue kv{std::move(k), std::move(v)};
     if (spilling) pending += static_cast<int64_t>(ApproxMemoryBytes(kv));
     row[static_cast<size_t>(p)].Append(std::move(kv));
@@ -243,6 +266,7 @@ Result<std::vector<Bucket>> ReduceMergedSources(
     const TaskSpillContext* spill) {
   std::string op = options.op_name.empty() ? "reduce" : options.op_name;
   MRS_ASSIGN_OR_RETURN(ReduceFn fn, program.FindReduce(op));
+  BroadcastScope broadcast_scope(options.broadcast.get());
 
   const bool spilling = spill != nullptr && spill->enabled();
   std::vector<Bucket> row;
@@ -274,8 +298,7 @@ Result<std::vector<Bucket>> ReduceMergedSources(
 
   auto partition_emit = [&](const Value& key, Value v) {
     if (!spill_status.ok()) return;
-    int p = program.Partition(key, num_splits);
-    if (p < 0 || p >= num_splits) p = 0;
+    int p = ResolvePartition(program, key, num_splits, "ReduceMergedSources");
     KeyValue kv{key, std::move(v)};
     if (spilling) pending += static_cast<int64_t>(ApproxMemoryBytes(kv));
     row[static_cast<size_t>(p)].Append(std::move(kv));
@@ -336,6 +359,7 @@ Result<std::vector<Bucket>> RunReduceTask(MapReduce& program,
   }
   std::string op = options.op_name.empty() ? "reduce" : options.op_name;
   MRS_ASSIGN_OR_RETURN(ReduceFn fn, program.FindReduce(op));
+  BroadcastScope broadcast_scope(options.broadcast.get());
   MRS_ASSIGN_OR_RETURN(std::vector<KeyValue> reduced,
                        SortGroupApply(std::move(input), fn));
 
@@ -343,8 +367,7 @@ Result<std::vector<Bucket>> RunReduceTask(MapReduce& program,
   row.reserve(num_splits);
   for (int p = 0; p < num_splits; ++p) row.emplace_back(0, p);
   for (KeyValue& kv : reduced) {
-    int p = program.Partition(kv.key, num_splits);
-    if (p < 0 || p >= num_splits) p = 0;
+    int p = ResolvePartition(program, kv.key, num_splits, "RunReduceTask");
     row[static_cast<size_t>(p)].Append(std::move(kv));
   }
   for (Bucket& b : row) b.MarkLoaded();

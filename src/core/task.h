@@ -146,6 +146,16 @@ Result<std::vector<Bucket>> RunTaskOnBuckets(MapReduce& program,
 Result<std::vector<KeyValue>> SortGroupApply(std::vector<KeyValue> records,
                                              const ReduceFn& fn);
 
+/// Resolve the output partition for `key`: calls the program's Partition
+/// and range-checks the result.  An out-of-range result from a buggy user
+/// partitioner is remapped to split 0 — as every runner has always done —
+/// but no longer silently: the first occurrence logs a warning naming the
+/// site and every occurrence increments `mrs.partition.out_of_range`, so
+/// skewed-but-"valid" output is detectable.  Shared by map emit, reduce
+/// emit, and Job::LocalData so all runners treat bad partitions the same.
+int ResolvePartition(const MapReduce& program, const Value& key,
+                     int num_splits, const char* site);
+
 /// Resolve the combiner configured on a map dataset ("combine" when
 /// `options.combine_name` is empty).  Shared by the in-task combine path,
 /// combine-before-spill, and the thread runner's per-worker combiners —

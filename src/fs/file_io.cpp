@@ -37,6 +37,20 @@ Result<std::string> ReadFileToString(const std::string& path) {
   return out;
 }
 
+namespace {
+bool (*g_write_atomic_fault_hook)(const char* step) = nullptr;
+
+/// True when the durability step should proceed; an injected fault makes
+/// the step fail exactly where a crash/IO error would.
+bool AtomicStepOk(const char* step) {
+  return g_write_atomic_fault_hook == nullptr || g_write_atomic_fault_hook(step);
+}
+}  // namespace
+
+void SetWriteFileAtomicFaultHook(bool (*hook)(const char* step)) {
+  g_write_atomic_fault_hook = hook;
+}
+
 Status WriteFileAtomic(const std::string& path, std::string_view content) {
   std::string tmp = path + ".tmp.XXXXXX";
   int fd = ::mkstemp(tmp.data());
@@ -53,15 +67,54 @@ Status WriteFileAtomic(const std::string& path, std::string_view content) {
     }
     written += static_cast<size_t>(n);
   }
+  // Flush the temp file's bytes to stable storage *before* rename makes
+  // them reachable under `path`: without this, a crash shortly after the
+  // rename can leave a zero-length or partial file at the final name —
+  // the one outcome "atomic" write exists to prevent.
+  int err = 0;
+  if (!AtomicStepOk("fsync")) {
+    err = EIO;
+  } else if (::fsync(fd) < 0) {
+    err = errno;
+  }
+  if (err != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return IoErrorFromErrno("fsync " + tmp, err);
+  }
   if (::close(fd) < 0) {
     ::unlink(tmp.c_str());
     return IoErrorFromErrno("close " + tmp, errno);
   }
-  if (::rename(tmp.c_str(), path.c_str()) < 0) {
-    int err = errno;
+  if (!AtomicStepOk("rename")) {
     ::unlink(tmp.c_str());
-    return IoErrorFromErrno("rename to " + path, err);
+    return IoErrorFromErrno("rename to " + path, EIO);
   }
+  if (::rename(tmp.c_str(), path.c_str()) < 0) {
+    int err2 = errno;
+    ::unlink(tmp.c_str());
+    return IoErrorFromErrno("rename to " + path, err2);
+  }
+  // Persist the rename itself: the directory entry lives in the parent
+  // directory's data, which has its own cache to flush.
+  std::string dir;
+  if (size_t slash = path.find_last_of('/'); slash == std::string::npos) {
+    dir = ".";
+  } else if (slash == 0) {
+    dir = "/";
+  } else {
+    dir = path.substr(0, slash);
+  }
+  int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return IoErrorFromErrno("open dir " + dir, errno);
+  err = 0;
+  if (!AtomicStepOk("dirsync")) {
+    err = EIO;
+  } else if (::fsync(dfd) < 0) {
+    err = errno;
+  }
+  ::close(dfd);
+  if (err != 0) return IoErrorFromErrno("fsync dir " + dir, err);
   return Status::Ok();
 }
 

@@ -20,7 +20,18 @@ namespace mrs {
 Result<std::string> ReadFileToString(const std::string& path);
 
 /// Write via a temp file + rename so readers never see partial content.
+/// Durable: the temp fd is fsync'ed before the rename (so a crash after
+/// rename can never expose an empty or partial "atomically written" file)
+/// and the parent directory is fsync'ed after it (so the rename itself
+/// survives a crash) — spill runs and lineage treat these files as
+/// durable recoverable state.
 Status WriteFileAtomic(const std::string& path, std::string_view content);
+
+/// Test hook simulating crash-window failures inside WriteFileAtomic.
+/// Called before each durability step with "fsync", "rename", or
+/// "dirsync"; returning false makes that step fail with EIO.  Pass
+/// nullptr to restore normal operation.  Tests only; not thread-safe.
+void SetWriteFileAtomicFaultHook(bool (*hook)(const char* step));
 
 Status AppendToFile(const std::string& path, std::string_view content);
 

@@ -1,0 +1,546 @@
+#include "kmeans/kmeans.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <utility>
+
+#include "common/log.h"
+
+namespace mrs {
+namespace kmeans {
+
+namespace {
+
+Value PackVec(const std::vector<double>& v) {
+  ValueList list;
+  list.reserve(v.size());
+  for (double x : v) list.push_back(Value(x));
+  return Value(std::move(list));
+}
+
+std::vector<double> UnpackVec(const Value& v) {
+  std::vector<double> out;
+  out.reserve(v.AsList().size());
+  for (const Value& x : v.AsList()) out.push_back(x.AsDouble());
+  return out;
+}
+
+std::vector<std::vector<double>> UnpackVecs(const Value& v) {
+  std::vector<std::vector<double>> out;
+  out.reserve(v.AsList().size());
+  for (const Value& x : v.AsList()) out.push_back(UnpackVec(x));
+  return out;
+}
+
+Value PackVecs(const std::vector<std::vector<double>>& vs) {
+  ValueList list;
+  list.reserve(vs.size());
+  for (const auto& v : vs) list.push_back(PackVec(v));
+  return Value(std::move(list));
+}
+
+/// Chunk payload: ["chunk", [centroid...], [point...]].  Iterative mode
+/// packs an empty centroid list — centroids travel via broadcast instead.
+Value PackChunk(const std::vector<std::vector<double>>& centroids,
+                const std::vector<std::vector<double>>& points) {
+  ValueList list;
+  list.push_back(Value("chunk"));
+  list.push_back(PackVecs(centroids));
+  list.push_back(PackVecs(points));
+  return Value(std::move(list));
+}
+
+int Nearest(const std::vector<double>& p,
+            const std::vector<std::vector<double>>& cents) {
+  int best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < cents.size(); ++c) {
+    double d = 0;
+    for (size_t i = 0; i < p.size(); ++i) {
+      double diff = p[i] - cents[c][i];
+      d += diff * diff;
+    }
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+KMeansProgram::KMeansProgram() {
+  RegisterMap("assign",
+              [this](const Value& k, const Value& v, const Emitter& e) {
+                AssignOp(k, v, e);
+              });
+  RegisterReduce("recenter", [this](const Value& k, const ValueList& vs,
+                                    const ValueEmitter& e) {
+    RecenterOp(k, vs, e);
+  });
+  RegisterMap("iassign",
+              [this](const Value& k, const Value& v, const Emitter& e) {
+                IterAssignOp(k, v, e);
+              });
+  RegisterReduce("irecenter", [this](const Value& k, const ValueList& vs,
+                                     const ValueEmitter& e) {
+    IterRecenterOp(k, vs, e);
+  });
+}
+
+void KMeansProgram::AddOptions(OptionParser* parser) {
+  parser->Add("km-points", 0, true, "number of points", "20000");
+  parser->Add("km-clusters", 0, true, "number of clusters", "8");
+  parser->Add("km-dims", 0, true, "point dimensionality", "8");
+  parser->Add("km-chunks", 0, true, "point chunks (map tasks)", "8");
+  parser->Add("km-rounds", 0, true, "maximum iterations", "30");
+  parser->Add("km-mode", 0, true,
+              "execution mode: iterative (pinned chunks + centroid "
+              "broadcast) or replan (re-ship state every round)",
+              "iterative");
+}
+
+Status KMeansProgram::Init(const Options& opts) {
+  MRS_RETURN_IF_ERROR(MapReduce::Init(opts));
+  if (opts.Has("km-points")) {
+    config.num_points =
+        static_cast<int>(opts.GetInt("km-points", config.num_points));
+    config.clusters =
+        static_cast<int>(opts.GetInt("km-clusters", config.clusters));
+    config.dims = static_cast<int>(opts.GetInt("km-dims", config.dims));
+    config.chunks = static_cast<int>(opts.GetInt("km-chunks", config.chunks));
+    config.max_rounds =
+        static_cast<int>(opts.GetInt("km-rounds", config.max_rounds));
+  }
+  if (opts.Has("km-mode")) {
+    std::string mode = opts.GetString("km-mode", "iterative");
+    if (mode == "iterative") {
+      config.iterative = true;
+    } else if (mode == "replan") {
+      config.iterative = false;
+    } else {
+      return InvalidArgumentError("unknown --km-mode: " + mode +
+                                  " (want iterative or replan)");
+    }
+  }
+  return Status::Ok();
+}
+
+// ---- Data generation: Gaussian blobs around hidden true centers ----------
+
+std::vector<std::vector<double>> KMeansProgram::TrueCenters() const {
+  std::vector<std::vector<double>> centers;
+  for (int c = 0; c < config.clusters; ++c) {
+    MT19937_64 rng = Random({0xC0, static_cast<uint64_t>(c)});
+    std::vector<double> center(static_cast<size_t>(config.dims));
+    for (double& x : center) x = rng.NextUniform(-50, 50);
+    centers.push_back(std::move(center));
+  }
+  return centers;
+}
+
+std::vector<std::vector<double>> KMeansProgram::ChunkPoints(int chunk) const {
+  auto centers = TrueCenters();
+  MT19937_64 rng = Random({0xC1, static_cast<uint64_t>(chunk)});
+  int per_chunk = config.num_points / config.chunks +
+                  (chunk < config.num_points % config.chunks);
+  std::vector<std::vector<double>> points;
+  points.reserve(static_cast<size_t>(per_chunk));
+  for (int i = 0; i < per_chunk; ++i) {
+    const auto& center =
+        centers[rng.NextBounded(static_cast<uint64_t>(config.clusters))];
+    std::vector<double> p(static_cast<size_t>(config.dims));
+    for (int d = 0; d < config.dims; ++d) {
+      p[static_cast<size_t>(d)] =
+          center[static_cast<size_t>(d)] + rng.NextGaussian() * 2.0;
+    }
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+std::vector<std::vector<double>> KMeansProgram::InitialCentroids() const {
+  std::vector<std::vector<double>> cents;
+  MT19937_64 rng = Random({0xC2});
+  for (int c = 0; c < config.clusters; ++c) {
+    std::vector<double> x(static_cast<size_t>(config.dims));
+    for (double& v : x) v = rng.NextUniform(-60, 60);
+    cents.push_back(std::move(x));
+  }
+  return cents;
+}
+
+// ---- Shared inner loops ---------------------------------------------------
+
+void KMeansProgram::ChunkSums(const ValueList& points,
+                              const std::vector<std::vector<double>>& cents,
+                              std::vector<std::vector<double>>* sums,
+                              std::vector<int64_t>* counts) const {
+  sums->assign(cents.size(),
+               std::vector<double>(static_cast<size_t>(config.dims), 0.0));
+  counts->assign(cents.size(), 0);
+  for (const Value& pv : points) {
+    std::vector<double> p = UnpackVec(pv);
+    int c = Nearest(p, cents);
+    for (int d = 0; d < config.dims; ++d) {
+      (*sums)[static_cast<size_t>(c)][static_cast<size_t>(d)] +=
+          p[static_cast<size_t>(d)];
+    }
+    ++(*counts)[static_cast<size_t>(c)];
+  }
+}
+
+Value KMeansProgram::PackSumsMessage(
+    int64_t chunk_id, const std::vector<std::vector<double>>& sums,
+    const std::vector<int64_t>& counts) const {
+  // The message carries the producing chunk's id so the reduce can
+  // accumulate in chunk order — floating-point addition is not
+  // associative, and bit-identical results across implementations
+  // require a canonical order.
+  ValueList msg;
+  msg.push_back(Value("sums"));
+  msg.push_back(Value(chunk_id));
+  msg.push_back(PackVecs(sums));
+  ValueList count_list;
+  for (int64_t n : counts) count_list.push_back(Value(n));
+  msg.push_back(Value(std::move(count_list)));
+  return Value(std::move(msg));
+}
+
+std::vector<std::vector<double>> KMeansProgram::FoldSums(
+    const std::vector<std::pair<int64_t, const Value*>>& messages,
+    const std::vector<std::vector<double>>& fallback) const {
+  std::vector<std::vector<double>> total_sums(
+      static_cast<size_t>(config.clusters),
+      std::vector<double>(static_cast<size_t>(config.dims), 0.0));
+  std::vector<int64_t> total_counts(static_cast<size_t>(config.clusters), 0);
+  // Accumulate in producing-chunk order (canonical FP summation order).
+  std::vector<std::pair<int64_t, const Value*>> ordered = messages;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [chunk_id, mv] : ordered) {
+    (void)chunk_id;
+    const ValueList& list = mv->AsList();
+    const ValueList& sum_vectors = list[2].AsList();
+    const ValueList& counts = list[3].AsList();
+    for (int c = 0; c < config.clusters; ++c) {
+      std::vector<double> s = UnpackVec(sum_vectors[static_cast<size_t>(c)]);
+      for (int d = 0; d < config.dims; ++d) {
+        total_sums[static_cast<size_t>(c)][static_cast<size_t>(d)] +=
+            s[static_cast<size_t>(d)];
+      }
+      total_counts[static_cast<size_t>(c)] +=
+          counts[static_cast<size_t>(c)].AsInt();
+    }
+  }
+  std::vector<std::vector<double>> new_cents;
+  for (int c = 0; c < config.clusters; ++c) {
+    if (total_counts[static_cast<size_t>(c)] > 0) {
+      std::vector<double> mean = total_sums[static_cast<size_t>(c)];
+      for (double& x : mean) {
+        x /= static_cast<double>(total_counts[static_cast<size_t>(c)]);
+      }
+      new_cents.push_back(std::move(mean));
+    } else {
+      new_cents.push_back(fallback[static_cast<size_t>(c)]);
+    }
+  }
+  return new_cents;
+}
+
+// ---- Replan-mode operations ----------------------------------------------
+
+void KMeansProgram::AssignOp(const Value& key, const Value& value,
+                             const Emitter& emit) {
+  const ValueList& chunk = value.AsList();
+  if (!chunk[0].is_string() || chunk[0].AsString() != "chunk") return;
+  std::vector<std::vector<double>> cents = UnpackVecs(chunk[1]);
+
+  std::vector<std::vector<double>> sums;
+  std::vector<int64_t> counts;
+  ChunkSums(chunk[2].AsList(), cents, &sums, &counts);
+
+  // Broadcast partial sums to every chunk (allreduce over MapReduce).
+  Value packed_msg = PackSumsMessage(key.AsInt(), sums, counts);
+  for (int other = 0; other < config.chunks; ++other) {
+    emit(Value(static_cast<int64_t>(other)), packed_msg);
+  }
+  // Carry the points forward unchanged (centroids get replaced in reduce).
+  emit(key, value);
+}
+
+void KMeansProgram::RecenterOp(const Value& key, const ValueList& values,
+                               const ValueEmitter& emit) {
+  (void)key;
+  const Value* chunk = nullptr;
+  std::vector<std::pair<int64_t, const Value*>> messages;
+  for (const Value& v : values) {
+    const ValueList& list = v.AsList();
+    if (list[0].AsString() == "chunk") {
+      chunk = &v;
+      continue;
+    }
+    messages.emplace_back(list[1].AsInt(), &v);
+  }
+  if (chunk == nullptr) return;
+  const ValueList& old = chunk->AsList();
+  // Empty clusters keep this round's centroid (carried in the chunk).
+  std::vector<std::vector<double>> new_cents =
+      FoldSums(messages, UnpackVecs(old[1]));
+  std::vector<std::vector<double>> points = UnpackVecs(old[2]);
+  emit(PackChunk(new_cents, points));
+}
+
+// ---- Iterative-mode operations -------------------------------------------
+
+void KMeansProgram::IterAssignOp(const Value& key, const Value& value,
+                                 const Emitter& emit) {
+  const ValueList& chunk = value.AsList();
+  if (!chunk[0].is_string() || chunk[0].AsString() != "chunk") return;
+  if (!MapReduce::HasBroadcast()) {
+    MRS_LOG(kError, "kmeans") << "iassign without a centroid broadcast";
+    return;
+  }
+  std::vector<std::vector<double>> cents =
+      UnpackVecs(MapReduce::Broadcast());
+
+  std::vector<std::vector<double>> sums;
+  std::vector<int64_t> counts;
+  ChunkSums(chunk[2].AsList(), cents, &sums, &counts);
+  // One tiny message per chunk; every message lands in reduce split 0.
+  emit(Value(int64_t{0}), PackSumsMessage(key.AsInt(), sums, counts));
+}
+
+void KMeansProgram::IterRecenterOp(const Value& key, const ValueList& values,
+                                   const ValueEmitter& emit) {
+  (void)key;
+  if (!MapReduce::HasBroadcast()) {
+    MRS_LOG(kError, "kmeans") << "irecenter without a centroid broadcast";
+    return;
+  }
+  std::vector<std::pair<int64_t, const Value*>> messages;
+  for (const Value& v : values) {
+    messages.emplace_back(v.AsList()[1].AsInt(), &v);
+  }
+  // Empty clusters keep this round's centroid (the broadcast).
+  std::vector<std::vector<double>> new_cents =
+      FoldSums(messages, UnpackVecs(MapReduce::Broadcast()));
+  emit(PackVecs(new_cents));
+}
+
+// ---- Drivers --------------------------------------------------------------
+
+Status KMeansProgram::Run(Job& job) {
+  centroids.clear();
+  trajectory.clear();
+  rounds_run = 0;
+  Status status = config.iterative ? RunIterative(job) : RunReplan(job);
+  if (status.ok() && print_report) Report();
+  return status;
+}
+
+Status KMeansProgram::RunReplan(Job& job) {
+  std::vector<KeyValue> initial;
+  auto cents = InitialCentroids();
+  for (int chunk = 0; chunk < config.chunks; ++chunk) {
+    initial.push_back(KeyValue{Value(static_cast<int64_t>(chunk)),
+                               PackChunk(cents, ChunkPoints(chunk))});
+  }
+  DataSetPtr data = job.LocalData(std::move(initial), config.chunks);
+  DataSetOptions assign_options;
+  assign_options.op_name = "assign";
+  assign_options.num_splits = config.chunks;
+  DataSetOptions recenter_options;
+  recenter_options.op_name = "recenter";
+  recenter_options.num_splits = config.chunks;
+
+  std::vector<std::vector<double>> previous = cents;
+  for (int round = 1; round <= config.max_rounds; ++round) {
+    DataSetPtr assigned = job.MapData(data, assign_options);
+    DataSetPtr next = job.ReduceData(assigned, recenter_options);
+    rounds_run = round;
+
+    MRS_ASSIGN_OR_RETURN(std::vector<KeyValue> out, job.Collect(next));
+    // Only now is it safe to free the consumed datasets: a lazy runner
+    // computes `next` at Collect time from `data` and `assigned`.
+    job.Discard(assigned);
+    job.Discard(data);
+    data = next;
+    if (out.empty()) return InternalError("empty kmeans state");
+    centroids = UnpackVecs(out[0].value.AsList()[1]);
+    RecordRound();
+    double shift = 0;
+    for (int c = 0; c < config.clusters; ++c) {
+      for (int d = 0; d < config.dims; ++d) {
+        double diff =
+            centroids[static_cast<size_t>(c)][static_cast<size_t>(d)] -
+            previous[static_cast<size_t>(c)][static_cast<size_t>(d)];
+        shift += diff * diff;
+      }
+    }
+    previous = centroids;
+    if (shift < config.tolerance) break;
+  }
+  job.Discard(data);
+  return Status::Ok();
+}
+
+Status KMeansProgram::RunIterative(Job& job) {
+  std::vector<KeyValue> initial;
+  for (int chunk = 0; chunk < config.chunks; ++chunk) {
+    initial.push_back(KeyValue{Value(static_cast<int64_t>(chunk)),
+                               PackChunk({}, ChunkPoints(chunk))});
+  }
+  DataSetPtr data = job.LocalData(std::move(initial), config.chunks);
+  // The tentpole: the point chunks never change, so pin them resident on
+  // their executing runner/slaves; every superstep ships only the
+  // centroid broadcast.
+  job.Pin(data);
+
+  DataSetOptions assign_options;
+  assign_options.op_name = "iassign";
+  assign_options.num_splits = 1;
+  DataSetOptions recenter_options;
+  recenter_options.op_name = "irecenter";
+  recenter_options.num_splits = 1;
+
+  auto cents = InitialCentroids();
+  std::vector<std::vector<double>> previous = cents;
+  Status status = Status::Ok();
+  for (int round = 1; round <= config.max_rounds; ++round) {
+    auto broadcast = std::make_shared<const Value>(PackVecs(cents));
+    assign_options.broadcast = broadcast;
+    recenter_options.broadcast = broadcast;
+    DataSetPtr assigned = job.MapData(data, assign_options);
+    DataSetPtr next = job.ReduceData(assigned, recenter_options);
+    rounds_run = round;
+
+    Result<std::vector<KeyValue>> out = job.Collect(next);
+    if (!out.ok()) {
+      status = out.status();
+      break;
+    }
+    job.Discard(assigned);
+    job.Discard(next);
+    if (out->empty()) {
+      status = InternalError("empty kmeans state");
+      break;
+    }
+    centroids = UnpackVecs((*out)[0].value);
+    RecordRound();
+    double shift = 0;
+    for (int c = 0; c < config.clusters; ++c) {
+      for (int d = 0; d < config.dims; ++d) {
+        double diff =
+            centroids[static_cast<size_t>(c)][static_cast<size_t>(d)] -
+            previous[static_cast<size_t>(c)][static_cast<size_t>(d)];
+        shift += diff * diff;
+      }
+    }
+    previous = centroids;
+    cents = centroids;
+    if (shift < config.tolerance) break;
+  }
+  job.Unpin(data);
+  job.Discard(data);
+  return status;
+}
+
+Status KMeansProgram::Bypass() {
+  centroids.clear();
+  trajectory.clear();
+  rounds_run = 0;
+  // Plain serial k-means over the same data; must match Run exactly.
+  auto cents = InitialCentroids();
+  std::vector<ValueList> all_chunks;
+  for (int chunk = 0; chunk < config.chunks; ++chunk) {
+    all_chunks.push_back(PackVecs(ChunkPoints(chunk)).AsList());
+  }
+  std::vector<std::vector<double>> previous = cents;
+  for (int round = 1; round <= config.max_rounds; ++round) {
+    std::vector<std::vector<double>> sums(
+        static_cast<size_t>(config.clusters),
+        std::vector<double>(static_cast<size_t>(config.dims), 0.0));
+    std::vector<int64_t> counts(static_cast<size_t>(config.clusters), 0);
+    // Accumulate per chunk, then combine in chunk order — the same FP
+    // summation order as both MapReduce reduces.
+    for (const ValueList& chunk_points : all_chunks) {
+      std::vector<std::vector<double>> chunk_sums;
+      std::vector<int64_t> chunk_counts;
+      ChunkSums(chunk_points, cents, &chunk_sums, &chunk_counts);
+      for (int c = 0; c < config.clusters; ++c) {
+        for (int d = 0; d < config.dims; ++d) {
+          sums[static_cast<size_t>(c)][static_cast<size_t>(d)] +=
+              chunk_sums[static_cast<size_t>(c)][static_cast<size_t>(d)];
+        }
+        counts[static_cast<size_t>(c)] += chunk_counts[static_cast<size_t>(c)];
+      }
+    }
+    for (int c = 0; c < config.clusters; ++c) {
+      if (counts[static_cast<size_t>(c)] > 0) {
+        std::vector<double> mean = sums[static_cast<size_t>(c)];
+        for (double& x : mean) {
+          x /= static_cast<double>(counts[static_cast<size_t>(c)]);
+        }
+        cents[static_cast<size_t>(c)] = std::move(mean);
+      }
+    }
+    rounds_run = round;
+    centroids = cents;
+    RecordRound();
+    double shift = 0;
+    for (int c = 0; c < config.clusters; ++c) {
+      for (int d = 0; d < config.dims; ++d) {
+        double diff = cents[static_cast<size_t>(c)][static_cast<size_t>(d)] -
+                      previous[static_cast<size_t>(c)][static_cast<size_t>(d)];
+        shift += diff * diff;
+      }
+    }
+    previous = cents;
+    if (shift < config.tolerance) break;
+  }
+  if (print_report) Report();
+  return Status::Ok();
+}
+
+void KMeansProgram::RecordRound() {
+  // FNV-1a over the raw bits of the centroid matrix: a compact per-round
+  // fingerprint that differs on any single-ULP divergence.
+  uint64_t h = 1469598103934665603ull;
+  for (const auto& c : centroids) {
+    for (double x : c) {
+      uint64_t bits;
+      std::memcpy(&bits, &x, sizeof(bits));
+      for (int i = 0; i < 8; ++i) {
+        h ^= (bits >> (i * 8)) & 0xFF;
+        h *= 1099511628211ull;
+      }
+    }
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  trajectory += buf;
+  trajectory += ';';
+}
+
+void KMeansProgram::Report() const {
+  std::printf("# k-means: %d points, %d clusters, %d dims, %d chunks (%s)\n",
+              config.num_points, config.clusters, config.dims, config.chunks,
+              config.iterative ? "iterative" : "replan");
+  std::printf("# converged after %d rounds\n", rounds_run);
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    std::printf("centroid %zu: [", c);
+    for (size_t d = 0; d < centroids[c].size(); ++d) {
+      std::printf("%s%.4f", d ? ", " : "", centroids[c][d]);
+    }
+    std::printf("]\n");
+  }
+}
+
+}  // namespace kmeans
+}  // namespace mrs

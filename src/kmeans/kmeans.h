@@ -1,0 +1,107 @@
+// K-means clustering as iterative MapReduce — the algorithm class the
+// paper's introduction leads with (ref [2], "Parallel k-means clustering
+// based on MapReduce").
+//
+// Two MapReduce drivers share one dataset and must produce bit-identical
+// centroid trajectories:
+//
+//  * replan ("assign"/"recenter"): the original carry-state pattern.  The
+//    working records are point *chunks* that also carry the current
+//    centroids; every round re-plans a full map+reduce over the complete
+//    state, so every round re-ships every point.
+//  * iterative ("iassign"/"irecenter", the default): the BSP mode.  The
+//    point chunks are pinned resident (Job::Pin) on whichever runner or
+//    slave executed them, and each superstep broadcasts only the current
+//    centroids — the small delta — via DataSetOptions::broadcast.  The
+//    map emits per-chunk partial sums; a single reduce task folds them in
+//    chunk order (the canonical FP summation order) into new centroids.
+//
+// Bypass runs plain serial k-means over the same generated data and is the
+// ground truth both MapReduce modes are checked against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/job.h"
+#include "core/program.h"
+
+namespace mrs {
+namespace kmeans {
+
+struct KMeansConfig {
+  int num_points = 20000;
+  int clusters = 8;
+  int dims = 8;
+  /// Point chunks == map tasks per round.
+  int chunks = 8;
+  int max_rounds = 30;
+  /// Stop when the summed squared centroid shift falls below this.
+  double tolerance = 1e-6;
+  /// iterative (pinned chunks + centroid broadcast) vs replan
+  /// (carry-state, full re-ship every round).
+  bool iterative = true;
+};
+
+class KMeansProgram : public MapReduce {
+ public:
+  KMeansProgram();
+
+  KMeansConfig config;
+
+  // Results (filled by Run / Bypass).
+  std::vector<std::vector<double>> centroids;
+  int rounds_run = 0;
+  /// One 64-bit FNV-1a hash of the centroid matrix per round,
+  /// ';'-separated — the cross-implementation equivalence fingerprint.
+  std::string trajectory;
+
+  /// Print a human-readable summary after Run/Bypass (example binary).
+  bool print_report = false;
+
+  void AddOptions(OptionParser* parser) override;
+  Status Init(const Options& opts) override;
+  Status Run(Job& job) override;
+  Status Bypass() override;
+
+  // Deterministic data generation (public so tests can cross-check).
+  std::vector<std::vector<double>> TrueCenters() const;
+  std::vector<std::vector<double>> ChunkPoints(int chunk) const;
+  std::vector<std::vector<double>> InitialCentroids() const;
+
+ private:
+  // Replan-mode operations.
+  void AssignOp(const Value& key, const Value& value, const Emitter& emit);
+  void RecenterOp(const Value& key, const ValueList& values,
+                  const ValueEmitter& emit);
+  // Iterative-mode operations (centroids arrive via MapReduce::Broadcast).
+  void IterAssignOp(const Value& key, const Value& value,
+                    const Emitter& emit);
+  void IterRecenterOp(const Value& key, const ValueList& values,
+                      const ValueEmitter& emit);
+
+  Status RunReplan(Job& job);
+  Status RunIterative(Job& job);
+
+  /// Per-chunk partial sums/counts for the current centroids; the shared
+  /// inner loop that keeps all modes FP-identical.
+  void ChunkSums(const ValueList& points,
+                 const std::vector<std::vector<double>>& cents,
+                 std::vector<std::vector<double>>* sums,
+                 std::vector<int64_t>* counts) const;
+  /// Emit-side message shape shared by both assign ops.
+  Value PackSumsMessage(int64_t chunk_id,
+                        const std::vector<std::vector<double>>& sums,
+                        const std::vector<int64_t>& counts) const;
+  /// Fold sums messages in producing-chunk order; `fallback` supplies the
+  /// centroid kept when a cluster received no points this round.
+  std::vector<std::vector<double>> FoldSums(
+      const std::vector<std::pair<int64_t, const Value*>>& messages,
+      const std::vector<std::vector<double>>& fallback) const;
+
+  void RecordRound();
+  void Report() const;
+};
+
+}  // namespace kmeans
+}  // namespace mrs

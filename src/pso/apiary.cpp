@@ -50,6 +50,10 @@ ApiaryPso::ApiaryPso() {
                              const Emitter& e) { MoveOp(k, v, e); });
   RegisterReduce("best", [this](const Value& k, const ValueList& vs,
                                 const ValueEmitter& e) { BestOp(k, vs, e); });
+  RegisterMap("imove", [this](const Value& k, const Value& v,
+                              const Emitter& e) { IterMoveOp(k, v, e); });
+  RegisterMap("ibest", [this](const Value& k, const Value& v,
+                              const Emitter& e) { IterBestOp(k, v, e); });
 }
 
 void ApiaryPso::AddOptions(OptionParser* parser) {
@@ -65,6 +69,8 @@ void ApiaryPso::AddOptions(OptionParser* parser) {
               "1");
   parser->Add("pso-topology", 0, true,
               "inter-hive topology: ring, star, isolated", "ring");
+  parser->Add("pso-iterative", 0, true,
+              "1 = iterative/BSP mode (pinned hives + best broadcast)", "0");
 }
 
 Status ApiaryPso::Init(const Options& opts) {
@@ -85,6 +91,8 @@ Status ApiaryPso::Init(const Options& opts) {
     config.check_interval =
         static_cast<int>(opts.GetInt("pso-check", config.check_interval));
     config.topology = opts.GetString("pso-topology", config.topology);
+    config.iterative =
+        opts.GetInt("pso-iterative", config.iterative ? 1 : 0) != 0;
   }
   // Validate the topology eagerly so a typo fails at startup, not inside
   // a map task.
@@ -151,6 +159,57 @@ void ApiaryPso::BestOp(const Value& key, const ValueList& values,
   emit(PackSubSwarm(hive));
 }
 
+void ApiaryPso::IterMoveOp(const Value& key, const Value& value,
+                           const Emitter& emit) {
+  Result<SubSwarm> hive_or = UnpackSubSwarm(value);
+  if (!hive_or.ok()) {
+    MRS_LOG(kError, "apiary") << "bad hive for key " << key.Repr() << ": "
+                              << hive_or.status().ToString();
+    return;
+  }
+  SubSwarm hive = std::move(hive_or).value();
+  // Inject the previous round's post-step bests before stepping (the
+  // first round has no broadcast).  Replan mode injects these same values
+  // in the "best" reduce at the end of the previous round, in ascending
+  // producing-source order, so iterate senders in ascending hive id:
+  // hive g's best reaches us iff our id is in g's neighbour set.
+  if (MapReduce::HasBroadcast()) {
+    const ValueList& bests = MapReduce::Broadcast().AsList();
+    for (int64_t g = 0; g < static_cast<int64_t>(bests.size()); ++g) {
+      if (g == hive.id) continue;
+      Result<std::vector<int64_t>> neighbors =
+          TopologyNeighbors(config.topology, g, config.num_subswarms);
+      if (!neighbors.ok()) {
+        MRS_LOG(kError, "apiary") << neighbors.status().ToString();
+        break;
+      }
+      bool sends_to_us = false;
+      for (int64_t n : *neighbors) sends_to_us = sends_to_us || n == hive.id;
+      if (!sends_to_us) continue;
+      Result<std::pair<std::vector<double>, double>> msg =
+          UnpackBestMessage(bests[static_cast<size_t>(g)]);
+      if (msg.ok()) InjectBest(hive, msg->first, msg->second);
+    }
+  }
+  MT19937_64 rng = Random({kMoveStream,
+                           static_cast<uint64_t>(hive.iterations_done),
+                           static_cast<uint64_t>(hive.id)});
+  StepSubSwarm(hive, *function_, config.inner_iterations, rng);
+  emit(Value(hive.id), PackSubSwarm(hive));
+}
+
+void ApiaryPso::IterBestOp(const Value& key, const Value& value,
+                           const Emitter& emit) {
+  (void)key;
+  Result<SubSwarm> hive = UnpackSubSwarm(value);
+  if (!hive.ok()) {
+    MRS_LOG(kError, "apiary") << hive.status().ToString();
+    return;
+  }
+  emit(Value(hive->id), PackBestMessage(hive->BestPosition(),
+                                        hive->BestValue()));
+}
+
 std::vector<KeyValue> ApiaryPso::InitialHives() {
   std::vector<KeyValue> records;
   records.reserve(static_cast<size_t>(config.num_subswarms));
@@ -165,6 +224,85 @@ std::vector<KeyValue> ApiaryPso::InitialHives() {
 }
 
 Status ApiaryPso::Run(Job& job) {
+  return config.iterative ? RunIterative(job) : RunReplan(job);
+}
+
+Status ApiaryPso::RunIterative(Job& job) {
+  result = ApiaryResult();
+  Stopwatch watch;
+
+  std::vector<KeyValue> initial = InitialHives();
+  int64_t evals = static_cast<int64_t>(config.num_subswarms) *
+                  config.particles_per_subswarm;  // initialization evals
+  result.history.push_back(
+      ConvergencePoint{0, evals, BestOfPackedHives(initial),
+                       watch.ElapsedSeconds()});
+
+  DataSetPtr data = job.LocalData(std::move(initial), config.num_subswarms);
+
+  DataSetOptions move_options;
+  move_options.op_name = "imove";
+  move_options.num_splits = config.num_subswarms;
+  DataSetOptions best_options;
+  best_options.op_name = "ibest";
+  best_options.num_splits = 1;
+
+  for (int round = 1; round <= config.max_rounds; ++round) {
+    DataSetPtr moved = job.MapData(data, move_options);
+    // Pin this round's hives: the "ibest" extraction below and the next
+    // round's "imove" both consume them, so resident caching saves the
+    // second decode/fetch on every runner slave that hosts a split.
+    job.Pin(moved);
+    DataSetPtr besty = job.MapData(moved, best_options);
+    MRS_ASSIGN_OR_RETURN(std::vector<KeyValue> msgs, job.Collect(besty));
+    job.Discard(besty);
+    job.Unpin(data);
+    job.Discard(data);
+    data = moved;
+    evals += EvalsPerRound();
+
+    // Dense per-hive best list, indexed by hive id — the next round's
+    // broadcast (the only payload a resident round ships).
+    std::sort(msgs.begin(), msgs.end(), [](const KeyValue& a,
+                                           const KeyValue& b) {
+      return a.key.AsInt() < b.key.AsInt();
+    });
+    if (static_cast<int>(msgs.size()) != config.num_subswarms) {
+      return InternalError("ibest returned " + std::to_string(msgs.size()) +
+                           " bests for " +
+                           std::to_string(config.num_subswarms) + " hives");
+    }
+    ValueList best_list;
+    double best = std::numeric_limits<double>::infinity();
+    for (const KeyValue& kv : msgs) {
+      MRS_ASSIGN_OR_RETURN(auto msg, UnpackBestMessage(kv.value));
+      best = std::min(best, msg.second);
+      best_list.push_back(kv.value);
+    }
+    move_options.broadcast =
+        std::make_shared<const Value>(Value(std::move(best_list)));
+
+    // Convergence bookkeeping only on check rounds, exactly like replan
+    // mode — the fingerprints must match round for round.
+    if (round % config.check_interval == 0 || round == config.max_rounds) {
+      result.history.push_back(
+          ConvergencePoint{round, evals, best, watch.ElapsedSeconds()});
+      result.best = std::min(result.best, best);
+      result.rounds = round;
+      result.evaluations = evals;
+      if (best <= config.target) {
+        result.rounds_to_target = round;
+        break;
+      }
+    }
+  }
+  job.Unpin(data);
+  job.Discard(data);
+  result.seconds = watch.ElapsedSeconds();
+  return Status::Ok();
+}
+
+Status ApiaryPso::RunReplan(Job& job) {
   result = ApiaryResult();
   Stopwatch watch;
 

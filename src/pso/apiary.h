@@ -44,6 +44,11 @@ struct ApiaryConfig {
   /// every other hive, maximal coupling), or "isolated" (no messages —
   /// independent islands, the island-model baseline of refs [10][11]).
   std::string topology = "ring";
+  /// Iterative/BSP mode: the hive dataset is pinned resident on its
+  /// executing runner/slaves each round and only the per-hive best
+  /// positions are broadcast between supersteps; the best-exchange
+  /// reduce phase disappears entirely.  Bit-identical to replan mode.
+  bool iterative = false;
 };
 
 /// Ring / star / isolated neighbour sets (excluding sid itself).
@@ -87,6 +92,16 @@ class ApiaryPso : public MapReduce {
   void MoveOp(const Value& key, const Value& value, const Emitter& emit);
   void BestOp(const Value& key, const ValueList& values,
               const ValueEmitter& emit);
+  // Iterative-mode operations (registered as "imove" / "ibest"): imove
+  // injects the broadcast bests (round r carries round r-1's post-step
+  // bests) before stepping, so the hive states entering every step match
+  // replan mode exactly; ibest extracts each hive's best for the next
+  // round's broadcast.
+  void IterMoveOp(const Value& key, const Value& value, const Emitter& emit);
+  void IterBestOp(const Value& key, const Value& value, const Emitter& emit);
+
+  Status RunReplan(Job& job);
+  Status RunIterative(Job& job);
 
   std::vector<KeyValue> InitialHives();
   int64_t EvalsPerRound() const {

@@ -34,6 +34,8 @@ struct MasterCounters {
   obs::Counter* probation_returns;
   obs::Counter* tasks_speculated;
   obs::Counter* speculative_wins;
+  obs::Counter* resident_hits;
+  obs::Counter* resident_misses;
 
   static MasterCounters& Get() {
     static MasterCounters c = [] {
@@ -51,7 +53,9 @@ struct MasterCounters {
                             reg.GetCounter("mrs.master.slaves_quarantined"),
                             reg.GetCounter("mrs.master.probation_returns"),
                             reg.GetCounter("mrs.master.tasks_speculated"),
-                            reg.GetCounter("mrs.master.speculative_wins")};
+                            reg.GetCounter("mrs.master.speculative_wins"),
+                            reg.GetCounter("mrs.master.resident_hits"),
+                            reg.GetCounter("mrs.master.resident_misses")};
     }();
     return c;
   }
@@ -387,8 +391,20 @@ Status Master::Wait(const DataSetPtr& dataset) {
 void Master::Discard(const DataSetPtr& dataset) {
   MutexLock lock(mutex_);
   datasets_.erase(dataset->id());
+  const std::string resident_prefix =
+      "r/" + std::to_string(dataset->id()) + "/";
   for (auto& [id, slave] : slaves_) {
     slave.pending_discards.push_back(dataset->id());
+    // An unpinned-then-discarded resident dataset also loses its slave-side
+    // caches (the piggybacked discard purges them on the slave).
+    for (auto it = slave.resident_keys.begin();
+         it != slave.resident_keys.end();) {
+      if (StartsWith(*it, resident_prefix)) {
+        it = slave.resident_keys.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
   dataset->EvictAll();
 }
@@ -426,7 +442,8 @@ void Master::PromoteRunnableLocked() {
   }
 }
 
-Result<TaskAssignment> Master::BuildAssignmentLocked(const TaskRef& ref) {
+Result<TaskAssignment> Master::BuildAssignmentLocked(const TaskRef& ref,
+                                                     SlaveInfo& slave) {
   auto it = datasets_.find(ref.dataset_id);
   if (it == datasets_.end()) {
     return NotFoundError("dataset " + std::to_string(ref.dataset_id) +
@@ -444,6 +461,20 @@ Result<TaskAssignment> Master::BuildAssignmentLocked(const TaskRef& ref) {
   auto ait = attempts_.find(TaskKey(ref.dataset_id, ref.source));
   assignment.attempt = (ait == attempts_.end() ? 0 : ait->second) + 1;
   assignment.options = ds.options();
+  DataSet& in = *ds.input();
+  if (in.resident()) {
+    assignment.resident_key =
+        "r/" + std::to_string(in.id()) + "/" + std::to_string(ref.source);
+    if (slave.resident_keys.count(assignment.resident_key) > 0) {
+      // The superstep fast path: the slave holds the decoded split from a
+      // previous round, so this round ships the cache key and the
+      // broadcast delta — nothing else.
+      assignment.resident_cached = true;
+      ++stats_.resident_hits;
+      MasterCounters::Get().resident_hits->Inc();
+      return assignment;
+    }
+  }
   MRS_ASSIGN_OR_RETURN(assignment.inputs,
                        BuildTaskInputParts(*ds.input(), ref.source));
   return assignment;
@@ -601,6 +632,9 @@ int Master::InvalidateSlaveOutputsLocked(SlaveInfo& slave) {
 void Master::HandleSlaveLossLocked(SlaveInfo& slave) {
   RequeueTasksOfSlaveLocked(slave);
   InvalidateSlaveOutputsLocked(slave);
+  // Resident caches died with the slave's process state; a revived slave
+  // must be re-sent full inputs before its cache bits return.
+  slave.resident_keys.clear();
   // Corresponding tasks must stop chasing the departed slave, or every
   // future iteration wastes its long poll preferring an unreachable host.
   for (auto it = affinity_.begin(); it != affinity_.end();) {
@@ -929,7 +963,8 @@ Result<XmlRpcValue> Master::RpcGetTask(const XmlRpcArray& params) {
         if (!dsit->second->TryClaimTask(ref.source)) continue;  // raced
       }
 
-      Result<TaskAssignment> assignment = BuildAssignmentLocked(ref);
+      Result<TaskAssignment> assignment =
+          BuildAssignmentLocked(ref, sit->second);
       if (!assignment.ok()) {
         if (!ref.speculative) dsit->second->ResetTask(ref.source);
         FailJobLocked(assignment.status());
@@ -1072,6 +1107,14 @@ Result<XmlRpcValue> Master::RpcTaskDone(const XmlRpcArray& params) {
     if (hosted_here) {
       sit->second.hosted.insert(key);
     }
+    // Residency bookkeeping: a slave that just ran a task over a pinned
+    // input now caches that split's decoded records, so the next
+    // superstep's assignment can omit the inputs.
+    if (ds.input() != nullptr && ds.input()->resident()) {
+      sit->second.resident_keys.insert("r/" +
+                                       std::to_string(ds.input()->id()) + "/" +
+                                       std::to_string(source));
+    }
     // Record affinity for the corresponding task of the next iteration —
     // only toward a slave still in the healthy pool.
     if (sit->second.state == SlaveState::kHealthy) {
@@ -1120,7 +1163,22 @@ Result<XmlRpcValue> Master::RpcTaskFailed(const XmlRpcArray& params) {
   // Lineage recovery: if the slave could not fetch an input bucket, the
   // producing slave's data is gone — re-run the producers.  Such failures
   // are environmental and do not consume the reporting task's attempts.
-  bool environmental = !bad_url.empty() && RecoverLostUrlLocked(bad_url);
+  // A resident:// report is the cache-miss analogue: the master promised a
+  // cached pinned input the slave no longer holds (restart, eviction) —
+  // clear the cache bit so the retry ships full inputs, and charge nothing.
+  bool environmental;
+  if (StartsWith(bad_url, kResidentMissScheme)) {
+    std::string rkey = bad_url.substr(sizeof(kResidentMissScheme) - 1);
+    if (sit != slaves_.end()) sit->second.resident_keys.erase(rkey);
+    ++stats_.resident_misses;
+    MasterCounters::Get().resident_misses->Inc();
+    MRS_LOG(kInfo, "master")
+        << "slave " << slave_id << " missed resident cache " << rkey
+        << "; re-sending full inputs on the next attempt";
+    environmental = true;
+  } else {
+    environmental = !bad_url.empty() && RecoverLostUrlLocked(bad_url);
+  }
 
   if (!environmental) {
     // Health ledger: only failures of the task itself count against the

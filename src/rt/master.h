@@ -166,6 +166,12 @@ class Master {
     int64_t probation_returns = 0;  // quarantine -> healthy transitions
     int64_t tasks_speculated = 0;   // backup attempts launched
     int64_t speculative_wins = 0;   // backups that finished first
+    // ---- Iterative/BSP residency -------------------------------------
+    /// Assignments whose pinned input was already cached on the assigned
+    /// slave (inputs omitted; only the broadcast delta shipped).
+    int64_t resident_hits = 0;
+    /// resident:// cache misses reported by slaves (full inputs re-sent).
+    int64_t resident_misses = 0;
   };
   Stats stats() const;
 
@@ -212,6 +218,13 @@ class Master {
     /// server — the lineage record consulted when the slave dies.
     std::set<int64_t> hosted;
     std::vector<int> pending_discards;
+    /// Resident-input cache keys ("r/<dataset>/<split>") this slave is
+    /// believed to hold (iterative/BSP mode).  While a key is present the
+    /// master omits the input parts from assignments over that pinned
+    /// split — only the broadcast delta ships.  Cleared on slave loss /
+    /// drain / quarantine, pruned on dataset discard, and individually
+    /// dropped when the slave reports a resident:// cache miss.
+    std::set<std::string> resident_keys;
   };
 
   struct TaskRef {
@@ -241,7 +254,12 @@ class Master {
   void RegisterDataSetLocked(const DataSetPtr& dataset) MRS_REQUIRES(mutex_);
   void PromoteRunnableLocked() MRS_REQUIRES(mutex_);
   bool DataSetReadyLocked(const DataSet& dataset) const MRS_REQUIRES(mutex_);
-  Result<TaskAssignment> BuildAssignmentLocked(const TaskRef& ref)
+  /// Build the wire assignment for `ref` going to `slave`.  When the
+  /// task's input dataset is pinned resident and the slave already caches
+  /// its split, the inputs are omitted (resident_cached) and only the
+  /// per-round broadcast delta ships.
+  Result<TaskAssignment> BuildAssignmentLocked(const TaskRef& ref,
+                                               SlaveInfo& slave)
       MRS_REQUIRES(mutex_);
   /// Pick the next runnable task this slave may execute (inputs complete,
   /// still pending — or a speculative backup of a task still running

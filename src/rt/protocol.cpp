@@ -25,6 +25,16 @@ XmlRpcValue TaskAssignment::ToRpc() const {
   s["op_name"] = XmlRpcValue(options.op_name);
   s["use_combiner"] = XmlRpcValue(options.use_combiner);
   s["combine_name"] = XmlRpcValue(options.combine_name);
+  if (options.broadcast != nullptr) {
+    // One-record binary frame on the existing data plane encoding; the
+    // whole point of iterative mode is that this delta is the only payload
+    // a resident-cached round ships.
+    s["broadcast"] = RecordsToRpc({KeyValue{Value(), *options.broadcast}});
+  }
+  if (!resident_key.empty()) {
+    s["resident_key"] = XmlRpcValue(resident_key);
+    s["resident_cached"] = XmlRpcValue(resident_cached);
+  }
 
   XmlRpcArray parts;
   for (const TaskInputPart& part : inputs) {
@@ -78,6 +88,21 @@ Result<TaskAssignment> TaskAssignment::FromRpc(const XmlRpcValue& v) {
   MRS_ASSIGN_OR_RETURN(out.options.use_combiner, comb->AsBool());
   MRS_ASSIGN_OR_RETURN(const XmlRpcValue* comb_name, v.Field("combine_name"));
   MRS_ASSIGN_OR_RETURN(out.options.combine_name, comb_name->AsString());
+
+  // Optional iterative-mode fields (wire-compatible with older masters).
+  if (auto bc = v.Field("broadcast"); bc.ok()) {
+    MRS_ASSIGN_OR_RETURN(std::vector<KeyValue> recs, RecordsFromRpc(**bc));
+    if (recs.size() != 1) {
+      return ProtocolError("broadcast payload must hold exactly one record");
+    }
+    out.options.broadcast =
+        std::make_shared<const Value>(std::move(recs[0].value));
+  }
+  if (auto rk = v.Field("resident_key"); rk.ok()) {
+    MRS_ASSIGN_OR_RETURN(out.resident_key, (*rk)->AsString());
+    MRS_ASSIGN_OR_RETURN(const XmlRpcValue* rc, v.Field("resident_cached"));
+    MRS_ASSIGN_OR_RETURN(out.resident_cached, rc->AsBool());
+  }
 
   MRS_ASSIGN_OR_RETURN(const XmlRpcValue* inputs, v.Field("inputs"));
   MRS_ASSIGN_OR_RETURN(const XmlRpcArray* parts, inputs->AsArray());

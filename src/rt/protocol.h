@@ -71,10 +71,28 @@ struct TaskAssignment {
   int num_splits = 1;
   DataSetOptions options;
   std::vector<TaskInputPart> inputs;
+  /// Iterative/BSP residency (optional, empty = classic assignment).  When
+  /// the task's input dataset is pinned resident, the master stamps its
+  /// stable cache key ("r/<input_dataset_id>/<split>") here.  The slave
+  /// caches the decoded input under that key after loading it, and on
+  /// later supersteps the master sends the key with *no* input parts
+  /// (`resident_cached` true) so only the per-round broadcast delta —
+  /// carried in `options.broadcast` — crosses the wire.
+  std::string resident_key;
+  /// True when the master believes the slave already caches resident_key
+  /// and has therefore omitted the input parts.
+  bool resident_cached = false;
 
   XmlRpcValue ToRpc() const;
   static Result<TaskAssignment> FromRpc(const XmlRpcValue& v);
 };
+
+/// The bad_url scheme a slave uses to report a resident-cache miss (the
+/// master promised a cached input the slave no longer has, e.g. after a
+/// restart).  The master treats it as environmental — clears the slave's
+/// cache bit, re-sends full inputs on the next attempt, and charges no
+/// attempt budget.
+inline constexpr char kResidentMissScheme[] = "resident://";
 
 /// Encode/decode inline record sets for RPC transport (base64 of the
 /// binary record format).

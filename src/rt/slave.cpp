@@ -310,6 +310,13 @@ void Slave::HandleDiscards(const XmlRpcValue& response) {
         }
         it = store_.erase(it);
       }
+      // Resident input caches of the discarded dataset go with it.
+      std::string rprefix = "r/" + std::to_string(*id) + "/";
+      for (auto it = resident_cache_.lower_bound(rprefix);
+           it != resident_cache_.end();) {
+        if (!StartsWith(it->first, rprefix)) break;
+        it = resident_cache_.erase(it);
+      }
     }
   }
   for (const SpillRun& run : dead_runs) RemoveSpillRun(run);
@@ -468,9 +475,36 @@ Status Slave::ExecuteAssignment(const TaskAssignment& assignment) {
     }
   }
 
+  // Resident input (iterative/BSP): the master either promises this slave
+  // still caches the pinned split's decoded records (resident_cached,
+  // inputs omitted) or ships full inputs that (re)populate the cache.  A
+  // broken promise — restart, lost state — is reported as a resident://
+  // cache miss, which the master treats as environmental and answers by
+  // re-sending full inputs.
+  std::vector<KeyValue> resident_input;
+  bool have_resident_input = false;
+  if (!assignment.resident_key.empty() && assignment.resident_cached) {
+    static obs::Counter* resident_hits =
+        obs::Registry::Instance().GetCounter("mrs.slave.resident_hits");
+    static obs::Counter* resident_misses =
+        obs::Registry::Instance().GetCounter("mrs.slave.resident_misses");
+    MutexLock lock(store_mutex_);
+    auto it = resident_cache_.find(assignment.resident_key);
+    if (it == resident_cache_.end()) {
+      resident_misses->Inc();
+      return DataLossError("resident cache miss: " +
+                           std::string(kResidentMissScheme) +
+                           assignment.resident_key);
+    }
+    resident_hits->Inc();
+    resident_input = it->second;  // copy: the task consumes its input
+    have_resident_input = true;
+  }
+
   Result<std::vector<Bucket>> row_result =
       [&]() -> Result<std::vector<Bucket>> {
-    if (assignment.kind == DataSetKind::kReduce && spill_ptr != nullptr) {
+    if (assignment.kind == DataSetKind::kReduce && spill_ptr != nullptr &&
+        assignment.resident_key.empty()) {
       // Budgeted reduce: stage each input part on disk as a sorted run
       // (one part resident at a time) and stream the k-way merge, so the
       // full reduce input is never materialized in memory.
@@ -494,8 +528,19 @@ Status Slave::ExecuteAssignment(const TaskAssignment& assignment) {
                                  assignment.num_splits, std::move(sources),
                                  spill_ptr);
     }
-    MRS_ASSIGN_OR_RETURN(std::vector<KeyValue> input,
-                         LoadTaskInput(assignment.inputs, fetch));
+    std::vector<KeyValue> input;
+    if (have_resident_input) {
+      input = std::move(resident_input);
+    } else {
+      MRS_ASSIGN_OR_RETURN(input, LoadTaskInput(assignment.inputs, fetch));
+      if (!assignment.resident_key.empty()) {
+        // First round over a pinned split (or a re-send after a miss):
+        // remember the decoded records so later supersteps skip the
+        // fetch+decode entirely.
+        MutexLock lock(store_mutex_);
+        resident_cache_[assignment.resident_key] = input;
+      }
+    }
     return RunTask(*program_, assignment.kind, assignment.options,
                    assignment.num_splits, std::move(input), spill_ptr);
   }();
@@ -718,13 +763,21 @@ Status Slave::Run() {
       continue;
     }
     // Identify a bad input URL for lineage recovery, if the failure was
-    // a fetch error.
+    // a fetch error — or a resident:// cache-miss token, which tells the
+    // master to clear our cache bit and re-send full inputs.
     std::string bad_url;
-    for (const TaskInputPart& part : assignment->inputs) {
-      if (!part.inline_records &&
-          exec.message().find(part.url) != std::string::npos) {
-        bad_url = part.url;
-        break;
+    if (size_t pos = exec.message().find(kResidentMissScheme);
+        pos != std::string::npos) {
+      size_t end = exec.message().find_first_of(" \t\n", pos);
+      bad_url = exec.message().substr(
+          pos, end == std::string::npos ? std::string::npos : end - pos);
+    } else {
+      for (const TaskInputPart& part : assignment->inputs) {
+        if (!part.inline_records &&
+            exec.message().find(part.url) != std::string::npos) {
+          bad_url = part.url;
+          break;
+        }
       }
     }
     // The attempt number makes the report idempotent on the master: a

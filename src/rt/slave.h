@@ -182,6 +182,12 @@ class Slave {
   };
   Mutex store_mutex_;
   std::map<std::string, StoredBucket> store_ MRS_GUARDED_BY(store_mutex_);
+  // Resident input cache (iterative/BSP mode): "r/<dataset>/<split>" ->
+  // decoded input records of a pinned dataset's split, kept across
+  // supersteps so the master can ship only the broadcast delta.  Purged
+  // with the dataset's piggybacked discard.
+  std::map<std::string, std::vector<KeyValue>> resident_cache_
+      MRS_GUARDED_BY(store_mutex_);
 };
 
 /// Process-wide drain flag for the quickstart binary's SIGTERM handler:

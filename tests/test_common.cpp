@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "common/strings.h"
 #include "common/threadpool.h"
+#include "obs/metrics.h"
 
 namespace mrs {
 namespace {
@@ -298,6 +299,27 @@ TEST(Options, StandardMrsOptionsParse) {
   EXPECT_EQ(opts->GetInt("mrs-num-slaves"), 8);
   EXPECT_EQ(opts->GetInt("mrs-seed"), 99);
   ASSERT_EQ(opts->args().size(), 1u);
+}
+
+TEST(Options, MalformedNumbersFallBackToDefaultAndCount) {
+  Options opts;
+  opts.Set("workers", "4x");
+  opts.Set("ratio", "fast");
+  opts.Set("good-int", "12");
+  opts.Set("good-double", "2.5");
+  int64_t before =
+      obs::Registry::Instance().CounterValues()["mrs.options.parse_errors"];
+  // Malformed values must not be half-parsed: the default wins, and each
+  // occurrence is counted so the misconfiguration is visible in metrics.
+  EXPECT_EQ(opts.GetInt("workers", 7), 7);
+  EXPECT_DOUBLE_EQ(opts.GetDouble("ratio", 1.25), 1.25);
+  // Well-formed and absent lookups never count.
+  EXPECT_EQ(opts.GetInt("good-int", 0), 12);
+  EXPECT_DOUBLE_EQ(opts.GetDouble("good-double", 0), 2.5);
+  EXPECT_EQ(opts.GetInt("missing", 3), 3);
+  int64_t after =
+      obs::Registry::Instance().CounterValues()["mrs.options.parse_errors"];
+  EXPECT_EQ(after - before, 2);
 }
 
 // ---- Queue / ThreadPool ------------------------------------------------------

@@ -10,6 +10,7 @@
 #include "core/mock_runner.h"
 #include "core/serial_runner.h"
 #include "fs/file_io.h"
+#include "obs/metrics.h"
 
 namespace mrs {
 namespace {
@@ -417,6 +418,36 @@ TEST(Runners, NamedOperationsViaDataSetOptions) {
   ASSERT_TRUE(out.ok());
   ASSERT_EQ(out->size(), 1u);
   EXPECT_EQ((*out)[0].key.AsString(), "ABC");
+}
+
+// A Partition() override that strays outside [0, num_splits) must not
+// drop or crash: every site (LocalData, map output, reduce output) remaps
+// to split 0 and counts the stray in mrs.partition.out_of_range.
+class RoguePartitionProgram : public CountProgram {
+ public:
+  int Partition(const Value& key, int num_splits) const override {
+    (void)key;
+    (void)num_splits;
+    return rogue_split;
+  }
+  int rogue_split = 99;
+};
+
+TEST(Runners, OutOfRangePartitionRemapsToSplitZeroAndCounts) {
+  for (int rogue : {99, -3}) {
+    RoguePartitionProgram p;
+    p.rogue_split = rogue;
+    ASSERT_TRUE(p.Init(Options()).ok());
+    int64_t before = obs::Registry::Instance()
+                         .CounterValues()["mrs.partition.out_of_range"];
+    auto counts = RunWithRunner(std::make_unique<SerialRunner>(&p), &p, 3);
+    int64_t after = obs::Registry::Instance()
+                        .CounterValues()["mrs.partition.out_of_range"];
+    // The answer is intact — only the layout collapsed to one split.
+    EXPECT_EQ(counts.at("fish"), 4) << "rogue=" << rogue;
+    EXPECT_EQ(counts.size(), 8u) << "rogue=" << rogue;
+    EXPECT_GT(after - before, 0) << "rogue=" << rogue;
+  }
 }
 
 TEST(Runners, FailingOpSurfacesError) {

@@ -1,6 +1,8 @@
 // Tests for filesystem helpers and the bucket abstraction.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "fs/bucket.h"
 #include "fs/file_io.h"
 #include "http/message.h"
@@ -72,6 +74,70 @@ TEST_F(FsTest, ListFilesRecursiveSortedAcrossNestedDirs) {
   ASSERT_EQ(files->size(), 3u);
   // Sorted lexicographically (deterministic task splits).
   EXPECT_TRUE(std::is_sorted(files->begin(), files->end()));
+}
+
+// ---- WriteFileAtomic durability windows ---------------------------------
+
+// Restores normal operation even when an assertion bails out of the test.
+struct FaultHookGuard {
+  explicit FaultHookGuard(bool (*hook)(const char* step)) {
+    SetWriteFileAtomicFaultHook(hook);
+  }
+  ~FaultHookGuard() { SetWriteFileAtomicFaultHook(nullptr); }
+};
+
+bool FailFsyncStep(const char* step) {
+  return std::strcmp(step, "fsync") != 0;
+}
+bool FailRenameStep(const char* step) {
+  return std::strcmp(step, "rename") != 0;
+}
+bool FailDirsyncStep(const char* step) {
+  return std::strcmp(step, "dirsync") != 0;
+}
+
+TEST_F(FsTest, AtomicWriteFsyncFailurePreservesOldContent) {
+  std::string path = JoinPath(dir_, "durable.txt");
+  ASSERT_TRUE(WriteFileAtomic(path, "old").ok());
+  {
+    // The temp file's fsync fails before the rename: the prior content
+    // must survive untouched and the temp file must not litter the dir.
+    FaultHookGuard guard(FailFsyncStep);
+    EXPECT_FALSE(WriteFileAtomic(path, "new").ok());
+  }
+  EXPECT_EQ(ReadFileToString(path).value(), "old");
+  auto files = ListFilesRecursive(dir_);
+  ASSERT_TRUE(files.ok());
+  EXPECT_EQ(files->size(), 1u);
+  // With the hook cleared the same write goes through.
+  ASSERT_TRUE(WriteFileAtomic(path, "new").ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "new");
+}
+
+TEST_F(FsTest, AtomicWriteRenameFailurePreservesOldContent) {
+  std::string path = JoinPath(dir_, "durable.txt");
+  ASSERT_TRUE(WriteFileAtomic(path, "old").ok());
+  {
+    FaultHookGuard guard(FailRenameStep);
+    EXPECT_FALSE(WriteFileAtomic(path, "new").ok());
+  }
+  EXPECT_EQ(ReadFileToString(path).value(), "old");
+  auto files = ListFilesRecursive(dir_);
+  ASSERT_TRUE(files.ok());
+  EXPECT_EQ(files->size(), 1u);
+}
+
+TEST_F(FsTest, AtomicWriteDirsyncFailureSurfacesAfterRename) {
+  std::string path = JoinPath(dir_, "entry.txt");
+  Status status;
+  {
+    FaultHookGuard guard(FailDirsyncStep);
+    status = WriteFileAtomic(path, "x");
+  }
+  // The rename itself succeeded; the error reports that the directory
+  // entry is not yet durable, so callers retry instead of losing data.
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(ReadFileToString(path).value(), "x");
 }
 
 TEST_F(FsTest, FileSizeAndExists) {

@@ -13,8 +13,9 @@ current numbers and exits 0 (report-only: the first run on a fresh repo
 has nothing to regress against).
 
 Gated metrics — everything else is carried in the table for context:
-  * bench_iteration_overhead timing metrics (keys ending in "_s"), where
-    higher is worse;
+  * bench_iteration_overhead timing metrics (keys ending in "_s" or
+    "_s_per_iter", which covers the iterative/BSP resident-vs-replan
+    ablation keys), where higher is worse;
   * thread-scaling times thread_w<N>_s from any bench (higher is worse);
   * thread-scaling speedups thread_speedup_w<N> (lower is worse).
 Timing metrics under MIN_GATED_SECONDS in both runs are exempt: a
@@ -63,7 +64,8 @@ def gate_kind(bench, metric):
         return "speedup"
     if THREAD_TIME_RE.match(metric):
         return "time"
-    if bench == "bench_iteration_overhead" and metric.endswith("_s"):
+    if bench == "bench_iteration_overhead" and (
+            metric.endswith("_s") or metric.endswith("_s_per_iter")):
         return "time"
     return None
 
