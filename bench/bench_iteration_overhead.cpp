@@ -154,11 +154,11 @@ double MeasureAnalysisSeconds() {
   return best;
 }
 
-/// Points/second through the verified-module VM fast path on the π
-/// kernel — the number that must not regress now that Vm::LoadModule
-/// gates execution on bytecode verification.
-double MeasureVmPointsPerSecond() {
-  auto kernel = PiKernel::Create(PiEngine::kVm);
+/// Seconds per point through the π kernel on the given MiniPy engine —
+/// kVm is the verified-module generic loop that must not regress, and
+/// kVmTyped is the fact-gated unboxed tier measured against it.
+double MeasureVmSecondsPerPoint(PiEngine engine) {
+  auto kernel = PiKernel::Create(engine);
   if (!kernel.ok()) return -1;
   constexpr uint64_t kPoints = 200000;
   double best = -1;
@@ -169,7 +169,7 @@ double MeasureVmPointsPerSecond() {
     if (!inside.ok() || *inside == 0) return -1;
     if (best < 0 || elapsed < best) best = elapsed;
   }
-  return static_cast<double>(kPoints) / best;
+  return best / static_cast<double>(kPoints);
 }
 
 /// The iterative/BSP ablation (tentpole of the resident-dataset work):
@@ -306,7 +306,14 @@ int main(int argc, char** argv) {
   double analysis_pct =
       ms_affinity > 0 && analysis_s >= 0 ? analysis_s / ms_affinity * 100.0
                                          : -1;
-  double vm_points_per_s = MeasureVmPointsPerSecond();
+  double vm_s_per_point = MeasureVmSecondsPerPoint(PiEngine::kVm);
+  double vm_typed_s_per_point = MeasureVmSecondsPerPoint(PiEngine::kVmTyped);
+  double vm_points_per_s = vm_s_per_point > 0 ? 1.0 / vm_s_per_point : -1;
+  double vm_typed_points_per_s =
+      vm_typed_s_per_point > 0 ? 1.0 / vm_typed_s_per_point : -1;
+  double typed_speedup = (vm_s_per_point > 0 && vm_typed_s_per_point > 0)
+                             ? vm_s_per_point / vm_typed_s_per_point
+                             : 0;
 
   // Iterative/BSP ablation: resident (pinned chunks + centroid broadcast)
   // vs replan k-means, same data and fixed round count.  The resident
@@ -354,6 +361,9 @@ int main(int argc, char** argv) {
                    analysis_pct)},
        {"verified-VM pi kernel", bench::Fmt("%.0f pts/s", vm_points_per_s),
         "fast path gated on the verified bit"},
+       {"typed-tier pi kernel", bench::Fmt("%.0f pts/s", vm_typed_points_per_s),
+        bench::Fmt("unboxed tier gated on checked type facts; %.2fx generic",
+                   typed_speedup)},
        {"kmeans masterslave (resident)", bench::Fmt("%.4f", km_iterative),
         bench::Fmt("pinned chunks + broadcast; %.0f cache hits",
                    km_resident_hits)},
@@ -389,6 +399,12 @@ int main(int argc, char** argv) {
        {"analysis_s_per_submit", analysis_s},
        {"analysis_pct_of_masterslave_iter", analysis_pct},
        {"vm_pi_points_per_s", vm_points_per_s},
+       {"vm_typed_pi_points_per_s", vm_typed_points_per_s},
+       // µs-scale keys the regression gate watches with a µs floor (the
+       // *_s keys of this bench are gated at seconds scale).
+       {"vm_us_per_sample", vm_s_per_point * 1e6},
+       {"vm_typed_us_per_sample", vm_typed_s_per_point * 1e6},
+       {"vm_typed_speedup", typed_speedup},
        {"kmeans_resident_s_per_iter", km_iterative},
        {"kmeans_replan_s_per_iter", km_replan},
        {"kmeans_replan_over_resident_ratio", km_ratio},

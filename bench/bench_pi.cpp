@@ -110,12 +110,15 @@ int main(int argc, char** argv) {
   // Calibrate engine rates (seconds per sample).
   double native_rate = CalibrateRate(PiEngine::kNative, 2000000);
   double vm_rate = CalibrateRate(PiEngine::kVm, 100000);
+  double vm_typed_rate = CalibrateRate(PiEngine::kVmTyped, 1000000);
   double tw_rate = CalibrateRate(PiEngine::kTreeWalk, 30000);
   double java_rate = native_rate * 1.3;  // the paper-era Java JIT penalty
   std::printf(
-      "per-sample rates: native=%.3gs  vm(pypy)=%.3gs  treewalk(python)=%.3gs"
-      "  java(model)=%.3gs\n",
-      native_rate, vm_rate, tw_rate, java_rate);
+      "per-sample rates: native=%.3gs  vm(pypy)=%.3gs  vm-typed=%.3gs  "
+      "treewalk(python)=%.3gs  java(model)=%.3gs\n",
+      native_rate, vm_rate, vm_typed_rate, tw_rate, java_rate);
+  std::printf("typed tier speedup over generic vm: %.2fx\n",
+              vm_typed_rate > 0 ? vm_rate / vm_typed_rate : 0);
 
   struct Series {
     const char* name;
@@ -125,12 +128,13 @@ int main(int argc, char** argv) {
   const Series series[] = {
       {"mrs python", PiEngine::kTreeWalk, tw_rate},
       {"mrs pypy", PiEngine::kVm, vm_rate},
+      {"mrs pypy-typed", PiEngine::kVmTyped, vm_typed_rate},
       {"mrs c", PiEngine::kNative, native_rate},
   };
 
   std::vector<std::vector<std::string>> rows;
   rows.push_back({"samples", "hadoop sim (s)", "mrs python (s)",
-                  "mrs pypy (s)", "mrs c (s)"});
+                  "mrs pypy (s)", "mrs pypy-typed (s)", "mrs c (s)"});
 
   for (int exp = 2; exp <= max_exp; ++exp) {
     int64_t samples = 1;
@@ -183,6 +187,15 @@ int main(int argc, char** argv) {
       {"max_exponent", static_cast<double>(max_exp)},
       {"native_s_per_sample", native_rate},
       {"vm_s_per_sample", vm_rate},
+      {"vm_typed_s_per_sample", vm_typed_rate},
+      // µs-scale keys for the regression gate (tools/compare_bench.py
+      // gates *_us_per_sample with a µs-appropriate noise floor; the
+      // seconds-scale keys above would fall under its 5ms exemption).
+      {"vm_us_per_sample", vm_rate * 1e6},
+      {"vm_typed_us_per_sample", vm_typed_rate * 1e6},
+      {"treewalk_us_per_sample", tw_rate * 1e6},
+      {"vm_typed_speedup",
+       vm_typed_rate > 0 ? vm_rate / vm_typed_rate : 0},
       {"treewalk_s_per_sample", tw_rate},
       {"java_model_s_per_sample", java_rate},
       {"hadoop_sim_floor_s", SimulateHadoopPi(1, java_rate)}};

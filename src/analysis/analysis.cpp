@@ -142,6 +142,16 @@ AnalysisResult AnalyzeKernelSource(std::string_view source,
   if (!marked.ok()) {
     result.diagnostics.push_back(
         {"MBC507", Severity::kError, {0, 0}, marked.message()});
+    return finish();
+  }
+
+  if (options.type_facts) {
+    TypeInference inference = InferTypeFacts(*result.module, hosts);
+    result.module->type_facts = inference.table;
+    result.signatures = std::move(inference.signatures);
+    for (Diagnostic& d : inference.diagnostics) {
+      result.diagnostics.push_back(std::move(d));
+    }
   }
   return finish();
 }

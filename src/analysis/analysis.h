@@ -5,11 +5,14 @@
 // the golden-file tests.  It runs the full pipeline
 //
 //   parse  →  semantic checks + determinism lint  →  compile  →
-//   bytecode verification (interp/verifier.h)
+//   bytecode verification (interp/verifier.h)  →  type inference
+//   (analysis/typeinfer.h)
 //
 // and returns every finding as a spanned, stable-coded Diagnostic plus —
 // when nothing is an error — the compiled module with its `verified` bit
-// set, ready for Vm::LoadModule without re-verification.
+// set and its type-fact table attached, ready for Vm::LoadModule without
+// re-verification (the VM still re-checks the facts before building its
+// typed tier; see interp/typefacts.h).
 //
 // Counted in the process registry:
 //   mrs.analysis.runs      analyses performed
@@ -26,6 +29,7 @@
 #include <vector>
 
 #include "analysis/diagnostics.h"
+#include "analysis/typeinfer.h"
 #include "interp/bytecode.h"
 
 namespace mrs {
@@ -39,14 +43,23 @@ struct AnalysisOptions {
   std::set<std::string> extra_functions;
   /// Run the determinism lint (MPY4xx).
   bool determinism_lint = true;
+  /// Run type inference: attach a TypeFactTable to the module (enabling
+  /// the VM's typed tier), report MPY5xx findings, and fill
+  /// AnalysisResult::signatures.
+  bool type_facts = true;
 };
 
 struct AnalysisResult {
   /// All findings, ordered by source position.
   std::vector<Diagnostic> diagnostics;
   /// Compiled + verified module; null whenever diagnostics contain an
-  /// error (a rejected kernel never produces executable code).
+  /// error (a rejected kernel never produces executable code).  Carries
+  /// module->type_facts when inference produced a checkable table.
   std::shared_ptr<minipy::CompiledModule> module;
+  /// Inferred per-function signatures (entry-guard parameter types and
+  /// return type), in function order; empty when inference was disabled
+  /// or produced no table.  Surfaced by `mrs_lint --json`.
+  std::vector<InferredSignature> signatures;
 
   bool ok() const { return !HasErrors(diagnostics); }
 };

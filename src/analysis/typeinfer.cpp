@@ -1,0 +1,612 @@
+#include "analysis/typeinfer.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+namespace mrs {
+namespace analysis {
+
+using minipy::AbstractState;
+using minipy::BinOp;
+using minipy::CompiledFunction;
+using minipy::CompiledModule;
+using minipy::FunctionFacts;
+using minipy::Instruction;
+using minipy::JoinType;
+using minipy::Op;
+using minipy::TransferHooks;
+using minipy::TransferInstruction;
+using minipy::TransferStep;
+using minipy::TypeDisplayName;
+using minipy::TypeFactTable;
+using minipy::TypeLe;
+using minipy::TypeRow;
+using minipy::UnOp;
+using minipy::ValueType;
+
+namespace {
+
+const char* BinOpSymbol(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kFloorDiv: return "//";
+    case BinOp::kMod: return "%";
+    case BinOp::kPow: return "**";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kAnd: return "and";
+    case BinOp::kOr: return "or";
+  }
+  return "?";
+}
+
+std::string Disp(ValueType t) { return std::string(TypeDisplayName(t)); }
+
+/// Result of one function's CFG fixpoint.
+struct FixpointResult {
+  bool ok = false;  // false: inconsistent bytecode (never for verified)
+  std::vector<TypeRow> rows;
+  /// Join over every return (kReturn / kReturnNone / fall-off-end);
+  /// kBottom when the function provably never returns normally.
+  ValueType ret = ValueType::kBottom;
+};
+
+/// An MPY503 event: local `slot` of `fn_index` joined Int with Float at a
+/// loop back edge, collapsing to ⊤ — a summation-order hazard.
+struct MixEvent {
+  int fn_index;
+  int slot;
+  int line;
+};
+
+class Inference {
+ public:
+  Inference(const CompiledModule& module, std::set<std::string> host_names)
+      : module_(module), hosts_(std::move(host_names)) {}
+
+  TypeInference Run();
+
+ private:
+  FixpointResult Fixpoint(const CompiledFunction& fn, int fn_index,
+                          const std::vector<ValueType>& params,
+                          const TransferHooks& hooks,
+                          std::vector<MixEvent>* mixes);
+  void InferGlobalTypes();
+  void PreliminaryPass();
+  void CollectDiagnostics(const CompiledFunction& fn,
+                          const std::vector<TypeRow>& rows,
+                          const TransferHooks& hooks);
+  void ChooseGuards();
+  bool GuardedPass();  // false on internal inconsistency
+
+  TransferHooks PrelimHooks();
+  TransferHooks GuardedHooks(int caller_index);
+
+  const CompiledModule& module_;
+  std::set<std::string> hosts_;
+
+  /// Guard type per global slot: kTop for slots any function stores to
+  /// (see the stability rule in CheckTypeFacts), otherwise the join of
+  /// everything the top-level code stores there (kNone if never stored —
+  /// the slot keeps its initial None forever).
+  std::vector<ValueType> global_types_;
+
+  /// Caller-agnostic summaries (params ⊤): rows feed diagnostics and
+  /// call-site argument collection; rets feed the prelim call hook.
+  std::vector<std::vector<TypeRow>> prelim_rows_;
+  std::vector<ValueType> prelim_ret_;
+  /// Join of static argument types per callee param, over every kCallUser
+  /// site in the module (prelim rows).  kBottom = no site constrains it.
+  std::vector<std::vector<ValueType>> callsite_args_;
+
+  TypeFactTable table_;
+  std::vector<bool> speculative_;
+
+  std::vector<Diagnostic> diagnostics_;
+  std::set<std::pair<int, int>> mix_reported_;  // (fn_index, local slot)
+  bool failed_ = false;
+};
+
+TransferHooks Inference::PrelimHooks() {
+  TransferHooks hooks;
+  // Prelim summaries are computed under ⊤ parameters, which over-
+  // approximate any actual arguments — so the prelim return type is a
+  // sound call result regardless of what the call site passes.
+  hooks.call_result = [this](int fn_index,
+                             const std::vector<ValueType>&) -> ValueType {
+    return prelim_ret_[fn_index];
+  };
+  hooks.global_type = [this](int32_t slot) -> ValueType {
+    return global_types_[slot];
+  };
+  hooks.is_host = [this](const std::string& name) -> bool {
+    return hosts_.count(name) > 0;
+  };
+  return hooks;
+}
+
+TransferHooks Inference::GuardedHooks(int caller_index) {
+  TransferHooks hooks;
+  // The exact rule CheckTypeFacts re-applies: a call result is the
+  // callee's summarized return only when the static argument types equal
+  // the callee's guard and the caller's global guard covers the callee's.
+  hooks.call_result = [this, caller_index](
+                          int fn_index,
+                          const std::vector<ValueType>& args) -> ValueType {
+    const FunctionFacts& caller = table_.functions[caller_index];
+    const FunctionFacts& callee = table_.functions[fn_index];
+    if (args != callee.params) return ValueType::kTop;
+    if (!minipy::GlobalGuardCovered(caller, callee)) return ValueType::kTop;
+    return callee.ret;
+  };
+  hooks.global_type = [this](int32_t slot) -> ValueType {
+    return global_types_[slot];
+  };
+  hooks.is_host = [this](const std::string& name) -> bool {
+    return hosts_.count(name) > 0;
+  };
+  return hooks;
+}
+
+FixpointResult Inference::Fixpoint(const CompiledFunction& fn, int fn_index,
+                                   const std::vector<ValueType>& params,
+                                   const TransferHooks& hooks,
+                                   std::vector<MixEvent>* mixes) {
+  FixpointResult out;
+  const int n = static_cast<int>(fn.code.size());
+  out.rows.assign(n, TypeRow{});
+  if (n == 0) {
+    out.ok = true;
+    out.ret = ValueType::kNone;  // empty body falls off the end
+    return out;
+  }
+
+  std::deque<int> worklist;
+  std::vector<bool> queued(n, false);
+
+  // Merge `st` into the row at `pc`; true if the row grew.  `from_pc` is
+  // the predecessor (-1 for entry) — a predecessor at a larger pc is a
+  // back edge, where an Int⊔Float collapse on a local is the static
+  // signature of a mixed-type accumulator (MPY503).
+  auto join_into = [&](int pc, const AbstractState& st, int from_pc) -> bool {
+    TypeRow& row = out.rows[pc];
+    if (!row.reachable) {
+      row.reachable = true;
+      row.locals = st.locals;
+      row.stack = st.stack;
+      return true;
+    }
+    if (row.locals.size() != st.locals.size() ||
+        row.stack.size() != st.stack.size()) {
+      // Verified bytecode has one stack depth per pc; this is a bug trap.
+      failed_ = true;
+      return false;
+    }
+    bool changed = false;
+    for (size_t i = 0; i < row.locals.size(); ++i) {
+      ValueType j = JoinType(row.locals[i], st.locals[i]);
+      if (mixes != nullptr && from_pc > pc &&
+          ((row.locals[i] == ValueType::kInt &&
+            st.locals[i] == ValueType::kFloat) ||
+           (row.locals[i] == ValueType::kFloat &&
+            st.locals[i] == ValueType::kInt))) {
+        mixes->push_back(
+            {fn_index, static_cast<int>(i), fn.code[from_pc].line});
+      }
+      if (j != row.locals[i]) {
+        row.locals[i] = j;
+        changed = true;
+      }
+    }
+    for (size_t i = 0; i < row.stack.size(); ++i) {
+      ValueType j = JoinType(row.stack[i], st.stack[i]);
+      if (j != row.stack[i]) {
+        row.stack[i] = j;
+        changed = true;
+      }
+    }
+    return changed;
+  };
+
+  // Shared entry rule with the checker (locals provably never read
+  // unassigned start at ⊥, so loop-carried assignments keep a concrete
+  // type instead of joining with the initial None).
+  AbstractState entry = minipy::EntryState(fn, params);
+  join_into(0, entry, /*from_pc=*/-1);
+  worklist.push_back(0);
+  queued[0] = true;
+
+  bool falls_off_end = false;
+  while (!worklist.empty()) {
+    int pc = worklist.front();
+    worklist.pop_front();
+    queued[pc] = false;
+
+    AbstractState in;
+    in.locals = out.rows[pc].locals;
+    in.stack = out.rows[pc].stack;
+    Result<TransferStep> step =
+        TransferInstruction(module_, fn, pc, in, hooks);
+    if (!step.ok()) {
+      failed_ = true;  // impossible on verified bytecode
+      return out;
+    }
+    if (step->returns) {
+      out.ret = JoinType(out.ret, step->return_type);
+    }
+    for (const auto& [succ, st] : step->successors) {
+      if (succ == n) {
+        falls_off_end = true;
+        continue;
+      }
+      if (join_into(succ, st, pc) && !queued[succ]) {
+        worklist.push_back(succ);
+        queued[succ] = true;
+      }
+    }
+    if (failed_) return out;
+  }
+  if (falls_off_end) out.ret = JoinType(out.ret, ValueType::kNone);
+  out.ok = !failed_;
+  return out;
+}
+
+void Inference::InferGlobalTypes() {
+  const size_t nglobals = module_.global_names.size();
+  global_types_.assign(nglobals, ValueType::kBottom);
+
+  // Any global a *function* stores to is unstable under deopt (a deopted
+  // frame's generic stores carry no claims), so its guard type is ⊤ —
+  // matching the stability rule CheckTypeFacts enforces.
+  std::vector<bool> fn_stored(nglobals, false);
+  for (const CompiledFunction& fn : module_.functions) {
+    for (const Instruction& ins : fn.code) {
+      if (ins.op == Op::kStoreGlobal) fn_stored[ins.a] = true;
+    }
+  }
+
+  // Top-level stores are the source of truth for everything else: the
+  // top level runs exactly once, generically, before any guard is ever
+  // evaluated.  Iterate because a store may read an earlier global.
+  TransferHooks hooks;
+  hooks.call_result = [](int, const std::vector<ValueType>&) {
+    return ValueType::kTop;
+  };
+  hooks.global_type = [this](int32_t slot) -> ValueType {
+    ValueType t = global_types_[slot];
+    // Before its first top-level store a slot holds None.
+    return t == ValueType::kBottom ? ValueType::kNone : t;
+  };
+  hooks.is_host = [this](const std::string& name) -> bool {
+    return hosts_.count(name) > 0;
+  };
+  for (int round = 0; round < 8 && !failed_; ++round) {
+    FixpointResult top =
+        Fixpoint(module_.top_level, /*fn_index=*/-1,
+                 /*params=*/{}, hooks, /*mixes=*/nullptr);
+    if (!top.ok) return;
+    std::vector<ValueType> next = global_types_;
+    for (size_t pc = 0; pc < module_.top_level.code.size(); ++pc) {
+      const Instruction& ins = module_.top_level.code[pc];
+      if (ins.op != Op::kStoreGlobal || !top.rows[pc].reachable) continue;
+      if (top.rows[pc].stack.empty()) {
+        failed_ = true;
+        return;
+      }
+      next[ins.a] =
+          JoinType(next[ins.a], top.rows[pc].stack.back());
+    }
+    if (next == global_types_) break;
+    global_types_ = std::move(next);
+  }
+
+  for (size_t i = 0; i < nglobals; ++i) {
+    if (fn_stored[i]) {
+      global_types_[i] = ValueType::kTop;
+    } else if (global_types_[i] == ValueType::kBottom) {
+      global_types_[i] = ValueType::kNone;  // never stored: stays None
+    }
+    // Note the remaining optimism: a top-level store inside a branch may
+    // not execute, leaving the slot None at runtime.  That only makes an
+    // entry *guard* fail (deopt), never typed code run on a wrong type.
+  }
+}
+
+void Inference::PreliminaryPass() {
+  const size_t nfn = module_.functions.size();
+  prelim_rows_.assign(nfn, {});
+  prelim_ret_.assign(nfn, ValueType::kBottom);
+  callsite_args_.assign(nfn, {});
+  for (size_t i = 0; i < nfn; ++i) {
+    callsite_args_[i].assign(module_.functions[i].num_params,
+                             ValueType::kBottom);
+  }
+
+  TransferHooks hooks = PrelimHooks();
+  std::vector<MixEvent> mixes;
+  // Module-level summary iteration: rets start ⊥ and only grow (flat
+  // lattice: ⊥ → concrete → ⊤), so this converges in a handful of
+  // rounds; the cap is a safety net, and landing on it just means some
+  // summaries stay under-joined — prelim feeds diagnostics and guard
+  // selection, both of which degrade gracefully.
+  for (int round = 0; round < 16 && !failed_; ++round) {
+    bool changed = false;
+    for (size_t i = 0; i < nfn; ++i) {
+      const CompiledFunction& fn = module_.functions[i];
+      std::vector<ValueType> top_params(fn.num_params, ValueType::kTop);
+      FixpointResult r = Fixpoint(fn, static_cast<int>(i), top_params, hooks,
+                                  round == 0 ? &mixes : nullptr);
+      if (!r.ok) return;
+      if (r.ret != prelim_ret_[i]) changed = true;
+      prelim_ret_[i] = r.ret;
+      prelim_rows_[i] = std::move(r.rows);
+    }
+    if (!changed) break;
+  }
+  if (failed_) return;
+
+  // Call-site argument collection from the converged prelim rows.
+  for (size_t i = 0; i < nfn; ++i) {
+    const CompiledFunction& fn = module_.functions[i];
+    for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+      const Instruction& ins = fn.code[pc];
+      if (ins.op != Op::kCallUser || !prelim_rows_[i][pc].reachable) continue;
+      int callee = ins.a;
+      int argc = ins.b;
+      const std::vector<ValueType>& stack = prelim_rows_[i][pc].stack;
+      if (callee < 0 || callee >= static_cast<int>(nfn) ||
+          argc != module_.functions[callee].num_params ||
+          static_cast<int>(stack.size()) < argc) {
+        continue;  // arity errors surface as MPY1xx, not here
+      }
+      for (int k = 0; k < argc; ++k) {
+        ValueType at = stack[stack.size() - argc + k];
+        callsite_args_[callee][k] = JoinType(callsite_args_[callee][k], at);
+      }
+    }
+  }
+
+  // MPY501/502 from the converged rows (a transient state can look like a
+  // guaranteed error that a later join dissolves, so never report
+  // mid-fixpoint); MPY503 from first-round join events, deduped per
+  // (function, local).
+  for (size_t i = 0; i < nfn; ++i) {
+    CollectDiagnostics(module_.functions[i], prelim_rows_[i], hooks);
+  }
+  for (const MixEvent& m : mixes) {
+    if (!mix_reported_.insert({m.fn_index, m.slot}).second) continue;
+    const CompiledFunction& fn = module_.functions[m.fn_index];
+    std::string local = m.slot < static_cast<int>(fn.local_names.size())
+                            ? fn.local_names[m.slot]
+                            : "#" + std::to_string(m.slot);
+    Diagnostic d;
+    d.code = "MPY503";
+    d.severity = Severity::kWarning;
+    d.span.line = m.line;
+    d.message = "in " + fn.name + "(): local '" + local +
+                "' alternates between int and float across loop "
+                "iterations; floating-point summation order now depends "
+                "on iteration count — initialize it with a float literal";
+    diagnostics_.push_back(std::move(d));
+  }
+}
+
+void Inference::CollectDiagnostics(const CompiledFunction& fn,
+                                   const std::vector<TypeRow>& rows,
+                                   const TransferHooks& hooks) {
+  for (size_t pc = 0; pc < fn.code.size(); ++pc) {
+    if (!rows[pc].reachable) continue;
+    AbstractState in;
+    in.locals = rows[pc].locals;
+    in.stack = rows[pc].stack;
+    Result<TransferStep> step =
+        TransferInstruction(module_, fn, static_cast<int>(pc), in, hooks);
+    if (!step.ok() || !step->guaranteed_error) continue;
+
+    const Instruction& ins = fn.code[pc];
+    const std::vector<ValueType>& stack = in.stack;
+    Diagnostic d;
+    d.severity = Severity::kWarning;
+    d.span.line = ins.line;
+    std::string where = "in " + fn.name + "(): ";
+    switch (ins.op) {
+      case Op::kBinary: {
+        if (stack.size() < 2) continue;
+        ValueType b = stack[stack.size() - 1];
+        ValueType a = stack[stack.size() - 2];
+        d.code = "MPY501";
+        d.message = where + "'" +
+                    BinOpSymbol(static_cast<BinOp>(ins.a)) +
+                    "' always raises TypeError here: operands are " +
+                    Disp(a) + " and " + Disp(b);
+        break;
+      }
+      case Op::kUnary: {
+        if (stack.empty()) continue;
+        d.code = "MPY501";
+        d.message = where +
+                    "unary '-' always raises TypeError here: operand is " +
+                    Disp(stack.back());
+        break;
+      }
+      case Op::kIndex: {
+        if (stack.size() < 2) continue;
+        ValueType base = stack[stack.size() - 2];
+        ValueType index = stack[stack.size() - 1];
+        d.code = "MPY501";
+        d.message = where + "subscript always fails here: " + Disp(base) +
+                    "[" + Disp(index) + "]";
+        break;
+      }
+      case Op::kStoreIndex: {
+        if (stack.size() < 3) continue;
+        ValueType base = stack[stack.size() - 3];
+        ValueType index = stack[stack.size() - 2];
+        d.code = "MPY501";
+        d.message = where + "subscript assignment always fails here: " +
+                    Disp(base) + "[" + Disp(index) + "] = ...";
+        break;
+      }
+      case Op::kLen: {
+        if (stack.empty()) continue;
+        d.code = "MPY501";
+        d.message = where + "len() always fails here: operand is " +
+                    Disp(stack.back());
+        break;
+      }
+      case Op::kCallBuiltin: {
+        const std::string& name = fn.constants[ins.a].AsString();
+        int argc = ins.b;
+        if (static_cast<int>(stack.size()) < argc) continue;
+        std::string args;
+        for (int k = 0; k < argc; ++k) {
+          if (k > 0) args += ", ";
+          args += Disp(stack[stack.size() - argc + k]);
+        }
+        d.code = "MPY502";
+        d.message = where + name + "(" + args +
+                    ") always raises: no argument types admit it";
+        break;
+      }
+      default:
+        continue;  // other guaranteed errors have dedicated passes
+    }
+    diagnostics_.push_back(std::move(d));
+  }
+}
+
+void Inference::ChooseGuards() {
+  const size_t nfn = module_.functions.size();
+  table_.functions.assign(nfn, FunctionFacts{});
+  speculative_.assign(nfn, false);
+  for (size_t i = 0; i < nfn; ++i) {
+    const CompiledFunction& fn = module_.functions[i];
+    FunctionFacts& facts = table_.functions[i];
+    facts.params.resize(fn.num_params);
+    for (int k = 0; k < fn.num_params; ++k) {
+      ValueType site = callsite_args_[i][k];
+      if (minipy::IsConcreteType(site)) {
+        facts.params[k] = site;
+      } else {
+        // No static call site constrains this parameter (host-called
+        // function) or the sites conflict.  Speculate int — the dominant
+        // MiniPy parameter kind (indices, counts, split bounds).  Wrong
+        // speculation costs one guard failure per call, nothing more.
+        facts.params[k] = ValueType::kInt;
+        speculative_[i] = true;
+      }
+    }
+    // The global guard covers every slot this function reads whose type
+    // is stable and known; ⊤-typed slots are omitted (GlobalType defaults
+    // to ⊤ for unlisted slots, and an ⊤ entry adds no information).
+    std::set<int32_t> reads;
+    for (const Instruction& ins : fn.code) {
+      if (ins.op == Op::kLoadGlobal) reads.insert(ins.a);
+    }
+    for (int32_t slot : reads) {
+      if (global_types_[slot] != ValueType::kTop) {
+        facts.global_reads.emplace_back(slot, global_types_[slot]);
+      }
+    }
+    facts.ret = ValueType::kBottom;
+  }
+}
+
+bool Inference::GuardedPass() {
+  const size_t nfn = module_.functions.size();
+  // Same summary iteration as the prelim pass, now under the chosen
+  // guards and the checker's exact call-result rule.  Monotone: rets only
+  // grow, and an args==params match can only be lost (args grow toward ⊤)
+  // — after which the result is already ⊤.
+  for (int round = 0; round < 16 && !failed_; ++round) {
+    bool changed = false;
+    for (size_t i = 0; i < nfn; ++i) {
+      const CompiledFunction& fn = module_.functions[i];
+      FunctionFacts& facts = table_.functions[i];
+      FixpointResult r = Fixpoint(fn, static_cast<int>(i), facts.params,
+                                  GuardedHooks(static_cast<int>(i)),
+                                  /*mixes=*/nullptr);
+      if (!r.ok) return false;
+      if (r.ret != facts.ret) changed = true;
+      facts.ret = r.ret;
+      facts.rows = std::move(r.rows);
+    }
+    if (!changed) break;
+  }
+  return !failed_;
+}
+
+TypeInference Inference::Run() {
+  TypeInference out;
+  if (!module_.verified) return out;
+
+  InferGlobalTypes();
+  if (!failed_) PreliminaryPass();
+  if (!failed_) ChooseGuards();
+  bool table_ok = !failed_ && GuardedPass();
+
+  // A speculated guard that leaves the body guaranteed-to-raise (ret ⊥ =
+  // no normal return) speculated wrong — e.g. int-speculation for a
+  // list-taking map().  Demote those parameters to ⊤ and re-derive: the
+  // function stays untyped either way, but its published signature tells
+  // the truth instead of "never returns".  Demotion can cascade (wider
+  // params widen call results), hence the loop.
+  while (table_ok) {
+    bool demoted = false;
+    for (size_t i = 0; i < table_.functions.size(); ++i) {
+      FunctionFacts& facts = table_.functions[i];
+      if (!speculative_[i] || facts.ret != ValueType::kBottom) continue;
+      for (size_t k = 0; k < facts.params.size(); ++k) {
+        if (!minipy::IsConcreteType(callsite_args_[i][k])) {
+          facts.params[k] = ValueType::kTop;
+        }
+      }
+      speculative_[i] = false;
+      demoted = true;
+    }
+    if (!demoted) break;
+    for (FunctionFacts& facts : table_.functions) {
+      facts.ret = ValueType::kBottom;  // restart the monotone iteration
+    }
+    table_ok = GuardedPass();
+  }
+
+  out.diagnostics = std::move(diagnostics_);
+  if (!table_ok) return out;
+
+  // Defense in depth: the table is about to be trusted by the VM's
+  // checker, and a divergence between the two would silently disable the
+  // typed tier.  Running the real checker here turns any inference bug
+  // into "ship no table" (generic-only execution), never a rejected one.
+  auto table = std::make_shared<TypeFactTable>(std::move(table_));
+  if (!minipy::CheckTypeFacts(module_, *table, hosts_).ok()) return out;
+  out.table = std::move(table);
+
+  for (size_t i = 0; i < module_.functions.size(); ++i) {
+    InferredSignature sig;
+    sig.name = module_.functions[i].name;
+    sig.params = out.table->functions[i].params;
+    sig.ret = out.table->functions[i].ret;
+    sig.speculative = speculative_[i];
+    out.signatures.push_back(std::move(sig));
+  }
+  return out;
+}
+
+}  // namespace
+
+TypeInference InferTypeFacts(const CompiledModule& module,
+                             const std::set<std::string>& host_names) {
+  return Inference(module, host_names).Run();
+}
+
+}  // namespace analysis
+}  // namespace mrs

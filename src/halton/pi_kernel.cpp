@@ -1,5 +1,6 @@
 #include "halton/pi_kernel.h"
 
+#include "analysis/analysis.h"
 #include "interp/treewalk.h"
 #include "interp/vm.h"
 
@@ -8,6 +9,9 @@ namespace mrs {
 Result<PiEngine> ParsePiEngine(const std::string& name) {
   if (name == "native" || name == "c") return PiEngine::kNative;
   if (name == "vm" || name == "pypy") return PiEngine::kVm;
+  if (name == "vm-typed" || name == "vmtyped" || name == "typed") {
+    return PiEngine::kVmTyped;
+  }
   if (name == "treewalk" || name == "python" || name == "pure") {
     return PiEngine::kTreeWalk;
   }
@@ -18,6 +22,7 @@ std::string_view PiEngineName(PiEngine engine) {
   switch (engine) {
     case PiEngine::kNative: return "native";
     case PiEngine::kVm: return "vm";
+    case PiEngine::kVmTyped: return "vm-typed";
     case PiEngine::kTreeWalk: return "treewalk";
   }
   return "?";
@@ -35,7 +40,27 @@ class NativePiKernel final : public PiKernel {
 
 class VmPiKernel final : public PiKernel {
  public:
-  Status Init() { return vm_.LoadSource(HaltonPiMiniPySource()); }
+  explicit VmPiKernel(bool typed) : typed_(typed) {}
+
+  Status Init() {
+    if (!typed_) {
+      // The plain "vm" engine is the generic-loop baseline the typed tier
+      // is measured against; pin it there even when facts are available.
+      vm_.set_typed_tier_enabled(false);
+      return vm_.LoadSource(HaltonPiMiniPySource());
+    }
+    // Route through the analysis pipeline so the module carries a type
+    // fact table (the π source is a plain module, not a map/reduce
+    // kernel, hence no kernel profile).
+    analysis::AnalysisOptions options;
+    options.kernel_profile = false;
+    analysis::AnalysisResult analyzed =
+        analysis::AnalyzeKernelSource(HaltonPiMiniPySource(), options);
+    if (!analyzed.ok() || analyzed.module == nullptr) {
+      return InternalError("pi kernel source failed analysis");
+    }
+    return vm_.LoadModule(analyzed.module);
+  }
 
   Result<uint64_t> CountInside(uint64_t start, uint64_t count) override {
     MRS_ASSIGN_OR_RETURN(
@@ -45,9 +70,12 @@ class VmPiKernel final : public PiKernel {
                   minipy::PyValue(static_cast<int64_t>(count))}));
     return static_cast<uint64_t>(out.AsInt());
   }
-  PiEngine engine() const override { return PiEngine::kVm; }
+  PiEngine engine() const override {
+    return typed_ ? PiEngine::kVmTyped : PiEngine::kVm;
+  }
 
  private:
+  bool typed_;
   minipy::Vm vm_;
 };
 
@@ -75,8 +103,10 @@ Result<std::unique_ptr<PiKernel>> PiKernel::Create(PiEngine engine) {
   switch (engine) {
     case PiEngine::kNative:
       return std::unique_ptr<PiKernel>(new NativePiKernel());
-    case PiEngine::kVm: {
-      auto kernel = std::make_unique<VmPiKernel>();
+    case PiEngine::kVm:
+    case PiEngine::kVmTyped: {
+      auto kernel =
+          std::make_unique<VmPiKernel>(engine == PiEngine::kVmTyped);
       MRS_RETURN_IF_ERROR(kernel->Init());
       return std::unique_ptr<PiKernel>(std::move(kernel));
     }

@@ -1,14 +1,18 @@
 // The π-estimation inner loop under each "language" (paper Fig 3).
 //
 //   kNative   — C++ (the paper's ctypes C module)
-//   kVm       — MiniPy bytecode VM (the paper's PyPy)
+//   kVm       — MiniPy bytecode VM, generic loop only (the paper's PyPy)
+//   kVmTyped  — MiniPy bytecode VM with the typed, unboxed tier enabled
+//               (analysis/typeinfer.h facts gate unboxed execution)
 //   kTreeWalk — MiniPy tree-walking interpreter (the paper's pure Python)
 //
-// All three count Halton points inside the quarter circle; the VM and
-// tree-walk engines execute HaltonPiMiniPySource().  kNative uses the
-// incremental Halton generator; the MiniPy engines use the direct radical
-// inverse, so counts may differ by floating-point hair on boundary points
-// — EstimatePi agreement is asserted to 1e-3 in tests, not bit equality.
+// All engines count Halton points inside the quarter circle; the MiniPy
+// engines execute HaltonPiMiniPySource().  kNative uses the incremental
+// Halton generator; the MiniPy engines use the direct radical inverse, so
+// counts may differ by floating-point hair on boundary points —
+// EstimatePi agreement is asserted to 1e-3 in tests, not bit equality.
+// kVm and kVmTyped, by contrast, are asserted *bit-identical*: the typed
+// tier is an execution strategy, never a semantics change.
 #pragma once
 
 #include <memory>
@@ -19,9 +23,10 @@
 
 namespace mrs {
 
-enum class PiEngine { kNative, kVm, kTreeWalk };
+enum class PiEngine { kNative, kVm, kVmTyped, kTreeWalk };
 
-/// Parse "native" / "vm" / "treewalk" (aliases: "c", "pypy", "python").
+/// Parse "native" / "vm" / "vm-typed" / "treewalk" (aliases: "c", "pypy",
+/// "typed", "python").
 Result<PiEngine> ParsePiEngine(const std::string& name);
 std::string_view PiEngineName(PiEngine engine);
 

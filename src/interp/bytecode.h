@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,10 @@ struct Instruction {
   Op op;
   int32_t a = 0;
   int32_t b = 0;
+  /// Source line (1-based) of the statement/expression that emitted this
+  /// instruction; 0 when unknown.  Debug info only — execution never reads
+  /// it, diagnostics (analysis/typeinfer.h) do.
+  int32_t line = 0;
 };
 
 struct CompiledFunction {
@@ -53,7 +58,12 @@ struct CompiledFunction {
   /// Maximum operand-stack depth, computed by the bytecode verifier
   /// (interp/verifier.h).  0 until verified.
   int max_stack = 0;
+  /// Slot -> source name (params first, then assigned names, then $hiddenN
+  /// loop temporaries).  Debug info for diagnostics; size == num_locals.
+  std::vector<std::string> local_names;
 };
+
+struct TypeFactTable;  // interp/typefacts.h
 
 struct CompiledModule {
   std::vector<CompiledFunction> functions;   // user functions
@@ -66,6 +76,11 @@ struct CompiledModule {
   /// verification — the verified bit is what gates the unboxed numeric
   /// fast path on trusted frames only.
   bool verified = false;
+  /// Optional per-function type facts (interp/typefacts.h), produced by
+  /// analysis/typeinfer.h and *re-checked* by CheckTypeFacts before the VM
+  /// builds its typed tier from them.  A module with no table (or a table
+  /// that fails the check) still runs — on the generic loop only.
+  std::shared_ptr<const TypeFactTable> type_facts;
   int FunctionIndex(const std::string& name) const {
     for (size_t i = 0; i < functions.size(); ++i) {
       if (functions[i].name == name) return static_cast<int>(i);

@@ -75,12 +75,16 @@ class FunctionCompiler {
     }
     Emit(Op::kReturnNone);
     fn_.num_locals = static_cast<int>(locals_.size());
+    fn_.local_names.resize(locals_.size());
+    for (const auto& [local_name, slot] : locals_) {
+      fn_.local_names[static_cast<size_t>(slot)] = local_name;
+    }
     return std::move(fn_);
   }
 
  private:
   int Emit(Op op, int32_t a = 0, int32_t b = 0) {
-    fn_.code.push_back(Instruction{op, a, b});
+    fn_.code.push_back(Instruction{op, a, b, current_line_});
     return static_cast<int>(fn_.code.size()) - 1;
   }
   void Patch(int at, int32_t target) { fn_.code[static_cast<size_t>(at)].a = target; }
@@ -135,6 +139,7 @@ class FunctionCompiler {
   }
 
   Status CompileStmt(const Stmt& stmt) {
+    if (stmt.line > 0) current_line_ = stmt.line;
     switch (stmt.kind) {
       case Stmt::Kind::kExpr:
         MRS_RETURN_IF_ERROR(CompileExpr(*stmt.expr));
@@ -273,6 +278,7 @@ class FunctionCompiler {
   }
 
   Status CompileExpr(const Expr& expr) {
+    if (expr.line > 0) current_line_ = expr.line;
     switch (expr.kind) {
       case Expr::Kind::kIntLit:
         Emit(Op::kLoadConst, AddConst(PyValue(expr.int_value)));
@@ -354,6 +360,7 @@ class FunctionCompiler {
   CompiledFunction fn_;
   std::map<std::string, int> locals_;
   std::vector<LoopContext> loop_stack_;
+  int32_t current_line_ = 0;
 };
 
 }  // namespace

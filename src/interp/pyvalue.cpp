@@ -69,12 +69,6 @@ Status TypeError(std::string_view what, const PyValue& a, const PyValue& b) {
                               std::string(b.TypeName()));
 }
 
-double PyFMod(double a, double b) {
-  double m = std::fmod(a, b);
-  if (m != 0.0 && ((m < 0.0) != (b < 0.0))) m += b;
-  return m;
-}
-
 int CompareNumeric(const PyValue& a, const PyValue& b) {
   double x = a.AsFloat();
   double y = b.AsFloat();
@@ -153,7 +147,7 @@ Result<PyValue> ApplyBinary(BinOp op, const PyValue& a, const PyValue& b) {
       if (a.is_numeric() && b.is_numeric()) {
         if (a.is_float() || b.is_float()) {
           if (b.AsFloat() == 0.0) return InvalidArgumentError("modulo by zero");
-          return PyValue(PyFMod(a.AsFloat(), b.AsFloat()));
+          return PyValue(PyFModFloat(a.AsFloat(), b.AsFloat()));
         }
         if (b.AsInt() == 0) return InvalidArgumentError("modulo by zero");
         return PyValue(PyModInt(a.AsInt(), b.AsInt()));

@@ -6,6 +6,7 @@
 // // floors, % takes the sign of the divisor, int+int stays int.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -97,6 +98,13 @@ inline int64_t PyFloorDivInt(int64_t a, int64_t b) {
 inline int64_t PyModInt(int64_t a, int64_t b) {
   int64_t m = a % b;
   if (m != 0 && ((m < 0) != (b < 0))) m += b;
+  return m;
+}
+/// Python float modulo (sign of the divisor), shared by ApplyBinary and
+/// the typed tier so both produce bit-identical doubles.
+inline double PyFModFloat(double a, double b) {
+  double m = std::fmod(a, b);
+  if (m != 0.0 && ((m < 0.0) != (b < 0.0))) m += b;
   return m;
 }
 

@@ -3,17 +3,20 @@
 //   mrs_lint [--json] [--no-kernel-profile] [--no-determinism] file.mpy...
 //
 // Prints one diagnostic per line ("file:line:col: error[MPY101]: ...") or,
-// with --json, one JSON object per diagnostic plus a summary line.  Exit
-// status: 0 = no errors anywhere (warnings allowed), 1 = at least one file
-// had errors, 2 = usage or I/O failure.  CI runs this over every
-// checked-in kernel (examples/kernels/*.mpy), so a kernel that would be
-// rejected at Job::Submit can't land.
+// with --json, one object {"diagnostics": [...], "signatures": [...]} —
+// the diagnostics as before, plus the per-function signatures the type
+// inference derived (entry-guard parameter types and return type; see
+// analysis/typeinfer.h).  Exit status: 0 = no errors anywhere (warnings
+// allowed), 1 = at least one file had errors, 2 = usage or I/O failure.
+// CI runs this over every checked-in kernel (examples/kernels/*.mpy), so
+// a kernel that would be rejected at Job::Submit can't land.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "analysis/analysis.h"
 #include "fs/file_io.h"
+#include "interp/typefacts.h"
 
 namespace {
 
@@ -21,6 +24,24 @@ void PrintUsage() {
   std::fprintf(stderr,
                "usage: mrs_lint [--json] [--no-kernel-profile] "
                "[--no-determinism] file.mpy...\n");
+}
+
+std::string SignatureJson(const mrs::analysis::InferredSignature& sig,
+                          const std::string& file) {
+  std::string out = "{\"file\":\"" + file + "\",\"function\":\"" + sig.name +
+                    "\",\"params\":[";
+  for (size_t i = 0; i < sig.params.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += mrs::minipy::TypeDisplayName(sig.params[i]);
+    out += '"';
+  }
+  out += "],\"ret\":\"";
+  out += mrs::minipy::TypeDisplayName(sig.ret);
+  out += "\",\"speculative\":";
+  out += sig.speculative ? "true" : "false";
+  out += '}';
+  return out;
 }
 
 }  // namespace
@@ -57,7 +78,8 @@ int main(int argc, char** argv) {
   int total_errors = 0;
   int total_warnings = 0;
   bool first_json = true;
-  if (json) std::printf("[");
+  std::vector<std::string> signature_json;
+  if (json) std::printf("{\"diagnostics\":[");
   for (const std::string& file : files) {
     mrs::Result<std::string> source = mrs::ReadFileToString(file);
     if (!source.ok()) {
@@ -85,9 +107,16 @@ int main(int argc, char** argv) {
     if (!json && result.diagnostics.empty()) {
       std::printf("%s: OK\n", file.c_str());
     }
+    for (const mrs::analysis::InferredSignature& sig : result.signatures) {
+      signature_json.push_back(SignatureJson(sig, file));
+    }
   }
   if (json) {
-    std::printf("]\n");
+    std::printf("],\n \"signatures\":[");
+    for (size_t i = 0; i < signature_json.size(); ++i) {
+      std::printf("%s%s", i > 0 ? ",\n  " : "", signature_json[i].c_str());
+    }
+    std::printf("]}\n");
   } else if (total_errors > 0 || total_warnings > 0) {
     std::printf("%d error(s), %d warning(s) in %d of %zu file(s)\n",
                 total_errors, total_warnings, files_with_errors,
